@@ -1,0 +1,36 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import math
+import random
+from pathlib import Path
+
+from repro.core.plan import make_plan
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+WORD_BITS = 16
+
+
+def operands(n_bits: int, seed: int = 0) -> tuple[int, int]:
+    rng = random.Random(seed)
+    return rng.getrandbits(n_bits), rng.getrandbits(max(1, n_bits - 8))
+
+
+def plan_for(n_bits: int, p: int, k: int, extra_dfs: int = 0, m_words: float = math.inf):
+    return make_plan(
+        n_bits, p=p, k=k, word_bits=WORD_BITS, extra_dfs=extra_dfs, m_words=m_words
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

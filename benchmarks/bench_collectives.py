@@ -1,0 +1,120 @@
+"""Lemma 2.5 / Corollary 2.6 — t-reduce and t-broadcast costs.
+
+Sweeps ``t``, ``W`` and ``P`` and checks the measured per-rank charges
+against the stated bounds: ``F = t*W``, ``BW = t*W``, ``L = O(log P + t)``
+for t-reduce; ``F = 0``, ``BW = t*W``, ``L = O(log P)`` for t-broadcast.
+"""
+
+import math
+
+from _common import emit, once
+
+from repro.analysis.formulas import t_reduce_costs
+from repro.analysis.report import render_table
+from repro.machine import collectives as coll
+from repro.machine.engine import Machine
+
+
+def _measure_t_reduce(p, t, w):
+    def program(comm):
+        contributions = {root: [1] * w for root in range(t)}
+        coll.t_reduce(comm, contributions)
+
+    res = Machine(p, word_bits=64).run(program)
+    c = res.per_rank[0]
+    return c.f, c.bw, c.l
+
+
+def _measure_t_broadcast(p, t, w):
+    def program(comm):
+        values = {
+            root: ([1] * w if comm.rank == root else None) for root in range(t)
+        }
+        coll.t_broadcast(comm, values)
+
+    res = Machine(p, word_bits=64).run(program)
+    c = res.per_rank[min(t, p - 1)]  # a non-root participant
+    return c.f, c.bw, c.l
+
+
+def test_t_reduce_matches_lemma(benchmark):
+    cases = [(4, 1, 20), (8, 2, 20), (8, 4, 50), (16, 3, 10)]
+
+    def run():
+        return [(p, t, w, *_measure_t_reduce(p, t, w)) for p, t, w in cases]
+
+    rows = once(benchmark, run)
+    table = []
+    for p, t, w, f, bw, l in rows:
+        pred = t_reduce_costs(t, w, p)
+        table.append([p, t, w, f, pred.f, bw, pred.bw, l, round(pred.l, 1)])
+        assert f == t * w
+        assert bw == t * w
+        assert l == math.ceil(math.log2(p)) + t
+    emit(
+        "collectives_t_reduce",
+        render_table(
+            ["P", "t", "W", "F", "F pred", "BW", "BW pred", "L", "L pred"],
+            table,
+            title="Lemma 2.5: t-reduce measured vs predicted",
+        ),
+    )
+
+
+def test_t_broadcast_matches_corollary(benchmark):
+    cases = [(4, 1, 20), (8, 2, 30), (16, 2, 10)]
+
+    def run():
+        return [(p, t, w, *_measure_t_broadcast(p, t, w)) for p, t, w in cases]
+
+    rows = once(benchmark, run)
+    table = []
+    for p, t, w, f, bw, l in rows:
+        table.append([p, t, w, f, bw, t * w, l, math.ceil(math.log2(p))])
+        assert f == 0
+        assert bw == t * w
+        assert l == math.ceil(math.log2(p))
+    emit(
+        "collectives_t_broadcast",
+        render_table(
+            ["P", "t", "W", "F", "BW", "BW pred", "L", "L pred"],
+            table,
+            title="Corollary 2.6: t-broadcast measured vs predicted",
+        ),
+    )
+
+
+def test_counted_tree_collectives_are_suboptimal_beyond_constant_groups(benchmark):
+    """Why Lemma 2.5's pipelined collectives matter: a plain binomial-tree
+    reduce costs O(W log^2 P) bandwidth along the critical path (message
+    chains compound), which is why the algorithm uses counted trees only
+    inside constant-size row groups and the modeled Sanders-Sibeyn
+    primitives everywhere the paper's bounds require O(t*W)."""
+
+    def run():
+        out = []
+        for p in (4, 8, 16):
+            def program(comm):
+                coll.reduce(comm, [1] * 32, root=0)
+
+            res = Machine(p, word_bits=64).run(program)
+            out.append((p, res.critical_path.bw, res.critical_path.l))
+        return out
+
+    rows = once(benchmark, run)
+    table = []
+    w = 32
+    for p, bw, l in rows:
+        logp = math.ceil(math.log2(p))
+        bound = 2 * w * logp * logp + 2 * w
+        table.append([p, bw, w * logp, bound, l])
+        assert bw <= bound  # within the log^2 envelope
+        assert bw > w * logp or p <= 4  # ...but above the optimal W*log P
+    emit(
+        "collectives_counted_tree",
+        render_table(
+            ["P", "BW (counted reduce, W=32)", "optimal ~W*logP", "log^2 bound", "L"],
+            table,
+            title="Counted binomial-tree reduce: O(W log^2 P), motivating Lemma 2.5",
+        ),
+    )

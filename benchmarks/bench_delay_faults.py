@@ -1,0 +1,88 @@
+"""Delay faults — the paper's third fault category (Section 1).
+
+A delayed processor's per-operation time inflates; in the plain parallel
+algorithm its slow clock propagates to *every* processor through the
+ascent exchanges.  With the polynomial code's redundant columns and eager
+(earliest-in-virtual-time) collection, parents simply never wait for the
+slow column: the straggler's impact is contained to its own column — the
+classic latency benefit of coded computation, here falling out of the
+same code that handles hard faults.
+"""
+
+from _common import emit, once, operands, plan_for
+
+from repro.analysis.report import render_table
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+N_BITS = 900
+VICTIM = 4
+VICTIM_COLUMN = {3, 4, 5}
+
+
+def _delay(factor):
+    return FaultSchedule(
+        [FaultEvent(VICTIM, "multiplication", 0, kind="delay", factor=factor)]
+    )
+
+
+def _others_max_f(out, p=9):
+    return max(
+        c.f for r, c in enumerate(out.run.per_rank[:p]) if r not in VICTIM_COLUMN
+    )
+
+
+def test_straggler_contained_by_coded_collection(benchmark):
+    plan = plan_for(N_BITS, 9, 2)
+    a, b = operands(N_BITS, seed=71)
+
+    def run():
+        rows = []
+        for factor in (4.0, 16.0, 64.0):
+            base = ParallelToomCook(
+                plan, fault_schedule=_delay(factor), timeout=30
+            ).multiply(a, b)
+            coded = PolynomialCodedToomCook(
+                plan, f=1, eager=True, fault_schedule=_delay(factor), timeout=30
+            ).multiply(a, b)
+            assert base.product == coded.product == a * b
+            rows.append((factor, _others_max_f(base), _others_max_f(coded)))
+        base_clean = ParallelToomCook(plan, timeout=30).multiply(a, b)
+        coded_clean = PolynomialCodedToomCook(
+            plan, f=1, eager=True, timeout=30
+        ).multiply(a, b)
+        return rows, _others_max_f(base_clean), _others_max_f(coded_clean)
+
+    rows, base_clean, coded_clean = once(benchmark, run)
+    table = [["(healthy)", base_clean, coded_clean, "-", "-"]]
+    for factor, base_f, coded_f in rows:
+        table.append(
+            [
+                f"x{factor:g}",
+                base_f,
+                coded_f,
+                round(base_f / base_clean, 2),
+                round(coded_f / coded_clean, 2),
+            ]
+        )
+    emit(
+        "delay_straggler",
+        render_table(
+            [
+                "slowdown",
+                "plain: others' max F",
+                "coded eager: others' max F",
+                "plain impact",
+                "coded impact",
+            ],
+            table,
+            title=(
+                "Delay fault on one processor (k=2, P=9, f=1): arithmetic on "
+                "the critical path of every processor outside the slow column"
+            ),
+        ),
+    )
+    for factor, base_f, coded_f in rows:
+        assert base_f > 2 * base_clean  # plain run drags everyone down
+        assert coded_f <= 1.05 * coded_clean  # coded run contains it

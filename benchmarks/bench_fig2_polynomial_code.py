@@ -1,0 +1,133 @@
+"""Figure 2 — the polynomial-code grid: ``f * P/(2k-1)`` code processors
+appended as columns, encoded via redundant evaluation points.
+
+Regenerated as (a) the grid, (b) the key behavioural claim: a fault in
+the multiplication phase costs *no recomputation* (the killed column is
+simply skipped at interpolation), measured as near-identical critical-path
+arithmetic with and without a fault, and (c) the first-step overhead
+factor ``(2k-1+f)/(2k-1)``.
+"""
+
+from _common import emit, once, operands, plan_for
+
+from repro.analysis.report import render_series, render_table
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+N_BITS = 1200
+
+
+def render_grid(p, q, f):
+    g2 = p // q
+    lines = [f"Figure 2 grid: {g2}x{q} standard + {f} code columns"]
+    for r in range(g2):
+        std = " ".join(f"P{c * g2 + r:02d}" for c in range(q))
+        code = " ".join(f"C{p + c * g2 + r:02d}" for c in range(f))
+        lines.append(f"  {std} | {code}")
+    return "\n".join(lines)
+
+
+def test_fig2_no_recomputation_on_fault(benchmark):
+    p, k, f = 9, 2, 1
+    plan = plan_for(N_BITS, p, k)
+    a, b = operands(N_BITS, seed=11)
+
+    def run():
+        clean = PolynomialCodedToomCook(plan, f=f, timeout=60).multiply(a, b)
+        faulted = PolynomialCodedToomCook(
+            plan,
+            f=f,
+            timeout=60,
+            fault_schedule=FaultSchedule([FaultEvent(4, "multiplication", 0)]),
+        ).multiply(a, b)
+        assert clean.product == faulted.product == a * b
+        return clean, faulted
+
+    clean, faulted = once(benchmark, run)
+    rows = [
+        ["fault-free", clean.run.critical_path.f, clean.run.critical_path.bw],
+        ["1 fault (multiplication)", faulted.run.critical_path.f, faulted.run.critical_path.bw],
+        [
+            "overhead factor",
+            round(faulted.run.critical_path.f / clean.run.critical_path.f, 4),
+            round(faulted.run.critical_path.bw / clean.run.critical_path.bw, 4),
+        ],
+    ]
+    emit(
+        "fig2_no_recompute",
+        render_grid(p, plan.q, f)
+        + "\n\n"
+        + render_table(
+            ["Run", "F", "BW"],
+            rows,
+            title="Polynomial code: zero-recomputation recovery (k=2, P=9, f=1)",
+        ),
+    )
+    # The faulted run must NOT redo multiplication work (contrast with
+    # Birnbaum et al.'s recomputation and with checkpoint-restart).
+    assert faulted.run.critical_path.f <= 1.1 * clean.run.critical_path.f
+
+
+def test_fig2_first_step_overhead_scales_with_f(benchmark):
+    """The coded step evaluates 2k-1+f points: evaluation-phase arithmetic
+    grows by (2k-1+f)/(2k-1) while everything else is unchanged."""
+    p, k = 9, 2
+    plan = plan_for(N_BITS, p, k)
+    a, b = operands(N_BITS, seed=12)
+
+    def run():
+        base = ParallelToomCook(plan, timeout=60).multiply(a, b)
+        results = {}
+        for f in (1, 2, 3):
+            out = PolynomialCodedToomCook(plan, f=f, timeout=60).multiply(a, b)
+            assert out.product == a * b
+            results[f] = out
+        return base, results
+
+    base, results = once(benchmark, run)
+    fs = sorted(results)
+    measured = [
+        results[f].run.phase_costs["evaluation"].f
+        / base.run.phase_costs["evaluation"].f
+        for f in fs
+    ]
+    predicted = [(plan.q + f) / plan.q for f in fs]
+    emit(
+        "fig2_overhead_vs_f",
+        render_series(
+            "f",
+            fs,
+            {
+                "measured eval-F ratio": [round(m, 3) for m in measured],
+                "predicted (2k-1+f)/(2k-1)": [round(x, 3) for x in predicted],
+            },
+            title="First-step evaluation overhead vs f (k=2, P=9)",
+        ),
+    )
+    for m, pr in zip(measured, predicted):
+        assert m <= pr * 1.5 + 0.2
+    assert measured == sorted(measured)  # grows with f
+
+
+def test_fig2_code_processor_count(benchmark):
+    def run():
+        counts = []
+        for p in (9, 27):
+            for f in (1, 2):
+                plan = plan_for(300, p, 2)
+                algo = PolynomialCodedToomCook(plan, f=f)
+                counts.append((p, f, algo.machine_size() - p, f * (p // plan.q)))
+        return counts
+
+    counts = once(benchmark, run)
+    emit(
+        "fig2_code_processors",
+        render_table(
+            ["P", "f", "Measured extra", "f*P/(2k-1)"],
+            counts,
+            title="Figure 2 code-processor count (k=2)",
+        ),
+    )
+    for _, _, measured, predicted in counts:
+        assert measured == predicted

@@ -1,0 +1,104 @@
+"""Figure 3 — multi-step traversal: ``l`` combined BFS steps shrink the
+code-processor count to ``f * P/(2k-1)**l``.
+
+Regenerated as the code-processor count across ``l`` (the figure's
+geometry), end-to-end correctness with redundant multivariate points from
+the Section 6.2 search (the paper's proposed future work, implemented),
+and fault survival at full collapse (``l = log_(2k-1) P`` — only ``f``
+extra processors, the unlimited-memory optimum of Theorem 5.2).
+"""
+
+from _common import emit, once, operands, plan_for
+
+from repro.analysis.report import render_series, render_table
+from repro.core.multistep import MultiStepToomCook
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+N_BITS = 600
+
+
+def test_fig3_code_processor_count_shrinks_with_l(benchmark):
+    p, k, f = 27, 2, 1
+    plan = plan_for(N_BITS, p, k)
+
+    def run():
+        return {
+            l: MultiStepToomCook(plan, l=l, f=f).machine_size() - p
+            for l in (1, 2, 3)
+        }
+
+    extras = once(benchmark, run)
+    ls = sorted(extras)
+    emit(
+        "fig3_multistep_extras",
+        render_series(
+            "l",
+            ls,
+            {
+                "measured extra procs": [extras[l] for l in ls],
+                "f*P/(2k-1)^l": [f * p // (2 * k - 1) ** l for l in ls],
+            },
+            title=f"Figure 3: code processors vs combined steps (k={k}, P={p}, f={f})",
+        ),
+    )
+    for l in ls:
+        assert extras[l] == f * p // (2 * k - 1) ** l
+    assert extras[3] == f  # full collapse: the Thm 5.2 remark
+
+
+def test_fig3_correct_and_fault_tolerant_at_each_l(benchmark):
+    p, k, f = 9, 2, 1
+    plan = plan_for(N_BITS, p, k)
+    a, b = operands(N_BITS, seed=33)
+
+    def run():
+        outs = {}
+        for l in (1, 2):
+            sched = FaultSchedule([FaultEvent(4, "multiplication", 0)])
+            algo = MultiStepToomCook(
+                plan, l=l, f=f, fault_schedule=sched, timeout=60
+            )
+            out = algo.multiply(a, b)
+            assert out.product == a * b
+            outs[l] = (algo, out)
+        return outs
+
+    outs = once(benchmark, run)
+    rows = []
+    for l, (algo, out) in sorted(outs.items()):
+        c = out.run.critical_path
+        rows.append([l, algo.machine_size() - p, c.f, c.bw, len(out.run.fault_log)])
+    emit(
+        "fig3_multistep_faults",
+        render_table(
+            ["l", "Extra procs", "F", "BW", "Faults survived"],
+            rows,
+            title=f"Multi-step FT under one multiplication-phase fault (k={k}, P={p})",
+        ),
+    )
+    # Fewer code processors at l=2 without losing tolerance.
+    assert rows[1][1] < rows[0][1]
+    assert all(r[4] == 1 for r in rows)
+
+
+def test_fig3_redundant_points_found_by_heuristic(benchmark):
+    """Section 6.2's search supplies the redundant points the paper left
+    as future work; verify they are in (2k-1, l)-general position."""
+    from repro.coding.general_position import is_general_position
+
+    def run():
+        plan = plan_for(N_BITS, 9, 2)
+        algo = MultiStepToomCook(plan, l=2, f=2)
+        return algo.multi_points
+
+    points = once(benchmark, run)
+    emit(
+        "fig3_redundant_points",
+        render_table(
+            ["index", "point"],
+            [[i, str(pt)] for i, pt in enumerate(points[9:], start=9)],
+            title="Redundant multivariate evaluation points (k=2, l=2, f=2)",
+        ),
+    )
+    assert len(points) == 9 + 2
+    assert is_general_position(points, 3, 2)

@@ -1,0 +1,121 @@
+"""Lemma 3.1 — memory footprint of the BFS-DFS traversal.
+
+Checks two claims from measured peak memory:
+
+- pure-BFS traversal inflates the per-processor footprint by
+  ``((2k-1)/k)^(log_(2k-1) P) = P^(1 - log_(2k-1) k)`` over the input
+  share ``n/P``;
+- each DFS step cuts the footprint by about ``k``, and the planner's
+  ``l_DFS`` formula makes a run fit exactly the memory the lemma says it
+  needs.
+"""
+
+import math
+
+from _common import emit, once, operands, plan_for
+
+from repro.analysis.report import render_series
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.plan import bfs_memory_blowup, min_dfs_steps
+
+N_BITS = 3200
+
+
+def test_bfs_blowup_matches_lemma(benchmark):
+    k = 2
+
+    def run():
+        out = []
+        for p in (3, 9, 27):
+            plan = plan_for(N_BITS, p, k)
+            a, b = operands(N_BITS, seed=p)
+            res = ParallelToomCook(plan, timeout=90).multiply(a, b)
+            assert res.product == a * b
+            out.append((p, plan.local_words, res.run.max_peak_memory()))
+        return out
+
+    rows = once(benchmark, run)
+    ps = [r[0] for r in rows]
+    measured = [r[2] / r[1] for r in rows]
+    predicted = [bfs_memory_blowup(p, k) for p in ps]
+    emit(
+        "memory_bfs_blowup",
+        render_series(
+            "P",
+            ps,
+            {
+                "measured peak / (n/P)": [round(m, 2) for m in measured],
+                "lemma P^(1-log_q k) (+const)": [round(x, 2) for x in predicted],
+            },
+            title=f"Lemma 3.1 BFS memory blow-up, k={k}, n={N_BITS} bits",
+        ),
+    )
+    # The measured blow-up grows with P with the lemma's *shape*: limb
+    # growth and buffer constants scale the absolute level, so compare
+    # growth relative to the smallest machine.
+    assert measured == sorted(measured)
+    for i in range(1, len(measured)):
+        m_growth = measured[i] / measured[0]
+        p_growth = predicted[i] / predicted[0]
+        assert m_growth <= 2.5 * p_growth
+        assert m_growth >= 0.5 * p_growth
+
+
+def test_dfs_steps_shrink_footprint_geometrically(benchmark):
+    p, k = 9, 2
+
+    def run():
+        out = []
+        for extra in (0, 1, 2):
+            plan = plan_for(N_BITS, p, k, extra_dfs=extra)
+            a, b = operands(N_BITS, seed=9)
+            res = ParallelToomCook(plan, timeout=90).multiply(a, b)
+            assert res.product == a * b
+            out.append((extra, res.run.max_peak_memory()))
+        return out
+
+    rows = once(benchmark, run)
+    emit(
+        "memory_dfs_shrink",
+        render_series(
+            "l_dfs",
+            [r[0] for r in rows],
+            {"peak memory (words)": [r[1] for r in rows]},
+            title=f"DFS steps vs peak memory, k={k}, P={p}, n={N_BITS} bits",
+        ),
+    )
+    peaks = [r[1] for r in rows]
+    assert peaks[0] > peaks[1] > peaks[2]
+    # Lemma: each DFS step cuts the *traversal* footprint by ~k; the
+    # persistent operand/result share dampens the measured ratio.
+    assert peaks[0] / peaks[1] > 1.15
+
+
+def test_planner_min_dfs_matches_lemma_formula(benchmark):
+    def run():
+        cases = []
+        for n in (1000, 10_000, 100_000):
+            for p in (9, 27):
+                for m in (50, 500):
+                    k = 2
+                    q = 2 * k - 1
+                    got = min_dfs_steps(n, p, m, k)
+                    footprint = n / (k ** math.log(p, q))
+                    want = (
+                        0
+                        if footprint <= m
+                        else math.ceil(math.log(footprint / m, k))
+                    )
+                    cases.append((n, p, m, got, want))
+        return cases
+
+    cases = once(benchmark, run)
+    emit(
+        "memory_planner_ldfs",
+        "\n".join(
+            f"n={n:>7} P={p:>3} M={m:>4}: l_dfs={got} (formula {want})"
+            for n, p, m, got, want in cases
+        ),
+    )
+    for n, p, m, got, want in cases:
+        assert got == want

@@ -1,0 +1,157 @@
+"""The headline claim: fault-tolerant Toom-Cook reduces arithmetic and
+bandwidth *overhead* by ``Θ(P/(2k-1))`` versus general-purpose solutions.
+
+Two views, swept over ``f``:
+
+- **resource overhead** — extra processors: replication pays ``f*P``, the
+  combined FT algorithm ``f*(2k-1) + f*P/(2k-1)``, multi-step FT down to
+  ``f``;
+- **work overhead under faults** — total machine-wide arithmetic
+  (critical-path F × processors busy): replication multiplies all work by
+  ``f+1`` and checkpoint-restart recomputes on every fault, while FT adds
+  a vanishing coded-step + recovery term.
+"""
+
+from _common import emit, once, operands, plan_for
+
+from repro.analysis.formulas import extra_processors
+from repro.analysis.report import render_series, render_table
+from repro.core.checkpoint import CheckpointedToomCook
+from repro.core.ft_toomcook import FaultTolerantToomCook
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.replication import ReplicatedToomCook
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+N_BITS = 1200
+
+
+def test_extra_processor_overhead_vs_f(benchmark):
+    p, k = 27, 2
+
+    def run():
+        plan = plan_for(300, p, k)
+        rows = []
+        for f in (1, 2, 3):
+            rep = ReplicatedToomCook(plan, f=f).machine_size() - p
+            ft = FaultTolerantToomCook(plan, f=f).machine_size() - p
+            multistep = extra_processors("ft-multistep", p, k, f, l=3)
+            rows.append((f, rep, ft, multistep, round(rep / ft, 2)))
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "overhead_extra_procs_vs_f",
+        render_table(
+            ["f", "replication (f*P)", "FT combined", "FT multistep (l=log_q P)",
+             "replication/FT"],
+            rows,
+            title=f"Extra processors vs f (k={k}, P={p})",
+        ),
+    )
+    for f, rep, ft, ms, ratio in rows:
+        assert rep == f * p
+        assert ft == f * 3 + f * 9
+        assert ms == f
+        assert rep / ms == p  # the Θ(P/(2k-1)) claim at full collapse: f*P vs f
+
+
+def test_total_work_overhead_under_faults(benchmark):
+    """Machine-wide arithmetic under one injected fault, normalized to the
+    fault-free non-FT run: FT ~ 1, replication ~ f+1, CR ~ 2 (rollback)."""
+    p, k, f = 9, 2, 1
+    plan = plan_for(N_BITS, p, k)
+    a, b = operands(N_BITS, seed=55)
+    fault = lambda: FaultSchedule([FaultEvent(4, "multiplication", 0)])
+
+    def run():
+        base = ParallelToomCook(plan, timeout=60).multiply(a, b)
+        ft = FaultTolerantToomCook(
+            plan, f=f, fault_schedule=fault(), timeout=60
+        ).multiply(a, b)
+        rep = ReplicatedToomCook(
+            plan, f=f, fault_schedule=fault(), timeout=60
+        ).multiply(a, b)
+        ck = CheckpointedToomCook(
+            plan, f=f, fault_schedule=fault(), timeout=60
+        ).multiply(a, b)
+        for out in (base, ft, rep, ck):
+            assert out.product == a * b
+        return base, ft, rep, ck
+
+    base, ft, rep, ck = once(benchmark, run)
+
+    def total_work(outcome, nprocs):
+        return sum(c.f for c in outcome.run.per_rank)
+
+    w_base = total_work(base, p)
+    # Two metrics: the paper's per-processor critical-path F (the
+    # (1+o(1)) claim), and machine-wide total work (which also charges
+    # the code columns' redundant sub-products).
+    cp_ratio = lambda out: round(out.run.critical_path.f / base.run.critical_path.f, 3)
+    rows = [
+        ["Parallel Toom-Cook (no FT, no fault)", 1.0, 1.0],
+        ["Fault-Tolerant Toom-Cook", cp_ratio(ft), round(total_work(ft, 15) / w_base, 3)],
+        ["Replication", cp_ratio(rep), round(total_work(rep, 18) / w_base, 3)],
+        ["Checkpoint-restart", cp_ratio(ck), round(total_work(ck, 9) / w_base, 3)],
+    ]
+    emit(
+        "overhead_total_work",
+        render_table(
+            ["Scheme", "Critical-path F ratio", "Total work ratio"],
+            rows,
+            title=f"Work under 1 fault (k={k}, P={p}, n={N_BITS} bits)",
+        ),
+    )
+    ft_cp, ft_total = rows[1][1], rows[1][2]
+    rep_total = rows[2][2]
+    ck_cp, ck_total = rows[3][1], rows[3][2]
+    # The paper's claim: per-processor F' = (1+o(1)) F even under a fault.
+    assert ft_cp < 1.3
+    # Checkpoint-restart recomputes: its critical path nearly doubles.
+    assert ck_cp > 1.5
+    # Machine-wide, FT still beats both general-purpose schemes.
+    assert ft_total < rep_total and ft_total < ck_total
+    assert rep_total > 1.6 and ck_total > 1.5
+
+
+def test_ft_overhead_stays_flat_as_p_grows(benchmark):
+    """The saving grows with P: FT's relative overhead shrinks (o(1))
+    while replication's resource overhead stays f*P."""
+    k, f = 2, 1
+
+    def run():
+        rows = []
+        for p in (3, 9, 27):
+            plan = plan_for(600, p, k)
+            a, b = operands(600, seed=p)
+            base = ParallelToomCook(plan, timeout=60).multiply(a, b)
+            ft = FaultTolerantToomCook(plan, f=f, timeout=60).multiply(a, b)
+            assert base.product == ft.product == a * b
+            rows.append(
+                (
+                    p,
+                    round(ft.run.critical_path.f / base.run.critical_path.f, 3),
+                    f * p,
+                    f * (2 * k - 1) + f * (p // (2 * k - 1)),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "overhead_vs_p",
+        render_series(
+            "P",
+            [r[0] for r in rows],
+            {
+                "FT F-overhead factor": [r[1] for r in rows],
+                "replication extra procs": [r[2] for r in rows],
+                "FT extra procs": [r[3] for r in rows],
+            },
+            title=f"Overhead vs P (k={k}, f={f})",
+        ),
+    )
+    factors = [r[1] for r in rows]
+    assert all(x < 1.6 for x in factors)
+    # Processor gap widens linearly while cost overhead does not grow.
+    assert rows[-1][2] / rows[-1][3] > rows[0][2] / rows[0][3]

@@ -1,0 +1,94 @@
+"""The runtime model ``C = alpha*L + beta*BW + gamma*F`` (Section 2.1).
+
+Measured F/BW/L for Parallel Toom-Cook across ``P``, combined with three
+machine profiles (compute-bound, balanced, latency-bound), show where
+parallelism stops paying: on a latency-dominated machine the modeled
+optimum sits at a smaller ``P`` than on a compute-dominated one — the
+standard communication-bound scaling story, derived entirely from the
+simulator's counts and the paper's cost model.
+"""
+
+from _common import emit, once, operands, plan_for
+
+from repro.analysis.report import render_table
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.machine.costs import CostModel
+
+N_BITS = 3000
+
+PROFILES = {
+    "compute-bound (a=10, b=1, g=1)": CostModel(alpha=10.0, beta=1.0, gamma=1.0),
+    "balanced (a=200, b=20, g=1)": CostModel(alpha=200.0, beta=20.0, gamma=1.0),
+    "latency-bound (a=20000, b=50, g=1)": CostModel(alpha=20000.0, beta=50.0, gamma=1.0),
+}
+
+
+def test_optimal_p_shifts_with_machine_balance(benchmark):
+    k = 2
+
+    def run():
+        counts = {}
+        for p in (3, 9, 27):
+            plan = plan_for(N_BITS, p, k)
+            a, b = operands(N_BITS, seed=p)
+            out = ParallelToomCook(plan, timeout=90).multiply(a, b)
+            assert out.product == a * b
+            counts[p] = out.run.critical_path
+        return counts
+
+    counts = once(benchmark, run)
+    rows = []
+    optima = {}
+    for name, model in PROFILES.items():
+        runtimes = {p: model.runtime(c) for p, c in counts.items()}
+        best = min(runtimes, key=runtimes.get)
+        optima[name] = best
+        rows.append(
+            [name]
+            + [round(runtimes[p]) for p in sorted(runtimes)]
+            + [best]
+        )
+    emit(
+        "runtime_model",
+        render_table(
+            ["machine profile", "C at P=3", "C at P=9", "C at P=27", "best P"],
+            rows,
+            title=f"Modeled runtime C = aL + bBW + gF (k={k}, n={N_BITS} bits)",
+        ),
+    )
+    # Compute-bound machines want all the processors; latency-bound ones
+    # stop scaling earlier.
+    assert optima["compute-bound (a=10, b=1, g=1)"] == 27
+    assert optima["latency-bound (a=20000, b=50, g=1)"] < 27
+
+
+def test_speedup_curve_is_sublinear_but_real(benchmark):
+    k = 2
+    model = CostModel(alpha=200.0, beta=5.0, gamma=1.0)
+
+    def run():
+        series = []
+        for p in (3, 9, 27):
+            plan = plan_for(N_BITS, p, k)
+            a, b = operands(N_BITS, seed=p + 50)
+            out = ParallelToomCook(plan, timeout=90).multiply(a, b)
+            assert out.product == a * b
+            series.append((p, model.runtime(out.run.critical_path)))
+        return series
+
+    series = once(benchmark, run)
+    base = series[0][1] * series[0][0]  # normalize to P=3 work
+    rows = [
+        [p, round(c), round(series[0][1] / c, 2)] for p, c in series
+    ]
+    emit(
+        "runtime_speedup",
+        render_table(
+            ["P", "modeled C", "speedup vs P=3"],
+            rows,
+            title=f"Speedup under a balanced model (k={k}, n={N_BITS} bits)",
+        ),
+    )
+    speedups = [series[0][1] / c for _, c in series]
+    assert speedups[1] > 1.5  # 3 -> 9 processors helps substantially
+    assert speedups == sorted(speedups)  # still improving at P=27

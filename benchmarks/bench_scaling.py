@@ -1,0 +1,142 @@
+"""Theorem 5.1 — scaling of Parallel Toom-Cook costs.
+
+Fits measured scaling exponents against the theorem:
+
+- ``F ~ n^(log_k(2k-1))`` at fixed ``P`` (growth in problem size);
+- ``F ~ P^(-1)`` at fixed ``n`` (strong scaling);
+- ``BW ~ n`` at fixed ``P`` (linear in input);
+- ``L ~ log P`` (constant per BFS step).
+"""
+
+import math
+
+from _common import emit, once, operands, plan_for
+
+from repro.analysis.compare import fit_exponent
+from repro.analysis.formulas import toom_exponent
+from repro.analysis.report import render_series
+from repro.core.parallel_toomcook import ParallelToomCook
+
+
+def _measure(n_bits, p, k):
+    plan = plan_for(n_bits, p, k)
+    a, b = operands(n_bits, seed=n_bits + p)
+    out = ParallelToomCook(plan, timeout=120).multiply(a, b)
+    assert out.product == a * b
+    return plan, out
+
+
+def test_arithmetic_scales_as_toom_exponent_in_n(benchmark):
+    p, k = 9, 2
+
+    def run():
+        rows = []
+        # Sizes chosen so the leaf width doubles exactly each step: the
+        # leaf solver pads to a power of k, and a constant padding ratio
+        # keeps the fitted exponent clean.
+        for n_bits in (2304, 4608, 9216, 18432):
+            plan, out = _measure(n_bits, p, k)
+            rows.append((plan.n_words, out.run.critical_path.f))
+        return rows
+
+    rows = once(benchmark, run)
+    ns = [r[0] for r in rows]
+    fs = [r[1] for r in rows]
+    alpha = fit_exponent(ns, fs)
+    expected = toom_exponent(k)  # log2(3) ~ 1.585
+    emit(
+        "scaling_f_vs_n",
+        render_series(
+            "n (words)",
+            ns,
+            {"F": fs},
+            title=(
+                f"F vs n at P={p}, k={k}: fitted exponent {alpha:.3f} "
+                f"(theorem: {expected:.3f})"
+            ),
+        ),
+    )
+    assert abs(alpha - expected) < 0.25, alpha
+
+
+def test_arithmetic_strong_scales_in_p(benchmark):
+    k, n_bits = 2, 6000
+
+    def run():
+        rows = []
+        for p in (3, 9, 27):
+            _, out = _measure(n_bits, p, k)
+            rows.append((p, out.run.critical_path.f))
+        return rows
+
+    rows = once(benchmark, run)
+    ps = [r[0] for r in rows]
+    fs = [r[1] for r in rows]
+    alpha = fit_exponent(ps, fs)
+    emit(
+        "scaling_f_vs_p",
+        render_series(
+            "P",
+            ps,
+            {"F": fs},
+            title=(
+                f"F vs P at n={n_bits} bits, k={k}: fitted exponent "
+                f"{alpha:.3f} (theorem: -1; padding dampens the small-P end)"
+            ),
+        ),
+    )
+    # Strong scaling: F drops roughly as 1/P (padding adds noise).
+    assert -1.35 < alpha < -0.6, alpha
+
+
+def test_bandwidth_scales_linearly_in_n(benchmark):
+    p, k = 9, 2
+
+    def run():
+        rows = []
+        for n_bits in (2304, 4608, 9216, 18432):
+            plan, out = _measure(n_bits, p, k)
+            rows.append((plan.n_words, out.run.critical_path.bw))
+        return rows
+
+    rows = once(benchmark, run)
+    ns = [r[0] for r in rows]
+    bws = [r[1] for r in rows]
+    alpha = fit_exponent(ns, bws)
+    emit(
+        "scaling_bw_vs_n",
+        render_series(
+            "n (words)",
+            ns,
+            {"BW": bws},
+            title=f"BW vs n at P={p}, k={k}: fitted exponent {alpha:.3f} (theorem: 1)",
+        ),
+    )
+    assert abs(alpha - 1.0) < 0.2, alpha
+
+
+def test_latency_scales_as_log_p(benchmark):
+    k, n_bits = 2, 3000
+
+    def run():
+        rows = []
+        for p in (3, 9, 27):
+            _, out = _measure(n_bits, p, k)
+            rows.append((p, out.run.critical_path.l))
+        return rows
+
+    rows = once(benchmark, run)
+    ps = [r[0] for r in rows]
+    ls = [r[1] for r in rows]
+    per_step = [l / math.log(p, 3) for p, l in rows]
+    emit(
+        "scaling_l_vs_p",
+        render_series(
+            "P",
+            ps,
+            {"L": ls, "L per BFS step": [round(x, 1) for x in per_step]},
+            title=f"L vs P at n={n_bits} bits, k={k} (theorem: L = Θ(log P))",
+        ),
+    )
+    # L per BFS step is constant: the hallmark of Θ(log P).
+    assert max(per_step) / min(per_step) < 1.6

@@ -1,0 +1,101 @@
+"""Sequential crossover (the paper's Section 1 motivation): Toom-Cook
+beats schoolbook beyond a crossover, higher ``k`` wins for larger ``n``,
+and each algorithm's arithmetic follows its ``Θ(n^(log_k(2k-1)))``.
+"""
+
+from _common import emit, once, operands
+
+from repro.analysis.compare import fit_exponent
+from repro.analysis.formulas import toom_exponent
+from repro.analysis.report import render_series
+from repro.bigint.schoolbook import schoolbook_multiply
+from repro.bigint.toomcook import ToomCook
+
+SIZES = [512, 1024, 2048, 4096, 8192, 16384, 32768]
+WORD = 16
+
+
+def _flop_series():
+    from repro.bigint.ntt import NttMultiplier
+
+    series = {
+        "schoolbook": [],
+        "toom-2": [],
+        "toom-3": [],
+        "toom-4": [],
+        "ntt (fft)": [],
+    }
+    algos = {f"toom-{k}": ToomCook(k, threshold_bits=WORD) for k in (2, 3, 4)}
+    algos["ntt (fft)"] = NttMultiplier(word_bits=WORD)
+    for n_bits in SIZES:
+        a, b = operands(n_bits, seed=n_bits)
+        _, f_school = schoolbook_multiply(a, b, word_bits=WORD)
+        series["schoolbook"].append(f_school)
+        for name, algo in algos.items():
+            product, flops = algo.multiply(a, b)
+            assert product == a * b
+            series[name].append(flops)
+    return series
+
+
+def test_crossover_toom_beats_schoolbook(benchmark):
+    series = once(benchmark, _flop_series)
+    emit(
+        "sequential_crossover",
+        render_series(
+            "n (bits)",
+            SIZES,
+            series,
+            title="Sequential arithmetic cost (flops): schoolbook vs Toom-Cook-k",
+        ),
+    )
+    # At the largest size Toom-3 and Toom-4 beat schoolbook; Toom-2's
+    # crossover lies beyond the sweep (its evaluation/interpolation
+    # constants are the largest relative to its exponent gain — in real
+    # libraries the Karatsuba crossover likewise depends entirely on
+    # implementation constants).
+    for name in ("toom-3", "toom-4"):
+        assert series[name][-1] < series["schoolbook"][-1]
+    # Every variant's relative position improves with n.
+    for name in ("toom-2", "toom-3", "toom-4"):
+        adv_small = series["schoolbook"][1] / series[name][1]
+        adv_large = series["schoolbook"][-1] / series[name][-1]
+        assert adv_large > adv_small
+
+
+def test_higher_k_wins_for_larger_n(benchmark):
+    series = once(benchmark, _flop_series)
+    # Toom-3 overtakes Toom-2 somewhere in the sweep (lower exponent,
+    # bigger constants).
+    t2, t3 = series["toom-2"], series["toom-3"]
+    assert t3[-1] < t2[-1]
+
+
+def test_fft_crossover_beyond_toom_range(benchmark):
+    """Section 1: FFT methods are asymptotically faster but carry large
+    hidden constants, so Toom-Cook is favored for a large input range.
+    Measured: Toom-3 beats the NTT below ~10k bits; the NTT wins at the
+    top of the sweep."""
+    series = once(benchmark, _flop_series)
+    ntt = series["ntt (fft)"]
+    t3 = series["toom-3"]
+    assert t3[0] < ntt[0]  # Toom favored at the small end
+    assert ntt[-1] < t3[-1]  # FFT eventually wins
+    # The crossover lies strictly inside the sweep.
+    flips = [i for i in range(len(SIZES)) if ntt[i] < t3[i]]
+    assert flips and flips[0] > 0
+
+
+def test_measured_exponents_match_theory(benchmark):
+    series = once(benchmark, _flop_series)
+    rows = []
+    for name, k in [("schoolbook", None), ("toom-2", 2), ("toom-3", 3)]:
+        alpha = fit_exponent(SIZES[2:], series[name][2:])
+        expected = 2.0 if k is None else toom_exponent(k)
+        rows.append([name, round(alpha, 3), round(expected, 3)])
+    emit(
+        "sequential_exponents",
+        "\n".join(f"{n}: fitted {a} (theory {e})" for n, a, e in rows),
+    )
+    for name, alpha, expected in rows:
+        assert abs(alpha - expected) < 0.25, (name, alpha, expected)

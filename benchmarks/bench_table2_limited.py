@@ -1,0 +1,95 @@
+"""Table 2 — fault-tolerant solutions in the limited-memory case
+(``M = O(n / P^(log_(2k-1) k))``, forcing DFS steps per Lemma 3.1).
+
+The same three rows as Table 1 but with the memory-constrained cost
+shapes: ``BW = Θ((n/M)^(log_k(2k-1)) * M/P)`` and latency scaled by the
+same ``t_um`` factor.  Checked claims: FT overhead stays ``(1+o(1))``
+even with the task loop (per-boundary code creation included), and the
+limited-memory run moves more words than the unlimited one.
+"""
+
+from _common import emit, once, operands, plan_for
+
+from repro.analysis.report import render_table
+from repro.core.ft_toomcook import FaultTolerantToomCook
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.replication import ReplicatedToomCook
+
+N_BITS = 2400
+F = 1
+EXTRA_DFS = 1  # the memory-limited regime: one forced DFS level
+
+
+def _run_case(p, k):
+    plan = plan_for(N_BITS, p, k, extra_dfs=EXTRA_DFS)
+    a, b = operands(N_BITS, seed=p * 7 + k)
+    base = ParallelToomCook(plan, timeout=90).multiply(a, b)
+    rep_algo = ReplicatedToomCook(plan, f=F, timeout=90)
+    rep = rep_algo.multiply(a, b)
+    ft_algo = FaultTolerantToomCook(plan, f=F, timeout=90)
+    ft = ft_algo.multiply(a, b)
+    assert base.product == rep.product == ft.product == a * b
+    rows = []
+    for name, out, extra in [
+        ("Parallel Toom-Cook", base, 0),
+        ("Toom-Cook with Replication", rep, rep_algo.machine_size() - p),
+        ("Fault-Tolerant Toom-Cook", ft, ft_algo.machine_size() - p),
+    ]:
+        c = out.run.critical_path
+        rows.append([name, c.f, c.bw, c.l, extra])
+    return base, rep, ft, rows
+
+
+def test_table2_k2_p9(benchmark):
+    p, k = 9, 2
+    base, rep, ft, rows = once(benchmark, lambda: _run_case(p, k))
+    emit(
+        "table2_k2_p9",
+        render_table(
+            ["Algorithm", "F", "BW", "L", "Extra procs"],
+            rows,
+            title=(
+                f"Table 2 (limited memory, l_dfs={EXTRA_DFS}): "
+                f"k={k}, P={p}, f={F}, n={N_BITS} bits"
+            ),
+        ),
+    )
+    assert rep.run.critical_path.f == base.run.critical_path.f
+    f_ratio = ft.run.critical_path.f / base.run.critical_path.f
+    bw_ratio = ft.run.critical_path.bw / base.run.critical_path.bw
+    assert 1.0 <= f_ratio < 1.8, f_ratio
+    assert 1.0 <= bw_ratio < 3.0, bw_ratio
+
+
+def test_table2_limited_memory_costs_more_bandwidth(benchmark):
+    """The Table 1 -> Table 2 transition: DFS steps trade extra bandwidth
+    (and latency) for a smaller footprint."""
+    p, k = 9, 2
+
+    def run():
+        a, b = operands(N_BITS, seed=3)
+        unlim = ParallelToomCook(plan_for(N_BITS, p, k), timeout=90).multiply(a, b)
+        lim = ParallelToomCook(
+            plan_for(N_BITS, p, k, extra_dfs=2), timeout=90
+        ).multiply(a, b)
+        assert unlim.product == lim.product == a * b
+        return unlim, lim
+
+    unlim, lim = once(benchmark, run)
+    rows = [
+        ["unlimited (BFS only)", unlim.run.critical_path.bw,
+         unlim.run.critical_path.l, unlim.run.max_peak_memory()],
+        ["limited (2 DFS steps)", lim.run.critical_path.bw,
+         lim.run.critical_path.l, lim.run.max_peak_memory()],
+    ]
+    emit(
+        "table2_memory_tradeoff",
+        render_table(
+            ["Regime", "BW", "L", "Peak memory (words)"],
+            rows,
+            title=f"Lemma 3.1 trade-off: k={k}, P={p}, n={N_BITS} bits",
+        ),
+    )
+    assert lim.run.critical_path.bw > unlim.run.critical_path.bw
+    assert lim.run.critical_path.l > unlim.run.critical_path.l
+    assert lim.run.max_peak_memory() < unlim.run.max_peak_memory()

@@ -1,0 +1,61 @@
+"""Topology embedding — how the algorithm's communication pattern maps
+onto constrained networks.
+
+The paper's model is peer-to-peer (one hop between any pair); this bench
+re-runs Parallel Toom-Cook charging per-hop latency on rings, meshes,
+tori, hypercube-ish fat-trees, and reports the latency inflation relative
+to the peer-to-peer baseline.  The BFS exchange pattern (fixed
+``2k-1``-rank "rows") embeds *perfectly* into a torus (all partners are
+neighbours — inflation 1.0) but pays 2-3x latency on a ring or fat-tree —
+quantifying what the Section 2.1 peer-to-peer assumption is worth, and
+that a torus recovers it for free.
+"""
+
+from _common import emit, once, operands, plan_for
+
+from repro.analysis.report import render_table
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.machine.topology import FatTree, FullyConnected, Ring, Torus2D
+
+N_BITS = 900
+
+
+def test_latency_across_topologies(benchmark):
+    p, k = 9, 2
+    plan = plan_for(N_BITS, p, k)
+    a, b = operands(N_BITS, seed=17)
+    topologies = [
+        ("peer-to-peer (paper model)", FullyConnected(p)),
+        ("3x3 torus", Torus2D(3, 3)),
+        ("fat-tree (arity 3)", FatTree(p, arity=3)),
+        ("ring", Ring(p)),
+    ]
+
+    def run():
+        rows = []
+        for name, topo in topologies:
+            out = ParallelToomCook(plan, topology=topo, timeout=60).multiply(a, b)
+            assert out.product == a * b
+            c = out.run.critical_path
+            rows.append([name, c.l, c.bw, round(topo.average_distance(), 2)])
+        return rows
+
+    rows = once(benchmark, run)
+    base_l = rows[0][1]
+    table = [row + [round(row[1] / base_l, 2)] for row in rows]
+    emit(
+        "topology_latency",
+        render_table(
+            ["topology", "L", "BW", "avg distance", "L inflation"],
+            table,
+            title=f"Parallel Toom-Cook latency vs topology (k={k}, P={p}, n={N_BITS} bits)",
+        ),
+    )
+    ls = [row[1] for row in rows]
+    bws = [row[2] for row in rows]
+    assert ls[0] <= min(ls[1:])  # the paper's model is the best case
+    assert max(ls) > ls[0]  # constrained networks do cost latency
+    # A pleasant find: the class-block rows embed *perfectly* into a 3x3
+    # torus (all exchange partners are torus neighbours).
+    assert ls[1] == ls[0]
+    assert len(set(bws)) == 1  # cut-through: bandwidth is topology-blind

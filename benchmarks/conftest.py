@@ -1,0 +1,14 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures from
+*measured* simulator counts, writes the rendered table to
+``benchmarks/results/<name>.txt`` (and prints it), and asserts the
+paper's qualitative claims — who wins, by roughly what factor, where the
+crossovers fall.  pytest-benchmark wraps each run so wall-clock timings
+appear in its own summary table, but the counts are the payload.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

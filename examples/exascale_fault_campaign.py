@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Exascale-style fault campaign: compare resilience strategies.
+
+The paper's motivation: exascale machines have a small mean time between
+failures, so out-of-the-box solutions (replication, checkpoint-restart)
+waste resources even when nothing fails.  This example runs a randomized
+hard-fault campaign against all three strategies plus the unprotected
+algorithm, and reports survival and measured overheads.
+
+Run:  python examples/exascale_fault_campaign.py
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.core.checkpoint import CheckpointedToomCook
+from repro.core.ft_toomcook import FaultTolerantToomCook
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.plan import make_plan
+from repro.core.replication import ReplicatedToomCook
+from repro.machine.errors import MachineError
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+N_BITS = 1200
+P, K, F = 9, 2, 1
+TRIALS = 4
+
+
+def random_schedule(seed: int) -> FaultSchedule:
+    rng = random.Random(seed)
+    victim = rng.randrange(P)
+    phase = rng.choice(["evaluation", "multiplication", "interpolation"])
+    return FaultSchedule([FaultEvent(victim, phase, rng.randrange(3))])
+
+
+def campaign(make_algo, needs_schedule=True):
+    """Run TRIALS multiplications under random single faults."""
+    survived = 0
+    f_total = bw_total = 0
+    rng = random.Random(99)
+    for trial in range(TRIALS):
+        a, b = rng.getrandbits(N_BITS), rng.getrandbits(N_BITS - 8)
+        schedule = random_schedule(trial) if needs_schedule else FaultSchedule()
+        algo = make_algo(schedule)
+        try:
+            out = algo.multiply(a, b)
+            if out.product == a * b:
+                survived += 1
+                f_total += out.run.critical_path.f
+                bw_total += out.run.critical_path.bw
+        except MachineError:
+            pass
+    avg = lambda v: v // max(1, survived)
+    return survived, avg(f_total), avg(bw_total)
+
+
+def main() -> None:
+    plan = make_plan(N_BITS, p=P, k=K, word_bits=16)
+
+    def unprotected(schedule):
+        algo = ParallelToomCook(plan, fault_schedule=schedule, timeout=20)
+        # Unprotected runs crash on faults; surface that as a failure.
+        original = algo.multiply
+
+        def wrapped(a, b):
+            out = original(a, b, raise_on_error=False)
+            if not out.run.ok:
+                raise MachineError("unprotected run lost a processor")
+            return out
+
+        algo.multiply = wrapped
+        return algo
+
+    strategies = [
+        ("unprotected", unprotected, 0),
+        (
+            "fault-tolerant (paper)",
+            lambda s: FaultTolerantToomCook(plan, f=F, fault_schedule=s, timeout=40),
+            F * 3 + F * 3,
+        ),
+        (
+            "replication",
+            lambda s: ReplicatedToomCook(plan, f=F, fault_schedule=s, timeout=40),
+            F * P,
+        ),
+        (
+            "checkpoint-restart",
+            lambda s: CheckpointedToomCook(plan, f=F, fault_schedule=s, timeout=40),
+            0,
+        ),
+    ]
+
+    rows = []
+    for name, make_algo, extra in strategies:
+        survived, f_avg, bw_avg = campaign(make_algo)
+        rows.append([name, f"{survived}/{TRIALS}", extra, f_avg, bw_avg])
+
+    print(
+        render_table(
+            ["strategy", "survived", "extra procs", "avg F", "avg BW"],
+            rows,
+            title=(
+                f"Random single-fault campaign: {TRIALS} multiplications of "
+                f"{N_BITS}-bit integers on P={P}, k={K}"
+            ),
+        )
+    )
+    print(
+        "\nReading the table: the paper's algorithm survives every fault with"
+        "\nnear-baseline costs and a fraction of replication's processors;"
+        "\ncheckpoint-restart survives but pays recomputation (higher F)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Straggler mitigation: the polynomial code against delay faults.
+
+The paper's Section 1 names *delay faults* — a processor whose per-
+operation time inflates — as a third fault category.  The same redundant
+evaluation points that recover hard faults for free also mitigate
+stragglers: with eager collection, interpolation uses whichever 2k-1
+column results are ready first, so a slow processor simply never lands on
+anyone else's critical path.
+
+This example slows one processor by increasing factors and prints the
+arithmetic on the critical path of every *other* processor under (a) the
+plain parallel algorithm and (b) the coded algorithm with eager
+collection.
+
+Run:  python examples/straggler_mitigation.py
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.plan import make_plan
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+N_BITS = 900
+P, K, F = 9, 2, 1
+VICTIM = 4
+VICTIM_COLUMN = {3, 4, 5}  # the straggler's own column shares its fate
+
+
+def slowdown_schedule(factor: float) -> FaultSchedule:
+    return FaultSchedule(
+        [FaultEvent(VICTIM, "multiplication", 0, kind="delay", factor=factor)]
+    )
+
+
+def others_max_f(outcome) -> int:
+    """Critical-path arithmetic of processors outside the slow column."""
+    return max(
+        counts.f
+        for rank, counts in enumerate(outcome.run.per_rank[:P])
+        if rank not in VICTIM_COLUMN
+    )
+
+
+def main() -> None:
+    rng = random.Random(71)
+    a, b = rng.getrandbits(N_BITS), rng.getrandbits(N_BITS - 8)
+    plan = make_plan(N_BITS, p=P, k=K, word_bits=16)
+
+    plain_clean = ParallelToomCook(plan, timeout=30).multiply(a, b)
+    coded_clean = PolynomialCodedToomCook(
+        plan, f=F, eager=True, timeout=30
+    ).multiply(a, b)
+
+    rows = [["(healthy)", others_max_f(plain_clean), others_max_f(coded_clean)]]
+    for factor in (4.0, 16.0, 64.0):
+        plain = ParallelToomCook(
+            plan, fault_schedule=slowdown_schedule(factor), timeout=30
+        ).multiply(a, b)
+        coded = PolynomialCodedToomCook(
+            plan, f=F, eager=True,
+            fault_schedule=slowdown_schedule(factor), timeout=30,
+        ).multiply(a, b)
+        assert plain.product == coded.product == a * b
+        rows.append([f"x{factor:g} slowdown", others_max_f(plain), others_max_f(coded)])
+
+    print(
+        render_table(
+            ["scenario", "plain parallel: others' F", "coded eager: others' F"],
+            rows,
+            title=(
+                f"One processor delayed (P={P}, k={K}, f={F}): arithmetic on "
+                "everyone else's critical path"
+            ),
+        )
+    )
+    print(
+        "\nThe coded algorithm's other processors never wait for the"
+        "\nstraggler: redundant evaluation points double as straggler"
+        "\ninsurance — and both runs still produce the exact product."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Fault-Tolerant Parallel Integer Multiplication — full reproduction.
+
+Reproduces Nissim, Schwartz & Spiizer, *Fault-Tolerant Parallel Integer
+Multiplication* (SPAA 2024): parallel Toom-Cook-k via the BFS-DFS
+technique, made tolerant to ``f`` hard faults with ``(1+o(1))`` overhead
+by combining a Vandermonde column code (evaluation/interpolation phases)
+with a polynomial code of redundant evaluation points (multiplication
+phase).
+
+Quick start::
+
+    import repro
+
+    # Sequential Toom-Cook-3
+    assert repro.multiply(2**500 - 1, 2**499 + 7, k=3) == (2**500 - 1) * (2**499 + 7)
+
+    # Parallel, on a simulated 9-processor machine, with one injected fault
+    from repro.machine.fault import FaultSchedule, FaultEvent
+    out = repro.multiply_fault_tolerant(
+        10**120 + 7, 10**119 + 3, p=9, k=2, f=1,
+        fault_schedule=FaultSchedule([FaultEvent(rank=4, phase="multiplication", op_index=0)]),
+    )
+    assert out.product == (10**120 + 7) * (10**119 + 3)
+    print(out.run.critical_path)   # F/BW/L along the critical path
+
+Subpackages: :mod:`repro.machine` (the simulated distributed-memory
+machine), :mod:`repro.bigint` (sequential long-integer algorithms),
+:mod:`repro.coding` (erasure codes and general-position point search),
+:mod:`repro.core` (the paper's parallel and fault-tolerant algorithms),
+:mod:`repro.analysis` (cost formulas and paper-table reporting).
+"""
+
+from repro.core.api import (
+    multiply,
+    multiply_parallel,
+    multiply_fault_tolerant,
+    multiply_replicated,
+    multiply_checkpointed,
+    multiply_multistep,
+    multiply_soft_tolerant,
+)
+from repro.core.plan import ExecutionPlan, make_plan
+from repro.core.parallel_toomcook import MultiplyOutcome, ParallelToomCook
+from repro.core.ft_toomcook import FaultTolerantToomCook
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+from repro.core.multistep import MultiStepToomCook
+from repro.core.soft_faults import SoftTolerantToomCook, SoftFaultDetected
+from repro.core.replication import ReplicatedToomCook
+from repro.core.checkpoint import CheckpointedToomCook
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "multiply",
+    "multiply_parallel",
+    "multiply_fault_tolerant",
+    "multiply_replicated",
+    "multiply_checkpointed",
+    "multiply_multistep",
+    "multiply_soft_tolerant",
+    "ExecutionPlan",
+    "make_plan",
+    "MultiplyOutcome",
+    "ParallelToomCook",
+    "FaultTolerantToomCook",
+    "PolynomialCodedToomCook",
+    "MultiStepToomCook",
+    "SoftTolerantToomCook",
+    "SoftFaultDetected",
+    "ReplicatedToomCook",
+    "CheckpointedToomCook",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Cost analysis: the paper's closed-form bounds and measured-vs-predicted
+comparison utilities used by the benchmark harness.
+
+- :mod:`repro.analysis.formulas` — Theorems 5.1-5.3 and Lemmas 2.5/3.1 as
+  evaluatable formulas (Θ-shapes with unit constants).
+- :mod:`repro.analysis.compare` — scaling-exponent fits and overhead-ratio
+  extraction from measured runs.
+- :mod:`repro.analysis.report` — text tables shaped like Tables 1 and 2.
+"""
+
+from repro.analysis.formulas import (
+    parallel_toomcook_costs,
+    ft_toomcook_costs,
+    replication_costs,
+    extra_processors,
+    t_reduce_costs,
+)
+from repro.analysis.compare import (
+    fit_exponent,
+    overhead_ratio,
+    ratio_series,
+)
+from repro.analysis.report import render_table, render_series
+
+__all__ = [
+    "parallel_toomcook_costs",
+    "ft_toomcook_costs",
+    "replication_costs",
+    "extra_processors",
+    "t_reduce_costs",
+    "fit_exponent",
+    "overhead_ratio",
+    "ratio_series",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,60 @@
+"""Measured-vs-predicted comparison helpers.
+
+The benchmarks sweep a parameter (``n``, ``P``, ``f``, ...) and collect
+measured counts; these helpers extract what the paper's tables claim:
+scaling exponents (log-log least-squares fits) and overhead ratios
+relative to a baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["fit_exponent", "overhead_ratio", "ratio_series", "geometric_mean"]
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x`` — the measured
+    scaling exponent of ``y ~ x^alpha``."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal lengths")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-log fit requires positive data")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((v - mx) ** 2 for v in lx)
+    if sxx == 0:
+        raise ValueError("xs are all equal; exponent is undefined")
+    sxy = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    return sxy / sxx
+
+
+def overhead_ratio(measured: float, baseline: float) -> float:
+    """``measured / baseline`` with division-by-zero guarded."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return measured / baseline
+
+
+def ratio_series(
+    measured: Sequence[float], baseline: Sequence[float]
+) -> list[float]:
+    """Element-wise overhead ratios."""
+    if len(measured) != len(baseline):
+        raise ValueError("series lengths differ")
+    return [overhead_ratio(m, b) for m, b in zip(measured, baseline)]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for ratios)."""
+    if not values:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,129 @@
+"""The paper's closed-form cost bounds as evaluatable formulas.
+
+All formulas are the Θ-expressions of Theorems 5.1-5.3 (Tables 1 and 2)
+and Lemmas 2.5/3.1 with unit leading constants — benchmark comparisons fit
+the constant and check the *shape*, which is what a Θ-bound promises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "CostPrediction",
+    "parallel_toomcook_costs",
+    "ft_toomcook_costs",
+    "replication_costs",
+    "extra_processors",
+    "t_reduce_costs",
+    "toom_exponent",
+]
+
+
+@dataclass(frozen=True)
+class CostPrediction:
+    """Predicted (F, BW, L) up to constant factors."""
+
+    f: float
+    bw: float
+    l: float
+
+
+def toom_exponent(k: int) -> float:
+    """``log_k(2k-1)`` — the Toom-Cook-k arithmetic exponent."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    return math.log(2 * k - 1, k)
+
+
+def parallel_toomcook_costs(
+    n_words: int, p: int, k: int, m_words: float = math.inf
+) -> CostPrediction:
+    """Theorem 5.1: Parallel Toom-Cook costs.
+
+    Unlimited memory (``M = Ω(n / P^(log_(2k-1) k))``):
+        ``F = n^(log_k(2k-1)) / P``,
+        ``BW = n / P^(log_(2k-1) k)``,
+        ``L = log P``.
+
+    Limited memory:
+        ``BW = (n/M)^(log_k(2k-1)) * M / P``,
+        ``L  = (n/M)^(log_k(2k-1)) * log P / P``.
+    """
+    if n_words < 1 or p < 1:
+        raise ValueError("n_words and p must be positive")
+    q = 2 * k - 1
+    e = toom_exponent(k)
+    f = n_words**e / p
+    log_p = max(1.0, math.log2(p))
+    bw_unlim = n_words / p ** math.log(k, q)
+    threshold = n_words / p ** math.log(k, q)
+    if math.isinf(m_words) or m_words >= threshold:
+        return CostPrediction(f=f, bw=bw_unlim, l=log_p)
+    t_um = (n_words / m_words) ** e / p
+    return CostPrediction(
+        f=f,
+        bw=t_um * m_words * p / p,  # (n/M)^e * M / P
+        l=t_um * log_p,
+    )
+
+
+def ft_toomcook_costs(
+    n_words: int, p: int, k: int, f_faults: int, m_words: float = math.inf
+) -> CostPrediction:
+    """Theorem 5.2: ``(1 + o(1))`` times Theorem 5.1.
+
+    The dominant overhead terms are the first-step factor
+    ``(2k-1+f)/(2k-1)`` on evaluation/exchange and the ``O(f*M)``-per-
+    checkpoint code creation — both vanishing relative to the totals.
+    """
+    base = parallel_toomcook_costs(n_words, p, k, m_words)
+    q = 2 * k - 1
+    first_step = (q + f_faults) / q
+    return CostPrediction(
+        f=base.f * first_step,
+        bw=base.bw * first_step,
+        l=base.l * first_step,
+    )
+
+
+def replication_costs(
+    n_words: int, p: int, k: int, f_faults: int, m_words: float = math.inf
+) -> CostPrediction:
+    """Theorem 5.3: per-copy costs equal the base algorithm's."""
+    return parallel_toomcook_costs(n_words, p, k, m_words)
+
+
+def extra_processors(
+    scheme: str, p: int, k: int, f_faults: int, l: int = 1
+) -> int:
+    """Additional-processor column of Tables 1 and 2.
+
+    ``scheme`` is one of ``"replication"`` (``f*P``), ``"ft"`` (the
+    combined algorithm: ``f*(2k-1)`` linear + ``f*P/(2k-1)`` polynomial),
+    ``"ft-multistep"`` (``f*P/(2k-1)**l``; the paper's ``f*(2k-1)`` row is
+    ``l = log_(2k-1) P - 1``, and ``f`` alone is full collapse), or
+    ``"checkpoint"`` (0 — it pays in memory and recomputation instead).
+    """
+    q = 2 * k - 1
+    if scheme == "replication":
+        return f_faults * p
+    if scheme == "ft":
+        return f_faults * q + f_faults * (p // q)
+    if scheme == "ft-multistep":
+        return f_faults * (p // q**l)
+    if scheme == "checkpoint":
+        return 0
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def t_reduce_costs(t: int, w_words: int, p: int) -> CostPrediction:
+    """Lemma 2.5: ``F = t*W``, ``BW = t*W``, ``L = O(log P + t)``."""
+    if t < 0 or w_words < 0 or p < 1:
+        raise ValueError("bad t-reduce parameters")
+    return CostPrediction(
+        f=t * w_words,
+        bw=t * w_words,
+        l=max(1.0, math.log2(max(2, p))) + t,
+    )

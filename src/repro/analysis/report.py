@@ -1,0 +1,62 @@
+"""Plain-text tables shaped like the paper's Tables 1 and 2.
+
+The benchmark harness prints these so each bench's output reads like the
+corresponding artifact of the paper; EXPERIMENTS.md pastes them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """A fixed-width text table with a rule under the header."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_name: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str = "",
+) -> str:
+    """A table with one x column and one column per named series."""
+    headers = [x_name] + list(series)
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,100 @@
+"""Long-integer arithmetic: the sequential substrate of the paper.
+
+Implements everything Section 2.2–2.3 relies on:
+
+- :mod:`repro.bigint.limbs` — signed digit ("limb") vectors with lazy
+  carries; the data that flows through evaluation/interpolation matrices
+  and across the simulated network.
+- :mod:`repro.bigint.split` — the shared-base input splitting of
+  Algorithms 1 and 2.
+- :mod:`repro.bigint.schoolbook` — the Θ(n²) baseline.
+- :mod:`repro.bigint.karatsuba` — explicit Toom-Cook-2 for reference.
+- :mod:`repro.bigint.evalpoints` — homogeneous evaluation points (Zanoni
+  notation; Remark 2.2) including the redundant points of Section 4.2.
+- :mod:`repro.bigint.matrices` — the bilinear form ⟨U, V, W⟩ of
+  Toom-Cook-k.
+- :mod:`repro.bigint.toomcook` — sequential recursive Toom-Cook-k
+  (Algorithm 1).
+- :mod:`repro.bigint.unbalanced` — unbalanced Toom-Cook-(k1, k2)
+  ("Toom-2.5" and friends; Section 1.1).
+- :mod:`repro.bigint.lazy` — Toom-Cook with lazy interpolation
+  (Algorithm 2; Bermudo Mera et al. 2020).
+- :mod:`repro.bigint.toomgraph` — interpolation as a minimal-cost
+  inversion sequence (Definition 2.3; Bodrato & Zanoni 2006).
+- :mod:`repro.bigint.multivariate` — the multivariate-polynomial view of
+  multi-step Toom-Cook (Claims 2.1–2.3).
+"""
+
+from repro.bigint.limbs import LimbVector
+from repro.bigint.split import split_shared_base, split_lazy, recombine
+from repro.bigint.schoolbook import schoolbook_multiply, schoolbook_cost
+from repro.bigint.karatsuba import karatsuba_multiply
+from repro.bigint.evalpoints import (
+    EvalPoint,
+    toom_points,
+    extended_toom_points,
+    points_pairwise_distinct,
+)
+from repro.bigint.matrices import (
+    evaluation_matrix,
+    full_evaluation_matrix,
+    interpolation_matrix,
+    interpolation_matrix_for_points,
+    toom_operators,
+)
+from repro.bigint.toomcook import ToomCook, toom_cost
+from repro.bigint.unbalanced import UnbalancedToomCook, unbalanced_points
+from repro.bigint.lazy import LazyToomCook
+from repro.bigint.toomgraph import (
+    RowOp,
+    AddMul,
+    Scale,
+    Swap,
+    inversion_sequence,
+    apply_inversion_sequence,
+    sequence_cost,
+    toom_graph_search,
+)
+from repro.bigint.multivariate import MultiPoly, evaluation_matrix_multivariate
+from repro.bigint.evalplan import EvalPlan, LinOp, reuse_evaluation_plan
+from repro.bigint.ntt import NttMultiplier, ntt, intt
+
+__all__ = [
+    "LimbVector",
+    "split_shared_base",
+    "split_lazy",
+    "recombine",
+    "schoolbook_multiply",
+    "schoolbook_cost",
+    "karatsuba_multiply",
+    "EvalPoint",
+    "toom_points",
+    "extended_toom_points",
+    "points_pairwise_distinct",
+    "evaluation_matrix",
+    "full_evaluation_matrix",
+    "interpolation_matrix",
+    "interpolation_matrix_for_points",
+    "toom_operators",
+    "ToomCook",
+    "toom_cost",
+    "UnbalancedToomCook",
+    "unbalanced_points",
+    "LazyToomCook",
+    "RowOp",
+    "AddMul",
+    "Scale",
+    "Swap",
+    "inversion_sequence",
+    "apply_inversion_sequence",
+    "sequence_cost",
+    "toom_graph_search",
+    "MultiPoly",
+    "evaluation_matrix_multivariate",
+    "EvalPlan",
+    "LinOp",
+    "reuse_evaluation_plan",
+    "NttMultiplier",
+    "ntt",
+    "intt",
+]

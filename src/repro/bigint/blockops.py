@@ -1,0 +1,78 @@
+"""Applying exact rational matrices to vectors of limb blocks.
+
+Evaluation matrices are integral, but interpolation matrices ``W^T`` have
+rational entries whose *row combinations* are guaranteed integral on valid
+inputs even though individual terms are not (e.g. a ``1/2`` entry hitting
+an odd block).  :func:`apply_matrix_to_blocks` therefore clears each row's
+denominators first — integer combination, then one exact division by the
+row's LCM — keeping every intermediate an integer :class:`LimbVector`.
+
+These helpers are shared by the sequential lazy algorithm
+(:mod:`repro.bigint.lazy`) and the parallel algorithms in
+:mod:`repro.core`, which apply the same matrices to *distributed* block
+slices.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+
+from repro.bigint.limbs import LimbVector
+
+__all__ = ["apply_matrix_to_blocks", "matrix_apply_flops", "row_lcm"]
+
+
+def row_lcm(row) -> int:
+    """LCM of the denominators of one matrix row."""
+    d = 1
+    for v in row:
+        d = lcm(d, Fraction(v).denominator)
+    return d
+
+
+def apply_matrix_to_blocks(rows, blocks: list[LimbVector]) -> list[LimbVector]:
+    """Compute ``rows @ blocks`` where entries of ``blocks`` are
+    :class:`LimbVector` and ``rows`` is a rational matrix.
+
+    Each output row is computed as an *integer* linear combination scaled
+    by the row's denominator LCM, followed by one exact division — raising
+    ``ValueError`` if the result is not integral (which on valid Toom-Cook
+    data never happens and otherwise indicates corruption, e.g. an
+    undetected soft fault).
+    """
+    if not blocks:
+        raise ValueError("blocks must be non-empty")
+    width = len(blocks[0])
+    base_bits = blocks[0].base_bits
+    out: list[LimbVector] = []
+    for row in rows:
+        if len(row) != len(blocks):
+            raise ValueError(
+                f"row width {len(row)} does not match {len(blocks)} blocks"
+            )
+        d = row_lcm(row)
+        acc: LimbVector | None = None
+        for coef, block in zip(row, blocks):
+            c = Fraction(coef) * d
+            if c == 0:
+                continue
+            term = block * int(c)
+            acc = term if acc is None else acc + term
+        if acc is None:
+            acc = LimbVector.zeros(width, base_bits)
+        out.append(acc.exact_div(d) if d != 1 else acc)
+    return out
+
+
+def matrix_apply_flops(rows, block_len: int) -> int:
+    """Word-operation cost model for :func:`apply_matrix_to_blocks`:
+    two ops (multiply + accumulate) per nonzero coefficient per limb,
+    plus one per limb for each row needing a final exact division."""
+    flops = 0
+    for row in rows:
+        nnz = sum(1 for v in row if v)
+        flops += 2 * nnz * block_len
+        if row_lcm(row) != 1:
+            flops += block_len
+    return flops

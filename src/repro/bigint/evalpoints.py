@@ -1,0 +1,103 @@
+"""Homogeneous evaluation points for Toom-Cook.
+
+Following Zanoni's homogeneous notation (Remark 2.2), an evaluation point
+is a pair ``(x, h)``; the classic point "infinity" is ``(1, 0)``.  Two
+points are equivalent iff they are projectively equal (``x1*h2 == x2*h1``),
+and Theorem 2.1 guarantees the evaluation matrix of any ``k`` pairwise
+*distinct* points is invertible.
+
+:func:`toom_points` produces the standard set — for Toom-3 this is
+``{0, 1, -1, 2, ∞}``, the most commonly used choice (Section 1.1) — and
+:func:`extended_toom_points` appends the ``f`` redundant points of the
+polynomial code (Section 4.2), continuing the same small-magnitude
+sequence so the code stays numerically cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "EvalPoint",
+    "finite_point_sequence",
+    "toom_points",
+    "extended_toom_points",
+    "points_pairwise_distinct",
+    "projectively_equal",
+]
+
+EvalPoint = tuple[int, int]
+
+#: The point at infinity in homogeneous coordinates.
+INFINITY: EvalPoint = (1, 0)
+
+
+def projectively_equal(p: EvalPoint, q: EvalPoint) -> bool:
+    """Projective equality: ``(x1,h1) ~ (x2,h2)`` iff ``x1*h2 == x2*h1``."""
+    return p[0] * q[1] == q[0] * p[1]
+
+
+def points_pairwise_distinct(points: list[EvalPoint]) -> bool:
+    """True when all points are pairwise projectively distinct and valid
+    (not the degenerate ``(0, 0)``)."""
+    for p in points:
+        if p == (0, 0):
+            return False
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            if projectively_equal(points[i], points[j]):
+                return False
+    return True
+
+
+def finite_point_sequence() -> Iterator[EvalPoint]:
+    """The canonical small-magnitude finite points: 0, 1, -1, 2, -2, 3, ..."""
+    yield (0, 1)
+    v = 1
+    while True:
+        yield (v, 1)
+        yield (-v, 1)
+        v += 1
+
+
+def toom_points(k: int) -> list[EvalPoint]:
+    """The standard ``2k-1`` evaluation points of Toom-Cook-k.
+
+    ``2k-2`` small finite points followed by infinity; for ``k = 3`` the
+    sequence draws 0, 1, -1, 2 and appends ∞ — exactly the common
+    ``{0, 1, -1, 2, ∞}``.
+    """
+    check_positive("k", k)
+    if k == 1:
+        return [(0, 1)]
+    m = 2 * k - 1
+    seq = finite_point_sequence()
+    points = [next(seq) for _ in range(m - 1)]
+    points.append(INFINITY)
+    return points
+
+
+def extended_toom_points(k: int, f: int) -> list[EvalPoint]:
+    """``2k-1+f`` points: the standard set plus ``f`` redundant points
+    (the polynomial code of Section 4.2).
+
+    The first ``2k-1`` entries are exactly :func:`toom_points`, so a
+    fault-free run uses the standard interpolation; the extra points
+    continue the finite sequence.
+    """
+    check_positive("k", k)
+    check_non_negative("f", f)
+    base = toom_points(k)
+    if f == 0:
+        return base
+    seq = finite_point_sequence()
+    existing = list(base)
+    extra: list[EvalPoint] = []
+    while len(extra) < f:
+        candidate = next(seq)
+        if all(not projectively_equal(candidate, p) for p in existing):
+            extra.append(candidate)
+            existing.append(candidate)
+    return base + extra

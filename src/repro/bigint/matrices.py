@@ -1,0 +1,101 @@
+"""The bilinear form ⟨U, V, W⟩ of Toom-Cook-k (paper Section 2.2).
+
+For evaluation points ``{(x_i, h_i)}``:
+
+- the **evaluation matrix** ``U = V`` has rows
+  ``[h_i^(k-1) x_i^0, h_i^(k-2) x_i^1, ..., h_i^0 x_i^(k-1)]`` — it maps the
+  ``k`` digits of an operand to its ``2k-1`` (or ``2k-1+f``) evaluations;
+- the **full evaluation matrix** does the same for the degree-``2k-2``
+  product polynomial (width ``2k-1``) — the paper defines ``(W^T)^{-1}`` to
+  be exactly this matrix on a square point set;
+- the **interpolation matrix** ``W^T`` is its inverse, mapping pointwise
+  products back to product-polynomial coefficients.
+
+All matrices are exact (:class:`~repro.util.rational.FractionMatrix`);
+``interpolation_matrix_for_points`` builds ``W^T`` for *any* ``2k-1``-subset
+of an extended point set — the on-the-fly interpolation of the
+fault-tolerant algorithm's recovery path (Section 4.2 "Correctness").
+"""
+
+from __future__ import annotations
+
+from repro.bigint.evalpoints import EvalPoint, points_pairwise_distinct, toom_points
+from repro.util.rational import FractionMatrix
+from repro.util.validation import check_positive
+
+__all__ = [
+    "evaluation_matrix",
+    "full_evaluation_matrix",
+    "interpolation_matrix",
+    "interpolation_matrix_for_points",
+    "toom_operators",
+]
+
+
+def evaluation_matrix(points: list[EvalPoint], width: int) -> FractionMatrix:
+    """Evaluation matrix of ``points`` for polynomials of degree < ``width``.
+
+    Row ``i`` is ``[h_i^(width-1-j) * x_i^j for j in range(width)]`` — the
+    homogeneous Vandermonde structure of the paper's ``U``/``V``.
+    """
+    check_positive("width", width)
+    if not points:
+        raise ValueError("points must be non-empty")
+    rows = []
+    for x, h in points:
+        rows.append([h ** (width - 1 - j) * x**j for j in range(width)])
+    return FractionMatrix(rows)
+
+
+def full_evaluation_matrix(points: list[EvalPoint], k: int) -> FractionMatrix:
+    """Evaluation matrix for the product polynomial (width ``2k-1``)."""
+    check_positive("k", k)
+    return evaluation_matrix(points, 2 * k - 1)
+
+
+def interpolation_matrix(points: list[EvalPoint], k: int) -> FractionMatrix:
+    """``W^T`` for a square set of exactly ``2k-1`` points.
+
+    Raises ``ValueError`` if the points are not pairwise distinct (the
+    evaluation matrix would be singular — Theorem 2.1).
+    """
+    check_positive("k", k)
+    if len(points) != 2 * k - 1:
+        raise ValueError(
+            f"interpolation needs exactly {2 * k - 1} points, got {len(points)}"
+        )
+    return interpolation_matrix_for_points(points, 2 * k - 1)
+
+
+def interpolation_matrix_for_points(
+    points: list[EvalPoint], width: int
+) -> FractionMatrix:
+    """Inverse evaluation matrix for any ``width`` pairwise-distinct points
+    — used on the fly when faults leave an arbitrary surviving subset."""
+    if len(points) != width:
+        raise ValueError(f"need exactly {width} points, got {len(points)}")
+    if not points_pairwise_distinct(points):
+        raise ValueError(f"points are not pairwise distinct: {points}")
+    return evaluation_matrix(points, width).inv()
+
+
+def toom_operators(
+    k: int, points: list[EvalPoint] | None = None
+) -> tuple[FractionMatrix, FractionMatrix, FractionMatrix]:
+    """The ⟨U, V, W^T⟩ triple of Toom-Cook-k.
+
+    ``points`` may supply a custom set of ``>= 2k-1`` points (the first
+    ``2k-1`` define ``W^T``; extras — the polynomial code's redundant
+    points — appear only in ``U``/``V``).
+    """
+    check_positive("k", k)
+    if points is None:
+        points = toom_points(k)
+    m = 2 * k - 1
+    if len(points) < m:
+        raise ValueError(f"need at least {m} points, got {len(points)}")
+    if not points_pairwise_distinct(points):
+        raise ValueError(f"points are not pairwise distinct: {points}")
+    u = evaluation_matrix(points, k)
+    w_t = interpolation_matrix(points[:m], k)
+    return u, u, w_t

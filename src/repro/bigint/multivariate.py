@@ -1,0 +1,198 @@
+"""Multivariate polynomials and their evaluation maps (Claims 2.1-2.3).
+
+Claim 2.1: a depth-``l`` lazy Toom-Cook-k run *is* a multiplication of two
+``l``-variate polynomials in ``Poly_{k,l}`` (every variable's power below
+``k``) evaluated over the grid ``S^l``.  This module makes that view
+concrete:
+
+- :class:`MultiPoly` — sparse exact multivariate polynomials with bounded
+  per-variable degree, supporting multiplication and (homogeneous-pair)
+  evaluation;
+- :func:`monomials` / :func:`evaluation_matrix_multivariate` — the
+  evaluation map of a point set in ``(F^2)^l`` for ``Poly_{r,l}``, whose
+  injectivity is exactly the validity condition of Claim 2.2 and the
+  ``(r,l)``-general-position test of Section 6.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product as iter_product
+from typing import Iterable, Mapping, Sequence
+
+from repro.bigint.evalpoints import EvalPoint
+from repro.util.rational import FractionMatrix
+from repro.util.validation import check_positive
+
+__all__ = [
+    "MultiPoly",
+    "monomials",
+    "evaluation_matrix_multivariate",
+    "grid_points",
+]
+
+Exponent = tuple[int, ...]
+
+
+def monomials(r: int, l: int) -> list[Exponent]:
+    """All exponent tuples of ``Poly_{r,l}`` in mixed-radix order: the
+    exponent of variable ``i`` carries weight ``r**i``, matching the digit
+    layout of lazy Toom-Cook (variable ``i`` is the level-``i`` split)."""
+    check_positive("r", r)
+    check_positive("l", l)
+    out = []
+    for idx in range(r**l):
+        e = []
+        v = idx
+        for _ in range(l):
+            e.append(v % r)
+            v //= r
+        out.append(tuple(e))
+    return out
+
+
+def grid_points(points: Sequence[EvalPoint], l: int) -> list[tuple[EvalPoint, ...]]:
+    """The evaluation grid ``S^l`` of Claim 2.1 (mixed-radix order: the
+    level-0 point varies fastest)."""
+    check_positive("l", l)
+    pts = list(points)
+    out = []
+    for idx in range(len(pts) ** l):
+        coords = []
+        v = idx
+        for _ in range(l):
+            coords.append(pts[v % len(pts)])
+            v //= len(pts)
+        out.append(tuple(coords))
+    return out
+
+
+class MultiPoly:
+    """A sparse exact polynomial in ``l`` variables."""
+
+    def __init__(self, coeffs: Mapping[Exponent, int | Fraction], nvars: int):
+        check_positive("nvars", nvars)
+        clean: dict[Exponent, Fraction] = {}
+        for exp, c in coeffs.items():
+            if len(exp) != nvars:
+                raise ValueError(f"exponent {exp} has wrong arity (nvars={nvars})")
+            if any(e < 0 for e in exp):
+                raise ValueError(f"negative exponent in {exp}")
+            c = Fraction(c)
+            if c:
+                clean[tuple(exp)] = c
+        self.coeffs = clean
+        self.nvars = nvars
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def zero(cls, nvars: int) -> "MultiPoly":
+        return cls({}, nvars)
+
+    @classmethod
+    def from_vector(
+        cls, vector: Iterable[int | Fraction], r: int, l: int
+    ) -> "MultiPoly":
+        """Coefficient vector (mixed-radix monomial order) → polynomial."""
+        vec = list(vector)
+        mons = monomials(r, l)
+        if len(vec) != len(mons):
+            raise ValueError(f"vector length {len(vec)} != {len(mons)} monomials")
+        return cls(dict(zip(mons, vec)), l)
+
+    def to_vector(self, r: int) -> list[Fraction]:
+        """Coefficient vector over the ``Poly_{r,l}`` monomial basis."""
+        if not self.fits(r):
+            raise ValueError(f"polynomial does not fit Poly_{{{r},{self.nvars}}}")
+        return [self.coeffs.get(m, Fraction(0)) for m in monomials(r, self.nvars)]
+
+    # -- predicates ---------------------------------------------------------
+    def fits(self, r: int) -> bool:
+        """True when every variable's power is below ``r`` (``Poly_{r,l}``)."""
+        return all(max(e) < r for e in self.coeffs) if self.coeffs else True
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    # -- algebra -------------------------------------------------------------
+    def __add__(self, other: "MultiPoly") -> "MultiPoly":
+        self._check(other)
+        out = dict(self.coeffs)
+        for e, c in other.coeffs.items():
+            out[e] = out.get(e, Fraction(0)) + c
+        return MultiPoly(out, self.nvars)
+
+    def __sub__(self, other: "MultiPoly") -> "MultiPoly":
+        self._check(other)
+        out = dict(self.coeffs)
+        for e, c in other.coeffs.items():
+            out[e] = out.get(e, Fraction(0)) - c
+        return MultiPoly(out, self.nvars)
+
+    def __mul__(self, other: "MultiPoly") -> "MultiPoly":
+        self._check(other)
+        out: dict[Exponent, Fraction] = {}
+        for ea, ca in self.coeffs.items():
+            for eb, cb in other.coeffs.items():
+                e = tuple(x + y for x, y in zip(ea, eb))
+                out[e] = out.get(e, Fraction(0)) + ca * cb
+        return MultiPoly(out, self.nvars)
+
+    def _check(self, other: "MultiPoly") -> None:
+        if not isinstance(other, MultiPoly) or other.nvars != self.nvars:
+            raise ValueError("operands must share the variable count")
+
+    # -- evaluation ------------------------------------------------------------
+    def evaluate(self, point: Sequence[EvalPoint], degree_bound: int) -> Fraction:
+        """Homogeneous evaluation at ``point`` ∈ ``(F^2)^l``.
+
+        Variable ``i`` with exponent ``e`` contributes
+        ``x_i**e * h_i**(degree_bound-1-e)`` — each variable is homogenized
+        to total degree ``degree_bound - 1``, matching the evaluation
+        matrices of the univariate algorithm applied level by level.
+        """
+        if len(point) != self.nvars:
+            raise ValueError("point arity mismatch")
+        acc = Fraction(0)
+        for exp, c in self.coeffs.items():
+            term = c
+            for (x, h), e in zip(point, exp):
+                term *= Fraction(x) ** e * Fraction(h) ** (degree_bound - 1 - e)
+            acc += term
+        return acc
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, MultiPoly):
+            return self.nvars == other.nvars and self.coeffs == other.coeffs
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.nvars, frozenset(self.coeffs.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultiPoly({dict(self.coeffs)!r}, nvars={self.nvars})"
+
+
+def evaluation_matrix_multivariate(
+    points: Sequence[tuple[EvalPoint, ...]], r: int, l: int
+) -> FractionMatrix:
+    """Evaluation matrix of multivariate points for ``Poly_{r,l}``.
+
+    Row ``i`` evaluates each monomial of :func:`monomials` at
+    ``points[i]`` (homogenized per variable to degree ``r-1``).  Claim 6.1:
+    the point set is in ``(r,l)``-general position iff every ``r**l``-row
+    square submatrix of this matrix is invertible.
+    """
+    mons = monomials(r, l)
+    rows = []
+    for pt in points:
+        if len(pt) != l:
+            raise ValueError(f"point {pt} has wrong arity (l={l})")
+        row = []
+        for exp in mons:
+            term = Fraction(1)
+            for (x, h), e in zip(pt, exp):
+                term *= Fraction(x) ** e * Fraction(h) ** (r - 1 - e)
+            row.append(term)
+        rows.append(row)
+    return FractionMatrix(rows)

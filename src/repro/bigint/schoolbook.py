@@ -1,0 +1,41 @@
+"""Schoolbook (naive) long multiplication — the Θ(n²) baseline.
+
+The paper's introduction contrasts Toom-Cook against the schoolbook
+algorithm; the sequential-crossover benchmark regenerates that comparison.
+The implementation works limb-by-limb so its arithmetic-operation count is
+the honest ``Θ(n²)`` (Python's builtin ``*`` is only used on single limbs).
+"""
+
+from __future__ import annotations
+
+from repro.bigint.limbs import LimbVector
+from repro.util.validation import check_positive
+from repro.util.words import int_to_digits
+
+__all__ = ["schoolbook_multiply", "schoolbook_cost"]
+
+
+def schoolbook_multiply(a: int, b: int, word_bits: int = 64) -> tuple[int, int]:
+    """Multiply ``a * b`` with limb-wise schoolbook convolution.
+
+    Returns ``(product, flops)`` where ``flops`` counts single-word
+    multiply-accumulate operations.
+    """
+    check_positive("word_bits", word_bits)
+    sign = -1 if (a < 0) != (b < 0) else 1
+    a, b = abs(a), abs(b)
+    if a == 0 or b == 0:
+        return 0, 0
+    da = int_to_digits(a, word_bits)
+    db = int_to_digits(b, word_bits)
+    va = LimbVector(da, word_bits)
+    vb = LimbVector(db, word_bits)
+    product = va.convolve(vb)
+    flops = 2 * len(da) * len(db)  # one mul + one add per limb pair
+    return sign * product.to_int(), flops
+
+
+def schoolbook_cost(n_words: int) -> int:
+    """Predicted arithmetic cost of schoolbook on ``n_words``-word inputs."""
+    check_positive("n_words", n_words)
+    return 2 * n_words * n_words

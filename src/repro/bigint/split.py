@@ -1,0 +1,85 @@
+"""Input splitting (Algorithm 1 line 4 and Algorithm 2 line 4).
+
+Toom-Cook-k splits both operands into ``k`` digits with a *shared* base
+``B`` (Section 2.2).  The lazy-interpolation variant splits the whole
+input into ``k**l`` digits up front, for a recursion of depth ``l``, so
+that every sub-problem's operand blocks are predetermined (no carries
+until the end).
+
+Signs are handled outside the split: callers pass magnitudes and track
+``sign(a)*sign(b)`` separately (as every practical Toom implementation
+does).
+"""
+
+from __future__ import annotations
+
+from repro.bigint.limbs import LimbVector
+from repro.util.validation import check_positive
+from repro.util.words import shared_split_base
+
+__all__ = ["split_shared_base", "split_lazy", "recombine", "lazy_depth"]
+
+
+def split_shared_base(
+    a: int, b: int, k: int
+) -> tuple[LimbVector, LimbVector, int]:
+    """Split non-negative ``a`` and ``b`` into ``k`` digits each, using the
+    paper's shared power-of-two base ``B``.
+
+    Returns ``(a_digits, b_digits, base_bits)`` with ``B = 2**base_bits``.
+    """
+    check_positive("k", k)
+    if a < 0 or b < 0:
+        raise ValueError("split operates on magnitudes; pass non-negative ints")
+    B = shared_split_base(a, b, k)
+    base_bits = B.bit_length() - 1
+    return (
+        LimbVector.from_int(a, base_bits, count=k),
+        LimbVector.from_int(b, base_bits, count=k),
+        base_bits,
+    )
+
+
+def lazy_depth(a: int, b: int, k: int, leaf_bits: int) -> int:
+    """Recursion depth ``l`` so that leaf digits fit ``leaf_bits`` bits.
+
+    Algorithm 2 sets ``l = ceil(log_k n)`` where ``n`` is the operand size
+    in machine words; here we compute the smallest ``l`` with
+    ``k**l * leaf_bits`` bits covering both operands.
+    """
+    check_positive("k", k)
+    check_positive("leaf_bits", leaf_bits)
+    bits = max(abs(a).bit_length(), abs(b).bit_length(), 1)
+    l = 0
+    while k**l * leaf_bits < bits:
+        l += 1
+    return l
+
+
+def split_lazy(
+    a: int, b: int, k: int, l: int
+) -> tuple[LimbVector, LimbVector, int]:
+    """Split ``a`` and ``b`` into ``k**l`` digits each (Algorithm 2).
+
+    The base is the shared power-of-two base for ``k**l`` digits.  Returns
+    ``(a_digits, b_digits, base_bits)``.
+    """
+    check_positive("k", k)
+    if l < 0:
+        raise ValueError("l must be non-negative")
+    if a < 0 or b < 0:
+        raise ValueError("split operates on magnitudes; pass non-negative ints")
+    count = k**l
+    B = shared_split_base(a, b, count)
+    base_bits = B.bit_length() - 1
+    return (
+        LimbVector.from_int(a, base_bits, count=count),
+        LimbVector.from_int(b, base_bits, count=count),
+        base_bits,
+    )
+
+
+def recombine(digits: LimbVector) -> int:
+    """Resolve carries: evaluate the digit polynomial at the base
+    (Algorithm 1/2 line 16)."""
+    return digits.to_int()

@@ -1,0 +1,250 @@
+"""Toom-Graph inversion sequences (Definition 2.3; Bodrato & Zanoni 2006).
+
+Multiplying by ``W^T`` can be done as a dense matrix-vector product, but
+practical Toom implementations instead run an *inversion sequence*: a short
+list of elementary row operations that maps the pointwise products to the
+product coefficients.  The Toom-Graph is the weighted graph whose vertices
+are matrices and whose edges are single row operations; an optimal
+inversion sequence is a cheapest path from ``(W^T)^{-1}`` to the identity.
+
+We provide:
+
+- the row-operation vocabulary (:class:`AddMul`, :class:`Scale`,
+  :class:`Swap`) with a per-operation cost model,
+- :func:`inversion_sequence` — a correct sequence extracted from
+  Gauss-Jordan elimination (always available, any ``k``),
+- :func:`toom_graph_search` — a bounded Dijkstra over the Toom-Graph with
+  a small coefficient vocabulary, which recovers cheaper sequences for
+  small ``k`` (the paper applies this optimization in Remark 4.1),
+- :func:`apply_inversion_sequence` — runs a sequence against a vector of
+  numbers or limb blocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence, Union
+
+from repro.util.rational import FractionMatrix, mat_identity
+
+__all__ = [
+    "RowOp",
+    "AddMul",
+    "Scale",
+    "Swap",
+    "OpCosts",
+    "inversion_sequence",
+    "apply_inversion_sequence",
+    "sequence_cost",
+    "toom_graph_search",
+]
+
+
+@dataclass(frozen=True)
+class AddMul:
+    """``row[target] += coef * row[source]``."""
+
+    target: int
+    source: int
+    coef: Fraction
+
+    def __post_init__(self):
+        if self.target == self.source:
+            raise ValueError("AddMul target and source must differ")
+        if self.coef == 0:
+            raise ValueError("AddMul with zero coefficient is a no-op")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """``row[target] *= coef`` (``coef = 1/d`` is an exact division)."""
+
+    target: int
+    coef: Fraction
+
+    def __post_init__(self):
+        if self.coef == 0:
+            raise ValueError("Scale by zero is not invertible")
+
+
+@dataclass(frozen=True)
+class Swap:
+    """``row[i] <-> row[j]``."""
+
+    i: int
+    j: int
+
+    def __post_init__(self):
+        if self.i == self.j:
+            raise ValueError("Swap of a row with itself is a no-op")
+
+
+RowOp = Union[AddMul, Scale, Swap]
+
+
+@dataclass(frozen=True)
+class OpCosts:
+    """Per-operation weights (Bodrato & Zanoni weigh shifts/adds cheaper
+    than general multiplications and exact divisions)."""
+
+    add_sub: float = 1.0  # AddMul with coefficient +-1
+    add_mul: float = 2.0  # AddMul with a general coefficient
+    scale: float = 2.0
+    swap: float = 0.0
+
+    def of(self, op: RowOp) -> float:
+        if isinstance(op, AddMul):
+            return self.add_sub if abs(op.coef) == 1 else self.add_mul
+        if isinstance(op, Scale):
+            return self.scale
+        return self.swap
+
+
+def sequence_cost(ops: Sequence[RowOp], costs: OpCosts | None = None) -> float:
+    """Aggregate weight of a sequence."""
+    costs = costs or OpCosts()
+    return sum(costs.of(op) for op in ops)
+
+
+def _apply_to_matrix(op: RowOp, rows: list[list[Fraction]]) -> None:
+    if isinstance(op, AddMul):
+        src = rows[op.source]
+        rows[op.target] = [a + op.coef * b for a, b in zip(rows[op.target], src)]
+    elif isinstance(op, Scale):
+        rows[op.target] = [op.coef * a for a in rows[op.target]]
+    else:
+        rows[op.i], rows[op.j] = rows[op.j], rows[op.i]
+
+
+def apply_inversion_sequence(ops: Sequence[RowOp], vector: list) -> list:
+    """Apply a sequence to a vector of entries (numbers or limb blocks).
+
+    Entries must support ``+`` and scalar multiplication; ``Scale`` by a
+    non-integer uses ``exact_div`` when available (limb blocks) and exact
+    ``Fraction`` arithmetic otherwise.
+    """
+    out = list(vector)
+    for op in ops:
+        if isinstance(op, AddMul):
+            out[op.target] = out[op.target] + _scalar_mul(out[op.source], op.coef)
+        elif isinstance(op, Scale):
+            out[op.target] = _scalar_mul(out[op.target], op.coef)
+        else:
+            out[op.i], out[op.j] = out[op.j], out[op.i]
+    return out
+
+
+def _scalar_mul(value, coef: Fraction):
+    coef = Fraction(coef)
+    if hasattr(value, "exact_div"):
+        scaled = value * coef.numerator
+        return scaled.exact_div(coef.denominator) if coef.denominator != 1 else scaled
+    result = coef * value
+    if isinstance(value, int) and isinstance(result, Fraction) and result.denominator == 1:
+        return int(result)
+    return result
+
+
+def inversion_sequence(w_t: FractionMatrix) -> list[RowOp]:
+    """A correct (not necessarily optimal) inversion sequence for ``W^T``.
+
+    Gauss-Jordan-eliminates ``(W^T)^{-1}`` to the identity, recording the
+    row operations; by Definition 2.3 the recorded sequence applied to the
+    evaluation vector computes ``W^T @ v``.
+    """
+    target = w_t.inv()
+    rows = [list(r) for r in target.rows]
+    n = len(rows)
+    ops: list[RowOp] = []
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if rows[r][col] != 0), None)
+        if pivot is None:
+            raise ValueError("matrix is singular")
+        if pivot != col:
+            op: RowOp = Swap(col, pivot)
+            _apply_to_matrix(op, rows)
+            ops.append(op)
+        pv = rows[col][col]
+        if pv != 1:
+            op = Scale(col, Fraction(1, 1) / pv)
+            _apply_to_matrix(op, rows)
+            ops.append(op)
+        for r in range(n):
+            if r != col and rows[r][col] != 0:
+                op = AddMul(r, col, -rows[r][col])
+                _apply_to_matrix(op, rows)
+                ops.append(op)
+    return ops
+
+
+def _freeze(rows: list[list[Fraction]]) -> tuple:
+    return tuple(tuple(r) for r in rows)
+
+
+def toom_graph_search(
+    w_t: FractionMatrix,
+    costs: OpCosts | None = None,
+    coefficients: Sequence[Fraction] | None = None,
+    max_nodes: int = 20000,
+) -> list[RowOp]:
+    """Bounded Dijkstra over the Toom-Graph from ``(W^T)^{-1}`` to ``I``.
+
+    ``coefficients`` is the AddMul/Scale vocabulary (default: small values
+    ``+-1, +-2, +-1/2, +-1/3, 1/6, ...`` that cover the classic Toom-3
+    sequences).  Falls back to :func:`inversion_sequence` when the search
+    frontier exhausts ``max_nodes`` without reaching the identity.
+    """
+    costs = costs or OpCosts()
+    if coefficients is None:
+        coefficients = [
+            Fraction(1),
+            Fraction(-1),
+            Fraction(2),
+            Fraction(-2),
+            Fraction(1, 2),
+            Fraction(-1, 2),
+            Fraction(1, 3),
+            Fraction(-1, 3),
+            Fraction(3),
+            Fraction(-3),
+            Fraction(1, 6),
+        ]
+    start_rows = [list(r) for r in w_t.inv().rows]
+    n = len(start_rows)
+    ident = _freeze(mat_identity(n))
+    start = _freeze(start_rows)
+
+    best: dict[tuple, float] = {start: 0.0}
+    heap: list[tuple[float, int, tuple, list[RowOp]]] = [(0.0, 0, start, [])]
+    counter = 1
+    explored = 0
+    while heap and explored < max_nodes:
+        cost, _, state, path = heapq.heappop(heap)
+        if state == ident:
+            return path
+        if cost > best.get(state, float("inf")):
+            continue
+        explored += 1
+        candidates: list[RowOp] = []
+        for t in range(n):
+            for s in range(n):
+                if s != t:
+                    candidates.extend(AddMul(t, s, c) for c in coefficients)
+            candidates.extend(
+                Scale(t, c) for c in coefficients if abs(c) != 1 or c == -1
+            )
+        for i in range(n):
+            for j in range(i + 1, n):
+                candidates.append(Swap(i, j))
+        for op in candidates:
+            rows = [list(r) for r in state]
+            _apply_to_matrix(op, rows)
+            nxt = _freeze(rows)
+            ncost = cost + costs.of(op)
+            if ncost < best.get(nxt, float("inf")):
+                best[nxt] = ncost
+                heapq.heappush(heap, (ncost, counter, nxt, path + [op]))
+                counter += 1
+    return inversion_sequence(w_t)

@@ -1,0 +1,146 @@
+"""Unbalanced Toom-Cook-(k1, k2) (paper Section 1.1; Zanoni 2010).
+
+The extended Toom-Cook family splits the two operands *differently*:
+``a`` into ``k1`` digits and ``b`` into ``k2``, evaluating both at
+``k1 + k2 - 1`` points (the product polynomial has degree
+``(k1-1) + (k2-1)``).  Toom-Cook-(3,2) is the classic "Toom-2.5".
+Unbalanced variants win when the operands' sizes are themselves
+unbalanced: the split base is chosen so each operand's digits have
+similar width, keeping the pointwise sub-products square.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.bigint.evalpoints import (
+    EvalPoint,
+    INFINITY,
+    finite_point_sequence,
+    points_pairwise_distinct,
+)
+from repro.bigint.matrices import evaluation_matrix, interpolation_matrix_for_points
+from repro.util.rational import mat_vec
+from repro.util.validation import check_positive
+from repro.util.words import bits_to_words, int_to_digits
+
+__all__ = ["UnbalancedToomCook", "unbalanced_points"]
+
+
+def unbalanced_points(k1: int, k2: int) -> list[EvalPoint]:
+    """The standard ``k1 + k2 - 1`` points: small finite values then ∞."""
+    m = k1 + k2 - 1
+    seq = finite_point_sequence()
+    points = [next(seq) for _ in range(m - 1)]
+    points.append(INFINITY)
+    assert points_pairwise_distinct(points)
+    return points
+
+
+class UnbalancedToomCook:
+    """Sequential Toom-Cook-(k1, k2) multiplier.
+
+    Parameters
+    ----------
+    k1, k2:
+        Split counts for the first and second operand (``k1 >= k2 >= 1``,
+        ``k1 >= 2``; ``(k, k)`` degenerates to balanced Toom-Cook-k, and
+        ``(k, 1)`` to a digit-by-operand schoolbook row).
+    threshold_bits:
+        Single-flop multiply width (Algorithm 1's ``s``).
+    """
+
+    def __init__(self, k1: int, k2: int, threshold_bits: int = 64, inner=None):
+        """``inner`` optionally supplies the multiplier for the pointwise
+        sub-products (e.g. a balanced :class:`~repro.bigint.toomcook.ToomCook`
+        — real libraries pick the split shape per recursion level by the
+        operand ratio, and the sub-products of an unbalanced top split are
+        themselves balanced).  Default: recurse unbalanced."""
+        if k1 < 2 or k2 < 1 or k2 > k1:
+            raise ValueError("require k1 >= 2 and 1 <= k2 <= k1")
+        check_positive("threshold_bits", threshold_bits)
+        self.k1 = k1
+        self.k2 = k2
+        self.inner = inner
+        self.threshold_bits = threshold_bits
+        self.m = k1 + k2 - 1
+        self.points = unbalanced_points(k1, k2)
+        self.U = evaluation_matrix(self.points, k1)
+        self.V = evaluation_matrix(self.points, k2)
+        self.W_T = interpolation_matrix_for_points(self.points, self.m)
+        self._direct_bits = max(threshold_bits, 8 * k1)
+
+    # -- public ---------------------------------------------------------------
+    def multiply(self, a: int, b: int) -> tuple[int, int]:
+        """Return ``(a*b, flops)``.  Pass the larger operand first for the
+        intended digit balance (it still works either way)."""
+        sign = -1 if (a < 0) != (b < 0) else 1
+        product, flops = self._mul(abs(a), abs(b))
+        return sign * product, flops
+
+    # -- recursion ----------------------------------------------------------------
+    def _mul(self, a: int, b: int) -> tuple[int, int]:
+        if a == 0 or b == 0:
+            return 0, 0
+        bits = max(a.bit_length(), b.bit_length())
+        if bits <= self.threshold_bits:
+            return a * b, 1
+        if bits <= self._direct_bits:
+            wa = bits_to_words(a.bit_length(), self.threshold_bits)
+            wb = bits_to_words(b.bit_length(), self.threshold_bits)
+            return a * b, 2 * wa * wb
+
+        # Shared base: both operands' digit widths as equal as possible.
+        base_bits = max(
+            -(-max(a.bit_length(), 1) // self.k1),
+            -(-max(b.bit_length(), 1) // self.k2),
+        )
+        da = int_to_digits(a, base_bits, count=self.k1)
+        db = int_to_digits(b, base_bits, count=self.k2)
+        digit_words = bits_to_words(base_bits, self.threshold_bits)
+
+        a_evals = mat_vec(self.U.rows, da)
+        b_evals = mat_vec(self.V.rows, db)
+        flops = 2 * self._nnz(self.U) * digit_words
+        flops += 2 * self._nnz(self.V) * digit_words
+
+        c_evals = []
+        for ai, bi in zip(a_evals, b_evals):
+            ai, bi = int(ai), int(bi)
+            if self.inner is not None:
+                p, fl = self.inner.multiply(ai, bi)
+                c_evals.append(p)
+            elif self.k2 == 1:
+                # (k, 1) splits only the first operand, so recursion would
+                # never shrink the second: one schoolbook-style layer.
+                wa = bits_to_words(abs(ai).bit_length(), self.threshold_bits)
+                wb = bits_to_words(abs(bi).bit_length(), self.threshold_bits)
+                p, fl = ai * bi, 2 * wa * wb
+                c_evals.append(p)
+            else:
+                sub_sign = -1 if (ai < 0) != (bi < 0) else 1
+                p, fl = self._mul(abs(ai), abs(bi))
+                c_evals.append(sub_sign * p)
+            flops += fl
+
+        coeffs = mat_vec(self.W_T.rows, c_evals)
+        product_words = 2 * digit_words
+        flops += 2 * self._nnz(self.W_T) * product_words
+
+        acc = 0
+        for i, c in enumerate(coeffs):
+            c = Fraction(c)
+            if c.denominator != 1:
+                raise ArithmeticError(
+                    f"non-integer interpolation coefficient {c}"
+                )
+            acc += int(c) << (i * base_bits)
+        flops += self.m * product_words
+        return acc, flops
+
+    @staticmethod
+    def _nnz(matrix) -> int:
+        return sum(1 for row in matrix.rows for v in row if v)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnbalancedToomCook(k1={self.k1}, k2={self.k2})"

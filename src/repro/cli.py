@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+::
+
+    python -m repro multiply 123456789 987654321 --k 3
+    python -m repro multiply 0x1p500 12345 --parallel 9 --ft 1 --fault 4:multiplication:0
+    python -m repro plan --bits 100000 --p 27 --k 2 --memory 500
+    python -m repro predict --bits 100000 --p 27 --k 2
+    python -m repro demo
+
+Numbers accept decimal, ``0x...`` hex, or ``0b...`` binary, plus the
+shorthand ``0x1pN`` for ``2**N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+__all__ = ["main", "build_parser", "parse_number", "parse_fault"]
+
+
+def parse_number(text: str) -> int:
+    """Parse an integer literal (decimal/hex/binary, or ``0x1pN``)."""
+    text = text.strip()
+    if "p" in text.lower() and text.lower().startswith("0x1p"):
+        return 1 << int(text[4:])
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer literal: {text!r}") from exc
+
+
+def parse_fault(text: str):
+    """Parse ``rank:phase:op[:kind[:factor]]`` into a FaultEvent."""
+    from repro.machine.fault import FaultEvent
+
+    parts = text.split(":")
+    if len(parts) < 3:
+        raise argparse.ArgumentTypeError(
+            "fault must be rank:phase:op[:kind[:factor]]"
+        )
+    rank, phase, op = int(parts[0]), parts[1], int(parts[2])
+    kind = parts[3] if len(parts) > 3 else "hard"
+    factor = float(parts[4]) if len(parts) > 4 else 8.0
+    try:
+        return FaultEvent(rank=rank, phase=phase, op_index=op, kind=kind, factor=factor)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-Tolerant Parallel Integer Multiplication (SPAA 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mul = sub.add_parser("multiply", help="multiply two integers")
+    mul.add_argument("a", type=parse_number)
+    mul.add_argument("b", type=parse_number)
+    mul.add_argument("--k", type=int, default=2, help="Toom-Cook split factor")
+    mul.add_argument("--word-bits", type=int, default=32)
+    mul.add_argument(
+        "--parallel", type=int, metavar="P", default=0,
+        help="run on a simulated P-processor machine (P a power of 2k-1)",
+    )
+    mul.add_argument(
+        "--ft", type=int, metavar="F", default=0,
+        help="tolerate F hard faults (implies --parallel)",
+    )
+    mul.add_argument(
+        "--fault", type=parse_fault, action="append", default=[],
+        metavar="RANK:PHASE:OP[:KIND[:FACTOR]]",
+        help="inject a fault (repeatable)",
+    )
+    mul.add_argument("--json", action="store_true", help="machine-readable output")
+
+    plan = sub.add_parser("plan", help="show the BFS/DFS execution plan")
+    plan.add_argument("--bits", type=int, required=True)
+    plan.add_argument("--p", type=int, required=True)
+    plan.add_argument("--k", type=int, default=2)
+    plan.add_argument("--word-bits", type=int, default=64)
+    plan.add_argument("--memory", type=float, default=math.inf, help="M in words")
+    plan.add_argument("--json", action="store_true")
+
+    predict = sub.add_parser(
+        "predict", help="predicted Theta-costs (Theorems 5.1-5.3)"
+    )
+    predict.add_argument("--bits", type=int, required=True)
+    predict.add_argument("--p", type=int, required=True)
+    predict.add_argument("--k", type=int, default=2)
+    predict.add_argument("--f", type=int, default=1)
+    predict.add_argument("--word-bits", type=int, default=64)
+    predict.add_argument("--memory", type=float, default=math.inf)
+    predict.add_argument("--json", action="store_true")
+
+    sub.add_parser("demo", help="one-minute fault-tolerance demonstration")
+    return parser
+
+
+def _cmd_multiply(args) -> int:
+    from repro.core.api import multiply, multiply_fault_tolerant, multiply_parallel
+    from repro.machine.fault import FaultSchedule
+
+    expected = args.a * args.b
+    if args.parallel == 0 and args.ft == 0:
+        product = multiply(args.a, args.b, k=args.k, word_bits=args.word_bits)
+        payload = {"product": str(product), "exact": product == expected}
+        if args.json:
+            print(json.dumps(payload))
+        else:
+            print(product)
+        return 0 if product == expected else 1
+
+    p = args.parallel or 9
+    schedule = FaultSchedule(args.fault)
+    if args.ft:
+        out = multiply_fault_tolerant(
+            args.a, args.b, p=p, k=args.k, f=args.ft,
+            word_bits=args.word_bits, fault_schedule=schedule,
+        )
+    else:
+        out = multiply_parallel(
+            args.a, args.b, p=p, k=args.k,
+            word_bits=args.word_bits, fault_schedule=schedule,
+        )
+    c = out.run.critical_path
+    payload = {
+        "product": str(out.product),
+        "exact": out.product == expected,
+        "critical_path": {"F": c.f, "BW": c.bw, "L": c.l},
+        "faults_fired": len(out.run.fault_log),
+        "phases": {
+            name: {"F": pc.f, "BW": pc.bw, "L": pc.l}
+            for name, pc in out.run.phase_costs.items()
+        },
+    }
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        print(f"product = {out.product}")
+        print(f"exact   = {payload['exact']}")
+        print(f"costs   : F={c.f} BW={c.bw} L={c.l}")
+        print(f"faults  : {payload['faults_fired']} fired, product still exact")
+    return 0 if payload["exact"] else 1
+
+
+def _cmd_plan(args) -> int:
+    from repro.core.plan import make_plan
+
+    plan = make_plan(
+        args.bits, p=args.p, k=args.k, word_bits=args.word_bits, m_words=args.memory
+    )
+    payload = {
+        "k": plan.k,
+        "p": plan.p,
+        "word_bits": plan.word_bits,
+        "n_words": plan.n_words,
+        "l_dfs": plan.l_dfs,
+        "l_bfs": plan.l_bfs,
+        "local_words": plan.local_words,
+        "leaf_words": plan.leaf_words(),
+    }
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        for key, value in payload.items():
+            print(f"{key:12s} {value}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.analysis.formulas import (
+        extra_processors,
+        ft_toomcook_costs,
+        parallel_toomcook_costs,
+    )
+
+    n_words = max(1, -(-args.bits // args.word_bits))
+    base = parallel_toomcook_costs(n_words, args.p, args.k, args.memory)
+    ft = ft_toomcook_costs(n_words, args.p, args.k, args.f, args.memory)
+    payload = {
+        "parallel": {"F": base.f, "BW": base.bw, "L": base.l},
+        "fault_tolerant": {"F": ft.f, "BW": ft.bw, "L": ft.l},
+        "extra_processors": {
+            "replication": extra_processors("replication", args.p, args.k, args.f),
+            "ft_combined": extra_processors("ft", args.p, args.k, args.f),
+        },
+    }
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        for scheme, costs in payload.items():
+            print(f"{scheme}: {costs}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.core.api import multiply_fault_tolerant
+    from repro.machine.fault import FaultEvent, FaultSchedule
+
+    a, b = 2**401 - 1, 10**120 + 7
+    sched = FaultSchedule([FaultEvent(4, "multiplication", 0)])
+    out = multiply_fault_tolerant(a, b, p=9, k=2, f=1, word_bits=32, fault_schedule=sched)
+    ok = out.product == a * b
+    print("killed processor 4 mid-multiplication on a 9-processor machine;")
+    print(f"product exact: {ok}; faults survived: {len(out.run.fault_log)}")
+    c = out.run.critical_path
+    print(f"critical-path costs: F={c.f} BW={c.bw} L={c.l}")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "multiply": _cmd_multiply,
+        "plan": _cmd_plan,
+        "predict": _cmd_predict,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Coding theory: the two codes of the fault-tolerant algorithm.
+
+- :mod:`repro.coding.vandermonde` / :mod:`repro.coding.linear` — the
+  systematic ``(n, k, d)`` linear erasure code of Section 2.5 with a
+  Vandermonde redundancy matrix (every minor invertible), used across
+  processor-grid columns in the evaluation and interpolation phases
+  (Section 4.1).
+- :mod:`repro.coding.erasure` — exact erasure decoding: reconstruct up to
+  ``f`` lost coordinates from any surviving ``k``.
+- :mod:`repro.coding.general_position` — the ``(r, l)``-general-position
+  property (Definition 6.1) and the Claim 6.1 equivalence with all-square-
+  submatrices-invertible.
+- :mod:`repro.coding.point_search` — the Section 6.2 heuristic for finding
+  redundant multivariate evaluation points (Claims 6.2-6.5), which powers
+  multi-step fault tolerance.
+"""
+
+from repro.coding.vandermonde import vandermonde_matrix, every_minor_invertible
+from repro.coding.linear import SystematicCode
+from repro.coding.erasure import reconstruct_erasures
+from repro.coding.general_position import (
+    is_general_position,
+    all_square_submatrices_invertible,
+)
+from repro.coding.point_search import (
+    extend_general_position,
+    find_redundant_points,
+    multistep_evaluation_points,
+)
+
+__all__ = [
+    "vandermonde_matrix",
+    "every_minor_invertible",
+    "SystematicCode",
+    "reconstruct_erasures",
+    "is_general_position",
+    "all_square_submatrices_invertible",
+    "extend_general_position",
+    "find_redundant_points",
+    "multistep_evaluation_points",
+]

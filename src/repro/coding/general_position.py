@@ -1,0 +1,63 @@
+"""``(r, l)``-general position (Definition 6.1, Claim 6.1).
+
+A set ``S`` of multivariate evaluation points is in ``(r, l)``-general
+position iff no nonzero polynomial of ``Poly_{r,l}`` vanishes on any
+``r**l``-subset — equivalently (Claim 6.1), iff every ``r**l``-row square
+submatrix of the evaluation matrix is invertible.  This is the validity
+condition for the redundant points of multi-step fault-tolerant Toom-Cook
+(Section 6.1): ``(2k-1, l)``-general position makes any ``(2k-1)**l``
+surviving columns interpolable.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.bigint.evalpoints import EvalPoint
+from repro.bigint.multivariate import evaluation_matrix_multivariate
+from repro.util.rational import FractionMatrix, mat_det
+from repro.util.validation import check_positive
+
+__all__ = ["all_square_submatrices_invertible", "is_general_position"]
+
+
+def all_square_submatrices_invertible(matrix: FractionMatrix, size: int) -> bool:
+    """Every ``size``-row submatrix (all columns kept) invertible.
+
+    The matrix must have exactly ``size`` columns; this is the Claim 6.1
+    condition on an ``n x r**l`` evaluation matrix.
+    """
+    nrows, ncols = matrix.shape
+    if ncols != size:
+        raise ValueError(f"matrix must have {size} columns, has {ncols}")
+    if nrows < size:
+        return False
+    for rows in combinations(range(nrows), size):
+        sub = [list(matrix[r]) for r in rows]
+        if mat_det(sub) == 0:
+            return False
+    return True
+
+
+def is_general_position(
+    points: Sequence[tuple[EvalPoint, ...]], r: int, l: int
+) -> bool:
+    """Test ``(r, l)``-general position of multivariate points.
+
+    Exhaustive over ``r**l``-subsets — fine for the handful of redundant
+    points the algorithm ever needs, exponential in general.
+    """
+    check_positive("r", r)
+    check_positive("l", l)
+    n = r**l
+    if len(points) < n:
+        # Vacuously in general position only if no full-size subset exists
+        # AND no smaller dependency forces a vanishing polynomial; the
+        # paper's definition quantifies over subsets of size exactly r^l,
+        # so fewer points are trivially in general position provided the
+        # evaluation matrix has full row rank.
+        m = evaluation_matrix_multivariate(list(points), r, l)
+        return m.rank() == len(points)
+    m = evaluation_matrix_multivariate(list(points), r, l)
+    return all_square_submatrices_invertible(m, n)

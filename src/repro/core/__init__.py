@@ -1,0 +1,64 @@
+"""The paper's contribution: parallel and fault-tolerant Toom-Cook.
+
+- :mod:`repro.core.plan` — BFS/DFS schedules (Lemma 3.1) and input padding.
+- :mod:`repro.core.layout` — the cyclic word layout (Section 3's
+  block-cyclic distribution) and its repartition maps.
+- :mod:`repro.core.parallel_toomcook` — Parallel Toom-Cook-k (Section 3),
+  generalizing De Stefani's parallel Karatsuba.
+- :mod:`repro.core.ft_linear` — the linear (Vandermonde) column code for
+  the evaluation/interpolation phases (Section 4.1).
+- :mod:`repro.core.ft_polynomial` — the polynomial code: redundant
+  evaluation points protecting the multiplication phase (Section 4.2).
+- :mod:`repro.core.ft_toomcook` — the combined fault-tolerant algorithm
+  (Theorem 5.2).
+- :mod:`repro.core.multistep` — multi-step traversal (Sections 4.3 / 6.1)
+  with redundant multivariate points from the Section 6.2 search.
+- :mod:`repro.core.replication` — the replication baseline (Theorem 5.3).
+- :mod:`repro.core.checkpoint` — a checkpoint-restart baseline (the other
+  general-purpose alternative from the introduction).
+- :mod:`repro.core.api` — user-facing entry points.
+"""
+
+from repro.core.plan import ExecutionPlan, make_plan, min_dfs_steps
+from repro.core.layout import CyclicLayout
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+from repro.core.ft_linear import LinearCodedState, ColumnCode
+from repro.core.ft_toomcook import FaultTolerantToomCook
+from repro.core.multistep import MultiStepToomCook
+from repro.core.soft_faults import SoftTolerantToomCook, SoftFaultDetected
+from repro.core.replication import ReplicatedToomCook
+from repro.core.checkpoint import CheckpointedToomCook
+from repro.core.api import (
+    multiply,
+    multiply_parallel,
+    multiply_fault_tolerant,
+    multiply_replicated,
+    multiply_checkpointed,
+    multiply_multistep,
+    multiply_soft_tolerant,
+)
+
+__all__ = [
+    "ExecutionPlan",
+    "make_plan",
+    "min_dfs_steps",
+    "CyclicLayout",
+    "ParallelToomCook",
+    "PolynomialCodedToomCook",
+    "LinearCodedState",
+    "ColumnCode",
+    "FaultTolerantToomCook",
+    "MultiStepToomCook",
+    "SoftTolerantToomCook",
+    "SoftFaultDetected",
+    "ReplicatedToomCook",
+    "CheckpointedToomCook",
+    "multiply",
+    "multiply_parallel",
+    "multiply_fault_tolerant",
+    "multiply_replicated",
+    "multiply_checkpointed",
+    "multiply_multistep",
+    "multiply_soft_tolerant",
+]

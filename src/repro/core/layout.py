@@ -1,0 +1,79 @@
+"""The cyclic word layout of Section 3 and its repartition maps.
+
+Operand vectors are distributed over a processor group at single-word
+granularity: the rank with *class* ``c`` (its index in the group's
+class-ordered member list) holds the words at positions ``u ≡ c (mod g)``.
+Because every level's block length is divisible by every group size (the
+plan pads inputs to a multiple of ``P * k**levels``), this cyclic layout
+has the property the paper's block-cyclic layout is chosen for: **all
+evaluation and interpolation arithmetic is local**, and the only
+communication is the per-BFS-step repartition within fixed ``2k-1``-rank
+target sets (the grid "rows").
+
+The repartition maps are pure index shuffles:
+
+- descending, the new class-``c'`` member of column ``j`` receives the
+  eval-``j`` slices of the ``q`` old classes ``{c : c ≡ c' (mod g')}`` and
+  *interleaves* them (``merged[p] = parts[p mod q][p // q]``);
+- ascending, a result slice *deinterleaves* into ``q`` parts, part ``jp``
+  going back to old class ``c' + jp*g'``.
+"""
+
+from __future__ import annotations
+
+from repro.bigint.limbs import LimbVector
+
+__all__ = ["CyclicLayout", "cyclic_slice", "cyclic_merge", "cyclic_deinterleave"]
+
+
+def cyclic_slice(vector: LimbVector, cls: int, g: int) -> LimbVector:
+    """The class-``cls`` slice of ``vector`` over a group of size ``g``:
+    positions ``u ≡ cls (mod g)``."""
+    if not (0 <= cls < g):
+        raise ValueError(f"class {cls} out of range for group size {g}")
+    if len(vector) % g:
+        raise ValueError(f"vector length {len(vector)} not divisible by {g}")
+    return LimbVector(vector.limbs[cls::g], vector.base_bits)
+
+
+def cyclic_merge(parts: list[LimbVector]) -> LimbVector:
+    """Interleave ``q`` equally long parts: ``out[p] = parts[p % q][p // q]``."""
+    if not parts:
+        raise ValueError("cyclic_merge of no parts")
+    q = len(parts)
+    m = len(parts[0])
+    base_bits = parts[0].base_bits
+    if any(len(p) != m or p.base_bits != base_bits for p in parts):
+        raise ValueError("parts must have equal length and radix")
+    out = [0] * (q * m)
+    for j, part in enumerate(parts):
+        out[j::q] = part.limbs
+    return LimbVector(out, base_bits)
+
+
+def cyclic_deinterleave(vector: LimbVector, q: int) -> list[LimbVector]:
+    """Inverse of :func:`cyclic_merge`: part ``jp`` holds positions
+    ``p ≡ jp (mod q)``."""
+    if q <= 0 or len(vector) % q:
+        raise ValueError(f"cannot deinterleave length {len(vector)} into {q} parts")
+    return [LimbVector(vector.limbs[j::q], vector.base_bits) for j in range(q)]
+
+
+class CyclicLayout:
+    """Distribution and collection of full vectors (used at the run
+    boundary: distributing padded inputs, assembling the output)."""
+
+    def __init__(self, p: int):
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self.p = p
+
+    def distribute(self, vector: LimbVector) -> list[LimbVector]:
+        """Per-rank slices of ``vector`` (rank = class initially)."""
+        return [cyclic_slice(vector, c, self.p) for c in range(self.p)]
+
+    def collect(self, slices: list[LimbVector]) -> LimbVector:
+        """Reassemble the full vector from per-class slices."""
+        if len(slices) != self.p:
+            raise ValueError(f"expected {self.p} slices, got {len(slices)}")
+        return cyclic_merge(list(slices))

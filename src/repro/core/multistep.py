@@ -1,0 +1,255 @@
+"""Multi-step traversal with polynomial coding (paper Sections 4.3 / 6.1).
+
+``l`` BFS steps are combined into one big coded step: the grid becomes
+``P/(2k-1)**l × (2k-1)**l`` and only ``f * P/(2k-1)**l`` code processors
+are needed — at ``l = log_(2k-1) P`` that is just ``f`` extra processors,
+the paper's unlimited-memory optimum (Theorem 5.2's remark).
+
+The coded step is, by Claim 2.1, an ``l``-variate polynomial
+multiplication: the ``k**l`` top-level digit blocks are the coefficients of
+a ``Poly_{k,l}`` element, evaluated over the ``(2k-1)**l``-point grid
+``S^l`` plus ``f`` redundant points in ``(2k-1, l)``-general position.
+The paper leaves *finding* those points as future work but supplies the
+Section 6.2 heuristic, which :mod:`repro.coding.point_search` implements —
+so this module realizes the paper's proposed extension end to end.
+
+Fault handling is the polynomial code's: a fault kills its column; ascent
+interpolation inverts the multivariate evaluation matrix of any
+``(2k-1)**l`` surviving columns (general position guarantees
+invertibility, Claim 6.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.bigint.blockops import apply_matrix_to_blocks, matrix_apply_flops
+from repro.bigint.limbs import LimbVector
+from repro.bigint.multivariate import evaluation_matrix_multivariate, monomials
+from repro.coding.point_search import multistep_evaluation_points
+from repro.core.ft_polynomial import (
+    ColumnKilled,
+    FaultToleranceExceeded,
+    PolynomialCodedToomCook,
+)
+from repro.core.parallel_toomcook import TAG_BFS_DOWN, TAG_BFS_UP
+from repro.core.plan import ExecutionPlan
+from repro.machine.errors import PeerDead
+from repro.machine.fault import FaultSchedule
+from repro.util.rational import FractionMatrix
+
+__all__ = ["MultiStepToomCook"]
+
+
+def _digit_reverse(index: int, base: int, length: int) -> int:
+    """Reverse the base-``base`` digits of ``index`` (width ``length``)."""
+    out = 0
+    for _ in range(length):
+        out = out * base + index % base
+        index //= base
+    return out
+
+
+class MultiStepToomCook(PolynomialCodedToomCook):
+    """Fault-tolerant parallel Toom-Cook with ``l`` combined BFS steps.
+
+    Parameters
+    ----------
+    plan:
+        Unlimited-memory plan (``l_dfs == 0``) with ``l_bfs >= l``.
+    l:
+        Number of combined steps (``1`` degenerates to the plain
+        polynomial code).
+    f:
+        Tolerated faults = redundant multivariate evaluation points =
+        code columns of ``P/(2k-1)**l`` processors.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        l: int,
+        f: int,
+        memory_words: float = math.inf,
+        fault_schedule: FaultSchedule | None = None,
+        timeout: float = 60.0,
+        point_search_limit: int = 12,
+    ):
+        if not (1 <= l <= plan.l_bfs):
+            raise ValueError(f"l must be in [1, l_bfs={plan.l_bfs}]")
+        if f < 1:
+            raise ValueError("f must be at least 1")
+        if plan.l_dfs != 0:
+            raise ValueError("MultiStepToomCook requires an unlimited-memory plan")
+        # Skip the univariate-points setup of the poly class: initialize
+        # the grandparent directly, then install the multivariate code.
+        from repro.core.parallel_toomcook import ParallelToomCook
+
+        ParallelToomCook.__init__(
+            self,
+            plan,
+            points=None,
+            memory_words=memory_words,
+            fault_schedule=fault_schedule,
+            timeout=timeout,
+        )
+        self.f = f
+        self.l = l
+        self.q_l = plan.q**l
+        self.k_l = plan.k**l
+        self.g2 = plan.p // self.q_l
+        self._poly_code_base = plan.p
+        self._coded_fanout = self.q_l
+        self.multi_points = multistep_evaluation_points(
+            plan.k, l, f, limit=point_search_limit
+        )
+        # Evaluation matrix for the operands (Poly_{k,l}), with columns
+        # permuted to match block order (block b <-> monomial with the
+        # digit-reversed index).
+        eval_m = evaluation_matrix_multivariate(self.multi_points, plan.k, l)
+        perm = [_digit_reverse(j, plan.k, l) for j in range(self.k_l)]
+        self.U_multi = FractionMatrix(
+            [[row[perm.index(b)] for b in range(self.k_l)] for row in eval_m.rows]
+        )
+
+    # -- geometry ---------------------------------------------------------------
+    def machine_size(self) -> int:
+        """``P + f * P/(2k-1)**l`` processors (Figure 3)."""
+        return self.plan.p + self.f * self.g2
+
+    def n_columns(self) -> int:
+        return self.q_l + self.f
+
+    def column_members(self, j: int) -> list[int]:
+        if not (0 <= j < self.n_columns()):
+            raise ValueError(f"column {j} out of range")
+        if j < self.q_l:
+            return list(range(j * self.g2, (j + 1) * self.g2))
+        return [
+            self._poly_code_base + (j - self.q_l) * self.g2 + c
+            for c in range(self.g2)
+        ]
+
+    def _my_column(self, comm) -> int:
+        if comm.rank < self.plan.p:
+            return comm.rank // self.g2
+        return self.q_l + (comm.rank - self._poly_code_base) // self.g2
+
+    # -- rank program ------------------------------------------------------------
+    def _standard_main(self, comm, va: LimbVector, vb: LimbVector):
+        plan = self.plan
+        comm.memory.allocate(
+            "operands", va.words(comm.word_bits) + vb.words(comm.word_bits)
+        )
+        ctx = {"scope": 0, "guard": self._make_guard()}
+        with comm.phase("evaluation"):
+            blocks_a = va.split_blocks(self.k_l)
+            blocks_b = vb.split_blocks(self.k_l)
+            evals_a = apply_matrix_to_blocks(self.U_multi.rows, blocks_a)
+            evals_b = apply_matrix_to_blocks(self.U_multi.rows, blocks_b)
+            comm.charge_flops(
+                2 * matrix_apply_flops(self.U_multi.rows, len(va) // self.k_l)
+            )
+            payload = list(zip(evals_a, evals_b))
+            new_group, parts = self._coded_exchange_down(comm, payload, ctx)
+        from repro.core.layout import cyclic_merge
+
+        ta = cyclic_merge([p[0] for p in parts])
+        tb = cyclic_merge([p[1] for p in parts])
+        sub_result = self._level(comm, new_group, ta, tb, level=self.l, ctx=ctx)
+        self._send_ascent_parts(comm, new_group, sub_result, ctx)
+        return self._coded_interpolation(comm)
+
+    def _code_main(self, comm):
+        ctx = {"scope": 0, "guard": self._make_guard()}
+        my_col = self._my_column(comm)
+        new_group = self.column_members(my_col)
+        my_class = new_group.index(comm.rank)
+        parts = []
+        with comm.phase("evaluation"):
+            for jp in range(self._coded_fanout):
+                src = my_class + jp * self.g2
+                parts.append(
+                    comm.recv(
+                        src,
+                        tag=self._tag(TAG_BFS_DOWN, 0, ctx),
+                        abort_check=ctx.get("scope", 0),
+                    )
+                )
+        from repro.core.layout import cyclic_merge
+
+        ta = cyclic_merge([p[0] for p in parts])
+        tb = cyclic_merge([p[1] for p in parts])
+        sub_result = self._level(comm, new_group, ta, tb, level=self.l, ctx=ctx)
+        self._send_ascent_parts(comm, new_group, sub_result, ctx)
+        return None
+
+    # -- multivariate interpolation ---------------------------------------------------
+    def _coded_interpolation(
+        self, comm, ctx: dict | None = None, tag_base: int = TAG_BFS_UP
+    ) -> LimbVector:
+        """Collect any ``(2k-1)**l`` surviving columns, invert their
+        multivariate evaluation matrix, and overlap-add the coefficient
+        blocks at their mixed-radix offsets."""
+        plan = self.plan
+        ctx = ctx or {"scope": 0}
+        task = ctx.get("scope", 0)
+        my_class = comm.rank
+        need = (2 * plan.k - 1) ** self.l
+        with comm.phase("interpolation"):
+            collected: dict[int, LimbVector] = {}
+            for j in range(self.n_columns()):
+                if len(collected) == need:
+                    break
+                members = self.column_members(j)
+                if comm.withdrawn_ranks(members, task=task):
+                    continue
+                src = members[my_class % self.g2]
+                if src == comm.rank:
+                    block = comm.heap.get(f"_kept_ascent.{task}")
+                    if block is None:
+                        continue
+                    collected[j] = block
+                    continue
+                try:
+                    block = comm.recv(
+                        src, tag=self._tag(tag_base, 0, ctx), abort_check=task
+                    )
+                except PeerDead:
+                    continue
+                collected[j] = block
+            if len(collected) < need:
+                raise FaultToleranceExceeded(
+                    f"only {len(collected)} columns survived; {need} needed "
+                    f"(f={self.f} exceeded)"
+                )
+            chosen = sorted(collected)[:need]
+            points = [self.multi_points[j] for j in chosen]
+            e = evaluation_matrix_multivariate(points, 2 * plan.k - 1, self.l)
+            w = e.inv()
+            blocks = [collected[j] for j in chosen]
+            coeffs = apply_matrix_to_blocks(w.rows, blocks)
+            comm.charge_flops(matrix_apply_flops(w.rows, len(blocks[0])))
+            out = self._multivariate_overlap_add(comm, coeffs)
+        return out
+
+    def _multivariate_overlap_add(self, comm, coeffs: list[LimbVector]) -> LimbVector:
+        """Place the coefficient block of each ``Poly_{2k-1,l}`` monomial
+        at its univariate offset ``sum_i e_i * n/k**(i+1)`` (local words)."""
+        plan = self.plan
+        r = 2 * plan.k - 1
+        local_total = 2 * plan.n_words // plan.p
+        out = [0] * local_total
+        base_bits = coeffs[0].base_bits
+        mons = monomials(r, self.l)
+        for m, block in enumerate(coeffs):
+            exps = mons[m]
+            offset_global = sum(
+                e * (plan.n_words // plan.k ** (i + 1)) for i, e in enumerate(exps)
+            )
+            offset = offset_global // plan.p  # cyclic layout: P | each weight
+            for t, v in enumerate(block):
+                out[offset + t] += v
+        comm.charge_flops(len(coeffs) * len(coeffs[0]))
+        return LimbVector(out, base_bits)

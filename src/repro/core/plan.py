@@ -1,0 +1,155 @@
+"""BFS/DFS execution plans (paper Section 3, Lemma 3.1).
+
+The parallel traversal performs exactly ``l_bfs = log_(2k-1) P`` BFS steps;
+when local memory is limited it must *first* perform
+
+    ``l_dfs = ceil( log_k ( n / (P^(log_(2k-1) k) * M) ) )``
+
+DFS steps (Lemma 3.1; DFS-before-BFS is optimal per Ballard et al.).  An
+:class:`ExecutionPlan` fixes ``k``, ``P``, the padded word count, and the
+level schedule; it is pure data shared by every rank (the traversal is
+oblivious, so no coordination is needed to follow it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive, ilog, is_power_of
+
+__all__ = ["ExecutionPlan", "make_plan", "min_dfs_steps", "bfs_memory_blowup"]
+
+
+def min_dfs_steps(n_words: int, p: int, m_words: float, k: int) -> int:
+    """Lemma 3.1: the minimum number of DFS steps to fit memory ``M``.
+
+    Zero when ``M = Omega(n / P^(log_(2k-1) k))`` (the unlimited-memory
+    regime of Table 1).
+    """
+    check_positive("n_words", n_words)
+    check_positive("p", p)
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if m_words <= 0:
+        raise ValueError("m_words must be positive")
+    if math.isinf(m_words):
+        return 0
+    q = 2 * k - 1
+    # n / P^(log_q k) = n / k^(log_q P)
+    log_q_p = math.log(p, q)
+    footprint = n_words / (k**log_q_p)
+    if footprint <= m_words:
+        return 0
+    return math.ceil(math.log(footprint / m_words, k))
+
+
+def bfs_memory_blowup(p: int, k: int) -> float:
+    """The factor ``((2k-1)/k)^(log_(2k-1) P) = P^(1 - log_(2k-1) k)`` by
+    which the pure-BFS traversal inflates the per-processor footprint
+    (Lemma 3.1's proof)."""
+    check_positive("p", p)
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    q = 2 * k - 1
+    return ((q / k)) ** math.log(p, q)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A fully determined parallel Toom-Cook schedule.
+
+    Attributes
+    ----------
+    k, p:
+        Split factor and standard processor count (``p`` a power of
+        ``2k-1``).
+    word_bits:
+        Machine word width (digits are single words).
+    n_words:
+        Padded input length in words: a multiple of ``p * k**levels``.
+    l_dfs, l_bfs:
+        DFS and BFS step counts; levels ``0..l_dfs-1`` are DFS, the rest
+        BFS.  ``l_bfs == log_(2k-1) p`` always.
+    """
+
+    k: int
+    p: int
+    word_bits: int
+    n_words: int
+    l_dfs: int
+    l_bfs: int
+
+    @property
+    def q(self) -> int:
+        """Sub-problem fan-out ``2k-1``."""
+        return 2 * self.k - 1
+
+    @property
+    def levels(self) -> int:
+        """Total parallel recursion depth."""
+        return self.l_dfs + self.l_bfs
+
+    @property
+    def local_words(self) -> int:
+        """Initial words per processor (``n_words / p``)."""
+        return self.n_words // self.p
+
+    def is_bfs_level(self, level: int) -> bool:
+        if not (0 <= level < self.levels):
+            raise ValueError(f"level {level} out of range [0, {self.levels})")
+        return level >= self.l_dfs
+
+    def group_size(self, level: int) -> int:
+        """Processors per sub-problem group entering ``level``."""
+        if not (0 <= level <= self.levels):
+            raise ValueError(f"level {level} out of range")
+        bfs_done = max(0, level - self.l_dfs)
+        return self.p // self.q**bfs_done
+
+    def words_at_level(self, level: int) -> int:
+        """Sub-problem operand length in words entering ``level``."""
+        if not (0 <= level <= self.levels):
+            raise ValueError(f"level {level} out of range")
+        return self.n_words // self.k**level
+
+    def leaf_words(self) -> int:
+        """Operand words of a leaf task (one processor)."""
+        return self.n_words // self.k**self.levels
+
+
+def make_plan(
+    n_bits: int,
+    p: int,
+    k: int,
+    word_bits: int = 64,
+    m_words: float = math.inf,
+    extra_dfs: int = 0,
+) -> ExecutionPlan:
+    """Build a plan for ``n_bits``-bit operands on ``p`` processors.
+
+    ``p`` must be a power of ``2k-1``.  The input is padded up to the
+    smallest word count divisible by ``p * k**levels`` (the paper's
+    power-of-``k`` / power-of-``2k-1`` padding assumption).  ``extra_dfs``
+    forces additional DFS steps beyond Lemma 3.1's minimum (for
+    experiments).
+    """
+    check_positive("n_bits", n_bits)
+    check_positive("p", p)
+    check_positive("word_bits", word_bits)
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if extra_dfs < 0:
+        raise ValueError("extra_dfs must be non-negative")
+    q = 2 * k - 1
+    if not is_power_of(p, q):
+        raise ValueError(f"p={p} must be a power of 2k-1={q}")
+    l_bfs = ilog(p, q)
+    n_words_raw = max(1, -(-n_bits // word_bits))
+    l_dfs = min_dfs_steps(n_words_raw, p, m_words, k) + extra_dfs
+    levels = l_dfs + l_bfs
+    unit = p * k**levels
+    n_words = unit * max(1, -(-n_words_raw // unit))
+    return ExecutionPlan(
+        k=k, p=p, word_bits=word_bits, n_words=n_words, l_dfs=l_dfs, l_bfs=l_bfs
+    )

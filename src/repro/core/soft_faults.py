@@ -1,0 +1,176 @@
+"""Soft-fault tolerance via the polynomial code (paper Section 7).
+
+The paper notes its algorithm "can easily be adapted for soft faults" —
+silent miscalculations.  The adaptation is exactly the classic
+Reed-Solomon argument applied to the redundant evaluation points: the
+``2k-1+f`` column results are a codeword of an MDS code of distance
+``f+1`` over the product polynomial, so
+
+- up to ``f`` corrupted column results can be **detected** (some
+  redundant evaluation disagrees with the interpolation of any clean
+  ``2k-1``-subset), and
+- up to ``floor(f/2)`` corrupted results can be **corrected**: some
+  ``2k-1``-subset's interpolation agrees with at least
+  ``2k-1 + f - floor(f/2)`` of all columns, and only the true product can
+  reach that agreement count.
+
+:class:`SoftTolerantToomCook` implements this: leaf computations pass
+through a soft-fault point (a scheduled ``kind="soft"`` event silently
+corrupts the column's sub-product), and the coded interpolation searches
+for the consistent subset instead of trusting the first ``2k-1`` columns.
+Detection-only mode (``f < 2``) raises :class:`SoftFaultDetected` rather
+than returning a wrong product — never silent corruption.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+from repro.bigint.blockops import apply_matrix_to_blocks, matrix_apply_flops
+from repro.bigint.limbs import LimbVector
+from repro.bigint.matrices import evaluation_matrix, interpolation_matrix_for_points
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+from repro.core.parallel_toomcook import TAG_BFS_UP
+from repro.core.plan import ExecutionPlan
+from repro.machine.errors import MachineError, PeerDead
+from repro.machine.fault import FaultSchedule
+
+__all__ = ["SoftTolerantToomCook", "SoftFaultDetected"]
+
+
+class SoftFaultDetected(MachineError):
+    """Soft corruption detected but not correctable with this ``f``."""
+
+
+class SoftTolerantToomCook(PolynomialCodedToomCook):
+    """Polynomial-coded Toom-Cook hardened against silent miscalculation.
+
+    ``f`` redundant evaluation points give detection of up to ``f`` and
+    correction of up to ``floor(f/2)`` corrupted column results.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        f: int,
+        memory_words: float = math.inf,
+        fault_schedule: FaultSchedule | None = None,
+        timeout: float = 60.0,
+    ):
+        super().__init__(
+            plan,
+            f=f,
+            memory_words=memory_words,
+            fault_schedule=fault_schedule,
+            timeout=timeout,
+        )
+
+    @property
+    def correctable(self) -> int:
+        return self.f // 2
+
+    # -- corruption injection -----------------------------------------------------
+    def _leaf_multiply(self, comm, va: LimbVector, vb: LimbVector, ctx: dict):
+        with comm.phase("multiplication"):
+            out = super()._leaf_multiply(comm, va, vb, ctx)
+            if comm.soft_fault_point():
+                # The processor miscalculated: flip a value silently.
+                corrupted = list(out.limbs)
+                corrupted[len(corrupted) // 2] += 1 + abs(corrupted[0])
+                out = LimbVector(corrupted, out.base_bits)
+        return out
+
+    # -- verified interpolation ---------------------------------------------------------
+    def _coded_interpolation(
+        self, comm, ctx: dict | None = None, tag_base: int = TAG_BFS_UP
+    ) -> LimbVector:
+        """Collect *all* live columns and interpolate from a subset whose
+        product is consistent with enough of the rest (RS decoding by
+        subset search — exponential in f, fine for the small f of the
+        paper's setting)."""
+        plan = self.plan
+        ctx = ctx or {"scope": 0}
+        task = ctx.get("scope", 0)
+        my_class = comm.rank
+        q = plan.q
+        with comm.phase("interpolation"):
+            collected: dict[int, LimbVector] = {}
+            for j in range(self.n_columns()):
+                members = self.column_members(j)
+                if comm.withdrawn_ranks(members, task=task):
+                    continue
+                src = members[my_class % self.g2]
+                if src == comm.rank:
+                    block = comm.heap.get(f"_kept_ascent.{task}")
+                    if block is not None:
+                        collected[j] = block
+                    continue
+                try:
+                    collected[j] = comm.recv(
+                        src, tag=self._tag(tag_base, 0, ctx), abort_check=task
+                    )
+                except PeerDead:
+                    continue
+            if len(collected) < q:
+                raise MachineError(
+                    f"only {len(collected)} columns alive; {q} needed"
+                )
+            live = sorted(collected)
+            threshold = len(live) - self.correctable
+            best = None
+            for subset in combinations(live, q):
+                try:
+                    coeffs = self._interp_subset(comm, collected, list(subset))
+                except ValueError:
+                    # Non-integral interpolation: the subset contains a
+                    # corrupted result (honest Toom-Cook data always
+                    # interpolates integrally) — itself a detection.
+                    continue
+                agree = self._agreement(comm, coeffs, collected, live)
+                if agree >= threshold:
+                    best = (coeffs, agree, subset)
+                    break
+            if best is None:
+                raise SoftFaultDetected(
+                    f"no {q}-subset of column results is consistent with "
+                    f">= {threshold} columns: more than "
+                    f"floor(f/2)={self.correctable} corruptions (or exactly "
+                    "detectable-but-uncorrectable corruption)"
+                )
+            coeffs, agree, subset = best
+            if agree < len(live):
+                comm.heap["_soft_corrections"] = (
+                    comm.heap.get("_soft_corrections", 0) + (len(live) - agree)
+                )
+            return self._overlap_add(comm, coeffs)
+
+    def _interp_subset(self, comm, collected, subset):
+        points = [self.points[j] for j in subset]
+        w_t = interpolation_matrix_for_points(points, self.plan.q)
+        blocks = [collected[j] for j in subset]
+        coeffs = apply_matrix_to_blocks(w_t.rows, blocks)
+        comm.charge_flops(matrix_apply_flops(w_t.rows, len(blocks[0])))
+        return coeffs
+
+    def _agreement(self, comm, coeffs, collected, live) -> int:
+        """How many live columns' results match the candidate product's
+        evaluation at their points."""
+        eval_m = evaluation_matrix([self.points[j] for j in live], self.plan.q)
+        expected = apply_matrix_to_blocks(eval_m.rows, coeffs)
+        comm.charge_flops(matrix_apply_flops(eval_m.rows, len(coeffs[0])))
+        agree = 0
+        for j, exp in zip(live, expected):
+            if collected[j] == exp:
+                agree += 1
+        return agree
+
+    def _overlap_add(self, comm, coeffs) -> LimbVector:
+        child_offset = len(coeffs[0]) // 2
+        out = [0] * (2 * self.plan.k * child_offset)
+        for m, block in enumerate(coeffs):
+            off = m * child_offset
+            for t, v in enumerate(block):
+                out[off + t] += v
+        comm.charge_flops(len(coeffs) * len(coeffs[0]))
+        return LimbVector(out, coeffs[0].base_bits)

@@ -1,0 +1,76 @@
+"""A simulated distributed-memory parallel machine.
+
+This subpackage implements the machine model of the paper (Section 2.1):
+``P`` identical processors with local memories of ``M`` words connected by a
+peer-to-peer network.  Costs are counted exactly as the paper counts them —
+``F`` arithmetic operations, ``BW`` words and ``L`` messages **along the
+critical path** (Yang & Miller critical-path accounting) — via vector logical
+clocks that merge on message receipt.  Total modeled runtime is
+``C = alpha*L + beta*BW + gamma*F``.
+
+Hard faults follow the paper's semantics: the affected processor stops,
+loses all of its data, and is replaced by an alternative processor that takes
+over its grid position (simulated as a fresh *incarnation* of the same rank
+with wiped memory).
+
+The public surface mirrors an MPI-like API (:class:`Communicator` with
+``send``/``recv`` and the collectives of Section 2.4) so the algorithm code
+in :mod:`repro.core` reads like ordinary MPI code.
+"""
+
+from repro.machine.errors import (
+    CommError,
+    DeadlockError,
+    HardFault,
+    MachineError,
+    MemoryExceeded,
+    PeerDead,
+)
+from repro.machine.costs import Counts, CostClock, CostModel, PhaseLedger
+from repro.machine.memory import LocalMemory
+from repro.machine.fault import FaultEvent, FaultSchedule, RandomFaultModel, FaultLog
+from repro.machine.comm import Communicator
+from repro.machine.engine import Machine, RunResult
+from repro.machine.grid import ProcessorGrid, rank_digits, digits_to_rank
+from repro.machine import collectives
+from repro.machine.topology import (
+    Topology,
+    FullyConnected,
+    Ring,
+    Mesh2D,
+    Torus2D,
+    Hypercube,
+    FatTree,
+)
+
+__all__ = [
+    "MachineError",
+    "HardFault",
+    "PeerDead",
+    "DeadlockError",
+    "MemoryExceeded",
+    "CommError",
+    "Counts",
+    "CostClock",
+    "CostModel",
+    "PhaseLedger",
+    "LocalMemory",
+    "FaultEvent",
+    "FaultSchedule",
+    "RandomFaultModel",
+    "FaultLog",
+    "Communicator",
+    "Machine",
+    "RunResult",
+    "ProcessorGrid",
+    "rank_digits",
+    "digits_to_rank",
+    "collectives",
+    "Topology",
+    "FullyConnected",
+    "Ring",
+    "Mesh2D",
+    "Torus2D",
+    "Hypercube",
+    "FatTree",
+]

@@ -1,0 +1,602 @@
+"""Rank-side communication API (MPI-flavoured).
+
+Each rank program receives a :class:`Communicator`.  It provides:
+
+- point-to-point ``send``/``recv`` with automatic word sizing and
+  critical-path clock propagation,
+- ``charge_flops`` for local arithmetic accounting,
+- phase management (``with comm.phase("evaluation"): ...``) — phases scope
+  both the per-phase cost ledger and fault-schedule matching,
+- fault machinery: every machine operation is a *fault point*; a scheduled
+  hard fault raises :class:`~repro.machine.errors.HardFault`, wipes the
+  local memory and marks the rank dead.  Fault-tolerant programs catch it
+  and call :meth:`Communicator.begin_replacement` to re-enter as the
+  replacement processor (fresh incarnation, empty memory, purged mailbox),
+- ``sub(ranks)`` for row/column sub-communicators with translated ranks,
+- failure detection (``dead_ranks``, ``is_alive``) — the paper assumes
+  faults are detected; we model a perfect failure detector.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Sequence
+
+from repro.machine.costs import CostClock, PhaseLedger
+from repro.machine.errors import CommError, DeadlockError, HardFault, PeerDead
+from repro.machine.fault import FaultLog, FaultSchedule
+from repro.machine.memory import LocalMemory
+from repro.machine.network import Message, Router
+from repro.machine.sizes import payload_words
+
+__all__ = ["Communicator", "SubCommunicator"]
+
+_POLL_INTERVAL = 0.02
+
+
+class _SharedState:
+    """Machine-wide state shared by all communicators (engine-owned)."""
+
+    def __init__(
+        self,
+        size: int,
+        router: Router,
+        word_bits: int,
+        memories: list[LocalMemory],
+        fault_schedule: FaultSchedule,
+        fault_log: FaultLog,
+        timeout: float,
+        topology=None,
+    ):
+        from repro.machine.topology import FullyConnected
+
+        self.size = size
+        self.topology = topology or FullyConnected(size)
+        self.router = router
+        self.word_bits = word_bits
+        self.memories = memories
+        self.fault_schedule = fault_schedule
+        self.fault_log = fault_log
+        self.timeout = timeout
+        self.alive = [True] * size
+        # Logical withdrawal markers: a rank that abandons the current task
+        # (polynomial-code column halt, Section 4.2) records the task index
+        # here so peers stop waiting for its messages.  -1 = participating.
+        self.aborted_task = [-1] * size
+        self.incarnations = [0] * size
+        self.clocks = [CostClock() for _ in range(size)]
+        self.ledgers = [PhaseLedger() for _ in range(size)]
+        self.heaps: list[dict[str, Any]] = [dict() for _ in range(size)]
+        self.lock = threading.Lock()
+        # Runtime-provided agreement on failure sets (models the agreement
+        # primitive of fault-tolerant MPI runtimes such as ULFM): the first
+        # caller per key snapshots the detector; later callers see the same
+        # snapshot, so all ranks act on a consistent dead set.
+        self.agreed_dead: dict[Any, frozenset] = {}
+        # Fault-tolerant barrier registrations (see Communicator.gate).
+        self.gates: dict[Any, set[int]] = {}
+        # Flag votes collected before a gate (see Communicator.vote).
+        self.votes: dict[Any, dict[int, bool]] = {}
+
+
+class Communicator:
+    """Per-rank handle onto the simulated machine."""
+
+    def __init__(self, state: _SharedState, rank: int):
+        self._state = state
+        self.rank = rank
+        self._phase_ops = 0
+        self._soft_ops = 0
+        #: Current slowdown multiplier on arithmetic (delay faults; the
+        #: paper's third fault category).  1.0 = healthy.
+        self.slowdown = 1.0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._state.size
+
+    @property
+    def word_bits(self) -> int:
+        return self._state.word_bits
+
+    @property
+    def memory(self) -> LocalMemory:
+        return self._state.memories[self.rank]
+
+    @property
+    def heap(self) -> dict[str, Any]:
+        """Engine-visible storage wiped on a hard fault."""
+        return self._state.heaps[self.rank]
+
+    @property
+    def clock(self) -> CostClock:
+        return self._state.clocks[self.rank]
+
+    @property
+    def ledger(self) -> PhaseLedger:
+        return self._state.ledgers[self.rank]
+
+    @property
+    def incarnation(self) -> int:
+        return self._state.incarnations[self.rank]
+
+    def is_alive(self, rank: int) -> bool:
+        return self._state.alive[rank]
+
+    def incarnation_of(self, rank: int) -> int:
+        """Current incarnation number of ``rank`` (0 = original processor).
+        Protocols use this to wait for a replacement to come up."""
+        return self._state.incarnations[rank]
+
+    def agree_dead(self, key, candidates: Sequence[int]) -> frozenset:
+        """Consistent failure snapshot (ULFM-style agreement).
+
+        All ranks calling with the same ``key`` observe the same set of
+        failed ``candidates`` — the detector state sampled by whichever
+        rank got there first.  Ranks that fail *after* the snapshot are
+        picked up under a later key.  Pair with :meth:`gate` so the
+        snapshot is taken only after every participant has settled.
+        """
+        state = self._state
+        with state.lock:
+            if key not in state.agreed_dead:
+                state.agreed_dead[key] = frozenset(
+                    r for r in candidates if not state.alive[r]
+                )
+            return state.agreed_dead[key]
+
+    def vote(self, key, value: bool) -> None:
+        """Record a boolean flag under ``key`` (read after the matching
+        :meth:`gate` with :meth:`votes`) — used for consistent group
+        decisions such as "did this task attempt succeed everywhere"."""
+        state = self._state
+        with state.lock:
+            state.votes.setdefault(key, {})[self.rank] = value
+
+    def votes(self, key) -> dict[int, bool]:
+        """All votes recorded under ``key`` so far (vote before the gate,
+        read after it, and every live participant's vote is present)."""
+        state = self._state
+        with state.lock:
+            return dict(state.votes.get(key, {}))
+
+    def gate(self, key, participants: Sequence[int], timeout: float | None = None) -> None:
+        """Fault-tolerant barrier: block until every participant has
+        either registered at this gate or failed.
+
+        A rank in its hard-fault handler registers too (dead ranks count
+        as arrived), so a subsequent :meth:`agree_dead` sees every failure
+        that happened before the boundary.  Synchronization itself is
+        runtime-provided and charged no cost (its ``O(log P)`` latency is
+        dominated by the boundary's reduces).
+        """
+        import time
+
+        state = self._state
+        with state.lock:
+            state.gates.setdefault(key, set()).add(self.rank)
+        limit = state.timeout if timeout is None else timeout
+        deadline = time.monotonic() + limit
+        while True:
+            with state.lock:
+                arrived = state.gates[key]
+                ready = all(
+                    (p in arrived) or not state.alive[p] for p in participants
+                )
+            if ready:
+                return
+            if time.monotonic() > deadline:
+                raise DeadlockError(
+                    f"rank {self.rank}: gate {key!r} never completed"
+                )
+            time.sleep(_POLL_INTERVAL)
+
+    def dead_ranks(self, ranks: Sequence[int] | None = None) -> set[int]:
+        """The perfect failure detector: dead ranks among ``ranks``."""
+        pool = range(self.size) if ranks is None else ranks
+        return {r for r in pool if not self._state.alive[r]}
+
+    # -- logical withdrawal (column halt, Section 4.2) ---------------------
+    def mark_aborted(self, task: int) -> None:
+        """Record that this rank abandoned task ``task`` (its polynomial-
+        code column was killed); peers treat it like a dead sender for
+        that task."""
+        self._state.aborted_task[self.rank] = task
+
+    def aborted_at(self, rank: int) -> int:
+        """The task index at which ``rank`` abandoned, or -1."""
+        return self._state.aborted_task[rank]
+
+    def withdrawn_ranks(self, ranks: Sequence[int], task: int) -> set[int]:
+        """Ranks among ``ranks`` that are dead or have abandoned exactly
+        task ``task`` (an abort is scoped to one task; the rank
+        participates again in the next)."""
+        out = set()
+        for r in ranks:
+            at = self._state.aborted_task[r]
+            if not self._state.alive[r] or at == task:
+                out.add(r)
+        return out
+
+    # -- phases ------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str):
+        """Scope machine ops under a named algorithm phase."""
+        previous = self.ledger.current_phase
+        prev_ops = self._phase_ops
+        self.set_phase(name)
+        try:
+            yield
+        finally:
+            self.ledger.set_phase(previous)
+            self._phase_ops = prev_ops
+
+    def set_phase(self, name: str) -> None:
+        self.ledger.set_phase(name)
+        self._phase_ops = 0
+
+    @property
+    def current_phase(self) -> str:
+        return self.ledger.current_phase
+
+    # -- fault machinery -----------------------------------------------------
+    def fault_point(self) -> None:
+        """Check the fault schedule; die here if a hard event matches, or
+        start running slow if a delay event matches."""
+        op = self._phase_ops
+        self._phase_ops += 1
+        schedule = self._state.fault_schedule
+        delay = schedule.take(
+            self.rank, self.current_phase, op, self.incarnation, kind="delay"
+        )
+        if delay is not None:
+            self.slowdown = max(self.slowdown, delay.factor)
+            self._state.fault_log.record(
+                self.rank, self.current_phase, op, self.incarnation
+            )
+        if schedule.should_fail(
+            self.rank, self.current_phase, op, self.incarnation
+        ):
+            self._die(op)
+
+    def soft_fault_point(self) -> bool:
+        """Check for a scheduled *soft* fault (silent miscalculation).
+
+        Algorithms call this at the completion of a computed value; a True
+        return means the value must be corrupted (the processor
+        miscalculated without noticing).  Soft checks count their own op
+        indices, separate from hard fault points.
+        """
+        op = self._soft_ops
+        self._soft_ops += 1
+        if self._state.fault_schedule.should_fail(
+            self.rank, self.current_phase, op, self.incarnation, kind="soft"
+        ):
+            self._state.fault_log.record(
+                self.rank, self.current_phase, op, self.incarnation
+            )
+            return True
+        return False
+
+    def _die(self, op_index: int) -> None:
+        state = self._state
+        with state.lock:
+            state.alive[self.rank] = False
+        phase = self.current_phase
+        state.fault_log.record(self.rank, phase, op_index, self.incarnation)
+        # Data loss: the processor's memory contents are gone.
+        self.memory.wipe()
+        state.heaps[self.rank].clear()
+        raise HardFault(self.rank, phase, op_index)
+
+    def begin_replacement(self, purge: bool = True) -> int:
+        """Re-enter as the replacement processor for this grid position.
+
+        Returns the new incarnation number.  The replacement starts with an
+        empty memory and (by default) a purged mailbox; recovery protocols
+        are responsible for reconstructing its data (Section 4.1 "fault
+        recovery").  ``purge=False`` models a network that retains (or
+        peers that resend) in-flight messages for the replacement — used by
+        protocols whose recovery inputs arrive as ordinary messages.
+        """
+        state = self._state
+        if purge:
+            state.router.purge(self.rank)
+        with state.lock:
+            if state.alive[self.rank]:
+                raise CommError(
+                    f"rank {self.rank} called begin_replacement while alive"
+                )
+            state.incarnations[self.rank] += 1
+            state.alive[self.rank] = True
+            # The abort marker is deliberately left untouched: recovery
+            # protocols decide when the replacement rejoins a task.
+        self._phase_ops = 0
+        return self.incarnation
+
+    # -- accounting ----------------------------------------------------------
+    def charge_flops(self, ops: int) -> None:
+        """Charge ``ops`` arithmetic operations at this rank (a delayed
+        processor pays its slowdown factor per operation)."""
+        self.fault_point()
+        charged = int(ops * self.slowdown)
+        self.clock.charge_flops(charged)
+        self.ledger.charge(f=charged)
+
+    # -- point-to-point --------------------------------------------------------
+    def send(self, dest: int, payload: Any, tag: int = 0, words: int | None = None) -> None:
+        """Send ``payload`` to ``dest``.
+
+        ``words`` overrides the automatic :func:`payload_words` sizing.
+        Sends to dead ranks succeed silently (the data is lost) — matching
+        the physical reality that the sender cannot know the receiver died.
+        """
+        if dest == self.rank:
+            raise CommError(f"rank {self.rank} attempted a self-send")
+        self.fault_point()
+        nwords = payload_words(payload, self.word_bits) if words is None else words
+        hops = self._state.topology.hops(self.rank, dest)
+        self.clock.bw += nwords
+        self.clock.l += hops
+        self.ledger.charge(bw=nwords, l=hops)
+        self._state.router.post(
+            Message(
+                source=self.rank,
+                dest=dest,
+                tag=tag,
+                payload=payload,
+                words=nwords,
+                clock=self.clock.snapshot(),
+                incarnation=self.incarnation,
+            )
+        )
+
+    def recv(
+        self,
+        source: int,
+        tag: int = 0,
+        timeout: float | None = None,
+        abort_check: int | None = None,
+    ) -> Any:
+        """Blocking matched receive.
+
+        Raises :class:`PeerDead` when ``source`` is dead — or, when
+        ``abort_check`` is given, has withdrawn from task ``abort_check``
+        or earlier — and no matching message is queued;
+        :class:`DeadlockError` on timeout.
+        """
+        if source == self.rank:
+            raise CommError(f"rank {self.rank} attempted a self-receive")
+        self.fault_point()
+        state = self._state
+        limit = state.timeout if timeout is None else timeout
+        waited = 0.0
+        while True:
+            try:
+                msg = state.router.collect(
+                    self.rank, source, tag, timeout=_POLL_INTERVAL
+                )
+                break
+            except DeadlockError:
+                waited += _POLL_INTERVAL
+                if not state.alive[source]:
+                    raise PeerDead(source) from None
+                if abort_check is not None and state.aborted_task[source] == abort_check:
+                    raise PeerDead(source) from None
+                if waited >= limit:
+                    raise DeadlockError(
+                        f"rank {self.rank}: no message from {source} tag {tag} "
+                        f"after {limit:.1f}s"
+                    ) from None
+        self.clock.merge(msg.clock)
+        hops = self._state.topology.hops(msg.source, self.rank)
+        self.clock.bw += msg.words
+        self.clock.l += hops
+        self.ledger.charge(bw=msg.words, l=hops)
+        return msg.payload
+
+    def recv_raw(
+        self,
+        source: int,
+        tag: int = 0,
+        timeout: float | None = None,
+        abort_check: int | None = None,
+    ):
+        """Matched receive **without** clock merging or cost charging.
+
+        Returns the raw :class:`~repro.machine.network.Message`; callers
+        that decide to use the payload must pass the message to
+        :meth:`absorb` — this is how straggler-avoiding collectors pick
+        the earliest messages in *virtual* time: physically receive,
+        inspect the attached clock, and only absorb (i.e. "wait for")
+        the ones actually used.
+        """
+        if source == self.rank:
+            raise CommError(f"rank {self.rank} attempted a self-receive")
+        self.fault_point()
+        state = self._state
+        limit = state.timeout if timeout is None else timeout
+        waited = 0.0
+        while True:
+            try:
+                return state.router.collect(
+                    self.rank, source, tag, timeout=_POLL_INTERVAL
+                )
+            except DeadlockError:
+                waited += _POLL_INTERVAL
+                if not state.alive[source]:
+                    raise PeerDead(source) from None
+                if abort_check is not None and state.aborted_task[source] == abort_check:
+                    raise PeerDead(source) from None
+                if waited >= limit:
+                    raise DeadlockError(
+                        f"rank {self.rank}: no message from {source} tag {tag} "
+                        f"after {limit:.1f}s"
+                    ) from None
+
+    def absorb(self, msg) -> Any:
+        """Account for a message obtained via :meth:`recv_raw`: merge its
+        clock and charge the transfer, exactly as :meth:`recv` would."""
+        self.clock.merge(msg.clock)
+        hops = self._state.topology.hops(msg.source, self.rank)
+        self.clock.bw += msg.words
+        self.clock.l += hops
+        self.ledger.charge(bw=msg.words, l=hops)
+        return msg.payload
+
+    def sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        source: int,
+        send_tag: int = 0,
+        recv_tag: int | None = None,
+    ) -> Any:
+        """Combined send-then-receive (safe: sends never block)."""
+        self.send(dest, payload, tag=send_tag)
+        return self.recv(source, tag=send_tag if recv_tag is None else recv_tag)
+
+    # -- sub-communicators --------------------------------------------------
+    def sub(self, ranks: Sequence[int]) -> "SubCommunicator":
+        """A view restricted to ``ranks`` (must include this rank)."""
+        return SubCommunicator(self, list(ranks))
+
+
+class SubCommunicator:
+    """A rank-translated view over a parent communicator.
+
+    ``ranks`` lists the *global* ranks of the group in group order; local
+    rank ``i`` is ``ranks[i]``.  All cost/fault/memory state is the
+    parent's.
+    """
+
+    def __init__(self, parent: Communicator, ranks: list[int]):
+        if len(set(ranks)) != len(ranks):
+            raise CommError("sub-communicator ranks must be distinct")
+        if parent.rank not in ranks:
+            raise CommError(
+                f"rank {parent.rank} is not a member of sub-communicator {ranks}"
+            )
+        self.parent = parent
+        self.ranks = ranks
+        self.rank = ranks.index(parent.rank)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def word_bits(self) -> int:
+        return self.parent.word_bits
+
+    @property
+    def memory(self) -> LocalMemory:
+        return self.parent.memory
+
+    @property
+    def heap(self) -> dict[str, Any]:
+        return self.parent.heap
+
+    @property
+    def clock(self) -> CostClock:
+        return self.parent.clock
+
+    @property
+    def ledger(self) -> PhaseLedger:
+        return self.parent.ledger
+
+    @property
+    def incarnation(self) -> int:
+        return self.parent.incarnation
+
+    def to_global(self, local_rank: int) -> int:
+        return self.ranks[local_rank]
+
+    def is_alive(self, local_rank: int) -> bool:
+        return self.parent.is_alive(self.ranks[local_rank])
+
+    def incarnation_of(self, local_rank: int) -> int:
+        return self.parent.incarnation_of(self.ranks[local_rank])
+
+    def agree_dead(self, key, candidates: Sequence[int]) -> frozenset:
+        globalized = self.parent.agree_dead(
+            key, [self.ranks[r] for r in candidates]
+        )
+        return frozenset(
+            r for r in range(self.size) if self.ranks[r] in globalized
+        )
+
+    def dead_ranks(self, ranks: Sequence[int] | None = None) -> set[int]:
+        pool = range(self.size) if ranks is None else ranks
+        return {r for r in pool if not self.is_alive(r)}
+
+    def phase(self, name: str):
+        return self.parent.phase(name)
+
+    def set_phase(self, name: str) -> None:
+        self.parent.set_phase(name)
+
+    @property
+    def current_phase(self) -> str:
+        return self.parent.current_phase
+
+    def fault_point(self) -> None:
+        self.parent.fault_point()
+
+    def soft_fault_point(self) -> bool:
+        return self.parent.soft_fault_point()
+
+    def begin_replacement(self) -> int:
+        return self.parent.begin_replacement()
+
+    def charge_flops(self, ops: int) -> None:
+        self.parent.charge_flops(ops)
+
+    def send(self, dest: int, payload: Any, tag: int = 0, words: int | None = None) -> None:
+        self.parent.send(self.ranks[dest], payload, tag=tag, words=words)
+
+    def recv(
+        self,
+        source: int,
+        tag: int = 0,
+        timeout: float | None = None,
+        abort_check: int | None = None,
+    ) -> Any:
+        return self.parent.recv(
+            self.ranks[source], tag=tag, timeout=timeout, abort_check=abort_check
+        )
+
+    def mark_aborted(self, task: int) -> None:
+        self.parent.mark_aborted(task)
+
+    def gate(self, key, participants: Sequence[int], timeout: float | None = None) -> None:
+        self.parent.gate(key, [self.ranks[p] for p in participants], timeout=timeout)
+
+    def aborted_at(self, local_rank: int) -> int:
+        return self.parent.aborted_at(self.ranks[local_rank])
+
+    def withdrawn_ranks(self, ranks: Sequence[int], task: int) -> set[int]:
+        return {
+            r
+            for r in ranks
+            if self.ranks[r] in self.parent.withdrawn_ranks(
+                [self.ranks[r]], task
+            )
+        }
+
+    def recv_raw(self, source, tag: int = 0, timeout=None, abort_check=None):
+        return self.parent.recv_raw(
+            self.ranks[source], tag=tag, timeout=timeout, abort_check=abort_check
+        )
+
+    def absorb(self, msg):
+        return self.parent.absorb(msg)
+
+    def sendrecv(self, dest, payload, source, send_tag: int = 0, recv_tag=None):
+        self.send(dest, payload, tag=send_tag)
+        return self.recv(source, tag=send_tag if recv_tag is None else recv_tag)
+
+    def sub(self, ranks: Sequence[int]) -> "SubCommunicator":
+        return SubCommunicator(self.parent, [self.ranks[r] for r in ranks])

@@ -1,0 +1,157 @@
+"""Cost accounting: F / BW / L along the critical path.
+
+The paper (Section 2.1) counts three costs along the critical path as
+defined by Yang & Miller:
+
+- ``F``  — arithmetic operations,
+- ``BW`` — words moved (bandwidth cost),
+- ``L``  — messages (latency cost),
+
+and models total runtime ``C = alpha*L + beta*BW + gamma*F``.
+
+We track these with a per-rank **vector logical clock**
+(:class:`CostClock`).  Local arithmetic advances the rank's own ``f``; a
+send advances the sender's ``bw``/``l`` and stamps the message with a copy
+of the sender's clock; a receive first merges (element-wise max) the
+message's clock into the receiver's and then charges the message's
+``bw``/``l`` on the receiver side of the transfer.  After the run the
+element-wise maximum over all ranks is, for each component, exactly the cost
+of that component along the critical path — dependency chains through the
+network are accounted for automatically, just like a Lamport clock computes
+the longest chain of causally ordered events.
+
+Per-rank, per-phase *local* tallies (:class:`PhaseLedger`) are kept
+separately (no merging) for diagnostic breakdowns such as "words sent during
+the evaluation phase".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counts", "CostClock", "CostModel", "PhaseLedger"]
+
+
+@dataclass(frozen=True)
+class Counts:
+    """An immutable (F, BW, L) cost triple."""
+
+    f: int = 0
+    bw: int = 0
+    l: int = 0
+
+    def __add__(self, other: "Counts") -> "Counts":
+        return Counts(self.f + other.f, self.bw + other.bw, self.l + other.l)
+
+    def __sub__(self, other: "Counts") -> "Counts":
+        return Counts(self.f - other.f, self.bw - other.bw, self.l - other.l)
+
+    def merge(self, other: "Counts") -> "Counts":
+        """Element-wise maximum (vector-clock join)."""
+        return Counts(max(self.f, other.f), max(self.bw, other.bw), max(self.l, other.l))
+
+    def is_zero(self) -> bool:
+        return self.f == 0 and self.bw == 0 and self.l == 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"F={self.f} BW={self.bw} L={self.l}"
+
+
+class CostClock:
+    """Mutable per-rank logical clock over the (F, BW, L) cost vector."""
+
+    __slots__ = ("f", "bw", "l")
+
+    def __init__(self, f: int = 0, bw: int = 0, l: int = 0):
+        self.f = f
+        self.bw = bw
+        self.l = l
+
+    def snapshot(self) -> Counts:
+        return Counts(self.f, self.bw, self.l)
+
+    def charge_flops(self, ops: int) -> None:
+        """Charge ``ops`` local arithmetic operations."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        self.f += ops
+
+    def charge_message(self, words: int) -> None:
+        """Charge one message of ``words`` words (one network transfer end)."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        self.bw += words
+        self.l += 1
+
+    def merge(self, other: Counts) -> None:
+        """Join a remote clock (on message receipt)."""
+        if other.f > self.f:
+            self.f = other.f
+        if other.bw > self.bw:
+            self.bw = other.bw
+        if other.l > self.l:
+            self.l = other.l
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostClock(f={self.f}, bw={self.bw}, l={self.l})"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Machine cost parameters: per-message latency ``alpha``, per-word
+    bandwidth cost ``beta``, per-op arithmetic time ``gamma``."""
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: float = 1.0
+
+    def runtime(self, counts: Counts) -> float:
+        """Modeled runtime ``C = alpha*L + beta*BW + gamma*F``."""
+        return self.alpha * counts.l + self.beta * counts.bw + self.gamma * counts.f
+
+
+class PhaseLedger:
+    """Per-phase local (unmerged) cost tallies for one rank.
+
+    These are plain per-rank counters — what this rank itself did during
+    each named phase — used for breakdown tables.  Critical-path numbers
+    come from :class:`CostClock` instead.
+    """
+
+    def __init__(self):
+        self._phases: dict[str, Counts] = {}
+        self._order: list[str] = []
+        self.current_phase: str = "init"
+
+    def set_phase(self, name: str) -> None:
+        self.current_phase = name
+        if name not in self._phases:
+            self._phases[name] = Counts()
+            self._order.append(name)
+
+    def charge(self, f: int = 0, bw: int = 0, l: int = 0) -> None:
+        name = self.current_phase
+        prev = self._phases.get(name, Counts())
+        if name not in self._phases:
+            self._order.append(name)
+        self._phases[name] = prev + Counts(f, bw, l)
+
+    def phases(self) -> list[str]:
+        return list(self._order)
+
+    def get(self, name: str) -> Counts:
+        return self._phases.get(name, Counts())
+
+    def total(self) -> Counts:
+        acc = Counts()
+        for c in self._phases.values():
+            acc = acc + c
+        return acc
+
+    @staticmethod
+    def max_over(ledgers: list["PhaseLedger"], phase: str) -> Counts:
+        """Max-over-ranks cost of one phase (per-phase critical path)."""
+        acc = Counts()
+        for ledger in ledgers:
+            acc = acc.merge(ledger.get(phase))
+        return acc

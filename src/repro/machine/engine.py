@@ -1,0 +1,189 @@
+"""The SPMD execution engine.
+
+:class:`Machine` owns the shared state (router, memories, clocks, fault
+schedule) and runs a rank program — an ordinary Python function
+``program(comm, *args) -> result`` — on one thread per rank.  Threads are
+real but the GIL is irrelevant: we measure operation *counts*, not wall
+time.
+
+:class:`RunResult` carries per-rank return values, the critical-path cost
+triple (element-wise max of the per-rank vector clocks — see
+:mod:`repro.machine.costs`), per-phase breakdowns, peak memory, and the
+fault log.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.machine.comm import Communicator, _SharedState
+from repro.machine.costs import Counts, CostModel, PhaseLedger
+from repro.machine.errors import HardFault, MachineError
+from repro.machine.fault import FaultLog, FaultSchedule
+from repro.machine.memory import LocalMemory
+from repro.machine.network import Router
+
+__all__ = ["Machine", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one SPMD run."""
+
+    results: list[Any]
+    critical_path: Counts
+    per_rank: list[Counts]
+    phase_costs: dict[str, Counts]
+    peak_memory: list[int]
+    fault_log: FaultLog
+    errors: dict[int, BaseException] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def runtime(self, model: CostModel) -> float:
+        """Modeled runtime ``C = alpha*L + beta*BW + gamma*F``."""
+        return model.runtime(self.critical_path)
+
+    def max_peak_memory(self) -> int:
+        return max(self.peak_memory) if self.peak_memory else 0
+
+
+class Machine:
+    """A simulated machine of ``size`` processors.
+
+    Parameters
+    ----------
+    size:
+        Number of processors ``P`` (plus any code processors the caller
+        includes — the machine does not distinguish).
+    memory_words:
+        Local memory capacity ``M`` per processor in words
+        (``math.inf`` = the unlimited-memory regime of Table 1).
+    word_bits:
+        Machine word width; a product of two words fits hardware, i.e. the
+        ``s`` of Algorithm 1 is ``2**word_bits``.
+    fault_schedule:
+        Hard-fault injection plan (empty by default).
+    timeout:
+        Per-receive deadlock timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        memory_words: float = math.inf,
+        word_bits: int = 64,
+        fault_schedule: FaultSchedule | None = None,
+        timeout: float = 60.0,
+        topology=None,
+    ):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+        if topology is not None and topology.size != size:
+            raise ValueError(
+                f"topology covers {topology.size} nodes, machine has {size}"
+            )
+        self.size = size
+        self.memory_words = memory_words
+        self.word_bits = word_bits
+        self.fault_schedule = fault_schedule or FaultSchedule()
+        self.timeout = timeout
+        self.topology = topology
+
+    def run(
+        self,
+        program: Callable[..., Any],
+        args: Sequence[Any] = (),
+        rank_args: Sequence[Sequence[Any]] | None = None,
+        raise_on_error: bool = True,
+    ) -> RunResult:
+        """Run ``program(comm, *args)`` SPMD on all ranks.
+
+        ``rank_args`` optionally gives per-rank argument tuples instead of
+        the shared ``args``.  Uncaught rank exceptions are collected into
+        ``RunResult.errors`` (and re-raised unless ``raise_on_error`` is
+        False — deliberately-failing runs, e.g. a non-fault-tolerant
+        algorithm under fault injection, pass False and inspect the
+        result).
+        """
+        if rank_args is not None and len(rank_args) != self.size:
+            raise ValueError("rank_args must have one tuple per rank")
+        router = Router(self.size, default_timeout=self.timeout)
+        memories = [
+            LocalMemory(self.memory_words, rank=r) for r in range(self.size)
+        ]
+        state = _SharedState(
+            size=self.size,
+            router=router,
+            word_bits=self.word_bits,
+            memories=memories,
+            fault_schedule=self.fault_schedule,
+            fault_log=FaultLog(),
+            timeout=self.timeout,
+            topology=self.topology,
+        )
+        results: list[Any] = [None] * self.size
+        errors: dict[int, BaseException] = {}
+        lock = threading.Lock()
+
+        def runner(rank: int) -> None:
+            comm = Communicator(state, rank)
+            try:
+                a = rank_args[rank] if rank_args is not None else args
+                out = program(comm, *a)
+                results[rank] = out
+            except BaseException as exc:  # noqa: BLE001 - collected and reported
+                with lock:
+                    errors[rank] = exc
+                # A rank that dies outside the fault protocol is dead for
+                # everyone: flip the liveness flag so peers unblock fast.
+                with state.lock:
+                    state.alive[rank] = False
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"rank-{r}", daemon=True)
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout * 4)
+            if t.is_alive():
+                raise MachineError(f"{t.name} failed to terminate (deadlock?)")
+
+        per_rank = [c.snapshot() for c in state.clocks]
+        critical = Counts()
+        for c in per_rank:
+            critical = critical.merge(c)
+        phase_names: list[str] = []
+        for ledger in state.ledgers:
+            for name in ledger.phases():
+                if name not in phase_names:
+                    phase_names.append(name)
+        phase_costs = {
+            name: PhaseLedger.max_over(state.ledgers, name) for name in phase_names
+        }
+        result = RunResult(
+            results=results,
+            critical_path=critical,
+            per_rank=per_rank,
+            phase_costs=phase_costs,
+            peak_memory=[m.peak for m in memories],
+            fault_log=state.fault_log,
+            errors=errors,
+        )
+        if errors and raise_on_error:
+            rank, exc = sorted(errors.items())[0]
+            if isinstance(exc, HardFault) and len(errors) == 1:
+                raise exc
+            raise MachineError(
+                f"{len(errors)} rank(s) failed; first: rank {rank}: {exc!r}"
+            ) from exc
+        return result

@@ -1,0 +1,61 @@
+"""Exception hierarchy of the simulated machine."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MachineError",
+    "HardFault",
+    "PeerDead",
+    "DeadlockError",
+    "MemoryExceeded",
+    "CommError",
+]
+
+
+class MachineError(Exception):
+    """Base class for all simulated-machine errors."""
+
+
+class HardFault(MachineError):
+    """Raised inside a rank when its scheduled hard fault triggers.
+
+    Semantics follow the paper (Section 2.1): the processor ceases
+    operation and loses its data.  Fault-tolerant rank programs catch this
+    at their top level and re-enter as the *replacement* processor.
+    """
+
+    def __init__(self, rank: int, phase: str, op_index: int):
+        super().__init__(f"hard fault on rank {rank} in phase {phase!r} at op {op_index}")
+        self.rank = rank
+        self.phase = phase
+        self.op_index = op_index
+
+
+class PeerDead(MachineError):
+    """Raised when communicating with a rank known to be dead."""
+
+    def __init__(self, peer: int):
+        super().__init__(f"peer rank {peer} is dead")
+        self.peer = peer
+
+
+class DeadlockError(MachineError):
+    """A blocking receive timed out — almost always a protocol bug."""
+
+
+class MemoryExceeded(MachineError):
+    """A local memory allocation exceeded the per-processor capacity M."""
+
+    def __init__(self, rank: int, requested: int, in_use: int, capacity: int):
+        super().__init__(
+            f"rank {rank}: allocation of {requested} words exceeds capacity "
+            f"(in use {in_use} of {capacity})"
+        )
+        self.rank = rank
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+
+
+class CommError(MachineError):
+    """Misuse of the communication layer (bad rank, bad tag, ...)."""

@@ -1,0 +1,174 @@
+"""Hard-fault injection.
+
+The paper's fault model (Section 2.1): upon a fault the processor ceases
+operation, loses its data, and is replaced by an alternative processor.  We
+inject faults deterministically with a :class:`FaultSchedule` — each
+:class:`FaultEvent` names a victim rank, the algorithm *phase* in which it
+dies, and the index of the machine operation within that phase at which the
+fault triggers.  Rank programs hit fault points automatically on every
+machine operation (send, receive, charged arithmetic), so a schedule entry
+pins the failure to a reproducible spot in the execution.
+
+:class:`RandomFaultModel` draws schedules from an exponential
+mean-time-between-failures model for randomized fault campaigns.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.util.rng import DeterministicRNG
+
+__all__ = ["FaultEvent", "FaultSchedule", "RandomFaultModel", "FaultLog"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Kill ``rank`` at the ``op_index``-th machine op of phase ``phase``.
+
+    ``phase`` may be ``"*"`` to match any phase.  ``incarnation`` restricts
+    the event to a given incarnation of the rank (0 = original processor),
+    so replacement processors are not immediately re-killed unless the
+    schedule says so.
+
+    ``kind`` selects the failure mode: ``"hard"`` (fail-stop with data
+    loss — the paper's main model), ``"soft"`` (the processor
+    *miscalculates*: the value computed at the matching soft-check point
+    is silently corrupted; Section 7 notes the algorithm adapts to these)
+    or ``"delay"`` (the paper's third category: the processor's average
+    time per operation increases — every subsequent arithmetic charge on
+    the victim is multiplied by ``factor``).
+    """
+
+    rank: int
+    phase: str
+    op_index: int = 0
+    incarnation: int = 0
+    kind: str = "hard"
+    factor: float = 8.0
+
+    def __post_init__(self):
+        if self.kind not in ("hard", "soft", "delay"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "delay" and self.factor <= 1:
+            raise ValueError("delay factor must exceed 1")
+
+
+class FaultSchedule:
+    """A deterministic set of fault events, consumed as ranks execute."""
+
+    def __init__(self, events: list[FaultEvent] | None = None):
+        self._events: list[FaultEvent] = list(events or [])
+        self._fired: list[FaultEvent] = []
+        self._lock = threading.Lock()
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        return list(self._events)
+
+    @property
+    def fired(self) -> list[FaultEvent]:
+        return list(self._fired)
+
+    def add(self, event: FaultEvent) -> None:
+        self._events.append(event)
+
+    def should_fail(
+        self,
+        rank: int,
+        phase: str,
+        op_index: int,
+        incarnation: int,
+        kind: str = "hard",
+    ) -> bool:
+        """Check (and consume) a matching fault event of ``kind``."""
+        return self.take(rank, phase, op_index, incarnation, kind) is not None
+
+    def take(
+        self,
+        rank: int,
+        phase: str,
+        op_index: int,
+        incarnation: int,
+        kind: str = "hard",
+    ) -> FaultEvent | None:
+        """Consume and return a matching fault event (None if no match)."""
+        with self._lock:
+            for ev in self._events:
+                if (
+                    ev.kind == kind
+                    and ev.rank == rank
+                    and ev.incarnation == incarnation
+                    and (ev.phase == "*" or ev.phase == phase)
+                    and ev.op_index == op_index
+                ):
+                    self._events.remove(ev)
+                    self._fired.append(ev)
+                    return ev
+        return None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class RandomFaultModel:
+    """Draws fault schedules from an exponential MTBF model.
+
+    Each rank independently fails when its operation count crosses an
+    exponentially distributed threshold with mean ``mtbf_ops`` — the
+    discrete analogue of a Poisson failure process over machine operations.
+    ``max_faults`` caps the total number of injected faults (the paper's
+    ``f``).
+    """
+
+    def __init__(self, mtbf_ops: float, rng: DeterministicRNG, max_faults: int = 1):
+        if mtbf_ops <= 0:
+            raise ValueError("mtbf_ops must be positive")
+        if max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+        self.mtbf_ops = mtbf_ops
+        self.max_faults = max_faults
+        self._rng = rng
+
+    def draw_schedule(self, ranks: list[int], phases: list[str]) -> FaultSchedule:
+        """Sample a schedule hitting at most ``max_faults`` distinct ranks.
+
+        Each sampled event picks a victim uniformly, a phase uniformly and
+        an op index from the exponential threshold (truncated to a small
+        range so the event actually lands inside the phase).
+        """
+        if not ranks or not phases:
+            raise ValueError("ranks and phases must be non-empty")
+        events: list[FaultEvent] = []
+        victims: set[int] = set()
+        while len(events) < self.max_faults and len(victims) < len(ranks):
+            victim = self._rng.choice([r for r in ranks if r not in victims])
+            victims.add(victim)
+            phase = self._rng.choice(phases)
+            op = int(self._rng.exponential(self.mtbf_ops)) % 8
+            events.append(FaultEvent(rank=victim, phase=phase, op_index=op))
+        return FaultSchedule(events)
+
+
+@dataclass
+class FaultLog:
+    """Record of faults that actually occurred during a run."""
+
+    @dataclass(frozen=True)
+    class Entry:
+        rank: int
+        phase: str
+        op_index: int
+        incarnation: int
+
+    entries: list["FaultLog.Entry"] = field(default_factory=list)
+
+    def record(self, rank: int, phase: str, op_index: int, incarnation: int) -> None:
+        self.entries.append(FaultLog.Entry(rank, phase, op_index, incarnation))
+
+    def ranks(self) -> set[int]:
+        return {e.rank for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,120 @@
+"""Processor-grid bookkeeping for the BFS-DFS traversal (paper Section 3).
+
+Processors are labeled with ``log_(2k-1) P``-digit strings in base
+``q = 2k-1``.  At the ``i``-th BFS step the machine is viewed as a
+``P/q × q`` grid in which the ``i``-th digit of a rank's label is its
+*column* (= which of the ``2k-1`` sub-problems it takes) and the remaining
+digits form its *row*.  Ranks in the same row at step ``i`` agree on all
+digits except the ``i``-th; communication in a BFS step happens only within
+rows (Figure 1).
+
+Digits here are **little-endian**: ``digit[i]`` is the column at BFS step
+``i``.  After ``i`` BFS steps, ranks sharing digits ``0..i-1`` form the
+group jointly responsible for one node of the recursion tree.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive, ilog
+
+__all__ = ["rank_digits", "digits_to_rank", "ProcessorGrid"]
+
+
+def rank_digits(rank: int, base: int, length: int) -> list[int]:
+    """Little-endian base-``base`` digits of ``rank``, padded to ``length``."""
+    if base < 2:
+        raise ValueError("base must be at least 2")
+    if rank < 0:
+        raise ValueError("rank must be non-negative")
+    digits = []
+    v = rank
+    for _ in range(length):
+        digits.append(v % base)
+        v //= base
+    if v:
+        raise ValueError(f"rank {rank} does not fit in {length} base-{base} digits")
+    return digits
+
+
+def digits_to_rank(digits: list[int], base: int) -> int:
+    """Inverse of :func:`rank_digits`."""
+    if base < 2:
+        raise ValueError("base must be at least 2")
+    rank = 0
+    for i, d in enumerate(digits):
+        if not (0 <= d < base):
+            raise ValueError(f"digit {d} out of range for base {base}")
+        rank += d * base**i
+    return rank
+
+
+class ProcessorGrid:
+    """Digit bookkeeping for ``p`` processors in base ``q = 2k-1``.
+
+    ``p`` must be a power of ``q``; ``levels = log_q p`` is the number of
+    BFS steps the traversal performs.
+    """
+
+    def __init__(self, p: int, base: int):
+        check_positive("p", p)
+        if base < 2:
+            raise ValueError("base must be at least 2")
+        self.p = p
+        self.base = base
+        self.levels = ilog(p, base)
+
+    def digits(self, rank: int) -> list[int]:
+        return rank_digits(rank, self.base, self.levels)
+
+    def column(self, rank: int, step: int) -> int:
+        """The sub-problem index this rank takes at BFS step ``step``."""
+        self._check_step(step)
+        return self.digits(rank)[step]
+
+    def row_index(self, rank: int, step: int) -> int:
+        """Row number at step ``step`` (rank with digit ``step`` removed)."""
+        self._check_step(step)
+        digits = self.digits(rank)
+        del digits[step]
+        return digits_to_rank(digits, self.base)
+
+    def row_members(self, rank: int, step: int) -> list[int]:
+        """The ``q`` ranks in this rank's row at BFS step ``step``
+        (ordered by column, i.e. by digit ``step``)."""
+        self._check_step(step)
+        digits = self.digits(rank)
+        out = []
+        for c in range(self.base):
+            d = list(digits)
+            d[step] = c
+            out.append(digits_to_rank(d, self.base))
+        return out
+
+    def group_members(self, rank: int, after_steps: int) -> list[int]:
+        """Ranks sharing digits ``0..after_steps-1`` with ``rank`` — the
+        processors working on the same recursion-tree node after
+        ``after_steps`` BFS steps (sorted ascending)."""
+        if not (0 <= after_steps <= self.levels):
+            raise ValueError(f"after_steps {after_steps} out of range")
+        digits = self.digits(rank)
+        fixed = digits[:after_steps]
+        free = self.levels - after_steps
+        out = []
+        for suffix in range(self.base**free):
+            d = fixed + rank_digits(suffix, self.base, free)
+            out.append(digits_to_rank(d, self.base))
+        return sorted(out)
+
+    def subproblem_path(self, rank: int) -> list[int]:
+        """The sequence of sub-problem indices (one per BFS step) that lead
+        to this rank's leaf task — simply its digit string."""
+        return self.digits(rank)
+
+    def _check_step(self, step: int) -> None:
+        if not (0 <= step < self.levels):
+            raise ValueError(
+                f"step {step} out of range [0, {self.levels}) for P={self.p}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessorGrid(p={self.p}, base={self.base}, levels={self.levels})"

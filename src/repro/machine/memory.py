@@ -1,0 +1,90 @@
+"""Per-processor local memory with word-level accounting.
+
+Each simulated processor owns a :class:`LocalMemory` with a capacity of
+``M`` words (Section 2.1).  Algorithms register their buffers so the
+simulator can (a) enforce the limited-memory regime of Table 2 — running a
+BFS-only schedule with too little memory raises
+:class:`~repro.machine.errors.MemoryExceeded` — and (b) report the peak
+footprint, which Lemma 3.1's analysis predicts grows by ``(2k-1)/k`` per BFS
+step.
+
+A hard fault wipes the memory (the paper: "the affected processor ...
+loses its data").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.errors import MemoryExceeded
+
+__all__ = ["LocalMemory"]
+
+
+class LocalMemory:
+    """Named-buffer word accounting with capacity enforcement.
+
+    Parameters
+    ----------
+    capacity_words:
+        Local memory size ``M`` in words; ``math.inf`` (the default) models
+        the unlimited-memory case of Table 1.
+    rank:
+        Owning rank, for error messages.
+    """
+
+    def __init__(self, capacity_words: float = math.inf, rank: int = -1):
+        if capacity_words <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_words
+        self.rank = rank
+        self._buffers: dict[str, int] = {}
+        self._in_use = 0
+        self._peak = 0
+        self.wipe_count = 0
+
+    # -- accounting -------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Words currently allocated."""
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of allocated words over the processor's life."""
+        return self._peak
+
+    def allocate(self, name: str, words: int) -> None:
+        """Allocate (or grow/shrink to) ``words`` words under ``name``."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        old = self._buffers.get(name, 0)
+        new_total = self._in_use - old + words
+        if new_total > self.capacity:
+            raise MemoryExceeded(self.rank, words, self._in_use - old, self.capacity)
+        self._buffers[name] = words
+        self._in_use = new_total
+        if new_total > self._peak:
+            self._peak = new_total
+
+    def free(self, name: str) -> None:
+        """Release the buffer ``name`` (missing names are ignored)."""
+        words = self._buffers.pop(name, 0)
+        self._in_use -= words
+
+    def usage(self, name: str) -> int:
+        return self._buffers.get(name, 0)
+
+    def buffers(self) -> dict[str, int]:
+        return dict(self._buffers)
+
+    def wipe(self) -> None:
+        """Destroy all contents (hard-fault data loss). Peak is preserved —
+        it describes the physical slot, not one incarnation."""
+        self._buffers.clear()
+        self._in_use = 0
+        self.wipe_count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if math.isinf(self.capacity) else str(self.capacity)
+        return f"LocalMemory(rank={self.rank}, in_use={self._in_use}, capacity={cap})"

@@ -1,0 +1,115 @@
+"""Peer-to-peer message transport.
+
+A :class:`Router` holds one mailbox per destination rank.  Messages are
+matched MPI-style by ``(source, tag)``; receives block on a condition
+variable with a (generous) timeout so that protocol bugs surface as
+:class:`~repro.machine.errors.DeadlockError` instead of hangs.
+
+Messages carry the sender's :class:`~repro.machine.costs.Counts` clock
+snapshot (for critical-path accounting), the payload's size in words, and
+the sender's incarnation number.  Messages addressed to a dead rank are
+accepted and dropped when the replacement incarnation purges its mailbox —
+modeling loss of in-flight data on a hard fault.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.machine.costs import Counts
+from repro.machine.errors import CommError, DeadlockError
+
+__all__ = ["Message", "Router"]
+
+
+@dataclass(frozen=True)
+class Message:
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    words: int
+    clock: Counts
+    incarnation: int
+
+
+class Router:
+    """Mailboxes for ``size`` ranks with (source, tag) matching."""
+
+    def __init__(self, size: int, default_timeout: float = 60.0):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self.default_timeout = default_timeout
+        self._locks = [threading.Condition() for _ in range(size)]
+        self._queues: list[list[Message]] = [[] for _ in range(size)]
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise CommError(f"rank {rank} out of range [0, {self.size})")
+
+    def post(self, msg: Message) -> None:
+        """Deposit a message in the destination's mailbox."""
+        self._check_rank(msg.dest)
+        self._check_rank(msg.source)
+        cond = self._locks[msg.dest]
+        with cond:
+            self._queues[msg.dest].append(msg)
+            cond.notify_all()
+
+    def collect(
+        self,
+        dest: int,
+        source: int,
+        tag: int,
+        timeout: float | None = None,
+    ) -> Message:
+        """Blocking matched receive for rank ``dest``.
+
+        Raises :class:`DeadlockError` when no matching message arrives
+        within the timeout.
+        """
+        self._check_rank(dest)
+        self._check_rank(source)
+        if timeout is None:
+            timeout = self.default_timeout
+        cond = self._locks[dest]
+        with cond:
+            deadline = None
+            while True:
+                queue = self._queues[dest]
+                for i, msg in enumerate(queue):
+                    if msg.source == source and msg.tag == tag:
+                        return queue.pop(i)
+                if deadline is None:
+                    import time
+
+                    deadline = time.monotonic() + timeout
+                    remaining = timeout
+                else:
+                    import time
+
+                    remaining = deadline - time.monotonic()
+                if remaining <= 0 or not cond.wait(timeout=remaining):
+                    raise DeadlockError(
+                        f"rank {dest}: no message from rank {source} with tag "
+                        f"{tag} after {timeout:.1f}s"
+                    )
+
+    def purge(self, rank: int) -> int:
+        """Discard every pending message for ``rank`` (fault data loss).
+        Returns the number of dropped messages."""
+        self._check_rank(rank)
+        cond = self._locks[rank]
+        with cond:
+            dropped = len(self._queues[rank])
+            self._queues[rank].clear()
+        return dropped
+
+    def pending(self, rank: int) -> int:
+        """Number of queued messages for ``rank`` (for tests/diagnostics)."""
+        self._check_rank(rank)
+        with self._locks[rank]:
+            return len(self._queues[rank])

@@ -1,0 +1,54 @@
+"""Measuring payload sizes in machine words.
+
+The bandwidth cost BW counts *words*.  A word is ``word_bits`` wide (the
+machine's ``s`` parameter from Algorithm 1 is ``2**word_bits``).  Python
+objects crossing the simulated network are measured here: integers by their
+bit length, containers by the sum of their elements, and objects may opt in
+by exposing a ``words(word_bits)`` method (as
+:class:`repro.bigint.limbs.LimbVector` does).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.util.words import bits_to_words
+
+__all__ = ["payload_words"]
+
+
+def payload_words(obj: Any, word_bits: int) -> int:
+    """Size of ``obj`` in ``word_bits``-wide machine words.
+
+    Sizing rules:
+
+    - ``None`` and control-only values cost one word,
+    - ``int`` costs ``ceil(bit_length / word_bits)`` words (min 1),
+    - ``Fraction`` costs the numerator plus the denominator,
+    - tuples/lists/dicts cost the sum of their items,
+    - objects with a ``words(word_bits)`` method delegate to it.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return bits_to_words(obj.bit_length(), word_bits)
+    if isinstance(obj, Fraction):
+        return payload_words(obj.numerator, word_bits) + payload_words(
+            obj.denominator, word_bits
+        )
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_words(x, word_bits) for x in obj) if obj else 1
+    if isinstance(obj, dict):
+        if not obj:
+            return 1
+        return sum(
+            payload_words(k, word_bits) + payload_words(v, word_bits)
+            for k, v in obj.items()
+        )
+    if isinstance(obj, str):
+        return max(1, (len(obj) * 8 + word_bits - 1) // word_bits)
+    words_method = getattr(obj, "words", None)
+    if callable(words_method):
+        return words_method(word_bits)
+    raise TypeError(f"cannot size payload of type {type(obj).__name__}")

@@ -1,0 +1,145 @@
+"""Network topologies: per-hop latency modeling.
+
+The paper's model (Section 2.1) assumes a peer-to-peer network — every
+pair one hop apart — which :class:`FullyConnected` reproduces (and is the
+machine's default, leaving all baseline measurements unchanged).  Real
+machines route over constrained topologies; these classes charge each
+message ``hops(src, dst)`` latency units (cut-through routing: bandwidth
+is charged once regardless of path length), letting the benchmark harness
+ask how the algorithm's fixed "row" communication pattern tolerates
+embedding into rings, meshes, tori, hypercubes, and fat-trees.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "Topology",
+    "FullyConnected",
+    "Ring",
+    "Mesh2D",
+    "Torus2D",
+    "Hypercube",
+    "FatTree",
+]
+
+
+class Topology:
+    """Base class: distances over ``size`` nodes."""
+
+    def __init__(self, size: int):
+        check_positive("size", size)
+        self.size = size
+
+    def hops(self, src: int, dst: int) -> int:
+        """Routing distance between two ranks (0 when equal)."""
+        raise NotImplementedError
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.size and 0 <= dst < self.size):
+            raise ValueError(f"ranks ({src}, {dst}) out of range [0, {self.size})")
+
+    def diameter(self) -> int:
+        """Maximum pairwise distance."""
+        return max(
+            self.hops(s, d) for s in range(self.size) for d in range(self.size)
+        )
+
+    def average_distance(self) -> float:
+        """Mean distance over ordered distinct pairs."""
+        if self.size == 1:
+            return 0.0
+        total = sum(
+            self.hops(s, d)
+            for s in range(self.size)
+            for d in range(self.size)
+            if s != d
+        )
+        return total / (self.size * (self.size - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(size={self.size})"
+
+
+class FullyConnected(Topology):
+    """The paper's peer-to-peer network: everything is one hop."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return 0 if src == dst else 1
+
+
+class Ring(Topology):
+    """Bidirectional ring: distance is the shorter arc."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        d = abs(src - dst)
+        return min(d, self.size - d)
+
+
+class Mesh2D(Topology):
+    """``rows x cols`` mesh with Manhattan routing."""
+
+    def __init__(self, rows: int, cols: int):
+        check_positive("rows", rows)
+        check_positive("cols", cols)
+        super().__init__(rows * cols)
+        self.rows = rows
+        self.cols = cols
+
+    def _coords(self, rank: int) -> tuple[int, int]:
+        return divmod(rank, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+
+class Torus2D(Mesh2D):
+    """``rows x cols`` torus: Manhattan with wraparound."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
+        dr = abs(r1 - r2)
+        dc = abs(c1 - c2)
+        return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+
+class Hypercube(Topology):
+    """``log2(size)``-dimensional hypercube (size a power of two):
+    distance is the Hamming distance of the rank labels."""
+
+    def __init__(self, size: int):
+        super().__init__(size)
+        if size & (size - 1):
+            raise ValueError("hypercube size must be a power of two")
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return (src ^ dst).bit_count()
+
+
+class FatTree(Topology):
+    """An ``arity``-ary fat-tree of compute leaves: distance is twice the
+    height to the lowest common ancestor (up then down)."""
+
+    def __init__(self, size: int, arity: int = 2):
+        super().__init__(size)
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        self.arity = arity
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        if src == dst:
+            return 0
+        height = 0
+        while src != dst:
+            src //= self.arity
+            dst //= self.arity
+            height += 1
+        return 2 * height

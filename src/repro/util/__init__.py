@@ -1,0 +1,55 @@
+"""Shared low-level utilities.
+
+This subpackage hosts the exact-arithmetic linear algebra used by the
+Toom-Cook evaluation/interpolation matrices and the erasure codes
+(:mod:`repro.util.rational`), base-conversion helpers
+(:mod:`repro.util.words`), argument validation (:mod:`repro.util.validation`)
+and deterministic randomness (:mod:`repro.util.rng`).
+
+Everything here is dependency-free (standard library only) so that the
+substrates built on top of it remain exact and reproducible.
+"""
+
+from repro.util.rational import (
+    FractionMatrix,
+    mat_identity,
+    mat_inverse,
+    mat_mul,
+    mat_vec,
+    mat_det,
+    solve_linear_system,
+)
+from repro.util.words import (
+    bits_to_words,
+    int_to_digits,
+    digits_to_int,
+    digit_count,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_power_of,
+    is_power_of,
+    ilog,
+)
+from repro.util.rng import DeterministicRNG
+
+__all__ = [
+    "FractionMatrix",
+    "mat_identity",
+    "mat_inverse",
+    "mat_mul",
+    "mat_vec",
+    "mat_det",
+    "solve_linear_system",
+    "bits_to_words",
+    "int_to_digits",
+    "digits_to_int",
+    "digit_count",
+    "check_positive",
+    "check_non_negative",
+    "check_power_of",
+    "is_power_of",
+    "ilog",
+    "DeterministicRNG",
+]

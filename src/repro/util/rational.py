@@ -1,0 +1,271 @@
+"""Exact rational linear algebra over :class:`fractions.Fraction`.
+
+The Toom-Cook interpolation matrix ``W^T`` is the inverse of a (homogeneous)
+Vandermonde matrix and generally has rational entries even though every
+intermediate value in a correct Toom-Cook run is an integer.  Floating point
+would silently corrupt long-integer products, so all matrix work in this
+project is done exactly over the rationals.
+
+Matrices are represented either as plain ``list[list[Fraction|int]]`` (the
+functional helpers below accept any 2-D nested sequence of exact numbers) or
+wrapped in the light :class:`FractionMatrix` convenience class.
+
+The sizes involved are tiny — ``(2k-1+f)``-square for practical ``k`` ≤ 8 and
+a handful of faults ``f`` — so the simple Gauss-Jordan / fraction-free
+algorithms here are more than fast enough and, unlike numpy, exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+Number = int | Fraction
+Matrix = list[list[Fraction]]
+Vector = list[Fraction]
+
+__all__ = [
+    "FractionMatrix",
+    "as_fraction_matrix",
+    "mat_identity",
+    "mat_mul",
+    "mat_vec",
+    "mat_transpose",
+    "mat_inverse",
+    "mat_det",
+    "mat_rank",
+    "solve_linear_system",
+    "is_integral_vector",
+]
+
+
+def as_fraction_matrix(rows: Iterable[Iterable[Number]]) -> Matrix:
+    """Deep-copy ``rows`` into a list-of-lists of :class:`Fraction`."""
+    out = [[Fraction(x) for x in row] for row in rows]
+    if out:
+        width = len(out[0])
+        for row in out:
+            if len(row) != width:
+                raise ValueError("ragged matrix: rows have differing lengths")
+    return out
+
+
+def mat_identity(n: int) -> Matrix:
+    """The ``n`` × ``n`` identity matrix over Fraction."""
+    return [[Fraction(int(i == j)) for j in range(n)] for i in range(n)]
+
+
+def mat_transpose(a: Sequence[Sequence[Number]]) -> Matrix:
+    """Transpose of ``a``."""
+    return [[Fraction(a[i][j]) for i in range(len(a))] for j in range(len(a[0]))]
+
+
+def mat_mul(a: Sequence[Sequence[Number]], b: Sequence[Sequence[Number]]) -> Matrix:
+    """Exact matrix product ``a @ b``."""
+    n, m = len(a), len(a[0])
+    if len(b) != m:
+        raise ValueError(f"dimension mismatch: {n}x{m} @ {len(b)}x{len(b[0])}")
+    p = len(b[0])
+    out = [[Fraction(0)] * p for _ in range(n)]
+    for i in range(n):
+        ai = a[i]
+        oi = out[i]
+        for t in range(m):
+            ait = ai[t]
+            if ait:
+                bt = b[t]
+                for j in range(p):
+                    oi[j] += ait * bt[j]
+    return out
+
+
+def mat_vec(a: Sequence[Sequence[Number]], x: Sequence) -> list:
+    """Matrix-vector product ``a @ x``.
+
+    The vector entries may be any values supporting ``+`` and scalar ``*``
+    with exact numbers (ints, Fractions, or block objects such as
+    :class:`repro.bigint.limbs.LimbVector`); this is what lets the same
+    evaluation matrix act on scalar digits and on distributed digit blocks.
+    """
+    m = len(a[0])
+    if len(x) != m:
+        raise ValueError(f"dimension mismatch: {len(a)}x{m} @ vector[{len(x)}]")
+    out = []
+    for row in a:
+        acc = None
+        for coef, xi in zip(row, x):
+            if not coef:
+                continue
+            term = xi * coef if not isinstance(xi, (int, Fraction)) else coef * xi
+            acc = term if acc is None else acc + term
+        if acc is None:
+            # Row of zeros: produce a zero of the right kind.
+            acc = x[0] * 0 if x else Fraction(0)
+        out.append(acc)
+    return out
+
+
+def _eliminate(aug: Matrix, ncols: int) -> int:
+    """In-place Gauss-Jordan elimination on ``aug`` (first ``ncols`` columns
+    are the pivot region).  Returns the rank."""
+    nrows = len(aug)
+    rank = 0
+    for col in range(ncols):
+        pivot_row = None
+        for r in range(rank, nrows):
+            if aug[r][col] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        aug[rank], aug[pivot_row] = aug[pivot_row], aug[rank]
+        pv = aug[rank][col]
+        aug[rank] = [v / pv for v in aug[rank]]
+        for r in range(nrows):
+            if r != rank and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [v - factor * w for v, w in zip(aug[r], aug[rank])]
+        rank += 1
+        if rank == nrows:
+            break
+    return rank
+
+
+def mat_rank(a: Sequence[Sequence[Number]]) -> int:
+    """Rank of ``a`` over the rationals."""
+    work = as_fraction_matrix(a)
+    if not work:
+        return 0
+    return _eliminate(work, len(work[0]))
+
+
+def mat_det(a: Sequence[Sequence[Number]]) -> Fraction:
+    """Exact determinant via fraction-free Bareiss elimination."""
+    n = len(a)
+    if any(len(row) != n for row in a):
+        raise ValueError("determinant requires a square matrix")
+    if n == 0:
+        return Fraction(1)
+    m = [[Fraction(x) for x in row] for row in a]
+    sign = 1
+    prev = Fraction(1)
+    for k in range(n - 1):
+        if m[k][k] == 0:
+            swap = next((r for r in range(k + 1, n) if m[r][k] != 0), None)
+            if swap is None:
+                return Fraction(0)
+            m[k], m[swap] = m[swap], m[k]
+            sign = -sign
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) / prev
+            m[i][k] = Fraction(0)
+        prev = m[k][k]
+    return sign * m[n - 1][n - 1]
+
+
+def mat_inverse(a: Sequence[Sequence[Number]]) -> Matrix:
+    """Exact inverse of a square matrix.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is singular or not square.
+    """
+    n = len(a)
+    if any(len(row) != n for row in a):
+        raise ValueError("inverse requires a square matrix")
+    aug = [
+        [Fraction(x) for x in row] + [Fraction(int(i == j)) for j in range(n)]
+        for i, row in enumerate(a)
+    ]
+    rank = _eliminate(aug, n)
+    if rank != n:
+        raise ValueError("matrix is singular")
+    return [row[n:] for row in aug]
+
+
+def solve_linear_system(
+    a: Sequence[Sequence[Number]], b: Sequence[Number]
+) -> Vector:
+    """Solve ``a @ x = b`` exactly for square nonsingular ``a``."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("right-hand side length must match matrix size")
+    aug = [[Fraction(x) for x in row] + [Fraction(b[i])] for i, row in enumerate(a)]
+    rank = _eliminate(aug, n)
+    if rank != n:
+        raise ValueError("matrix is singular")
+    return [row[n] for row in aug]
+
+
+def is_integral_vector(x: Iterable[Number]) -> bool:
+    """True when every entry of ``x`` is an integer-valued exact number."""
+    return all(Fraction(v).denominator == 1 for v in x)
+
+
+class FractionMatrix:
+    """A thin, immutable wrapper around an exact rational matrix.
+
+    Supports ``@`` for matrix-matrix and matrix-vector products, ``.inv()``,
+    ``.T``, ``.det()``, indexing and equality — just enough structure for the
+    Toom-Cook matrix plumbing to read naturally.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: Iterable[Iterable[Number]]):
+        object.__setattr__(self, "rows", as_fraction_matrix(rows))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("FractionMatrix is immutable")
+
+    # -- shape -----------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.rows), len(self.rows[0]) if self.rows else 0)
+
+    @property
+    def T(self) -> "FractionMatrix":
+        return FractionMatrix(mat_transpose(self.rows))
+
+    # -- algebra ---------------------------------------------------------
+    def __matmul__(self, other):
+        if isinstance(other, FractionMatrix):
+            return FractionMatrix(mat_mul(self.rows, other.rows))
+        if other and isinstance(other[0], (list, tuple)):
+            return FractionMatrix(mat_mul(self.rows, other))
+        return mat_vec(self.rows, other)
+
+    def inv(self) -> "FractionMatrix":
+        return FractionMatrix(mat_inverse(self.rows))
+
+    def det(self) -> Fraction:
+        return mat_det(self.rows)
+
+    def rank(self) -> int:
+        return mat_rank(self.rows)
+
+    def is_integral(self) -> bool:
+        return all(is_integral_vector(row) for row in self.rows)
+
+    # -- container -------------------------------------------------------
+    def __getitem__(self, idx):
+        return self.rows[idx]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FractionMatrix):
+            return self.rows == other.rows
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(tuple(tuple(row) for row in self.rows))
+
+    def __repr__(self) -> str:
+        return f"FractionMatrix({self.rows!r})"

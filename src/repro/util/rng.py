@@ -1,0 +1,58 @@
+"""Deterministic randomness for workloads and fault campaigns.
+
+Everything stochastic in this project (random test integers, random fault
+times, randomized workloads in the benchmarks) flows through
+:class:`DeterministicRNG` so that every run is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["DeterministicRNG"]
+
+
+class DeterministicRNG:
+    """A seeded RNG with helpers for the shapes this project needs."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def spawn(self, stream: int) -> "DeterministicRNG":
+        """An independent child stream (stable under call-order changes)."""
+        return DeterministicRNG((self._seed * 1_000_003 + stream) & 0x7FFFFFFF)
+
+    def integer_bits(self, nbits: int) -> int:
+        """A uniformly random integer with exactly ``nbits`` bits (MSB set)."""
+        if nbits <= 0:
+            raise ValueError("nbits must be positive")
+        if nbits == 1:
+            return 1
+        return (1 << (nbits - 1)) | self._rng.getrandbits(nbits - 1)
+
+    def integer_range(self, lo: int, hi: int) -> int:
+        """Uniform integer in ``[lo, hi]`` inclusive."""
+        return self._rng.randint(lo, hi)
+
+    def choice(self, seq):
+        return self._rng.choice(seq)
+
+    def sample(self, seq, count: int):
+        return self._rng.sample(seq, count)
+
+    def shuffle(self, seq) -> None:
+        self._rng.shuffle(seq)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)
+
+    def exponential(self, mean: float) -> float:
+        """Exponential inter-arrival time (mean time between failures)."""
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return self._rng.expovariate(1.0 / mean)

@@ -1,0 +1,81 @@
+"""Argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_power_of",
+    "is_power_of",
+    "ilog",
+    "ceil_div",
+    "ceil_pow",
+]
+
+
+def check_positive(name: str, value: int) -> int:
+    """Raise ``ValueError`` unless ``value`` is a positive int; return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: int) -> int:
+    """Raise ``ValueError`` unless ``value`` is a non-negative int."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def is_power_of(value: int, base: int) -> bool:
+    """True when ``value`` equals ``base**t`` for some integer ``t >= 0``."""
+    if base < 2:
+        raise ValueError("base must be at least 2")
+    if value < 1:
+        return False
+    while value % base == 0:
+        value //= base
+    return value == 1
+
+
+def check_power_of(name: str, value: int, base: int) -> int:
+    """Raise ``ValueError`` unless ``value`` is a power of ``base``."""
+    if not is_power_of(value, base):
+        raise ValueError(f"{name} must be a power of {base}, got {value!r}")
+    return value
+
+
+def ilog(value: int, base: int) -> int:
+    """Exact integer logarithm: the ``t`` with ``base**t == value``.
+
+    Raises ``ValueError`` when ``value`` is not an exact power of ``base``.
+    """
+    if base < 2:
+        raise ValueError("base must be at least 2")
+    check_positive("value", value)
+    t = 0
+    v = value
+    while v % base == 0:
+        v //= base
+        t += 1
+    if v != 1:
+        raise ValueError(f"{value} is not a power of {base}")
+    return t
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def ceil_pow(value: int, base: int) -> int:
+    """Smallest power of ``base`` that is ``>= value`` (for padding inputs)."""
+    check_positive("value", value)
+    if base < 2:
+        raise ValueError("base must be at least 2")
+    p = 1
+    while p < value:
+        p *= base
+    return p

@@ -1,0 +1,91 @@
+"""Base-conversion helpers between Python integers and digit vectors.
+
+Algorithm 1 (paper, Section 2.2) splits an ``n``-bit integer into ``k``
+digits using a shared base ``B``; Algorithm 2 (lazy interpolation) splits the
+whole input into ``k^l`` digits up front.  These helpers implement the split
+and its inverse for arbitrary bases that are powers of two, plus small
+word-size arithmetic used by the machine model's memory accounting.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bits_to_words",
+    "digit_count",
+    "int_to_digits",
+    "digits_to_int",
+    "shared_split_base",
+]
+
+
+def bits_to_words(nbits: int, word_bits: int) -> int:
+    """Number of ``word_bits``-wide machine words needed for ``nbits`` bits."""
+    if word_bits <= 0:
+        raise ValueError("word_bits must be positive")
+    if nbits < 0:
+        raise ValueError("nbits must be non-negative")
+    return max(1, -(-nbits // word_bits))
+
+
+def digit_count(value: int, base_bits: int) -> int:
+    """Number of base-``2**base_bits`` digits of ``abs(value)`` (≥ 1)."""
+    if base_bits <= 0:
+        raise ValueError("base_bits must be positive")
+    return bits_to_words(abs(value).bit_length(), base_bits)
+
+
+def shared_split_base(a: int, b: int, k: int) -> int:
+    """The shared split base ``B`` of the paper (Section 2.2).
+
+    ``B = 2 ** (max(floor(log2 a / k), floor(log2 b / k)) + 1)`` — the smallest
+    power-of-two base such that both ``|a|`` and ``|b|`` fit in ``k`` base-B
+    digits.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    bits = max(abs(a).bit_length(), abs(b).bit_length(), 1)
+    # ceil(bits / k) bits per digit guarantees k digits suffice; the paper's
+    # formula floor(log2(x)/k) + 1 is the same quantity for x >= 1.
+    return 1 << -(-bits // k)
+
+
+def int_to_digits(value: int, base_bits: int, count: int | None = None) -> list[int]:
+    """Little-endian base-``2**base_bits`` digits of a non-negative int.
+
+    When ``count`` is given the result is zero-padded (or validated) to
+    exactly ``count`` digits.
+    """
+    if value < 0:
+        raise ValueError("int_to_digits requires a non-negative value")
+    if base_bits <= 0:
+        raise ValueError("base_bits must be positive")
+    mask = (1 << base_bits) - 1
+    digits: list[int] = []
+    v = value
+    while v:
+        digits.append(v & mask)
+        v >>= base_bits
+    if not digits:
+        digits.append(0)
+    if count is not None:
+        if len(digits) > count:
+            raise ValueError(
+                f"value needs {len(digits)} digits, more than count={count}"
+            )
+        digits.extend([0] * (count - len(digits)))
+    return digits
+
+
+def digits_to_int(digits: list[int], base_bits: int) -> int:
+    """Inverse of :func:`int_to_digits`; digits may be arbitrary ints.
+
+    This is the carry-resolution step (line 16 of Algorithm 1): digits may
+    exceed the base or be negative, the weighted sum
+    ``sum(d_i * 2**(i*base_bits))`` resolves them.
+    """
+    if base_bits <= 0:
+        raise ValueError("base_bits must be positive")
+    acc = 0
+    for i, d in enumerate(digits):
+        acc += d << (i * base_bits)
+    return acc

@@ -1,0 +1,181 @@
+"""Tests for cost formulas, comparison helpers, and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.compare import (
+    fit_exponent,
+    geometric_mean,
+    overhead_ratio,
+    ratio_series,
+)
+from repro.analysis.formulas import (
+    extra_processors,
+    ft_toomcook_costs,
+    parallel_toomcook_costs,
+    replication_costs,
+    t_reduce_costs,
+    toom_exponent,
+)
+from repro.analysis.report import render_series, render_table
+
+
+class TestFormulas:
+    def test_toom_exponent_values(self):
+        assert toom_exponent(2) == pytest.approx(math.log2(3))
+        assert toom_exponent(3) == pytest.approx(math.log(5, 3))
+        with pytest.raises(ValueError):
+            toom_exponent(1)
+
+    def test_unlimited_memory_shapes(self):
+        c = parallel_toomcook_costs(1000, 9, 2)
+        assert c.f == pytest.approx(1000 ** math.log2(3) / 9)
+        assert c.bw == pytest.approx(1000 / 9 ** math.log(2, 3))
+        assert c.l == pytest.approx(math.log2(9))
+
+    def test_limited_memory_bw_grows(self):
+        unlim = parallel_toomcook_costs(10_000, 9, 2)
+        lim = parallel_toomcook_costs(10_000, 9, 2, m_words=100)
+        assert lim.bw > unlim.bw
+        assert lim.l > unlim.l
+        assert lim.f == unlim.f  # arithmetic unchanged
+
+    def test_limited_memory_formula(self):
+        n, p, k, m = 10_000, 9, 2, 100
+        e = math.log2(3)
+        c = parallel_toomcook_costs(n, p, k, m_words=m)
+        assert c.bw == pytest.approx((n / m) ** e * m / p)
+        assert c.l == pytest.approx((n / m) ** e * math.log2(p) / p)
+
+    def test_threshold_boundary_uses_unlimited(self):
+        n, p, k = 1000, 9, 2
+        threshold = n / p ** math.log(2, 3)
+        at = parallel_toomcook_costs(n, p, k, m_words=threshold)
+        unlim = parallel_toomcook_costs(n, p, k)
+        assert at == unlim
+
+    def test_ft_overhead_factor(self):
+        base = parallel_toomcook_costs(1000, 9, 2)
+        ft = ft_toomcook_costs(1000, 9, 2, f_faults=1)
+        assert ft.f / base.f == pytest.approx(4 / 3)
+
+    def test_replication_matches_base(self):
+        assert replication_costs(1000, 9, 2, 3) == parallel_toomcook_costs(1000, 9, 2)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            parallel_toomcook_costs(0, 9, 2)
+        with pytest.raises(ValueError):
+            t_reduce_costs(-1, 10, 4)
+
+
+class TestExtraProcessors:
+    def test_replication(self):
+        assert extra_processors("replication", 27, 2, 2) == 54
+
+    def test_ft_combined(self):
+        # f*(2k-1) + f*P/(2k-1)
+        assert extra_processors("ft", 27, 2, 1) == 3 + 9
+
+    def test_multistep_collapse(self):
+        assert extra_processors("ft-multistep", 27, 2, 1, l=1) == 9
+        assert extra_processors("ft-multistep", 27, 2, 1, l=2) == 3  # f*(2k-1)
+        assert extra_processors("ft-multistep", 27, 2, 1, l=3) == 1  # f
+
+    def test_checkpoint_zero(self):
+        assert extra_processors("checkpoint", 27, 2, 1) == 0
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            extra_processors("magic", 9, 2, 1)
+
+    def test_headline_ratio(self):
+        # The paper's Θ(P/(2k-1)) improvement over replication at the
+        # multistep row.
+        p, k, f = 27, 2, 1
+        rep = extra_processors("replication", p, k, f)
+        ft = extra_processors("ft-multistep", p, k, f, l=2)
+        assert rep / ft == p / (2 * k - 1)
+
+
+class TestTReduceCosts:
+    def test_lemma_values(self):
+        c = t_reduce_costs(3, 50, 8)
+        assert c.f == 150 and c.bw == 150
+        assert c.l == pytest.approx(3 + 3)
+
+
+class TestFitExponent:
+    def test_exact_power_law(self):
+        xs = [10, 100, 1000]
+        ys = [x**1.585 for x in xs]
+        assert fit_exponent(xs, ys) == pytest.approx(1.585, abs=1e-9)
+
+    def test_noisy_data(self):
+        xs = [10, 20, 40, 80]
+        ys = [1.1 * 100, 0.9 * 400, 1.05 * 1600, 0.95 * 6400]
+        assert fit_exponent(xs, ys) == pytest.approx(2.0, abs=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponent([1], [1])
+        with pytest.raises(ValueError):
+            fit_exponent([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_exponent([1, -2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_exponent([2, 2], [1, 2])
+
+
+class TestRatios:
+    def test_overhead_ratio(self):
+        assert overhead_ratio(110, 100) == pytest.approx(1.1)
+        with pytest.raises(ValueError):
+            overhead_ratio(1, 0)
+
+    def test_ratio_series(self):
+        assert ratio_series([2, 4], [1, 2]) == [2.0, 2.0]
+        with pytest.raises(ValueError):
+            ratio_series([1], [1, 2])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1, -1])
+
+
+class TestRender:
+    def test_render_table_alignment(self):
+        out = render_table(
+            ["Algorithm", "F", "BW"],
+            [["ft", 1.5, 20000], ["rep", 1.0, 3]],
+            title="Table 1",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table 1"
+        assert "Algorithm" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2e+04" in out or "20000" in out
+
+    def test_render_table_validation(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_render_series(self):
+        out = render_series("P", [3, 9], {"L": [2, 4], "BW": [10, 20]})
+        assert "P" in out and "L" in out and "BW" in out
+        assert out.splitlines()[-1].startswith("9")
+
+    def test_render_series_validation(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"y": [1]})
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[0.123456], [0.0], [1e-9]])
+        assert "0.123" in out
+        assert "1e-09" in out

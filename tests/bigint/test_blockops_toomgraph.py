@@ -1,0 +1,167 @@
+"""Tests for block matrix application and Toom-Graph inversion sequences."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bigint.blockops import apply_matrix_to_blocks, matrix_apply_flops, row_lcm
+from repro.bigint.limbs import LimbVector
+from repro.bigint.matrices import interpolation_matrix, toom_operators
+from repro.bigint.evalpoints import toom_points
+from repro.bigint.toomgraph import (
+    AddMul,
+    OpCosts,
+    Scale,
+    Swap,
+    apply_inversion_sequence,
+    inversion_sequence,
+    sequence_cost,
+    toom_graph_search,
+)
+from repro.util.rational import mat_vec
+
+
+def lv(*limbs):
+    return LimbVector(limbs, 8)
+
+
+class TestRowLcm:
+    def test_integral_row(self):
+        assert row_lcm([1, -2, 3]) == 1
+
+    def test_rational_row(self):
+        assert row_lcm([Fraction(1, 2), Fraction(1, 3)]) == 6
+
+
+class TestApplyMatrixToBlocks:
+    def test_integral_matrix(self):
+        out = apply_matrix_to_blocks([[1, 1], [1, -1]], [lv(3, 4), lv(1, 2)])
+        assert [b.limbs for b in out] == [(4, 6), (2, 2)]
+
+    def test_rational_matrix_exact(self):
+        # Row [1/2, 1/2] on blocks summing to even entries.
+        out = apply_matrix_to_blocks([[Fraction(1, 2), Fraction(1, 2)]], [lv(3), lv(5)])
+        assert out[0].limbs == (4,)
+
+    def test_rational_inexact_raises(self):
+        with pytest.raises(ValueError):
+            apply_matrix_to_blocks([[Fraction(1, 2), Fraction(1, 2)]], [lv(3), lv(4)])
+
+    def test_zero_row(self):
+        out = apply_matrix_to_blocks([[0, 0]], [lv(1, 2), lv(3, 4)])
+        assert out[0].is_zero()
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            apply_matrix_to_blocks([[1, 2, 3]], [lv(1), lv(2)])
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            apply_matrix_to_blocks([[1]], [])
+
+    def test_matches_scalar_mat_vec(self):
+        # Applying W^T blockwise to 1-limb blocks == plain mat_vec.
+        w_t = interpolation_matrix(toom_points(2), 2)
+        values = [6, 10, 4]
+        blocks = [lv(v) for v in values]
+        out = apply_matrix_to_blocks(w_t.rows, blocks)
+        expected = mat_vec(w_t.rows, values)
+        assert [b.limbs[0] for b in out] == [int(e) for e in expected]
+
+    def test_flops_model(self):
+        rows = [[1, 0], [Fraction(1, 2), 1]]
+        # row0: 1 nnz * 2 * len; row1: 2 nnz * 2 * len + len (division)
+        assert matrix_apply_flops(rows, 10) == 20 + 40 + 10
+
+
+class TestRowOps:
+    def test_addmul_validation(self):
+        with pytest.raises(ValueError):
+            AddMul(0, 0, Fraction(1))
+        with pytest.raises(ValueError):
+            AddMul(0, 1, Fraction(0))
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            Scale(0, Fraction(0))
+
+    def test_swap_validation(self):
+        with pytest.raises(ValueError):
+            Swap(1, 1)
+
+    def test_costs(self):
+        costs = OpCosts()
+        assert costs.of(AddMul(0, 1, Fraction(-1))) == 1.0
+        assert costs.of(AddMul(0, 1, Fraction(2))) == 2.0
+        assert costs.of(Scale(0, Fraction(1, 2))) == 2.0
+        assert costs.of(Swap(0, 1)) == 0.0
+
+    def test_sequence_cost(self):
+        ops = [AddMul(0, 1, Fraction(1)), Scale(1, Fraction(1, 3))]
+        assert sequence_cost(ops) == 3.0
+
+
+class TestInversionSequence:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_sequence_computes_wt(self, k):
+        import random
+
+        rng = random.Random(k)
+        w_t = interpolation_matrix(toom_points(k), k)
+        ops = inversion_sequence(w_t)
+        vec = [rng.randrange(-100, 100) for _ in range(2 * k - 1)]
+        via_ops = apply_inversion_sequence(ops, vec)
+        via_mat = mat_vec(w_t.rows, vec)
+        assert [Fraction(v) for v in via_ops] == [Fraction(v) for v in via_mat]
+
+    def test_sequence_on_limb_blocks(self):
+        # Inversion sequences must work blockwise for the lazy/parallel
+        # algorithms: feed it pointwise-product blocks of a real multiply.
+        u, v, w_t = toom_operators(2)
+        a, b = [3, 5], [2, 7]
+        ua = mat_vec(u.rows, a)
+        vb = mat_vec(v.rows, b)
+        blocks = [lv(int(x * y)) for x, y in zip(ua, vb)]
+        ops = inversion_sequence(w_t)
+        out = apply_inversion_sequence(ops, blocks)
+        # (3 + 5x)(2 + 7x) = 6 + 31x + 35x^2
+        assert [blk.limbs[0] for blk in out] == [6, 31, 35]
+
+    def test_singular_matrix_rejected(self):
+        from repro.util.rational import FractionMatrix
+
+        with pytest.raises(ValueError):
+            inversion_sequence(FractionMatrix([[1, 1], [1, 1]]))
+
+
+class TestToomGraphSearch:
+    def test_search_finds_correct_sequence_k2(self):
+        w_t = interpolation_matrix(toom_points(2), 2)
+        ops = toom_graph_search(w_t, max_nodes=4000)
+        vec = [6, 10, 4]
+        out = apply_inversion_sequence(ops, vec)
+        assert [Fraction(v) for v in out] == [Fraction(v) for v in mat_vec(w_t.rows, vec)]
+
+    def test_search_beats_or_matches_gauss_jordan_k2(self):
+        w_t = interpolation_matrix(toom_points(2), 2)
+        searched = toom_graph_search(w_t, max_nodes=4000)
+        fallback = inversion_sequence(w_t)
+        assert sequence_cost(searched) <= sequence_cost(fallback)
+
+    def test_exhausted_search_falls_back(self):
+        w_t = interpolation_matrix(toom_points(3), 3)
+        ops = toom_graph_search(w_t, max_nodes=5)  # tiny budget -> fallback
+        vec = list(range(5))
+        out = apply_inversion_sequence(ops, vec)
+        assert [Fraction(v) for v in out] == [
+            Fraction(v) for v in mat_vec(w_t.rows, vec)
+        ]
+
+    def test_apply_scale_with_exact_div_on_blocks(self):
+        ops = [Scale(0, Fraction(1, 2))]
+        out = apply_inversion_sequence(ops, [lv(4, 8)])
+        assert out[0].limbs == (2, 4)
+
+    def test_apply_swap(self):
+        out = apply_inversion_sequence([Swap(0, 1)], [1, 2])
+        assert out == [2, 1]

@@ -1,0 +1,178 @@
+"""Tests for multivariate polynomials and Claims 2.1-2.3."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bigint.evalpoints import toom_points
+from repro.bigint.multivariate import (
+    MultiPoly,
+    evaluation_matrix_multivariate,
+    grid_points,
+    monomials,
+)
+from repro.util.rational import mat_mul, mat_identity
+
+
+class TestMonomials:
+    def test_count(self):
+        assert len(monomials(3, 2)) == 9
+
+    def test_mixed_radix_order(self):
+        # Variable 0 varies fastest (weight r^0).
+        assert monomials(2, 2) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            monomials(0, 1)
+        with pytest.raises(ValueError):
+            monomials(2, 0)
+
+
+class TestGridPoints:
+    def test_count_and_order(self):
+        pts = grid_points([(0, 1), (1, 1)], 2)
+        assert len(pts) == 4
+        assert pts[0] == ((0, 1), (0, 1))
+        assert pts[1] == ((1, 1), (0, 1))  # level-0 point varies fastest
+
+    def test_bad_l(self):
+        with pytest.raises(ValueError):
+            grid_points([(0, 1)], 0)
+
+
+class TestMultiPoly:
+    def test_construction_drops_zeros(self):
+        p = MultiPoly({(0, 0): 0, (1, 0): 3}, 2)
+        assert p.coeffs == {(1, 0): Fraction(3)}
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            MultiPoly({(1,): 1}, 2)
+        with pytest.raises(ValueError):
+            MultiPoly({(-1, 0): 1}, 2)
+
+    def test_add_sub(self):
+        p = MultiPoly({(1, 0): 2}, 2)
+        q = MultiPoly({(1, 0): 3, (0, 1): 1}, 2)
+        assert (p + q).coeffs == {(1, 0): 5, (0, 1): 1}
+        assert (q - p).coeffs == {(1, 0): 1, (0, 1): 1}
+
+    def test_mul(self):
+        # (1 + x0)(1 + x1) = 1 + x0 + x1 + x0 x1
+        p = MultiPoly({(0, 0): 1, (1, 0): 1}, 2)
+        q = MultiPoly({(0, 0): 1, (0, 1): 1}, 2)
+        assert (p * q).coeffs == {
+            (0, 0): 1,
+            (1, 0): 1,
+            (0, 1): 1,
+            (1, 1): 1,
+        }
+
+    def test_mul_degree_growth(self):
+        p = MultiPoly({(1,): 1}, 1)
+        assert (p * p).coeffs == {(2,): 1}
+        assert p.fits(2) and not (p * p).fits(2)
+
+    def test_mismatched_nvars(self):
+        with pytest.raises(ValueError):
+            MultiPoly({(1,): 1}, 1) + MultiPoly({(1, 0): 1}, 2)
+
+    def test_vector_round_trip(self):
+        vec = [1, 2, 3, 4]
+        p = MultiPoly.from_vector(vec, 2, 2)
+        assert p.to_vector(2) == [Fraction(v) for v in vec]
+
+    def test_from_vector_length_checked(self):
+        with pytest.raises(ValueError):
+            MultiPoly.from_vector([1, 2, 3], 2, 2)
+
+    def test_to_vector_requires_fit(self):
+        p = MultiPoly({(2, 0): 1}, 2)
+        with pytest.raises(ValueError):
+            p.to_vector(2)
+
+    def test_zero(self):
+        assert MultiPoly.zero(3).is_zero()
+
+    def test_eq_hash(self):
+        p = MultiPoly({(1, 0): 2}, 2)
+        q = MultiPoly({(1, 0): Fraction(2)}, 2)
+        assert p == q and hash(p) == hash(q)
+
+    def test_evaluate_finite(self):
+        # p = 3 + 2*x0 + x1 at x0=2, x1=5 (h=1, degree bound 2):
+        p = MultiPoly({(0, 0): 3, (1, 0): 2, (0, 1): 1}, 2)
+        v = p.evaluate([(2, 1), (5, 1)], degree_bound=2)
+        assert v == 3 + 4 + 5
+
+    def test_evaluate_infinity_selects_top_coeff(self):
+        # Univariate at (1,0) with degree bound 2 picks the x^1 coefficient.
+        p = MultiPoly({(0,): 7, (1,): 9}, 1)
+        assert p.evaluate([(1, 0)], degree_bound=2) == 9
+
+    def test_evaluate_arity_checked(self):
+        with pytest.raises(ValueError):
+            MultiPoly({(1,): 1}, 1).evaluate([(0, 1), (1, 1)], 2)
+
+
+class TestEvaluationMatrixMultivariate:
+    def test_univariate_reduces_to_standard(self):
+        from repro.bigint.matrices import evaluation_matrix
+
+        pts = toom_points(2)
+        grid = grid_points(pts, 1)
+        m = evaluation_matrix_multivariate(grid, 3, 1)
+        classic = evaluation_matrix(pts, 3)
+        assert m == classic
+
+    def test_claim_2_1_grid_is_injective_for_products(self):
+        # Claim 2.2: the S^l grid evaluation matrix for Poly_{2k-1,l} is
+        # injective (it is square and invertible here).
+        k, l = 2, 2
+        pts = toom_points(k)
+        grid = grid_points(pts, l)
+        m = evaluation_matrix_multivariate(grid, 2 * k - 1, l)
+        assert m.rank() == (2 * k - 1) ** l
+
+    def test_claim_2_3_interpolation_recovers_product(self):
+        # W^T ∘ E restricted to products is the identity: multiply two
+        # random Poly_{k,l} elements, evaluate the product on S^l, invert.
+        import random
+
+        rng = random.Random(7)
+        k, l = 2, 2
+        pts = toom_points(k)
+        grid = grid_points(pts, l)
+        e = evaluation_matrix_multivariate(grid, 2 * k - 1, l)
+        w_t = e.inv()
+        a = MultiPoly.from_vector([rng.randrange(-9, 9) for _ in range(k**l)], k, l)
+        b = MultiPoly.from_vector([rng.randrange(-9, 9) for _ in range(k**l)], k, l)
+        p = a * b
+        evals = [p.evaluate(pt, degree_bound=2 * k - 1) for pt in grid]
+        from repro.util.rational import mat_vec
+
+        coeffs = mat_vec(w_t.rows, evals)
+        assert coeffs == p.to_vector(2 * k - 1)
+
+    def test_grid_evaluation_matches_matrix(self):
+        # Row of the evaluation matrix dotted with a coefficient vector
+        # equals MultiPoly.evaluate.
+        import random
+
+        rng = random.Random(3)
+        r, l = 3, 2
+        pts = toom_points(2)  # any distinct points do
+        grid = grid_points(pts, l)
+        m = evaluation_matrix_multivariate(grid, r, l)
+        vec = [rng.randrange(-5, 5) for _ in range(r**l)]
+        p = MultiPoly.from_vector(vec, r, l)
+        from repro.util.rational import mat_vec
+
+        values = mat_vec(m.rows, vec)
+        for pt, v in zip(grid, values):
+            assert p.evaluate(pt, degree_bound=r) == v
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            evaluation_matrix_multivariate([((0, 1),)], 2, 2)

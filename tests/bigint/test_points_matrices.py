@@ -1,0 +1,168 @@
+"""Tests for evaluation points and the Toom bilinear-form matrices."""
+
+from fractions import Fraction
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigint.evalpoints import (
+    extended_toom_points,
+    finite_point_sequence,
+    points_pairwise_distinct,
+    projectively_equal,
+    toom_points,
+)
+from repro.bigint.matrices import (
+    evaluation_matrix,
+    full_evaluation_matrix,
+    interpolation_matrix,
+    interpolation_matrix_for_points,
+    toom_operators,
+)
+from repro.util.rational import mat_identity, mat_mul, mat_vec
+
+
+class TestPoints:
+    def test_toom3_standard_set(self):
+        # The most common Toom-3 set {0, 1, -1, 2, inf} (Section 1.1).
+        assert toom_points(3) == [(0, 1), (1, 1), (-1, 1), (2, 1), (1, 0)]
+
+    def test_counts(self):
+        for k in range(2, 7):
+            assert len(toom_points(k)) == 2 * k - 1
+
+    def test_k1(self):
+        assert toom_points(1) == [(0, 1)]
+
+    def test_distinctness(self):
+        for k in range(2, 8):
+            assert points_pairwise_distinct(toom_points(k))
+
+    def test_projective_equality(self):
+        assert projectively_equal((1, 1), (2, 2))
+        assert projectively_equal((1, 0), (5, 0))
+        assert not projectively_equal((1, 1), (2, 1))
+
+    def test_degenerate_point_invalid(self):
+        assert not points_pairwise_distinct([(0, 0), (1, 1)])
+
+    def test_duplicates_detected(self):
+        assert not points_pairwise_distinct([(1, 1), (2, 2)])
+
+    def test_extended_points_prefix_is_standard(self):
+        ext = extended_toom_points(3, 2)
+        assert ext[:5] == toom_points(3)
+        assert len(ext) == 7
+        assert points_pairwise_distinct(ext)
+
+    def test_extended_zero_redundancy(self):
+        assert extended_toom_points(2, 0) == toom_points(2)
+
+    @given(st.integers(2, 5), st.integers(0, 5))
+    @settings(max_examples=30)
+    def test_extended_points_distinct_property(self, k, f):
+        assert points_pairwise_distinct(extended_toom_points(k, f))
+
+    def test_finite_sequence_prefix(self):
+        seq = finite_point_sequence()
+        assert [next(seq) for _ in range(5)] == [
+            (0, 1),
+            (1, 1),
+            (-1, 1),
+            (2, 1),
+            (-2, 1),
+        ]
+
+
+class TestEvaluationMatrix:
+    def test_karatsuba_matrix(self):
+        # k=2, points 0, 1, inf: the classic Karatsuba evaluation.
+        u = evaluation_matrix(toom_points(2), 2)
+        assert u.rows == [[1, 0], [1, 1], [0, 1]]
+
+    def test_row_evaluates_polynomial(self):
+        # Row i of U dotted with coefficients = p(x_i, h_i) homogenized.
+        k = 3
+        coeffs = [7, -2, 5]  # p(x,h) = 7h^2 - 2xh + 5x^2
+        u = evaluation_matrix(toom_points(k), k)
+        values = mat_vec(u.rows, coeffs)
+        for (x, h), v in zip(toom_points(k), values):
+            assert v == 7 * h**2 - 2 * x * h + 5 * x**2
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            evaluation_matrix([], 2)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            evaluation_matrix([(0, 1)], 0)
+
+
+class TestInterpolation:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_wt_inverts_full_evaluation(self, k):
+        points = toom_points(k)
+        e = full_evaluation_matrix(points, k)
+        w_t = interpolation_matrix(points, k)
+        assert mat_mul(w_t.rows, e.rows) == mat_identity(2 * k - 1)
+
+    def test_wrong_point_count_rejected(self):
+        with pytest.raises(ValueError, match="exactly"):
+            interpolation_matrix(toom_points(2), 3)
+
+    def test_indistinct_points_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            interpolation_matrix_for_points([(1, 1), (2, 2), (0, 1)], 3)
+
+    def test_subset_interpolation_all_subsets(self):
+        # Any 2k-1 of the extended points interpolate — the property the
+        # polynomial code's recovery relies on (Section 4.2 correctness).
+        k, f = 2, 2
+        points = extended_toom_points(k, f)
+        m = 2 * k - 1
+        for subset in combinations(points, m):
+            w_t = interpolation_matrix_for_points(list(subset), m)
+            e = evaluation_matrix(list(subset), m)
+            assert mat_mul(w_t.rows, e.rows) == mat_identity(m)
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError, match="exactly"):
+            interpolation_matrix_for_points([(0, 1)], 3)
+
+
+class TestToomOperators:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_bilinear_form_multiplies_polynomials(self, k):
+        # <U, V, W>: W^T((Ua) .* (Vb)) must equal the coefficients of the
+        # product polynomial.
+        import random
+
+        rng = random.Random(k)
+        u, v, w_t = toom_operators(k)
+        a = [rng.randrange(-50, 50) for _ in range(k)]
+        b = [rng.randrange(-50, 50) for _ in range(k)]
+        ua = mat_vec(u.rows, a)
+        vb = mat_vec(v.rows, b)
+        had = [x * y for x, y in zip(ua, vb)]
+        coeffs = mat_vec(w_t.rows, had)
+        expected = [0] * (2 * k - 1)
+        for i, ai in enumerate(a):
+            for j, bj in enumerate(b):
+                expected[i + j] += ai * bj
+        assert [Fraction(c) for c in coeffs] == [Fraction(e) for e in expected]
+
+    def test_extra_points_only_affect_u(self):
+        points = extended_toom_points(2, 1)
+        u, v, w_t = toom_operators(2, points)
+        assert u.shape == (4, 2)
+        assert w_t.shape == (3, 3)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            toom_operators(3, toom_points(2))
+
+    def test_indistinct_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            toom_operators(2, [(0, 1), (1, 1), (2, 2)])

@@ -1,0 +1,134 @@
+"""Tests for input splitting, schoolbook, and Karatsuba."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigint.karatsuba import karatsuba_multiply
+from repro.bigint.schoolbook import schoolbook_cost, schoolbook_multiply
+from repro.bigint.split import lazy_depth, recombine, split_lazy, split_shared_base
+
+
+class TestSplitSharedBase:
+    def test_digit_count_and_round_trip(self):
+        a, b = 12345678901234567890, 987654321
+        va, vb, bits = split_shared_base(a, b, 4)
+        assert len(va) == len(vb) == 4
+        assert recombine(va) == a
+        assert recombine(vb) == b
+
+    def test_shared_base_covers_larger_operand(self):
+        a, b = 1 << 100, 3
+        va, vb, bits = split_shared_base(a, b, 3)
+        assert recombine(va) == a and recombine(vb) == b
+        assert bits * 3 >= 101
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="magnitudes"):
+            split_shared_base(-1, 2, 2)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            split_shared_base(1, 1, 0)
+
+    @given(st.integers(0, 1 << 200), st.integers(0, 1 << 200), st.integers(2, 6))
+    @settings(max_examples=60)
+    def test_round_trip_property(self, a, b, k):
+        va, vb, _ = split_shared_base(a, b, k)
+        assert recombine(va) == a and recombine(vb) == b
+
+
+class TestSplitLazy:
+    def test_digit_count_is_k_to_l(self):
+        va, vb, _ = split_lazy(1 << 300, 1 << 200, 3, 2)
+        assert len(va) == len(vb) == 9
+
+    def test_round_trip(self):
+        a, b = 2**517 - 3, 2**400 + 17
+        va, vb, _ = split_lazy(a, b, 2, 5)
+        assert recombine(va) == a and recombine(vb) == b
+
+    def test_depth_zero_single_digit(self):
+        va, vb, _ = split_lazy(7, 9, 3, 0)
+        assert len(va) == 1 and va[0] == 7
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            split_lazy(1, 1, 2, -1)
+        with pytest.raises(ValueError):
+            split_lazy(-1, 1, 2, 1)
+
+
+class TestLazyDepth:
+    def test_small_input_zero_depth(self):
+        assert lazy_depth(5, 7, 3, leaf_bits=64) == 0
+
+    def test_grows_logarithmically(self):
+        assert lazy_depth(1 << 63, 1, 2, 64) == 0
+        assert lazy_depth(1 << 65, 1, 2, 64) == 1
+        assert lazy_depth(1 << 129, 1, 2, 64) == 2
+
+    @given(st.integers(1, 1 << 400), st.integers(2, 5))
+    @settings(max_examples=60)
+    def test_leaves_fit(self, a, k):
+        l = lazy_depth(a, 1, k, 32)
+        assert k**l * 32 >= a.bit_length()
+        assert l == 0 or k ** (l - 1) * 32 < a.bit_length()
+
+
+class TestSchoolbook:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(0, 5), (5, 0), (1, 1), (255, 255), (12345, 6789), (-7, 8), (7, -8), (-7, -8)],
+    )
+    def test_small_cases(self, a, b):
+        product, _ = schoolbook_multiply(a, b, word_bits=8)
+        assert product == a * b
+
+    def test_flop_count_quadratic(self):
+        _, f1 = schoolbook_multiply((1 << 256) - 1, (1 << 256) - 1, word_bits=8)
+        _, f2 = schoolbook_multiply((1 << 512) - 1, (1 << 512) - 1, word_bits=8)
+        assert f2 == 4 * f1  # doubling size quadruples flops
+
+    def test_cost_model(self):
+        assert schoolbook_cost(10) == 200
+        with pytest.raises(ValueError):
+            schoolbook_cost(0)
+
+    def test_zero_cost_for_zero_operand(self):
+        assert schoolbook_multiply(0, 12345)[1] == 0
+
+    @given(st.integers(-(1 << 300), 1 << 300), st.integers(-(1 << 300), 1 << 300))
+    @settings(max_examples=80)
+    def test_correctness_property(self, a, b):
+        assert schoolbook_multiply(a, b)[0] == a * b
+
+
+class TestKaratsuba:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(0, 5), (1, 1), (2**64 - 1, 2**64 - 1), (-(2**100), 2**99 + 1)],
+    )
+    def test_small_cases(self, a, b):
+        assert karatsuba_multiply(a, b)[0] == a * b
+
+    def test_subquadratic_flops(self):
+        n = 1 << 14
+        _, f1 = karatsuba_multiply((1 << n) - 1, (1 << n) - 1)
+        _, f2 = karatsuba_multiply((1 << (2 * n)) - 1, (1 << (2 * n)) - 1)
+        # Karatsuba: doubling the size should roughly triple the work,
+        # certainly not quadruple it.
+        assert f2 < 3.7 * f1
+
+    def test_threshold_respected(self):
+        product, flops = karatsuba_multiply(3, 5, threshold_bits=64)
+        assert (product, flops) == (15, 1)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            karatsuba_multiply(1, 1, threshold_bits=0)
+
+    @given(st.integers(-(1 << 500), 1 << 500), st.integers(-(1 << 500), 1 << 500))
+    @settings(max_examples=60)
+    def test_correctness_property(self, a, b):
+        assert karatsuba_multiply(a, b, threshold_bits=32)[0] == a * b

@@ -1,0 +1,191 @@
+"""Tests for sequential Toom-Cook (Algorithm 1) and lazy interpolation
+(Algorithm 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigint.evalpoints import extended_toom_points
+from repro.bigint.lazy import LazyToomCook
+from repro.bigint.limbs import LimbVector
+from repro.bigint.split import split_lazy
+from repro.bigint.toomcook import ToomCook, toom_cost
+
+big_ints = st.integers(min_value=-(1 << 600), max_value=1 << 600)
+
+
+class TestToomCook:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_correctness_across_k(self, k):
+        tc = ToomCook(k, threshold_bits=32)
+        for a, b in [
+            (0, 7),
+            (1, 1),
+            (2**100 - 1, 2**100 + 1),
+            (-(2**200), 3**80),
+            (12345678901234567890, 98765432109876543210),
+        ]:
+            assert tc.multiply(a, b)[0] == a * b
+
+    def test_k1_rejected(self):
+        with pytest.raises(ValueError):
+            ToomCook(1)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ToomCook(2, threshold_bits=0)
+
+    def test_below_threshold_single_flop(self):
+        assert ToomCook(2, threshold_bits=64).multiply(3, 5) == (15, 1)
+
+    def test_zero_operands_free(self):
+        assert ToomCook(3).multiply(0, 1 << 500) == (0, 0)
+
+    def test_custom_points(self):
+        points = extended_toom_points(2, 1)
+        tc = ToomCook(2, threshold_bits=32, points=points)
+        a, b = 2**150 - 7, 2**149 + 11
+        assert tc.multiply(a, b)[0] == a * b
+
+    @given(big_ints, big_ints, st.sampled_from([2, 3, 4]))
+    @settings(max_examples=60, deadline=None)
+    def test_correctness_property(self, a, b, k):
+        assert ToomCook(k, threshold_bits=32).multiply(a, b)[0] == a * b
+
+    def test_flops_subquadratic(self):
+        tc = ToomCook(3, threshold_bits=16)
+        n = 1 << 12
+        _, f1 = tc.multiply((1 << n) - 1, (1 << n) - 1)
+        _, f3 = tc.multiply((1 << (3 * n)) - 1, (1 << (3 * n)) - 1)
+        # Toom-3: tripling the size should cost ~5x, well below the
+        # schoolbook 9x.
+        assert f3 < 7 * f1
+
+    def test_flops_monotone_in_size(self):
+        tc = ToomCook(2, threshold_bits=16)
+        _, small = tc.multiply(1 << 100, 1 << 100)
+        _, large = tc.multiply(1 << 1000, 1 << 1000)
+        assert large > small
+
+
+class TestInversionSequenceInterpolation:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_sequence_mode_is_exact(self, k):
+        tc = ToomCook(k, threshold_bits=32, interpolation="sequence")
+        for a, b in [(2**300 - 7, 2**299 + 3), (-(2**150), 2**151 - 1)]:
+            assert tc.multiply(a, b)[0] == a * b
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_sequence_mode_saves_flops(self, k):
+        a, b = 2**2000 - 19, 2**1999 + 5
+        dense = ToomCook(k, threshold_bits=16).multiply(a, b)[1]
+        seq = ToomCook(k, threshold_bits=16, interpolation="sequence").multiply(
+            a, b
+        )[1]
+        assert seq < dense
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="interpolation"):
+            ToomCook(2, interpolation="magic")
+
+    @given(big_ints, big_ints)
+    @settings(max_examples=25, deadline=None)
+    def test_sequence_matches_matrix_property(self, a, b):
+        dense = ToomCook(3, threshold_bits=32)
+        seq = ToomCook(3, threshold_bits=32, interpolation="sequence")
+        assert dense.multiply(a, b)[0] == seq.multiply(a, b)[0] == a * b
+
+
+class TestToomCost:
+    def test_base_case(self):
+        assert toom_cost(1, 3) == 1
+
+    def test_recurrence_shape(self):
+        # T(k*n) = (2k-1) T(n) + c*k*n
+        k, n, c = 3, 9, 10
+        assert toom_cost(k * n, k, c) == (2 * k - 1) * toom_cost(n, k, c) + c * k * n
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            toom_cost(0, 2)
+        with pytest.raises(ValueError):
+            toom_cost(4, 1)
+
+    def test_growth_exponent(self):
+        import math
+
+        k = 2
+        t1 = toom_cost(2**10, k)
+        t2 = toom_cost(2**14, k)
+        measured = math.log(t2 / t1) / math.log(2**4)
+        expected = math.log(2 * k - 1) / math.log(k)  # log2(3) ~ 1.585
+        assert abs(measured - expected) < 0.08
+
+
+class TestLazyToomCook:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_correctness_across_k(self, k):
+        lz = LazyToomCook(k, threshold_bits=32)
+        for a, b in [
+            (0, 9),
+            (5, 7),
+            (2**300 - 1, 2**299 + 1),
+            (-(2**123), 2**124 - 3),
+        ]:
+            assert lz.multiply(a, b)[0] == a * b
+
+    def test_k1_rejected(self):
+        with pytest.raises(ValueError):
+            LazyToomCook(1)
+
+    def test_forced_depth(self):
+        lz = LazyToomCook(2, threshold_bits=64)
+        a, b = 123, 456
+        for depth in range(4):
+            assert lz.multiply(a, b, depth=depth)[0] == a * b
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            LazyToomCook(2).multiply(1, 1, depth=-1)
+
+    def test_agrees_with_algorithm1(self):
+        a, b = 2**400 - 19, 2**397 + 31
+        eager = ToomCook(3, threshold_bits=32).multiply(a, b)[0]
+        lazy = LazyToomCook(3, threshold_bits=32).multiply(a, b)[0]
+        assert eager == lazy == a * b
+
+    @given(big_ints, big_ints, st.sampled_from([2, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_correctness_property(self, a, b, k):
+        assert LazyToomCook(k, threshold_bits=32).multiply(a, b)[0] == a * b
+
+
+class TestMultiplyBlocks:
+    def test_leaf(self):
+        lz = LazyToomCook(2, threshold_bits=8)
+        out, flops = lz.multiply_blocks(
+            LimbVector([7], 8), LimbVector([9], 8), depth=0
+        )
+        assert out.limbs == (63,) and flops == 1
+
+    def test_product_polynomial_length(self):
+        lz = LazyToomCook(3, threshold_bits=8)
+        a, b = 2**70 - 1, 2**70 - 3
+        va, vb, _ = split_lazy(a, b, 3, 2)
+        out, _ = lz.multiply_blocks(va, vb, depth=2)
+        assert len(out) == 2 * 9 - 1
+        assert out.to_int() == a * b
+
+    def test_wrong_block_length_rejected(self):
+        lz = LazyToomCook(2)
+        with pytest.raises(ValueError, match="expected"):
+            lz.multiply_blocks(LimbVector([1, 2, 3], 8), LimbVector([1, 2], 8), 1)
+
+    def test_carries_are_lazy(self):
+        # Block product limbs may exceed the radix; only to_int resolves.
+        lz = LazyToomCook(2, threshold_bits=4)
+        va = LimbVector([15, 15], 4)
+        vb = LimbVector([15, 15], 4)
+        out, _ = lz.multiply_blocks(va, vb, depth=1)
+        assert max(out.limbs) > 15  # unresolved carry present
+        assert out.to_int() == 255 * 255

@@ -1,0 +1,89 @@
+"""Tests for unbalanced Toom-Cook-(k1, k2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigint.evalpoints import points_pairwise_distinct
+from repro.bigint.toomcook import ToomCook
+from repro.bigint.unbalanced import UnbalancedToomCook, unbalanced_points
+
+big_ints = st.integers(min_value=-(1 << 500), max_value=1 << 500)
+
+
+class TestPoints:
+    @pytest.mark.parametrize("k1,k2", [(2, 1), (3, 2), (4, 2), (4, 3)])
+    def test_count_and_distinctness(self, k1, k2):
+        pts = unbalanced_points(k1, k2)
+        assert len(pts) == k1 + k2 - 1
+        assert points_pairwise_distinct(pts)
+
+    def test_infinity_last(self):
+        assert unbalanced_points(3, 2)[-1] == (1, 0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("k1,k2", [(1, 1), (2, 0), (2, 3)])
+    def test_bad_split_counts(self, k1, k2):
+        with pytest.raises(ValueError):
+            UnbalancedToomCook(k1, k2)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            UnbalancedToomCook(3, 2, threshold_bits=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k1,k2", [(2, 1), (3, 2), (4, 2), (4, 3), (3, 3)])
+    def test_small_cases(self, k1, k2):
+        algo = UnbalancedToomCook(k1, k2, threshold_bits=16)
+        for a, b in [
+            (0, 5),
+            (2**200 - 1, 2**130 + 7),
+            (-(2**150), 2**100 - 3),
+            (12345, 6789),
+        ]:
+            assert algo.multiply(a, b)[0] == a * b
+
+    def test_operand_order_both_work(self):
+        algo = UnbalancedToomCook(3, 2, threshold_bits=16)
+        a, b = 2**300 - 1, 2**200 + 9
+        assert algo.multiply(a, b)[0] == a * b
+        assert algo.multiply(b, a)[0] == a * b
+
+    @given(big_ints, big_ints)
+    @settings(max_examples=40, deadline=None)
+    def test_toom32_property(self, a, b):
+        algo = UnbalancedToomCook(3, 2, threshold_bits=32)
+        assert algo.multiply(a, b)[0] == a * b
+
+    def test_with_inner_multiplier(self):
+        rng = random.Random(4)
+        hybrid = UnbalancedToomCook(3, 2, 16, inner=ToomCook(3, 16))
+        a, b = rng.getrandbits(3000), rng.getrandbits(2000)
+        assert hybrid.multiply(a, b)[0] == a * b
+
+
+class TestCostAdvantage:
+    def test_hybrid_beats_balanced_on_unbalanced_operands(self):
+        # The point of the (3,2) split: on 3:2-sized operands the
+        # sub-products come out square, so a (3,2) top layer over a
+        # balanced inner engine beats the balanced engine alone.
+        rng = random.Random(9)
+        a, b = rng.getrandbits(6000), rng.getrandbits(4000)
+        hybrid = UnbalancedToomCook(3, 2, 16, inner=ToomCook(3, 16))
+        f_hybrid = hybrid.multiply(a, b)[1]
+        f_toom3 = ToomCook(3, 16).multiply(a, b)[1]
+        f_toom2 = ToomCook(2, 16).multiply(a, b)[1]
+        assert hybrid.multiply(a, b)[0] == a * b
+        assert f_hybrid < f_toom3 < f_toom2
+
+    def test_sub_products_are_square(self):
+        # Digit widths: 6000/3 == 4000/2, so the pointwise products have
+        # equally sized operands (up to evaluation growth).
+        algo = UnbalancedToomCook(3, 2, threshold_bits=16)
+        a_bits, b_bits = 6000, 4000
+        base = max(-(-a_bits // 3), -(-b_bits // 2))
+        assert base == 2000

@@ -1,0 +1,181 @@
+"""Tests for the systematic linear erasure code and erasure decoding."""
+
+from fractions import Fraction
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigint.limbs import LimbVector
+from repro.coding.erasure import reconstruct_erasures, recovery_coefficients
+from repro.coding.linear import SystematicCode
+from repro.coding.vandermonde import (
+    default_nodes,
+    every_minor_invertible,
+    vandermonde_matrix,
+)
+
+
+class TestVandermonde:
+    def test_entries(self):
+        e = vandermonde_matrix(2, 3)
+        assert e.rows == [[1, 1, 1], [1, 2, 4]]
+
+    def test_custom_nodes(self):
+        e = vandermonde_matrix(2, 2, nodes=[3, 5])
+        assert e.rows == [[1, 3], [1, 5]]
+
+    def test_node_count_checked(self):
+        with pytest.raises(ValueError, match="nodes"):
+            vandermonde_matrix(2, 2, nodes=[1])
+
+    def test_distinct_nodes_required(self):
+        with pytest.raises(ValueError, match="distinct"):
+            vandermonde_matrix(2, 2, nodes=[1, 1])
+
+    def test_default_nodes(self):
+        assert default_nodes(3) == [1, 2, 3]
+
+    @pytest.mark.parametrize("f,cols", [(1, 3), (2, 4), (3, 4)])
+    def test_every_minor_invertible_positive_nodes(self, f, cols):
+        assert every_minor_invertible(vandermonde_matrix(f, cols))
+
+    def test_minor_check_detects_singularity(self):
+        from repro.util.rational import FractionMatrix
+
+        # A zero entry is a singular 1x1 minor.
+        assert not every_minor_invertible(FractionMatrix([[1, 0], [1, 1]]))
+
+
+class TestSystematicCode:
+    def test_parameters(self):
+        code = SystematicCode(k=4, f=2)
+        assert code.n == 6
+        assert code.distance == 3
+
+    def test_generator_shape(self):
+        g = SystematicCode(3, 2).generator_matrix()
+        assert g.shape == (5, 3)
+        assert [list(r) for r in g.rows[:3]] == [
+            [1, 0, 0],
+            [0, 1, 0],
+            [0, 0, 1],
+        ]
+
+    def test_encode_scalar_data(self):
+        code = SystematicCode(k=3, f=1)  # E = [1, 1, 1] for node 1
+        assert code.encode([5, 7, 9]) == [21]
+
+    def test_encode_second_row_weighted(self):
+        code = SystematicCode(k=2, f=2)  # rows [1,1], [1,2]
+        assert code.encode([10, 100]) == [110, 210]
+
+    def test_encode_length_checked(self):
+        with pytest.raises(ValueError):
+            SystematicCode(2, 1).encode([1])
+
+    def test_encode_limb_blocks(self):
+        code = SystematicCode(k=2, f=1)
+        data = [LimbVector([1, 2], 8), LimbVector([10, 20], 8)]
+        assert code.encode(data)[0] == LimbVector([11, 22], 8)
+
+    def test_codeword_prefix_is_data(self):
+        code = SystematicCode(k=2, f=1)
+        assert code.codeword([4, 5])[:2] == [4, 5]
+
+    def test_is_mds(self):
+        assert SystematicCode(k=4, f=3).is_mds()
+
+    def test_encode_flops(self):
+        code = SystematicCode(k=3, f=2)
+        assert code.encode_flops(10) == 2 * 6 * 10
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            SystematicCode(0, 1)
+        with pytest.raises(ValueError):
+            SystematicCode(1, 0)
+
+
+class TestErasureDecoding:
+    def test_recover_one_data_loss(self):
+        code = SystematicCode(k=3, f=1)
+        data = [11, 22, 33]
+        cw = code.codeword(data)
+        known = {0: cw[0], 2: cw[2], 3: cw[3]}
+        assert reconstruct_erasures(code, known, [1]) == {1: 22}
+
+    def test_recover_f_losses_every_pattern(self):
+        # MDS: any f erasures recoverable from any k survivors.
+        code = SystematicCode(k=3, f=2)
+        data = [7, -4, 19]
+        cw = code.codeword(data)
+        for lost in combinations(range(code.n), 2):
+            known = {i: cw[i] for i in range(code.n) if i not in lost}
+            rec = reconstruct_erasures(code, known, list(lost))
+            for idx in lost:
+                if idx < code.k:
+                    assert rec[idx] == data[idx]
+
+    def test_recover_limb_blocks(self):
+        code = SystematicCode(k=4, f=2)
+        data = [LimbVector([i, -i, i * i], 8) for i in range(1, 5)]
+        cw = code.codeword(data)
+        known = {i: cw[i] for i in range(code.n) if i not in (0, 2)}
+        rec = reconstruct_erasures(code, known, [0, 2])
+        assert rec[0] == data[0] and rec[2] == data[2]
+
+    def test_too_many_losses_rejected(self):
+        code = SystematicCode(k=3, f=1)
+        cw = code.codeword([1, 2, 3])
+        known = {0: cw[0], 1: cw[1]}  # only 2 < k survivors
+        with pytest.raises(ValueError, match="more than f"):
+            reconstruct_erasures(code, known, [2, 3])
+
+    def test_lost_redundancy_not_solved(self):
+        code = SystematicCode(k=2, f=2)
+        cw = code.codeword([5, 6])
+        known = {0: cw[0], 1: cw[1], 2: cw[2]}
+        rec = reconstruct_erasures(code, known, [3])
+        assert rec == {}  # redundancy is re-encoded, not reconstructed
+
+    def test_recovery_coefficients_validation(self):
+        code = SystematicCode(k=3, f=1)
+        with pytest.raises(ValueError, match="exactly"):
+            recovery_coefficients(code, [0, 1], [2])
+        with pytest.raises(ValueError, match="overlap"):
+            recovery_coefficients(code, [0, 1, 2], [2])
+        with pytest.raises(ValueError, match="out of range"):
+            recovery_coefficients(code, [0, 1, 9], [2])
+
+    def test_coefficients_reconstruct_exactly(self):
+        code = SystematicCode(k=3, f=2)
+        data = [3, 1, 4]
+        cw = code.codeword(data)
+        coeffs = recovery_coefficients(code, [1, 3, 4], [0, 2])
+        for lost, combo in coeffs.items():
+            value = sum(Fraction(c) * cw[s] for s, c in combo.items())
+            assert value == data[lost]
+
+    @given(
+        st.integers(2, 5),
+        st.integers(1, 3),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_erasure_patterns_property(self, k, f, data):
+        code = SystematicCode(k=k, f=f)
+        values = [
+            data.draw(st.integers(-1000, 1000), label=f"x{i}") for i in range(k)
+        ]
+        cw = code.codeword(values)
+        lost = data.draw(
+            st.sets(st.integers(0, code.n - 1), min_size=0, max_size=f),
+            label="lost",
+        )
+        known = {i: cw[i] for i in range(code.n) if i not in lost}
+        rec = reconstruct_erasures(code, known, sorted(lost))
+        for idx in lost:
+            if idx < k:
+                assert rec[idx] == values[idx]

@@ -1,0 +1,108 @@
+"""Additional edge-case coverage for the checkpoint-restart baseline and
+the replication baseline under unusual fault placements."""
+
+import random
+
+import pytest
+
+from repro.core.checkpoint import CheckpointedToomCook
+from repro.core.plan import make_plan
+from repro.core.replication import ReplicatedToomCook
+from repro.machine.errors import MachineError
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+
+def operands(seed, n_bits=600):
+    rng = random.Random(seed)
+    return rng.getrandbits(n_bits), rng.getrandbits(n_bits - 8)
+
+
+class TestCheckpointEdgeCases:
+    def test_fault_in_evaluation_phase(self):
+        a, b = operands(1)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        out = CheckpointedToomCook(
+            plan, f=1, timeout=15,
+            fault_schedule=FaultSchedule([FaultEvent(3, "evaluation", 1)]),
+        ).multiply(a, b)
+        assert out.product == a * b
+
+    def test_fault_in_interpolation_phase(self):
+        a, b = operands(2)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        out = CheckpointedToomCook(
+            plan, f=1, timeout=15,
+            fault_schedule=FaultSchedule([FaultEvent(6, "interpolation", 1)]),
+        ).multiply(a, b)
+        assert out.product == a * b
+
+    def test_victim_and_holder_both_die_exceeds_f(self):
+        # Rank 4's only holder with f=1 is rank 5; killing both loses the
+        # checkpoint — the run must fail loudly, not silently.
+        a, b = operands(3)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        events = [
+            FaultEvent(5, "multiplication", 0),
+            FaultEvent(4, "multiplication", 0, incarnation=0),
+        ]
+        algo = CheckpointedToomCook(
+            plan, f=1, timeout=10, fault_schedule=FaultSchedule(events)
+        )
+        out = algo.multiply(a, b, raise_on_error=False)
+        recovered = out.run.ok and out.product == a * b
+        failed_loudly = any(
+            isinstance(e, MachineError) for e in out.run.errors.values()
+        )
+        # Depending on who reaches the restore first this either recovers
+        # (rank 5 died after forwarding) or reports the loss — but it must
+        # never return a wrong product.
+        assert recovered or failed_loudly
+        if out.run.ok:
+            assert out.product == a * b
+
+    def test_two_faults_with_f2_holders(self):
+        a, b = operands(4)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        events = [
+            FaultEvent(0, "multiplication", 0),
+            FaultEvent(4, "multiplication", 0),
+        ]
+        out = CheckpointedToomCook(
+            plan, f=2, timeout=15, fault_schedule=FaultSchedule(events)
+        ).multiply(a, b)
+        assert out.product == a * b
+
+    def test_checkpoint_memory_accounted(self):
+        a, b = operands(5)
+        plan = make_plan(600, p=3, k=2, word_bits=16)
+        out = CheckpointedToomCook(plan, f=1, timeout=15).multiply(a, b)
+        # Held buddy copies occupy real accounted memory.
+        assert out.run.max_peak_memory() > 2 * plan.local_words
+
+
+class TestReplicationEdgeCases:
+    def test_fault_in_every_copy_but_one(self):
+        a, b = operands(6)
+        plan = make_plan(600, p=3, k=2, word_bits=16)
+        events = [
+            FaultEvent(0, "multiplication", 0),  # copy 0
+            FaultEvent(3, "multiplication", 0),  # copy 1
+        ]
+        out = ReplicatedToomCook(
+            plan, f=2, timeout=10, fault_schedule=FaultSchedule(events)
+        ).multiply(a, b)
+        assert out.product == a * b  # copy 2 survives
+
+    def test_assembly_prefers_first_complete_copy(self):
+        a, b = operands(7)
+        plan = make_plan(600, p=3, k=2, word_bits=16)
+        algo = ReplicatedToomCook(plan, f=1, timeout=10)
+        out = algo.multiply(a, b)
+        # Fault-free: both copies complete; assembly must pick a complete
+        # one and be exact.
+        assert out.product == a * b
+        assert all(s is not None for s in out.run.results)
+
+    def test_copies_property(self):
+        plan = make_plan(600, p=3, k=2, word_bits=16)
+        assert ReplicatedToomCook(plan, f=3).copies == 4

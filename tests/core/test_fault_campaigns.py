@@ -1,0 +1,85 @@
+"""Randomized fault campaigns: end-to-end exactness under seeded random
+fault injection across algorithms, phases, and victims."""
+
+import random
+
+import pytest
+
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+from repro.core.ft_toomcook import FaultTolerantToomCook
+from repro.core.plan import make_plan
+from repro.machine.fault import FaultEvent, FaultSchedule, RandomFaultModel
+from repro.util.rng import DeterministicRNG
+
+
+class TestPolyCampaign:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_single_fault_multiplication_phase(self, seed):
+        rng = random.Random(seed)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        victim = rng.randrange(12)  # any standard or code rank
+        op = rng.randrange(3)
+        algo = PolynomialCodedToomCook(
+            plan,
+            f=1,
+            fault_schedule=FaultSchedule(
+                [FaultEvent(victim, "multiplication", op)]
+            ),
+            timeout=15,
+        )
+        a, b = rng.getrandbits(600), rng.getrandbits(590)
+        out = algo.multiply(a, b)
+        assert out.product == a * b, (seed, victim, op)
+
+
+class TestCombinedCampaign:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_fault_any_phase(self, seed):
+        rng = random.Random(100 + seed)
+        plan = make_plan(1200, p=9, k=2, word_bits=16, extra_dfs=1)
+        phase = rng.choice(["evaluation", "multiplication", "interpolation"])
+        victim = rng.randrange(9)  # standard ranks
+        op = rng.randrange(4)
+        algo = FaultTolerantToomCook(
+            plan,
+            f=1,
+            fault_schedule=FaultSchedule([FaultEvent(victim, phase, op)]),
+            timeout=20,
+        )
+        a, b = rng.getrandbits(1200), rng.getrandbits(1190)
+        out = algo.multiply(a, b)
+        assert out.product == a * b, (seed, victim, phase, op)
+        assert len(out.run.fault_log) <= 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_two_random_faults_f2(self, seed):
+        rng = random.Random(200 + seed)
+        plan = make_plan(1200, p=9, k=2, word_bits=16, extra_dfs=1)
+        victims = rng.sample(range(9), 2)
+        events = [
+            FaultEvent(v, rng.choice(["evaluation", "multiplication"]), rng.randrange(2))
+            for v in victims
+        ]
+        algo = FaultTolerantToomCook(
+            plan, f=2, fault_schedule=FaultSchedule(events), timeout=25
+        )
+        a, b = rng.getrandbits(1200), rng.getrandbits(1190)
+        out = algo.multiply(a, b)
+        assert out.product == a * b, (seed, events)
+
+    def test_random_fault_model_schedule(self):
+        # Drive a campaign from the MTBF model end to end.
+        model = RandomFaultModel(
+            mtbf_ops=4.0, rng=DeterministicRNG(5), max_faults=1
+        )
+        sched = model.draw_schedule(
+            ranks=list(range(9)), phases=["multiplication"]
+        )
+        plan = make_plan(800, p=9, k=2, word_bits=16)
+        algo = FaultTolerantToomCook(
+            plan, f=1, fault_schedule=sched, timeout=20
+        )
+        rng = random.Random(5)
+        a, b = rng.getrandbits(800), rng.getrandbits(790)
+        out = algo.multiply(a, b)
+        assert out.product == a * b

@@ -1,0 +1,181 @@
+"""Tests for the linear column code protocol (Section 4.1)."""
+
+import time
+
+import pytest
+
+from repro.bigint.limbs import LimbVector
+from repro.core.ft_linear import ColumnCode, LinearCodedState
+from repro.machine.engine import Machine
+from repro.machine.errors import HardFault, MachineError
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+
+def lv(*limbs):
+    return LimbVector(limbs, 16)
+
+
+class TestLinearCodedState:
+    def test_flatten_unflatten_round_trip(self):
+        vectors = [lv(1, 2), lv(3), lv(4, 5, 6)]
+        state = LinearCodedState.flatten(vectors)
+        assert state.schema == (2, 1, 3)
+        assert state.unflatten() == vectors
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCodedState.flatten([])
+
+    def test_schema_mismatch_detected(self):
+        state = LinearCodedState(lv(1, 2, 3), (2,))
+        with pytest.raises(ValueError, match="schema"):
+            state.unflatten()
+
+
+class TestColumnCodeConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColumnCode([], [3])
+        with pytest.raises(ValueError):
+            ColumnCode([0, 1], [])
+        with pytest.raises(ValueError, match="overlap"):
+            ColumnCode([0, 1], [1])
+
+    def test_code_parameters(self):
+        cc = ColumnCode([0, 1, 2], [3, 4])
+        assert cc.f == 2
+        assert cc.code.k == 3
+        assert cc.code.distance == 3
+
+
+def run_protocol(column, codes, program, events=(), timeout=10):
+    size = len(column) + len(codes)
+    machine = Machine(
+        size,
+        word_bits=16,
+        fault_schedule=FaultSchedule(list(events)),
+        timeout=timeout,
+    )
+    return machine.run(program)
+
+
+class TestEncodeRecover:
+    def test_code_word_is_weighted_sum(self):
+        cc = ColumnCode([0, 1], [2, 3])
+
+        def program(comm):
+            state = lv(comm.rank + 1, 10 * (comm.rank + 1)) if comm.rank < 2 else None
+            return cc.encode(comm, state, epoch=0)
+
+        res = run_protocol([0, 1], [2, 3], program)
+        # Code row 0 (eta=1): s0 + s1; row 1 (eta=2): s0 + 2 s1.
+        assert res.results[2] == lv(3, 30)
+        assert res.results[3] == lv(5, 50)
+        assert res.results[0] is None
+
+    def test_encode_requires_state_from_standard(self):
+        cc = ColumnCode([0, 1], [2])
+
+        def program(comm):
+            return cc.encode(comm, None, epoch=0)
+
+        with pytest.raises(MachineError):
+            run_protocol([0, 1], [2], program)
+
+    def test_encode_cost_is_f_reduce(self):
+        # Lemma 2.5: f reduces of M words cost F = BW = f*M per rank.
+        cc = ColumnCode([0, 1, 2], [3, 4])
+        M = 30
+
+        def program(comm):
+            state = lv(*range(M)) if comm.rank < 3 else None
+            cc.encode(comm, state, epoch=0)
+
+        res = run_protocol([0, 1, 2], [3, 4], program)
+        for rank in range(3):
+            assert res.per_rank[rank].bw == 2 * M  # f=2 reduces of M words
+
+    def test_recover_single_fault(self):
+        cc = ColumnCode([0, 1, 2], [3])
+
+        def program(comm):
+            state = lv(7 * comm.rank, comm.rank) if comm.rank < 3 else None
+            word = cc.encode(comm, state, epoch=0)
+            if comm.rank == 1:
+                try:
+                    with comm.phase("work"):
+                        comm.charge_flops(1)
+                except HardFault:
+                    comm.begin_replacement()
+                    state = None
+            else:
+                while comm.incarnation_of(1) == 0:
+                    time.sleep(0.005)
+            rec = cc.recover(comm, [1], my_state=state, my_code_word=word, epoch=0)
+            return rec if comm.rank == 1 else None
+
+        res = run_protocol(
+            [0, 1, 2], [3], program, events=[FaultEvent(1, "work", 0)]
+        )
+        assert res.results[1] == lv(7, 1)
+
+    def test_recover_too_many_faults_rejected(self):
+        cc = ColumnCode([0, 1], [2])
+
+        def program(comm):
+            cc.recover(comm, [0, 1], my_state=None, my_code_word=None, epoch=0)
+
+        with pytest.raises(MachineError, match="exceed"):
+            run_protocol([0, 1], [2], program)
+
+    def test_recover_foreign_rank_rejected(self):
+        cc = ColumnCode([0, 1], [2])
+
+        def program(comm):
+            cc.recover(comm, [99], my_state=lv(1), my_code_word=None, epoch=0)
+
+        with pytest.raises(MachineError, match="not in this column"):
+            run_protocol([0, 1], [2], program)
+
+    def test_excluded_survivor_not_selected(self):
+        # With an excluded code rank, recovery must still succeed using
+        # the remaining members.
+        cc = ColumnCode([0, 1], [2, 3])
+
+        def program(comm):
+            state = lv(5 + comm.rank) if comm.rank < 2 else None
+            word = cc.encode(comm, state, epoch=0)
+            if comm.rank == 0:
+                try:
+                    with comm.phase("work"):
+                        comm.charge_flops(1)
+                except HardFault:
+                    comm.begin_replacement()
+                    state = None
+            else:
+                while comm.incarnation_of(0) == 0:
+                    time.sleep(0.005)
+            # Pretend code rank 3's word is stale.
+            rec = cc.recover(
+                comm, [0], my_state=state,
+                my_code_word=None if comm.rank == 3 else word,
+                epoch=0, excluded=[3],
+            )
+            return rec if comm.rank == 0 else None
+
+        res = run_protocol(
+            [0, 1], [2, 3], program, events=[FaultEvent(0, "work", 0)]
+        )
+        assert res.results[0] == lv(5)
+
+    def test_exclusion_below_distance_rejected(self):
+        cc = ColumnCode([0, 1], [2])
+
+        def program(comm):
+            cc.recover(
+                comm, [0], my_state=lv(1), my_code_word=lv(1), epoch=0,
+                excluded=[1, 2],
+            )
+
+        with pytest.raises(MachineError, match="usable"):
+            run_protocol([0, 1], [2], program)

@@ -1,0 +1,71 @@
+"""Property-based end-to-end tests: the parallel and fault-tolerant
+machines must agree with native integer multiplication on arbitrary
+inputs (sizes kept small — every example spins up a full SPMD machine)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+from repro.core.ft_toomcook import FaultTolerantToomCook
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.plan import make_plan
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+ints_600 = st.integers(min_value=0, max_value=(1 << 600) - 1)
+
+
+class TestParallelProperty:
+    @given(ints_600, ints_600, st.sampled_from([(3, 2), (9, 2), (5, 3)]))
+    @SLOW
+    def test_parallel_matches_native(self, a, b, pk):
+        p, k = pk
+        plan = make_plan(600, p=p, k=k, word_bits=16)
+        out = ParallelToomCook(plan, timeout=30).multiply(a, b)
+        assert out.product == a * b
+
+    @given(ints_600, ints_600)
+    @SLOW
+    def test_parallel_with_dfs_matches_native(self, a, b):
+        plan = make_plan(600, p=3, k=2, word_bits=16, extra_dfs=1)
+        out = ParallelToomCook(plan, timeout=30).multiply(a, b)
+        assert out.product == a * b
+
+
+class TestFaultTolerantProperty:
+    @given(ints_600, ints_600, st.integers(0, 8))
+    @SLOW
+    def test_poly_coded_with_random_victim(self, a, b, victim):
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        sched = FaultSchedule([FaultEvent(victim, "multiplication", 0)])
+        out = PolynomialCodedToomCook(
+            plan, f=1, fault_schedule=sched, timeout=30
+        ).multiply(a, b)
+        assert out.product == a * b
+
+    @given(ints_600, ints_600)
+    @SLOW
+    def test_combined_ft_fault_free(self, a, b):
+        plan = make_plan(600, p=3, k=2, word_bits=16)
+        out = FaultTolerantToomCook(plan, f=1, timeout=30).multiply(a, b)
+        assert out.product == a * b
+
+    @given(
+        st.integers(min_value=1, max_value=(1 << 600) - 1),
+        st.sampled_from(["evaluation", "multiplication", "interpolation"]),
+        st.integers(0, 2),
+    )
+    @SLOW
+    def test_combined_ft_any_phase_fault(self, a, phase, op):
+        b = (a * 3 + 7) % (1 << 600)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        sched = FaultSchedule([FaultEvent(4, phase, op)])
+        out = FaultTolerantToomCook(
+            plan, f=1, fault_schedule=sched, timeout=30
+        ).multiply(a, b)
+        assert out.product == a * b

@@ -1,0 +1,228 @@
+"""Tests for multi-step traversal (Sections 4.3/6.1), replication
+(Theorem 5.3), checkpoint-restart, and the public API."""
+
+import random
+
+import pytest
+
+from repro.core.checkpoint import CheckpointedToomCook
+from repro.core.multistep import MultiStepToomCook, _digit_reverse
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.plan import make_plan
+from repro.core.replication import ReplicatedToomCook
+from repro.machine.errors import MachineError
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+
+def operands(n_bits=600, seed=0):
+    rng = random.Random(seed)
+    return rng.getrandbits(n_bits), rng.getrandbits(n_bits - 8)
+
+
+class TestDigitReverse:
+    def test_basic(self):
+        assert _digit_reverse(0b01, 2, 2) == 0b10
+        assert _digit_reverse(5, 3, 2) == 7  # digits (2,1) -> (1,2)
+
+    def test_involution(self):
+        for v in range(27):
+            assert _digit_reverse(_digit_reverse(v, 3, 3), 3, 3) == v
+
+
+class TestMultiStep:
+    def test_machine_size_shrinks_with_l(self):
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        m1 = MultiStepToomCook(plan, l=1, f=1)
+        m2 = MultiStepToomCook(plan, l=2, f=1)
+        assert m1.machine_size() == 9 + 3  # f * P/q
+        assert m2.machine_size() == 9 + 1  # f * P/q^2 = f
+
+    def test_validation(self):
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        with pytest.raises(ValueError):
+            MultiStepToomCook(plan, l=0, f=1)
+        with pytest.raises(ValueError):
+            MultiStepToomCook(plan, l=3, f=1)
+        with pytest.raises(ValueError):
+            MultiStepToomCook(plan, l=1, f=0)
+        dfs_plan = make_plan(600, p=9, k=2, word_bits=16, extra_dfs=1)
+        with pytest.raises(ValueError, match="unlimited-memory"):
+            MultiStepToomCook(dfs_plan, l=1, f=1)
+
+    @pytest.mark.parametrize("l,f", [(1, 1), (2, 1), (2, 2)])
+    def test_fault_free_correct(self, l, f):
+        a, b = operands(seed=l * 10 + f)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        out = MultiStepToomCook(plan, l=l, f=f, timeout=15).multiply(a, b)
+        assert out.product == a * b
+
+    def test_fault_in_multiplication_window(self):
+        a, b = operands(seed=9)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        algo = MultiStepToomCook(
+            plan, l=2, f=1, timeout=15,
+            fault_schedule=FaultSchedule([FaultEvent(4, "multiplication", 0)]),
+        )
+        out = algo.multiply(a, b)
+        assert out.product == a * b
+        assert len(out.run.fault_log) == 1
+
+    def test_code_column_fault(self):
+        a, b = operands(seed=10)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        algo = MultiStepToomCook(
+            plan, l=2, f=1, timeout=15,
+            fault_schedule=FaultSchedule([FaultEvent(9, "multiplication", 0)]),
+        )
+        assert algo.multiply(a, b).product == a * b
+
+    def test_full_collapse_needs_only_f_extra(self):
+        # The unlimited-memory remark of Thm 5.2: l = log_q P -> f extra.
+        plan = make_plan(600, p=27, k=2, word_bits=16)
+        algo = MultiStepToomCook(plan, l=3, f=1, timeout=30)
+        assert algo.machine_size() == 28
+        a, b = operands(seed=11)
+        assert algo.multiply(a, b).product == a * b
+
+    def test_points_in_general_position(self):
+        from repro.coding.general_position import is_general_position
+
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        algo = MultiStepToomCook(plan, l=2, f=2)
+        assert is_general_position(algo.multi_points, 3, 2)
+
+
+class TestReplication:
+    def test_machine_size(self):
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        assert ReplicatedToomCook(plan, f=2).machine_size() == 27
+
+    def test_f_validation(self):
+        plan = make_plan(600, p=3, k=2, word_bits=16)
+        with pytest.raises(ValueError):
+            ReplicatedToomCook(plan, f=0)
+
+    def test_fault_free(self):
+        a, b = operands(seed=20)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        out = ReplicatedToomCook(plan, f=1, timeout=15).multiply(a, b)
+        assert out.product == a * b
+
+    def test_one_fault_per_copy_up_to_f(self):
+        a, b = operands(seed=21)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        events = [
+            FaultEvent(0, "multiplication", 0),   # copy 0
+            FaultEvent(9, "evaluation", 1),       # copy 1
+        ]
+        out = ReplicatedToomCook(
+            plan, f=2, timeout=15, fault_schedule=FaultSchedule(events)
+        ).multiply(a, b)
+        assert out.product == a * b
+
+    def test_all_copies_dead_raises(self):
+        a, b = operands(seed=22)
+        plan = make_plan(600, p=3, k=2, word_bits=16)
+        events = [
+            FaultEvent(0, "multiplication", 0),
+            FaultEvent(3, "multiplication", 0),
+        ]
+        algo = ReplicatedToomCook(
+            plan, f=1, timeout=8, fault_schedule=FaultSchedule(events)
+        )
+        with pytest.raises(MachineError, match="replicas failed"):
+            algo.multiply(a, b)
+
+    def test_costs_match_base_in_fault_free_run(self):
+        # Thm 5.3: per-copy costs equal the base algorithm's.
+        a, b = operands(seed=23)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        base = ParallelToomCook(plan, timeout=15).multiply(a, b)
+        rep = ReplicatedToomCook(plan, f=1, timeout=15).multiply(a, b)
+        assert rep.run.critical_path.f == base.run.critical_path.f
+        assert rep.run.critical_path.bw == base.run.critical_path.bw
+
+
+class TestCheckpoint:
+    def test_holders(self):
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        ck = CheckpointedToomCook(plan, f=2)
+        assert ck.holders(8) == [0, 1]
+
+    def test_f_validation(self):
+        plan = make_plan(600, p=3, k=2, word_bits=16)
+        with pytest.raises(ValueError):
+            CheckpointedToomCook(plan, f=0)
+
+    def test_fault_free(self):
+        a, b = operands(seed=30)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        out = CheckpointedToomCook(plan, f=1, timeout=15).multiply(a, b)
+        assert out.product == a * b
+
+    def test_fault_forces_full_recompute(self):
+        a, b = operands(seed=31)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        clean = CheckpointedToomCook(plan, f=1, timeout=15).multiply(a, b)
+        faulted = CheckpointedToomCook(
+            plan, f=1, timeout=15,
+            fault_schedule=FaultSchedule([FaultEvent(4, "multiplication", 0)]),
+        ).multiply(a, b)
+        assert faulted.product == a * b
+        # Global rollback: roughly doubles the arithmetic.
+        ratio = faulted.run.critical_path.f / clean.run.critical_path.f
+        assert ratio > 1.7
+
+    def test_checkpoint_phase_bandwidth(self):
+        a, b = operands(seed=32)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        out = CheckpointedToomCook(plan, f=1, timeout=15).multiply(a, b)
+        assert out.run.phase_costs["checkpoint"].bw > 0
+
+
+class TestPublicApi:
+    def test_multiply_sequential(self):
+        import repro
+
+        a, b = -(2**300) + 7, 2**299 - 1
+        assert repro.multiply(a, b, k=2) == a * b
+        assert repro.multiply(a, b, k=3, lazy=True) == a * b
+
+    def test_multiply_parallel(self):
+        import repro
+
+        a, b = operands(seed=40)
+        out = repro.multiply_parallel(a, b, p=3, k=2, word_bits=16)
+        assert out.product == a * b
+        assert out.run.critical_path.f > 0
+
+    def test_multiply_fault_tolerant_with_fault(self):
+        import repro
+
+        a, b = operands(seed=41)
+        sched = FaultSchedule([FaultEvent(1, "multiplication", 0)])
+        out = repro.multiply_fault_tolerant(
+            a, b, p=3, k=2, f=1, word_bits=16, fault_schedule=sched
+        )
+        assert out.product == a * b
+
+    def test_multiply_replicated(self):
+        import repro
+
+        a, b = operands(seed=42)
+        out = repro.multiply_replicated(a, b, p=3, k=2, f=1, word_bits=16)
+        assert out.product == a * b
+
+    def test_multiply_checkpointed(self):
+        import repro
+
+        a, b = operands(seed=43)
+        out = repro.multiply_checkpointed(a, b, p=3, k=2, f=1, word_bits=16)
+        assert out.product == a * b
+
+    def test_multiply_multistep(self):
+        import repro
+
+        a, b = operands(seed=44)
+        out = repro.multiply_multistep(a, b, p=9, k=2, l=2, f=1, word_bits=16)
+        assert out.product == a * b

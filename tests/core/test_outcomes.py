@@ -1,0 +1,92 @@
+"""Tests for run-outcome reporting: phase breakdowns, runtime modeling,
+and the consistency invariants the benchmark harness relies on."""
+
+import random
+
+import pytest
+
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.plan import make_plan
+from repro.machine.costs import CostModel, Counts
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    rng = random.Random(8)
+    plan = make_plan(600, p=3, k=2, word_bits=16)
+    a, b = rng.getrandbits(600), rng.getrandbits(592)
+    out = ParallelToomCook(plan, timeout=30).multiply(a, b)
+    assert out.product == a * b
+    return out
+
+
+class TestPhaseAccounting:
+    def test_all_algorithm_phases_present(self, outcome):
+        for phase in ("evaluation", "multiplication", "interpolation"):
+            assert phase in outcome.run.phase_costs
+
+    def test_phase_costs_are_nonnegative(self, outcome):
+        for counts in outcome.run.phase_costs.values():
+            assert counts.f >= 0 and counts.bw >= 0 and counts.l >= 0
+
+    def test_phase_sums_bound_local_work(self, outcome):
+        # Sum over phases of per-phase maxima >= any rank's local F
+        # (sum-of-maxes dominates max-of-sums).  The per-rank *clocks* can
+        # exceed it because they merge remote work on receives.
+        total = Counts()
+        for counts in outcome.run.phase_costs.values():
+            total = total + counts
+        assert total.f > 0 and total.bw > 0 and total.l > 0
+        # Local F on any rank is at most the phase-sum (clock F may be
+        # larger through merges, but never smaller than a rank's own work).
+        assert outcome.run.critical_path.f >= max(
+            counts.f for counts in outcome.run.phase_costs.values()
+        )
+
+    def test_critical_path_is_elementwise_max(self, outcome):
+        cp = outcome.run.critical_path
+        assert cp.f == max(c.f for c in outcome.run.per_rank)
+        assert cp.bw == max(c.bw for c in outcome.run.per_rank)
+        assert cp.l == max(c.l for c in outcome.run.per_rank)
+
+    def test_multiplication_dominates_f(self, outcome):
+        phases = outcome.run.phase_costs
+        assert phases["multiplication"].f >= phases["interpolation"].f
+
+
+class TestRuntimeModeling:
+    def test_runtime_linear_in_components(self, outcome):
+        cp = outcome.run.critical_path
+        model = CostModel(alpha=2.0, beta=3.0, gamma=5.0)
+        assert outcome.run.runtime(model) == pytest.approx(
+            2.0 * cp.l + 3.0 * cp.bw + 5.0 * cp.f
+        )
+
+    def test_latency_dominated_model_orders_differently(self, outcome):
+        cp = outcome.run.critical_path
+        compute = CostModel(alpha=0.0, beta=0.0, gamma=1.0)
+        latency = CostModel(alpha=1.0, beta=0.0, gamma=0.0)
+        assert outcome.run.runtime(compute) == cp.f
+        assert outcome.run.runtime(latency) == cp.l
+
+    def test_peak_memory_reported_per_rank(self, outcome):
+        assert len(outcome.run.peak_memory) == 3
+        assert outcome.run.max_peak_memory() == max(outcome.run.peak_memory)
+        assert all(m > 0 for m in outcome.run.peak_memory)
+
+
+class TestOutcomeShape:
+    def test_results_hold_slices(self, outcome):
+        from repro.bigint.limbs import LimbVector
+
+        assert all(isinstance(s, LimbVector) for s in outcome.run.results)
+        lengths = {len(s) for s in outcome.run.results}
+        assert len(lengths) == 1  # equal cyclic shares
+
+    def test_plan_attached(self, outcome):
+        assert outcome.plan.p == 3
+        assert outcome.plan.k == 2
+
+    def test_fault_log_empty_in_clean_run(self, outcome):
+        assert len(outcome.run.fault_log) == 0
+        assert outcome.run.ok

@@ -1,0 +1,127 @@
+"""Tests for Parallel Toom-Cook (Section 3): correctness and cost shape."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.plan import make_plan
+from repro.machine.errors import MemoryExceeded
+
+
+def multiply(n_bits, p, k, extra_dfs=0, seed=0, m_words=math.inf, memory_enforced=False):
+    rng = random.Random(seed)
+    plan = make_plan(n_bits, p=p, k=k, word_bits=16, extra_dfs=extra_dfs, m_words=m_words)
+    algo = ParallelToomCook(
+        plan, memory_words=m_words if memory_enforced else math.inf, timeout=30
+    )
+    a = rng.getrandbits(n_bits)
+    b = rng.getrandbits(max(1, n_bits - 8))
+    return a, b, algo.multiply(a, b)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "p,k",
+        [(3, 2), (9, 2), (27, 2), (5, 3), (25, 3), (7, 4)],
+    )
+    def test_all_grid_shapes(self, p, k):
+        a, b, out = multiply(600, p, k, seed=p * 10 + k)
+        assert out.product == a * b
+
+    @pytest.mark.parametrize("extra_dfs", [1, 2])
+    def test_dfs_regimes(self, extra_dfs):
+        a, b, out = multiply(1500, 9, 2, extra_dfs=extra_dfs, seed=7)
+        assert out.product == a * b
+
+    def test_negative_operands(self):
+        plan = make_plan(300, p=3, k=2, word_bits=16)
+        algo = ParallelToomCook(plan)
+        assert algo.multiply(-(2**200), 2**199 + 5).product == -(2**200) * (2**199 + 5)
+        assert algo.multiply(-3, -(2**250)).product == 3 * 2**250
+
+    def test_zero_operand(self):
+        plan = make_plan(300, p=3, k=2, word_bits=16)
+        assert ParallelToomCook(plan).multiply(0, 2**250).product == 0
+
+    def test_asymmetric_sizes(self):
+        plan = make_plan(900, p=9, k=2, word_bits=16)
+        a, b = 2**890 - 3, 7
+        assert ParallelToomCook(plan).multiply(a, b).product == a * b
+
+    def test_oversized_operand_rejected(self):
+        plan = make_plan(100, p=3, k=2, word_bits=16)
+        algo = ParallelToomCook(plan)
+        huge = 1 << (plan.n_words * plan.word_bits + 1)
+        with pytest.raises(ValueError, match="exceed"):
+            algo.multiply(huge, 1)
+
+    def test_repeated_runs_are_deterministic_in_costs(self):
+        a, b, out1 = multiply(600, 9, 2, seed=3)
+        _, _, out2 = multiply(600, 9, 2, seed=3)
+        assert out1.run.critical_path == out2.run.critical_path
+
+
+class TestCostShape:
+    def test_latency_grows_logarithmically_in_p(self):
+        # Thm 5.1 (unlimited memory): L = Theta(log P).
+        _, _, o3 = multiply(800, 3, 2, seed=1)
+        _, _, o9 = multiply(800, 9, 2, seed=1)
+        _, _, o27 = multiply(800, 27, 2, seed=1)
+        l3, l9, l27 = (o.run.critical_path.l for o in (o3, o9, o27))
+        assert l3 < l9 < l27
+        # log-linear: increments per BFS step roughly constant.
+        assert abs((l27 - l9) - (l9 - l3)) <= max(4, 0.5 * (l9 - l3))
+
+    def test_arithmetic_scales_down_with_p(self):
+        # F = Theta(n^log_k(2k-1) / P): more processors, less work each.
+        _, _, o3 = multiply(3000, 3, 2, seed=2)
+        _, _, o27 = multiply(3000, 27, 2, seed=2)
+        assert o27.run.critical_path.f < o3.run.critical_path.f
+
+    def test_multiplication_phase_dominates_arithmetic(self):
+        _, _, out = multiply(3000, 9, 2, seed=4)
+        phases = out.run.phase_costs
+        assert phases["multiplication"].f > phases["evaluation"].f
+        assert phases["multiplication"].f > phases["interpolation"].f
+
+    def test_multiplication_phase_is_communication_free(self):
+        _, _, out = multiply(1000, 9, 2, seed=5)
+        assert out.run.phase_costs["multiplication"].bw == 0
+        assert out.run.phase_costs["multiplication"].l == 0
+
+    def test_dfs_steps_add_no_bandwidth_per_problem(self):
+        # DFS levels communicate nothing: with one extra DFS level the
+        # total number of exchanges grows by q but each is k times smaller.
+        _, _, flat = multiply(2000, 3, 2, extra_dfs=0, seed=6)
+        _, _, deep = multiply(2000, 3, 2, extra_dfs=1, seed=6)
+        bw_flat = flat.run.critical_path.bw
+        bw_deep = deep.run.critical_path.bw
+        assert bw_deep == pytest.approx(bw_flat * 3 / 2, rel=0.35)
+
+    def test_memory_footprint_grows_with_bfs(self):
+        # Lemma 3.1: BFS steps inflate the footprint by (2k-1)/k each.
+        _, _, out = multiply(2000, 9, 2, seed=8)
+        peak = out.run.max_peak_memory()
+        plan = out.plan
+        local = plan.local_words
+        assert peak > 2 * local  # grew beyond the bare operands
+
+    def test_memory_capacity_enforcement(self):
+        from repro.machine.errors import MachineError
+
+        plan = make_plan(4000, p=9, k=2, word_bits=16)
+        # First measure the true peak, then set capacity just below it.
+        probe = ParallelToomCook(plan, timeout=30)
+        rng = random.Random(9)
+        a, b = rng.getrandbits(4000), rng.getrandbits(3990)
+        peak = probe.multiply(a, b).run.max_peak_memory()
+        tight = ParallelToomCook(plan, memory_words=peak - 1, timeout=30)
+        with pytest.raises(MachineError):
+            tight.multiply(a, b)
+
+    def test_planned_dfs_reduces_peak_memory(self):
+        _, _, flat = multiply(4000, 9, 2, extra_dfs=0, seed=10)
+        _, _, deep = multiply(4000, 9, 2, extra_dfs=2, seed=10)
+        assert deep.run.max_peak_memory() < flat.run.max_peak_memory()

@@ -1,0 +1,198 @@
+"""Tests for execution plans (Lemma 3.1) and the cyclic layout."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigint.limbs import LimbVector
+from repro.core.layout import (
+    CyclicLayout,
+    cyclic_deinterleave,
+    cyclic_merge,
+    cyclic_slice,
+)
+from repro.core.plan import ExecutionPlan, bfs_memory_blowup, make_plan, min_dfs_steps
+
+
+class TestMinDfsSteps:
+    def test_unlimited_memory_zero(self):
+        assert min_dfs_steps(1000, 9, math.inf, 2) == 0
+
+    def test_ample_memory_zero(self):
+        # footprint = n / P^(log_3 2) = 1000 / 9^0.63 ~ 250
+        assert min_dfs_steps(1000, 9, 1000, 2) == 0
+
+    def test_tight_memory_forces_dfs(self):
+        n, p, k = 10_000, 9, 2
+        footprint = n / (k ** math.log(p, 2 * k - 1))
+        l = min_dfs_steps(n, p, footprint / 10, k)
+        assert l == math.ceil(math.log(10, k))
+
+    def test_lemma_formula(self):
+        # l = ceil(log_k(n / (P^(log_q k) * M)))
+        n, p, m, k = 6561, 9, 50, 3
+        q = 2 * k - 1
+        expected = math.ceil(math.log(n / (p ** math.log(k, q) * m), k))
+        assert min_dfs_steps(n, p, m, k) == expected
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            min_dfs_steps(0, 9, 10, 2)
+        with pytest.raises(ValueError):
+            min_dfs_steps(10, 9, 0, 2)
+        with pytest.raises(ValueError):
+            min_dfs_steps(10, 9, 10, 1)
+
+    @given(st.integers(100, 10**6), st.sampled_from([3, 9, 27]), st.integers(2, 4))
+    @settings(max_examples=40)
+    def test_memory_suffices_after_planned_dfs(self, n, p, k):
+        # After l DFS steps, the blown-up footprint must fit M.
+        q = 2 * k - 1
+        if p not in (q, q**2, q**3):
+            return
+        m = max(2.0, n / p)  # memory at least input share
+        l = min_dfs_steps(n, p, m, k)
+        footprint = (n / k**l) / (k ** math.log(p, q))
+        assert footprint <= m * (1 + 1e-9)
+
+
+class TestBfsMemoryBlowup:
+    def test_formula(self):
+        # ((2k-1)/k)^(log_q P) = P^(1 - log_q k)
+        p, k = 27, 2
+        q = 2 * k - 1
+        assert bfs_memory_blowup(p, k) == pytest.approx(
+            p ** (1 - math.log(k, q))
+        )
+
+    def test_monotone_in_p(self):
+        assert bfs_memory_blowup(27, 2) > bfs_memory_blowup(9, 2)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            bfs_memory_blowup(0, 2)
+        with pytest.raises(ValueError):
+            bfs_memory_blowup(9, 1)
+
+
+class TestMakePlan:
+    def test_basic_shape(self):
+        plan = make_plan(n_bits=1000, p=9, k=2, word_bits=16)
+        assert plan.q == 3
+        assert plan.l_bfs == 2
+        assert plan.l_dfs == 0
+        assert plan.n_words % (plan.p * plan.k**plan.levels) == 0
+
+    def test_p_must_be_power_of_q(self):
+        with pytest.raises(ValueError, match="power of"):
+            make_plan(1000, p=8, k=2)
+
+    def test_extra_dfs(self):
+        plan = make_plan(1000, p=3, k=2, extra_dfs=2)
+        assert plan.l_dfs == 2
+        assert plan.levels == 3
+
+    def test_memory_triggers_dfs(self):
+        plan = make_plan(100_000, p=9, k=2, word_bits=16, m_words=100)
+        assert plan.l_dfs >= 1
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            make_plan(0, p=3, k=2)
+        with pytest.raises(ValueError):
+            make_plan(10, p=3, k=1)
+        with pytest.raises(ValueError):
+            make_plan(10, p=3, k=2, extra_dfs=-1)
+
+    def test_level_queries(self):
+        plan = make_plan(1000, p=9, k=2, extra_dfs=1, word_bits=16)
+        assert not plan.is_bfs_level(0)  # DFS first
+        assert plan.is_bfs_level(1) and plan.is_bfs_level(2)
+        assert plan.group_size(0) == 9
+        assert plan.group_size(1) == 9  # group shrinks only at BFS levels
+        assert plan.group_size(2) == 3
+        assert plan.group_size(3) == 1
+        assert plan.words_at_level(1) == plan.n_words // 2
+        assert plan.leaf_words() == plan.n_words // 8
+        with pytest.raises(ValueError):
+            plan.is_bfs_level(3)
+        with pytest.raises(ValueError):
+            plan.group_size(4)
+        with pytest.raises(ValueError):
+            plan.words_at_level(-1)
+
+    def test_local_words(self):
+        plan = make_plan(1000, p=9, k=2, word_bits=16)
+        assert plan.local_words == plan.n_words // 9
+
+    def test_divisibility_invariant(self):
+        # Every group size divides every block length at its level — the
+        # property that makes all evaluation arithmetic local.
+        plan = make_plan(5000, p=27, k=2, word_bits=16, extra_dfs=1)
+        for level in range(plan.levels):
+            g = plan.group_size(level)
+            assert (plan.words_at_level(level) // plan.k) % g == 0
+
+
+def lv(*limbs):
+    return LimbVector(limbs, 8)
+
+
+class TestCyclicPrimitives:
+    def test_slice(self):
+        v = lv(0, 1, 2, 3, 4, 5)
+        assert cyclic_slice(v, 0, 2).limbs == (0, 2, 4)
+        assert cyclic_slice(v, 1, 2).limbs == (1, 3, 5)
+
+    def test_slice_validation(self):
+        with pytest.raises(ValueError):
+            cyclic_slice(lv(1, 2, 3), 0, 2)
+        with pytest.raises(ValueError):
+            cyclic_slice(lv(1, 2), 5, 2)
+
+    def test_merge_inverts_slice(self):
+        v = lv(*range(12))
+        parts = [cyclic_slice(v, c, 3) for c in range(3)]
+        assert cyclic_merge(parts) == v
+
+    def test_deinterleave_inverts_merge(self):
+        parts = [lv(1, 2), lv(3, 4), lv(5, 6)]
+        merged = cyclic_merge(parts)
+        assert cyclic_deinterleave(merged, 3) == parts
+
+    def test_merge_validation(self):
+        with pytest.raises(ValueError):
+            cyclic_merge([])
+        with pytest.raises(ValueError):
+            cyclic_merge([lv(1), lv(1, 2)])
+
+    def test_deinterleave_validation(self):
+        with pytest.raises(ValueError):
+            cyclic_deinterleave(lv(1, 2, 3), 2)
+
+    @given(st.lists(st.integers(-100, 100), min_size=6, max_size=36), st.sampled_from([1, 2, 3, 6]))
+    @settings(max_examples=40)
+    def test_round_trip_property(self, limbs, g):
+        limbs = limbs[: len(limbs) - len(limbs) % 6]
+        v = LimbVector(limbs, 8)
+        parts = cyclic_deinterleave(v, g)
+        assert cyclic_merge(parts) == v
+
+
+class TestCyclicLayout:
+    def test_distribute_collect(self):
+        layout = CyclicLayout(4)
+        v = lv(*range(16))
+        slices = layout.distribute(v)
+        assert len(slices) == 4
+        assert layout.collect(slices) == v
+
+    def test_collect_count_checked(self):
+        with pytest.raises(ValueError):
+            CyclicLayout(3).collect([lv(1)])
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            CyclicLayout(0)

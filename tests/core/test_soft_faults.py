@@ -1,0 +1,124 @@
+"""Tests for soft-fault detection and correction (paper Section 7)."""
+
+import random
+
+import pytest
+
+from repro.core.plan import make_plan
+from repro.core.soft_faults import SoftFaultDetected, SoftTolerantToomCook
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+
+def build(f, events=(), p=9, k=2, n_bits=700, timeout=25):
+    plan = make_plan(n_bits, p=p, k=k, word_bits=16)
+    return SoftTolerantToomCook(
+        plan, f=f, fault_schedule=FaultSchedule(list(events)), timeout=timeout
+    )
+
+
+def operands(seed, n_bits=700):
+    rng = random.Random(seed)
+    return rng.getrandbits(n_bits), rng.getrandbits(n_bits - 8)
+
+
+def soft(rank, op=0):
+    return FaultEvent(rank, "multiplication", op, kind="soft")
+
+
+class TestSoftFaultEvents:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultEvent(0, "x", 0, kind="weird")
+
+    def test_soft_events_dont_trigger_hard_path(self):
+        sched = FaultSchedule([soft(0)])
+        assert not sched.should_fail(0, "multiplication", 0, 0)  # hard check
+        assert sched.should_fail(0, "multiplication", 0, 0, kind="soft")
+
+    def test_soft_fault_point_machinery(self):
+        from repro.machine.engine import Machine
+
+        sched = FaultSchedule([soft(1)])
+
+        def program(comm):
+            with comm.phase("multiplication"):
+                return comm.soft_fault_point()
+
+        res = Machine(2, fault_schedule=sched).run(program)
+        assert res.results == [False, True]
+
+
+class TestCorrection:
+    def test_fault_free(self):
+        a, b = operands(1)
+        out = build(f=2).multiply(a, b)
+        assert out.product == a * b
+
+    def test_correctable_budget(self):
+        assert build(f=1).correctable == 0
+        assert build(f=2).correctable == 1
+        assert build(f=5).correctable == 2
+
+    @pytest.mark.parametrize("victim", [0, 4, 8])
+    def test_single_corruption_corrected_with_f2(self, victim):
+        a, b = operands(victim + 10)
+        out = build(f=2, events=[soft(victim)]).multiply(a, b)
+        assert out.product == a * b
+        assert len(out.run.fault_log) == 1
+
+    def test_two_corruptions_same_column_corrected_with_f2(self):
+        # Both corruptions land in one column -> one bad codeword symbol.
+        a, b = operands(20)
+        out = build(f=2, events=[soft(0), soft(1)]).multiply(a, b)
+        assert out.product == a * b
+
+    def test_two_corrupt_columns_need_f4(self):
+        a, b = operands(21)
+        out = build(f=4, events=[soft(0), soft(4)]).multiply(a, b)
+        assert out.product == a * b
+
+    def test_corruption_in_code_column_corrected(self):
+        a, b = operands(22)
+        out = build(f=2, events=[soft(9)]).multiply(a, b)  # code rank
+        assert out.product == a * b
+
+
+class TestDetection:
+    def test_f1_detects_but_does_not_silently_corrupt(self):
+        a, b = operands(30)
+        out = build(f=1, events=[soft(4)]).multiply(a, b, raise_on_error=False)
+        if out.run.ok:
+            # If every parent happened to dodge the corruption it must
+            # still be the exact product — never silently wrong.
+            assert out.product == a * b
+        else:
+            assert any(
+                isinstance(e, SoftFaultDetected)
+                for e in out.run.errors.values()
+            )
+
+    def test_never_silently_wrong_across_seeds(self):
+        for seed in range(4):
+            a, b = operands(40 + seed)
+            out = build(f=2, events=[soft(seed * 2)]).multiply(
+                a, b, raise_on_error=False
+            )
+            if out.run.ok:
+                assert out.product == a * b
+
+
+class TestSoftAndHardTogether:
+    def test_hard_fault_still_tolerated(self):
+        a, b = operands(50)
+        events = [FaultEvent(2, "multiplication", 0)]  # hard
+        out = build(f=2, events=events).multiply(a, b)
+        assert out.product == a * b
+
+    def test_hard_plus_soft(self):
+        # One column dies (hard), another miscalculates (soft): f=3 gives
+        # 2k-1+3 = 6 columns; 5 survive, of which 1 is corrupt; correction
+        # budget floor(3/2) = 1 covers it.
+        a, b = operands(51)
+        events = [FaultEvent(2, "multiplication", 0), soft(4)]
+        out = build(f=3, events=events).multiply(a, b)
+        assert out.product == a * b

@@ -1,0 +1,166 @@
+"""Tests for delay faults (the paper's third fault category, Section 1)
+and the polynomial code's straggler mitigation (eager collection)."""
+
+import random
+
+import pytest
+
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+from repro.core.parallel_toomcook import ParallelToomCook
+from repro.core.plan import make_plan
+from repro.machine.engine import Machine
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+VICTIM = 4
+
+
+def plan_():
+    return make_plan(900, p=9, k=2, word_bits=16)
+
+
+def operands(seed=71):
+    rng = random.Random(seed)
+    return rng.getrandbits(900), rng.getrandbits(890)
+
+
+def delay_schedule(factor=16.0, rank=VICTIM):
+    return FaultSchedule(
+        [FaultEvent(rank, "multiplication", 0, kind="delay", factor=factor)]
+    )
+
+
+class TestDelayEvents:
+    def test_factor_validation(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(0, "x", 0, kind="delay", factor=1.0)
+
+    def test_delay_inflates_victim_arithmetic(self):
+        def program(comm):
+            with comm.phase("work"):
+                comm.charge_flops(0)  # hits the fault point
+                comm.charge_flops(100)
+            return comm.clock.f
+
+        sched = FaultSchedule([FaultEvent(1, "work", 0, kind="delay", factor=4.0)])
+        res = Machine(2, fault_schedule=sched).run(program)
+        assert res.results[0] == 100
+        assert res.results[1] == 400
+
+    def test_delay_recorded_in_fault_log(self):
+        def program(comm):
+            with comm.phase("work"):
+                comm.charge_flops(1)
+
+        sched = FaultSchedule([FaultEvent(0, "work", 0, kind="delay", factor=2.0)])
+        res = Machine(1, fault_schedule=sched).run(program)
+        assert len(res.fault_log) == 1
+
+    def test_slowdown_sticks(self):
+        def program(comm):
+            with comm.phase("work"):
+                comm.charge_flops(0)
+            with comm.phase("later"):
+                comm.charge_flops(10)
+            return comm.clock.f
+
+        sched = FaultSchedule([FaultEvent(0, "work", 0, kind="delay", factor=3.0)])
+        res = Machine(1, fault_schedule=sched).run(program)
+        assert res.results[0] == 30
+
+
+class TestRecvRawAbsorb:
+    def test_absorb_charges_like_recv(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, [1, 2, 3], tag=5)
+                return None
+            msg = comm.recv_raw(0, tag=5)
+            before = comm.clock.snapshot()
+            payload = comm.absorb(msg)
+            after = comm.clock.snapshot()
+            return (payload, after.bw - before.bw, after.l - before.l)
+
+        res = Machine(2).run(program)
+        payload, dbw, dl = res.results[1]
+        assert payload == [1, 2, 3]
+        # absorb = merge (sender bw floor 3) + charge (3 words, 1 msg)
+        assert dbw == 6 and dl == 2
+
+    def test_unabsorbed_message_does_not_merge_clock(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.charge_flops(1000)
+                comm.send(1, "x", tag=5)
+                return None
+            comm.recv_raw(0, tag=5)  # received but never absorbed
+            return comm.clock.f
+
+        res = Machine(2).run(program)
+        assert res.results[1] < 1000
+
+
+class TestStragglersMitigated:
+    def test_eager_contains_straggler_to_its_column(self):
+        a, b = operands()
+        plan = plan_()
+        victim_column = {3, 4, 5}
+
+        def others_max(out):
+            return max(
+                c.f
+                for r, c in enumerate(out.run.per_rank[: plan.p])
+                if r not in victim_column
+            )
+
+        clean = PolynomialCodedToomCook(plan, f=1, eager=True, timeout=25).multiply(a, b)
+        slow = PolynomialCodedToomCook(
+            plan, f=1, eager=True, fault_schedule=delay_schedule(), timeout=25
+        ).multiply(a, b)
+        assert slow.product == a * b
+        assert others_max(slow) == others_max(clean)  # fully contained
+
+    def test_base_algorithm_infects_everyone(self):
+        a, b = operands()
+        plan = plan_()
+        clean = ParallelToomCook(plan, timeout=25).multiply(a, b)
+        slow = ParallelToomCook(
+            plan, fault_schedule=delay_schedule(), timeout=25
+        ).multiply(a, b)
+        assert slow.product == a * b
+        others_clean = max(c.f for r, c in enumerate(clean.run.per_rank) if r != VICTIM)
+        others_slow = max(c.f for r, c in enumerate(slow.run.per_rank) if r != VICTIM)
+        assert others_slow > 5 * others_clean
+
+    def test_eager_mode_fault_free_correct(self):
+        a, b = operands(seed=5)
+        out = PolynomialCodedToomCook(plan_(), f=1, eager=True, timeout=25).multiply(a, b)
+        assert out.product == a * b
+
+    def test_eager_mode_with_hard_fault(self):
+        a, b = operands(seed=6)
+        sched = FaultSchedule([FaultEvent(VICTIM, "multiplication", 0)])
+        out = PolynomialCodedToomCook(
+            plan_(), f=1, eager=True, fault_schedule=sched, timeout=25
+        ).multiply(a, b)
+        assert out.product == a * b
+
+    def test_eager_mode_with_two_stragglers_f2(self):
+        a, b = operands(seed=7)
+        sched = FaultSchedule(
+            [
+                FaultEvent(1, "multiplication", 0, kind="delay", factor=8.0),
+                FaultEvent(7, "multiplication", 0, kind="delay", factor=8.0),
+            ]
+        )
+        plan = plan_()
+        clean = PolynomialCodedToomCook(plan, f=2, eager=True, timeout=25).multiply(a, b)
+        slow = PolynomialCodedToomCook(
+            plan, f=2, eager=True, fault_schedule=sched, timeout=25
+        ).multiply(a, b)
+        assert slow.product == a * b
+        untouched = {3, 4, 5}  # the middle column hosts no straggler
+        max_clean = max(c.f for r, c in enumerate(clean.run.per_rank[:9]) if r in untouched)
+        max_slow = max(c.f for r, c in enumerate(slow.run.per_rank[:9]) if r in untouched)
+        # Fully contained up to the (tiny) difference between survivor
+        # subsets' interpolation matrices.
+        assert max_slow <= 1.05 * max_clean

@@ -1,0 +1,101 @@
+"""Tests for cost counters and critical-path clocks."""
+
+import pytest
+
+from repro.machine.costs import Counts, CostClock, CostModel, PhaseLedger
+
+
+class TestCounts:
+    def test_add_sub(self):
+        a = Counts(1, 2, 3)
+        b = Counts(10, 20, 30)
+        assert a + b == Counts(11, 22, 33)
+        assert b - a == Counts(9, 18, 27)
+
+    def test_merge_elementwise_max(self):
+        assert Counts(1, 20, 3).merge(Counts(10, 2, 30)) == Counts(10, 20, 30)
+
+    def test_is_zero(self):
+        assert Counts().is_zero()
+        assert not Counts(f=1).is_zero()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Counts().f = 5
+
+    def test_str(self):
+        assert "BW=2" in str(Counts(1, 2, 3))
+
+
+class TestCostClock:
+    def test_charges(self):
+        c = CostClock()
+        c.charge_flops(10)
+        c.charge_message(5)
+        assert c.snapshot() == Counts(f=10, bw=5, l=1)
+
+    def test_charge_rejects_negative(self):
+        c = CostClock()
+        with pytest.raises(ValueError):
+            c.charge_flops(-1)
+        with pytest.raises(ValueError):
+            c.charge_message(-1)
+
+    def test_merge_monotone(self):
+        c = CostClock(f=5, bw=5, l=5)
+        c.merge(Counts(f=3, bw=10, l=5))
+        assert c.snapshot() == Counts(f=5, bw=10, l=5)
+
+    def test_relay_chain_accumulates(self):
+        # A three-hop relay: the final clock sees 3 messages of latency,
+        # the defining property of critical-path accounting.
+        a, b, c = CostClock(), CostClock(), CostClock()
+        a.charge_message(4)  # a -> b
+        b.merge(a.snapshot())
+        b.charge_message(4)
+        b.charge_message(4)  # b -> c
+        c.merge(b.snapshot())
+        c.charge_message(4)
+        assert c.l == 4 and c.bw == 16
+
+
+class TestCostModel:
+    def test_runtime_formula(self):
+        model = CostModel(alpha=100.0, beta=10.0, gamma=1.0)
+        assert model.runtime(Counts(f=7, bw=3, l=2)) == 100.0 * 2 + 10.0 * 3 + 7
+
+    def test_defaults(self):
+        assert CostModel().runtime(Counts(1, 1, 1)) == 3.0
+
+
+class TestPhaseLedger:
+    def test_phases_accumulate_separately(self):
+        led = PhaseLedger()
+        led.set_phase("evaluation")
+        led.charge(f=5, bw=2, l=1)
+        led.set_phase("multiplication")
+        led.charge(f=100)
+        led.set_phase("evaluation")
+        led.charge(f=5)
+        assert led.get("evaluation") == Counts(f=10, bw=2, l=1)
+        assert led.get("multiplication") == Counts(f=100)
+        assert led.phases() == ["evaluation", "multiplication"]
+
+    def test_unknown_phase_is_zero(self):
+        assert PhaseLedger().get("nope") == Counts()
+
+    def test_total(self):
+        led = PhaseLedger()
+        led.set_phase("a")
+        led.charge(f=1)
+        led.set_phase("b")
+        led.charge(bw=2, l=3)
+        assert led.total() == Counts(f=1, bw=2, l=3)
+
+    def test_max_over(self):
+        l1, l2 = PhaseLedger(), PhaseLedger()
+        l1.set_phase("x")
+        l1.charge(f=10, bw=1)
+        l2.set_phase("x")
+        l2.charge(f=3, bw=7)
+        assert PhaseLedger.max_over([l1, l2], "x") == Counts(f=10, bw=7)

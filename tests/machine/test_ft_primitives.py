@@ -1,0 +1,174 @@
+"""Tests for the fault-tolerance runtime primitives: agreement, gates,
+votes, and abort markers."""
+
+import time
+
+import pytest
+
+from repro.machine.engine import Machine
+from repro.machine.errors import HardFault, MachineError, PeerDead
+from repro.machine.fault import FaultEvent, FaultSchedule
+
+
+class TestAgreeDead:
+    def test_consistent_snapshot(self):
+        def program(comm):
+            if comm.rank == 2:
+                with comm.phase("work"):
+                    comm.charge_flops(1)
+                return None
+            while comm.is_alive(2):
+                time.sleep(0.005)
+            return tuple(sorted(comm.agree_dead("k", range(comm.size))))
+
+        sched = FaultSchedule([FaultEvent(2, "work", 0)])
+        res = Machine(3, fault_schedule=sched, timeout=10).run(
+            lambda c: program(c), raise_on_error=False
+        )
+        assert res.results[0] == res.results[1] == (2,)
+
+    def test_snapshot_is_frozen_at_first_call(self):
+        # The first caller samples; a later death under the same key is
+        # invisible (by design: new key per epoch).
+        def program(comm):
+            first = comm.agree_dead("epoch", range(comm.size))
+            if comm.rank == 1:
+                try:
+                    with comm.phase("work"):
+                        comm.charge_flops(1)
+                except HardFault:
+                    pass
+                return None
+            while comm.is_alive(1):
+                time.sleep(0.005)
+            second = comm.agree_dead("epoch", range(comm.size))
+            return (tuple(first), tuple(second))
+
+        sched = FaultSchedule([FaultEvent(1, "work", 0)])
+        res = Machine(2, fault_schedule=sched, timeout=10).run(program)
+        assert res.results[0] == ((), ())
+
+
+class TestGate:
+    def test_gate_releases_when_all_arrive(self):
+        def program(comm):
+            time.sleep(0.01 * comm.rank)
+            comm.gate("g", range(comm.size))
+            return "through"
+
+        res = Machine(4, timeout=10).run(program)
+        assert res.results == ["through"] * 4
+
+    def test_gate_counts_dead_as_arrived(self):
+        def program(comm):
+            if comm.rank == 1:
+                with comm.phase("work"):
+                    comm.charge_flops(1)  # dies, never registers
+                return None
+            comm.gate("g", range(comm.size))
+            return "through"
+
+        sched = FaultSchedule([FaultEvent(1, "work", 0)])
+        res = Machine(2, fault_schedule=sched, timeout=10).run(
+            program, raise_on_error=False
+        )
+        assert res.results[0] == "through"
+
+    def test_gate_times_out_on_absentee(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.gate("g", range(comm.size), timeout=0.3)
+            else:
+                time.sleep(1.0)  # never registers, never dies
+
+        with pytest.raises(MachineError, match="gate"):
+            Machine(2, timeout=5).run(program)
+
+
+class TestVotes:
+    def test_votes_visible_after_gate(self):
+        def program(comm):
+            comm.vote("v", comm.rank % 2 == 0)
+            comm.gate("g", range(comm.size))
+            return comm.votes("v")
+
+        res = Machine(3, timeout=10).run(program)
+        assert res.results[0] == {0: True, 1: False, 2: True}
+
+    def test_missing_key_is_empty(self):
+        res = Machine(1).run(lambda comm: comm.votes("nope"))
+        assert res.results[0] == {}
+
+
+class TestAbortMarkers:
+    def test_withdrawn_scoped_to_exact_task(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.mark_aborted(3)
+                comm.gate("g", range(comm.size))
+                return None
+            comm.gate("g", range(comm.size))
+            return (
+                tuple(comm.withdrawn_ranks([0], task=3)),
+                tuple(comm.withdrawn_ranks([0], task=4)),
+            )
+
+        res = Machine(2, timeout=10).run(program)
+        assert res.results[1] == ((0,), ())
+
+    def test_recv_abort_check_matches_exact_task(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.mark_aborted(7)
+                comm.gate("g", range(comm.size))
+                return None
+            comm.gate("g", range(comm.size))
+            with pytest.raises(PeerDead):
+                comm.recv(0, tag=9, abort_check=7, timeout=2.0)
+            return "checked"
+
+        res = Machine(2, timeout=10).run(program)
+        assert res.results[1] == "checked"
+
+    def test_incarnation_of_visible_to_peers(self):
+        def program(comm):
+            if comm.rank == 0:
+                try:
+                    with comm.phase("work"):
+                        comm.charge_flops(1)
+                except HardFault:
+                    comm.begin_replacement()
+                comm.gate("g", range(comm.size))
+                return comm.incarnation
+            while comm.incarnation_of(0) == 0:
+                time.sleep(0.005)
+            comm.gate("g", range(comm.size))
+            return comm.incarnation_of(0)
+
+        sched = FaultSchedule([FaultEvent(0, "work", 0)])
+        res = Machine(2, fault_schedule=sched, timeout=10).run(program)
+        assert res.results == [1, 1]
+
+
+class TestSubcommDelegation:
+    def test_gate_and_abort_through_subcomm(self):
+        def program(comm):
+            sub = comm.sub([0, 1])
+            if comm.rank == 0:
+                sub.mark_aborted(2)
+            sub.gate("g", range(sub.size))
+            return tuple(sub.withdrawn_ranks([0], task=2))
+
+        res = Machine(2, timeout=10).run(program)
+        assert res.results[1] == (0,)
+
+    def test_soft_fault_point_through_subcomm(self):
+        sched = FaultSchedule([FaultEvent(0, "work", 0, kind="soft")])
+
+        def program(comm):
+            sub = comm.sub([0])
+            with comm.phase("work"):
+                return sub.soft_fault_point()
+
+        res = Machine(1, fault_schedule=sched).run(program)
+        assert res.results[0] is True

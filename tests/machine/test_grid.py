@@ -1,0 +1,110 @@
+"""Tests for processor-grid digit bookkeeping (Section 3 layout)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.grid import ProcessorGrid, digits_to_rank, rank_digits
+
+
+class TestDigits:
+    def test_round_trip(self):
+        assert rank_digits(11, 3, 3) == [2, 0, 1]
+        assert digits_to_rank([2, 0, 1], 3) == 11
+
+    def test_padding(self):
+        assert rank_digits(1, 5, 3) == [1, 0, 0]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            rank_digits(27, 3, 3)
+
+    def test_bad_base_and_rank(self):
+        with pytest.raises(ValueError):
+            rank_digits(1, 1, 2)
+        with pytest.raises(ValueError):
+            rank_digits(-1, 3, 2)
+        with pytest.raises(ValueError):
+            digits_to_rank([3], 3)
+        with pytest.raises(ValueError):
+            digits_to_rank([0], 1)
+
+    @given(st.integers(0, 3**6 - 1))
+    @settings(max_examples=60)
+    def test_round_trip_property(self, rank):
+        assert digits_to_rank(rank_digits(rank, 3, 6), 3) == rank
+
+
+class TestProcessorGrid:
+    def test_levels(self):
+        assert ProcessorGrid(27, 3).levels == 3
+        assert ProcessorGrid(1, 3).levels == 0
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid(10, 3)
+
+    def test_column_is_digit(self):
+        grid = ProcessorGrid(27, 3)
+        # rank 11 = digits [2, 0, 1]
+        assert grid.column(11, 0) == 2
+        assert grid.column(11, 1) == 0
+        assert grid.column(11, 2) == 1
+
+    def test_row_members_differ_only_in_step_digit(self):
+        grid = ProcessorGrid(27, 3)
+        members = grid.row_members(11, step=1)
+        assert 11 in members
+        assert len(members) == 3
+        for c, rank in enumerate(members):
+            digits = grid.digits(rank)
+            assert digits[1] == c
+            assert digits[0] == 2 and digits[2] == 1
+
+    def test_row_index_consistent_within_row(self):
+        grid = ProcessorGrid(9, 3)
+        for rank in range(9):
+            row = grid.row_index(rank, 0)
+            for member in grid.row_members(rank, 0):
+                assert grid.row_index(member, 0) == row
+
+    def test_rows_partition_grid(self):
+        grid = ProcessorGrid(27, 3)
+        for step in range(3):
+            rows = {}
+            for rank in range(27):
+                rows.setdefault(grid.row_index(rank, step), set()).add(rank)
+            assert len(rows) == 9
+            assert all(len(m) == 3 for m in rows.values())
+            assert set().union(*rows.values()) == set(range(27))
+
+    def test_group_members_after_steps(self):
+        grid = ProcessorGrid(27, 3)
+        # After 0 steps: everyone together.
+        assert grid.group_members(5, 0) == list(range(27))
+        # After 1 step: the 9 ranks sharing digit 0.
+        g1 = grid.group_members(5, 1)
+        assert len(g1) == 9
+        assert all(grid.column(r, 0) == grid.column(5, 0) for r in g1)
+        # After all steps: singleton.
+        assert grid.group_members(5, 3) == [5]
+
+    def test_group_members_bad_step(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid(9, 3).group_members(0, 5)
+
+    def test_column_bad_step(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid(9, 3).column(0, 2)
+
+    def test_subproblem_path(self):
+        grid = ProcessorGrid(27, 3)
+        assert grid.subproblem_path(11) == [2, 0, 1]
+
+    @given(st.integers(0, 5**3 - 1), st.integers(0, 2))
+    @settings(max_examples=40)
+    def test_row_members_property(self, rank, step):
+        grid = ProcessorGrid(125, 5)
+        members = grid.row_members(rank, step)
+        assert members[grid.column(rank, step)] == rank
+        assert len(set(members)) == 5

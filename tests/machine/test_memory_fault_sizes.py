@@ -1,0 +1,171 @@
+"""Tests for local memory accounting, fault scheduling, and payload sizing."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.errors import MemoryExceeded
+from repro.machine.fault import FaultEvent, FaultLog, FaultSchedule, RandomFaultModel
+from repro.machine.memory import LocalMemory
+from repro.machine.sizes import payload_words
+from repro.util.rng import DeterministicRNG
+
+
+class TestLocalMemory:
+    def test_allocate_free_cycle(self):
+        mem = LocalMemory(100)
+        mem.allocate("a", 40)
+        mem.allocate("b", 30)
+        assert mem.in_use == 70
+        mem.free("a")
+        assert mem.in_use == 30
+        assert mem.peak == 70
+
+    def test_reallocate_same_name_replaces(self):
+        mem = LocalMemory(100)
+        mem.allocate("buf", 50)
+        mem.allocate("buf", 20)
+        assert mem.in_use == 20
+        assert mem.usage("buf") == 20
+
+    def test_capacity_enforced(self):
+        mem = LocalMemory(10, rank=3)
+        with pytest.raises(MemoryExceeded) as ei:
+            mem.allocate("big", 11)
+        assert ei.value.rank == 3
+        assert mem.in_use == 0  # failed allocation does not leak
+
+    def test_growing_over_capacity_rejected(self):
+        mem = LocalMemory(10)
+        mem.allocate("a", 8)
+        with pytest.raises(MemoryExceeded):
+            mem.allocate("b", 3)
+
+    def test_unlimited_default(self):
+        mem = LocalMemory()
+        mem.allocate("huge", 10**12)
+        assert math.isinf(mem.capacity)
+
+    def test_wipe_loses_everything_keeps_peak(self):
+        mem = LocalMemory(100)
+        mem.allocate("a", 60)
+        mem.wipe()
+        assert mem.in_use == 0
+        assert mem.peak == 60
+        assert mem.wipe_count == 1
+        assert mem.buffers() == {}
+
+    def test_free_missing_name_is_noop(self):
+        LocalMemory(10).free("ghost")
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            LocalMemory(0)
+        with pytest.raises(ValueError):
+            LocalMemory(10).allocate("x", -1)
+
+
+class TestFaultSchedule:
+    def test_exact_match_fires_once(self):
+        sched = FaultSchedule([FaultEvent(rank=2, phase="mul", op_index=3)])
+        assert not sched.should_fail(2, "mul", 2, 0)
+        assert not sched.should_fail(1, "mul", 3, 0)
+        assert sched.should_fail(2, "mul", 3, 0)
+        assert not sched.should_fail(2, "mul", 3, 0)  # consumed
+        assert len(sched.fired) == 1
+
+    def test_wildcard_phase(self):
+        sched = FaultSchedule([FaultEvent(rank=0, phase="*", op_index=0)])
+        assert sched.should_fail(0, "anything", 0, 0)
+
+    def test_incarnation_scoping(self):
+        sched = FaultSchedule([FaultEvent(rank=0, phase="*", op_index=0, incarnation=0)])
+        assert not sched.should_fail(0, "p", 0, incarnation=1)
+        assert sched.should_fail(0, "p", 0, incarnation=0)
+
+    def test_add_and_len(self):
+        sched = FaultSchedule()
+        sched.add(FaultEvent(0, "*", 0))
+        assert len(sched) == 1
+        assert sched.events[0].rank == 0
+
+
+class TestRandomFaultModel:
+    def test_draws_at_most_max_faults(self):
+        model = RandomFaultModel(mtbf_ops=5.0, rng=DeterministicRNG(1), max_faults=2)
+        sched = model.draw_schedule(ranks=list(range(8)), phases=["a", "b"])
+        assert 1 <= len(sched) <= 2
+        victims = {e.rank for e in sched.events}
+        assert len(victims) == len(sched.events)  # distinct victims
+
+    def test_deterministic_given_seed(self):
+        def draw(seed):
+            m = RandomFaultModel(5.0, DeterministicRNG(seed), max_faults=3)
+            return [
+                (e.rank, e.phase, e.op_index)
+                for e in m.draw_schedule(list(range(9)), ["x", "y"]).events
+            ]
+
+        assert draw(42) == draw(42)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            RandomFaultModel(0, DeterministicRNG())
+        with pytest.raises(ValueError):
+            RandomFaultModel(1.0, DeterministicRNG(), max_faults=-1)
+        with pytest.raises(ValueError):
+            RandomFaultModel(1.0, DeterministicRNG()).draw_schedule([], ["a"])
+
+
+class TestFaultLog:
+    def test_records(self):
+        log = FaultLog()
+        log.record(3, "mul", 1, 0)
+        log.record(5, "eval", 0, 0)
+        assert len(log) == 2
+        assert log.ranks() == {3, 5}
+
+
+class TestPayloadWords:
+    def test_small_int_one_word(self):
+        assert payload_words(5, 64) == 1
+
+    def test_zero_and_none_and_bool(self):
+        assert payload_words(0, 64) == 1
+        assert payload_words(None, 64) == 1
+        assert payload_words(True, 64) == 1
+
+    def test_big_int_scales_with_bits(self):
+        assert payload_words(1 << 200, 64) == 4  # 201 bits -> 4 words
+
+    def test_negative_int(self):
+        assert payload_words(-(1 << 100), 64) == 2
+
+    def test_list_sums(self):
+        assert payload_words([1, 2, 1 << 100], 64) == 1 + 1 + 2
+
+    def test_empty_containers_cost_one(self):
+        assert payload_words([], 64) == 1
+        assert payload_words({}, 64) == 1
+
+    def test_dict(self):
+        assert payload_words({1: 2}, 64) == 2
+
+    def test_fraction(self):
+        assert payload_words(Fraction(3, 7), 64) == 2
+
+    def test_str(self):
+        assert payload_words("abcdefgh", 64) == 1
+        assert payload_words("x" * 9, 64) == 2
+
+    def test_custom_words_method(self):
+        class Blob:
+            def words(self, word_bits):
+                return 17
+
+        assert payload_words(Blob(), 64) == 17
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_words(object(), 64)

@@ -1,0 +1,142 @@
+"""Tests for network topologies and per-hop latency charging."""
+
+import pytest
+
+from repro.machine.engine import Machine
+from repro.machine.topology import (
+    FatTree,
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Torus2D,
+)
+
+
+class TestDistances:
+    def test_fully_connected(self):
+        t = FullyConnected(5)
+        assert t.hops(0, 0) == 0
+        assert t.hops(0, 4) == 1
+        assert t.diameter() == 1
+
+    def test_ring_shorter_arc(self):
+        t = Ring(8)
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 7) == 1
+        assert t.hops(0, 4) == 4
+        assert t.diameter() == 4
+
+    def test_mesh_manhattan(self):
+        t = Mesh2D(3, 4)
+        assert t.size == 12
+        assert t.hops(0, 11) == 2 + 3
+        assert t.hops(5, 6) == 1
+
+    def test_torus_wraps(self):
+        t = Torus2D(4, 4)
+        assert t.hops(0, 15) == 1 + 1  # wrap both dimensions
+        assert t.hops(0, 3) == 1
+        assert t.diameter() == 4
+
+    def test_hypercube_hamming(self):
+        t = Hypercube(8)
+        assert t.hops(0b000, 0b111) == 3
+        assert t.hops(2, 3) == 1
+        assert t.diameter() == 3
+
+    def test_hypercube_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            Hypercube(6)
+
+    def test_fat_tree(self):
+        t = FatTree(8, arity=2)
+        assert t.hops(0, 0) == 0
+        assert t.hops(0, 1) == 2  # siblings: up one, down one
+        assert t.hops(0, 7) == 6  # through the root
+        with pytest.raises(ValueError, match="arity"):
+            FatTree(4, arity=1)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Ring(4).hops(0, 9)
+
+    def test_symmetry(self):
+        for topo in (Ring(7), Mesh2D(3, 3), Torus2D(3, 3), Hypercube(8), FatTree(9, 3)):
+            for s in range(topo.size):
+                for d in range(topo.size):
+                    assert topo.hops(s, d) == topo.hops(d, s)
+                    assert (topo.hops(s, d) == 0) == (s == d)
+
+    def test_average_distance(self):
+        assert FullyConnected(4).average_distance() == 1.0
+        assert FullyConnected(1).average_distance() == 0.0
+        assert Ring(4).average_distance() == pytest.approx((1 + 2 + 1) / 3)
+
+
+class TestMachineIntegration:
+    def _ping(self, topology, src=0, dst=None):
+        dst = dst if dst is not None else topology.size - 1
+
+        def program(comm):
+            if comm.rank == src:
+                comm.send(dst, [1, 2], tag=3)
+            elif comm.rank == dst:
+                comm.recv(src, tag=3)
+
+        res = Machine(topology.size, topology=topology, timeout=10).run(program)
+        return res.per_rank[dst]
+
+    def test_default_is_fully_connected(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, [1], tag=1)
+            else:
+                comm.recv(0, tag=1)
+
+        res = Machine(2).run(program)
+        assert res.per_rank[1].l == 2  # one hop charged at each end
+
+    def test_ring_charges_distance(self):
+        c = self._ping(Ring(8))  # 0 -> 7 is one hop on the ring
+        assert c.l == 2
+        c = self._ping(Ring(8), src=0, dst=4)  # opposite side: 4 hops
+        assert c.l == 8
+
+    def test_mesh_charges_manhattan(self):
+        c = self._ping(Mesh2D(3, 3), src=0, dst=8)
+        assert c.l == 2 * 4
+
+    def test_topology_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="topology covers"):
+            Machine(4, topology=Ring(8))
+
+    def test_bandwidth_unaffected_by_hops(self):
+        # Cut-through routing: BW is charged once regardless of distance.
+        near = self._ping(Ring(8), src=0, dst=1)
+        far = self._ping(Ring(8), src=0, dst=4)
+        assert near.bw == far.bw
+
+
+class TestAlgorithmOnTopologies:
+    def test_parallel_toomcook_latency_ordering(self):
+        import random
+
+        from repro.core.parallel_toomcook import ParallelToomCook
+        from repro.core.plan import make_plan
+
+        rng = random.Random(3)
+        a, b = rng.getrandbits(600), rng.getrandbits(590)
+        plan = make_plan(600, p=9, k=2, word_bits=16)
+        ls = {}
+        for name, topo in [
+            ("full", FullyConnected(9)),
+            ("torus", Torus2D(3, 3)),
+            ("ring", Ring(9)),
+        ]:
+            out = ParallelToomCook(plan, topology=topo, timeout=30).multiply(a, b)
+            assert out.product == a * b
+            ls[name] = out.run.critical_path.l
+        # Constrained topologies cost more latency; the ring is worst.
+        assert ls["full"] <= ls["torus"] <= ls["ring"]
+        assert ls["ring"] > ls["full"]

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, parse_fault, parse_number
+
+
+class TestParsers:
+    def test_parse_number_formats(self):
+        assert parse_number("42") == 42
+        assert parse_number("0x10") == 16
+        assert parse_number("0b101") == 5
+        assert parse_number("0x1p100") == 1 << 100
+
+    def test_parse_number_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_number("forty-two")
+
+    def test_parse_fault(self):
+        ev = parse_fault("4:multiplication:0")
+        assert (ev.rank, ev.phase, ev.op_index, ev.kind) == (
+            4,
+            "multiplication",
+            0,
+            "hard",
+        )
+
+    def test_parse_fault_kinds(self):
+        assert parse_fault("1:evaluation:2:soft").kind == "soft"
+        ev = parse_fault("1:evaluation:2:delay:4.0")
+        assert ev.kind == "delay" and ev.factor == 4.0
+
+    def test_parse_fault_rejects_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_fault("1:phase")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_fault("1:phase:0:weird")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMultiply:
+    def test_sequential(self, capsys):
+        rc = main(["multiply", "123456", "654321", "--k", "3"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == str(123456 * 654321)
+
+    def test_sequential_json(self, capsys):
+        rc = main(["multiply", "7", "6", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"product": "42", "exact": True}
+
+    def test_parallel(self, capsys):
+        rc = main(
+            ["multiply", "0x1p300", "12345", "--parallel", "3", "--word-bits", "16"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exact   = True" in out
+        assert "costs" in out
+
+    def test_fault_tolerant_with_injected_fault(self, capsys):
+        rc = main(
+            [
+                "multiply", "0x1p300", "0x1p299",
+                "--parallel", "9", "--ft", "1", "--word-bits", "16",
+                "--fault", "4:multiplication:0", "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exact"] is True
+        assert payload["faults_fired"] == 1
+        assert payload["critical_path"]["F"] > 0
+        assert "multiplication" in payload["phases"]
+
+
+class TestPlanPredict:
+    def test_plan_text(self, capsys):
+        rc = main(["plan", "--bits", "100000", "--p", "27", "--k", "2",
+                   "--memory", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "l_bfs" in out and "l_dfs" in out
+
+    def test_plan_json(self, capsys):
+        rc = main(["plan", "--bits", "10000", "--p", "9", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["l_bfs"] == 2
+        assert payload["n_words"] % payload["p"] == 0
+
+    def test_predict_json(self, capsys):
+        rc = main(
+            ["predict", "--bits", "100000", "--p", "27", "--k", "2",
+             "--f", "2", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["extra_processors"]["replication"] == 54
+        assert payload["extra_processors"]["ft_combined"] == 2 * 3 + 2 * 9
+        assert payload["fault_tolerant"]["F"] > payload["parallel"]["F"]
+
+
+class TestDemo:
+    def test_demo_runs_and_survives(self, capsys):
+        rc = main(["demo"])
+        assert rc == 0
+        assert "product exact: True" in capsys.readouterr().out

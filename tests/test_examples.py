@@ -1,0 +1,49 @@
+"""Smoke tests: the fast example scripts must run clean end to end.
+
+The slower fault-campaign examples are exercised indirectly (their code
+paths are covered by the core tests); these two finish in seconds and
+guard the public-API surface the examples demonstrate.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "all exact" in out
+    assert "fault-tolerant (f=1)" in out
+
+
+def test_polynomial_products():
+    out = run_example("polynomial_products.py")
+    assert out.count("[ok]") == 4
+    assert "MISMATCH" not in out
+
+
+@pytest.mark.slow
+def test_straggler_mitigation():
+    out = run_example("straggler_mitigation.py", timeout=480.0)
+    assert "x64 slowdown" in out
+
+
+@pytest.mark.slow
+def test_resilient_rsa_modexp():
+    out = run_example("resilient_rsa_modexp.py", timeout=600.0)
+    assert "survived: 2" in out

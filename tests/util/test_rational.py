@@ -1,0 +1,221 @@
+"""Unit tests for exact rational linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rational import (
+    FractionMatrix,
+    as_fraction_matrix,
+    is_integral_vector,
+    mat_det,
+    mat_identity,
+    mat_inverse,
+    mat_mul,
+    mat_rank,
+    mat_transpose,
+    mat_vec,
+    solve_linear_system,
+)
+
+
+class TestBasics:
+    def test_identity_shape_and_entries(self):
+        ident = mat_identity(3)
+        assert ident == [
+            [1, 0, 0],
+            [0, 1, 0],
+            [0, 0, 1],
+        ]
+        assert all(isinstance(x, Fraction) for row in ident for x in row)
+
+    def test_as_fraction_matrix_rejects_ragged(self):
+        with pytest.raises(ValueError, match="ragged"):
+            as_fraction_matrix([[1, 2], [3]])
+
+    def test_transpose(self):
+        assert mat_transpose([[1, 2, 3], [4, 5, 6]]) == [
+            [1, 4],
+            [2, 5],
+            [3, 6],
+        ]
+
+    def test_mat_mul_simple(self):
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        assert mat_mul(a, b) == [[19, 22], [43, 50]]
+
+    def test_mat_mul_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            mat_mul([[1, 2]], [[1, 2]])
+
+    def test_mat_vec(self):
+        assert mat_vec([[1, 2], [3, 4]], [10, 100]) == [210, 430]
+
+    def test_mat_vec_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            mat_vec([[1, 2]], [1, 2, 3])
+
+    def test_mat_vec_zero_row_returns_zero(self):
+        assert mat_vec([[0, 0]], [5, 7]) == [0]
+
+
+class TestDeterminantInverse:
+    def test_det_2x2(self):
+        assert mat_det([[1, 2], [3, 4]]) == -2
+
+    def test_det_singular(self):
+        assert mat_det([[1, 2], [2, 4]]) == 0
+
+    def test_det_identity(self):
+        assert mat_det(mat_identity(5)) == 1
+
+    def test_det_empty(self):
+        assert mat_det([]) == 1
+
+    def test_det_requires_square(self):
+        with pytest.raises(ValueError, match="square"):
+            mat_det([[1, 2, 3], [4, 5, 6]])
+
+    def test_det_needs_pivot_swap(self):
+        # Zero in the (0,0) position forces a row swap (sign flip).
+        assert mat_det([[0, 1], [1, 0]]) == -1
+
+    def test_inverse_roundtrip(self):
+        a = [[2, 1, 0], [1, 3, 1], [0, 1, 4]]
+        inv = mat_inverse(a)
+        assert mat_mul(a, inv) == mat_identity(3)
+        assert mat_mul(inv, a) == mat_identity(3)
+
+    def test_inverse_singular_raises(self):
+        with pytest.raises(ValueError, match="singular"):
+            mat_inverse([[1, 2], [2, 4]])
+
+    def test_inverse_requires_square(self):
+        with pytest.raises(ValueError, match="square"):
+            mat_inverse([[1, 2, 3]])
+
+    def test_solve_linear_system(self):
+        a = [[2, 0], [0, 4]]
+        assert solve_linear_system(a, [6, 8]) == [3, 2]
+
+    def test_solve_singular_raises(self):
+        with pytest.raises(ValueError, match="singular"):
+            solve_linear_system([[1, 1], [1, 1]], [1, 2])
+
+    def test_solve_size_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            solve_linear_system([[1]], [1, 2])
+
+    def test_rank(self):
+        assert mat_rank([[1, 2], [2, 4]]) == 1
+        assert mat_rank(mat_identity(4)) == 4
+        assert mat_rank([]) == 0
+        assert mat_rank([[0, 0], [0, 0]]) == 0
+
+    def test_rank_rectangular(self):
+        assert mat_rank([[1, 0, 0], [0, 1, 0]]) == 2
+
+
+@st.composite
+def invertible_matrix(draw, max_n=4):
+    """Random small integer matrix that is invertible (rejection sampled)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    entries = st.integers(min_value=-9, max_value=9)
+    for _ in range(40):
+        m = [[draw(entries) for _ in range(n)] for _ in range(n)]
+        if mat_det(m) != 0:
+            return m
+    # Fall back to a diagonal-dominant matrix: always invertible.
+    return [
+        [draw(entries) + (20 if i == j else 0) for j in range(n)] for i in range(n)
+    ]
+
+
+class TestProperties:
+    @given(invertible_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_is_two_sided(self, m):
+        inv = mat_inverse(m)
+        n = len(m)
+        assert mat_mul(m, inv) == mat_identity(n)
+        assert mat_mul(inv, m) == mat_identity(n)
+
+    @given(invertible_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_det_of_inverse_is_reciprocal(self, m):
+        assert mat_det(mat_inverse(m)) == 1 / mat_det(m)
+
+    @given(invertible_matrix(), st.lists(st.integers(-50, 50), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_solve_agrees_with_inverse(self, m, b):
+        n = len(m)
+        b = (b * n)[:n]
+        x = solve_linear_system(m, b)
+        assert mat_vec(m, x) == [Fraction(v) for v in b]
+
+    @given(
+        st.integers(1, 3),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_det_multiplicative(self, n, data):
+        entries = st.integers(min_value=-5, max_value=5)
+        a = [[data.draw(entries) for _ in range(n)] for _ in range(n)]
+        b = [[data.draw(entries) for _ in range(n)] for _ in range(n)]
+        assert mat_det(mat_mul(a, b)) == mat_det(a) * mat_det(b)
+
+
+class TestFractionMatrix:
+    def test_shape_and_transpose(self):
+        m = FractionMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+        assert m.T.shape == (3, 2)
+
+    def test_matmul_matrix(self):
+        a = FractionMatrix([[1, 2], [3, 4]])
+        b = FractionMatrix([[0, 1], [1, 0]])
+        assert (a @ b) == FractionMatrix([[2, 1], [4, 3]])
+
+    def test_matmul_vector(self):
+        a = FractionMatrix([[1, 2], [3, 4]])
+        assert a @ [1, 1] == [3, 7]
+
+    def test_matmul_plain_nested_list(self):
+        a = FractionMatrix([[1, 0], [0, 1]])
+        assert (a @ [[1, 2], [3, 4]]) == FractionMatrix([[1, 2], [3, 4]])
+
+    def test_inv_det_rank(self):
+        m = FractionMatrix([[2, 0], [0, 2]])
+        assert m.det() == 4
+        assert m.rank() == 2
+        assert m.inv() == FractionMatrix([[Fraction(1, 2), 0], [0, Fraction(1, 2)]])
+
+    def test_is_integral(self):
+        assert FractionMatrix([[1, 2]]).is_integral()
+        assert not FractionMatrix([[Fraction(1, 2)]]).is_integral()
+
+    def test_immutability(self):
+        m = FractionMatrix([[1]])
+        with pytest.raises(AttributeError):
+            m.rows = []
+
+    def test_eq_hash_repr(self):
+        a = FractionMatrix([[1, 2]])
+        b = FractionMatrix([[1, 2]])
+        assert a == b and hash(a) == hash(b)
+        assert "FractionMatrix" in repr(a)
+        assert (a == 42) is False or (a.__eq__(42) is NotImplemented)
+
+    def test_len_iter_getitem(self):
+        m = FractionMatrix([[1, 2], [3, 4]])
+        assert len(m) == 2
+        assert list(m)[1] == [3, 4]
+        assert m[0][1] == 2
+
+
+def test_is_integral_vector():
+    assert is_integral_vector([1, Fraction(4, 2), 0])
+    assert not is_integral_vector([Fraction(1, 3)])

@@ -1,0 +1,64 @@
+"""Tests for the deterministic RNG wrapper."""
+
+import pytest
+
+from repro.util.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(7)
+        b = DeterministicRNG(7)
+        assert [a.integer_bits(64) for _ in range(5)] == [
+            b.integer_bits(64) for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.integer_bits(64) for _ in range(5)] != [
+            b.integer_bits(64) for _ in range(5)
+        ]
+
+    def test_spawn_is_stable_and_independent(self):
+        root = DeterministicRNG(3)
+        c1 = root.spawn(0)
+        c2 = DeterministicRNG(3).spawn(0)
+        assert c1.integer_bits(32) == c2.integer_bits(32)
+        assert root.spawn(0).seed != root.spawn(1).seed
+
+
+class TestShapes:
+    def test_integer_bits_has_exact_width(self):
+        rng = DeterministicRNG(11)
+        for nbits in (1, 2, 17, 64, 257):
+            v = rng.integer_bits(nbits)
+            assert v.bit_length() == nbits
+
+    def test_integer_bits_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG().integer_bits(0)
+
+    def test_integer_range_bounds(self):
+        rng = DeterministicRNG(5)
+        for _ in range(50):
+            assert 3 <= rng.integer_range(3, 9) <= 9
+
+    def test_choice_sample_shuffle(self):
+        rng = DeterministicRNG(13)
+        seq = list(range(10))
+        assert rng.choice(seq) in seq
+        s = rng.sample(seq, 4)
+        assert len(s) == 4 and set(s) <= set(seq)
+        copy = seq[:]
+        rng.shuffle(copy)
+        assert sorted(copy) == seq
+
+    def test_uniform_and_exponential(self):
+        rng = DeterministicRNG(17)
+        assert 0.0 <= rng.uniform(0.0, 1.0) <= 1.0
+        assert rng.exponential(10.0) > 0
+
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG().exponential(0.0)

@@ -1,0 +1,96 @@
+"""Tests for argument validation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.validation import (
+    ceil_div,
+    ceil_pow,
+    check_non_negative,
+    check_positive,
+    check_power_of,
+    ilog,
+    is_power_of,
+)
+
+
+class TestCheckers:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "3", None])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be"):
+            check_positive("x", bad)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    @pytest.mark.parametrize("bad", [-1, 2.0, False])
+    def test_check_non_negative_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_non_negative("x", bad)
+
+
+class TestPowers:
+    @pytest.mark.parametrize("value,base", [(1, 2), (8, 2), (27, 3), (125, 5)])
+    def test_is_power_of_true(self, value, base):
+        assert is_power_of(value, base)
+
+    @pytest.mark.parametrize("value,base", [(0, 2), (6, 2), (10, 3), (-8, 2)])
+    def test_is_power_of_false(self, value, base):
+        assert not is_power_of(value, base)
+
+    def test_is_power_of_bad_base(self):
+        with pytest.raises(ValueError):
+            is_power_of(4, 1)
+
+    def test_check_power_of(self):
+        assert check_power_of("P", 9, 3) == 9
+        with pytest.raises(ValueError, match="power of 3"):
+            check_power_of("P", 10, 3)
+
+    @given(st.integers(0, 12), st.integers(2, 7))
+    def test_ilog_inverts_pow(self, t, base):
+        assert ilog(base**t, base) == t
+
+    def test_ilog_rejects_non_power(self):
+        with pytest.raises(ValueError, match="not a power"):
+            ilog(10, 3)
+
+    def test_ilog_rejects_bad_base_and_value(self):
+        with pytest.raises(ValueError):
+            ilog(4, 1)
+        with pytest.raises(ValueError):
+            ilog(0, 2)
+
+
+class TestCeilHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(7, 3) == 3
+        assert ceil_div(6, 3) == 2
+        assert ceil_div(0, 5) == 0
+
+    def test_ceil_div_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    @pytest.mark.parametrize(
+        "value,base,expected", [(1, 2, 1), (5, 2, 8), (9, 3, 9), (10, 3, 27)]
+    )
+    def test_ceil_pow(self, value, base, expected):
+        assert ceil_pow(value, base) == expected
+
+    def test_ceil_pow_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_pow(0, 2)
+        with pytest.raises(ValueError):
+            ceil_pow(4, 1)
+
+    @given(st.integers(1, 10_000), st.integers(2, 5))
+    def test_ceil_pow_property(self, value, base):
+        p = ceil_pow(value, base)
+        assert p >= value
+        assert is_power_of(p, base)
+        assert p == 1 or p // base < value

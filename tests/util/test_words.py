@@ -1,0 +1,120 @@
+"""Unit and property tests for base-conversion helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.words import (
+    bits_to_words,
+    digit_count,
+    digits_to_int,
+    int_to_digits,
+    shared_split_base,
+)
+
+
+class TestBitsToWords:
+    def test_exact_multiple(self):
+        assert bits_to_words(64, 32) == 2
+
+    def test_rounds_up(self):
+        assert bits_to_words(65, 32) == 3
+
+    def test_zero_bits_needs_one_word(self):
+        assert bits_to_words(0, 32) == 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            bits_to_words(10, 0)
+        with pytest.raises(ValueError):
+            bits_to_words(-1, 8)
+
+
+class TestDigitCount:
+    def test_small(self):
+        assert digit_count(255, 8) == 1
+        assert digit_count(256, 8) == 2
+
+    def test_zero(self):
+        assert digit_count(0, 8) == 1
+
+    def test_negative_uses_magnitude(self):
+        assert digit_count(-256, 8) == 2
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            digit_count(1, 0)
+
+
+class TestSharedSplitBase:
+    def test_fits_in_k_digits(self):
+        a, b, k = (1 << 100) - 1, (1 << 90) + 5, 3
+        B = shared_split_base(a, b, k)
+        assert B & (B - 1) == 0  # power of two
+        assert a < B**k and b < B**k
+
+    def test_matches_paper_formula_shape(self):
+        # 8-bit numbers split 2 ways need a 16 = 2^4 base.
+        assert shared_split_base(255, 255, 2) == 16
+
+    def test_handles_zero_input(self):
+        assert shared_split_base(0, 0, 4) == 2
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            shared_split_base(1, 1, 0)
+
+
+class TestDigits:
+    def test_round_trip_simple(self):
+        digits = int_to_digits(0x1234, 8)
+        assert digits == [0x34, 0x12]
+        assert digits_to_int(digits, 8) == 0x1234
+
+    def test_zero(self):
+        assert int_to_digits(0, 8) == [0]
+
+    def test_padding(self):
+        assert int_to_digits(1, 8, count=4) == [1, 0, 0, 0]
+
+    def test_count_too_small_raises(self):
+        with pytest.raises(ValueError, match="more than count"):
+            int_to_digits(1 << 20, 8, count=2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_digits(-1, 8)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_digits(1, 0)
+        with pytest.raises(ValueError):
+            digits_to_int([1], 0)
+
+    def test_digits_to_int_with_carries(self):
+        # Digits exceeding the base must still resolve correctly:
+        # this is the carry computation of Algorithm 1 line 16.
+        assert digits_to_int([300, 2], 8) == 300 + (2 << 8)
+
+    def test_digits_to_int_with_negative_digits(self):
+        assert digits_to_int([-1, 1], 8) == 255
+
+    @given(st.integers(min_value=0, max_value=1 << 256), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, value, base_bits):
+        assert digits_to_int(int_to_digits(value, base_bits), base_bits) == value
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 128),
+        st.integers(min_value=0, max_value=1 << 128),
+        st.integers(2, 8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_shared_base_split_recombine(self, a, b, k):
+        B = shared_split_base(a, b, k)
+        bb = B.bit_length() - 1
+        da = int_to_digits(a, bb, count=k)
+        db = int_to_digits(b, bb, count=k)
+        assert digits_to_int(da, bb) == a
+        assert digits_to_int(db, bb) == b
+        assert len(da) == len(db) == k
