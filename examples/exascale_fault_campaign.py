@@ -5,14 +5,21 @@ The paper's motivation: exascale machines have a small mean time between
 failures, so out-of-the-box solutions (replication, checkpoint-restart)
 waste resources even when nothing fails.  This example runs a randomized
 hard-fault campaign against all three strategies plus the unprotected
-algorithm, and reports survival and measured overheads.
+algorithm, and reports survival and measured overheads.  It closes with a
+traced run of one campaign fault: the virtual-time Gantt shows the
+victim's death, its replacement, and the recovery traffic on the modeled
+timeline (see docs/OBSERVABILITY.md).
 
 Run:  python examples/exascale_fault_campaign.py
 """
 
 import random
 
-from repro.analysis.report import render_table
+from repro.analysis.report import (
+    render_gantt,
+    render_metrics,
+    render_table,
+)
 from repro.core.checkpoint import CheckpointedToomCook
 from repro.core.ft_toomcook import FaultTolerantToomCook
 from repro.core.parallel_toomcook import ParallelToomCook
@@ -52,6 +59,31 @@ def campaign(make_algo, needs_schedule=True):
             pass
     avg = lambda v: v // max(1, survived)
     return survived, avg(f_total), avg(bw_total)
+
+
+def traced_forensics(plan) -> None:
+    """Re-run one campaign fault with tracing on and show the forensics."""
+    schedule = random_schedule(0)
+    victim = schedule.events[0].rank if schedule.events else "?"
+    algo = FaultTolerantToomCook(
+        plan, f=F, fault_schedule=schedule, timeout=40, trace=True
+    )
+    rng = random.Random(99)
+    a, b = rng.getrandbits(N_BITS), rng.getrandbits(N_BITS - 8)
+    out = algo.multiply(a, b)
+    assert out.product == a * b
+    print()
+    print(
+        render_gantt(
+            out.run.trace,
+            width=64,
+            title=f"Traced rerun of trial 0 (rank {victim} dies; X=fault, R=replacement)",
+        )
+    )
+    print()
+    print(render_metrics(out.run.metrics, title="Forensics: run metrics"))
+    per_fault = out.run.trace.recovery_words_per_fault()
+    print(f"\nrecovery traffic per fault: {per_fault:.0f} words")
 
 
 def main() -> None:
@@ -110,6 +142,7 @@ def main() -> None:
         "\nnear-baseline costs and a fraction of replication's processors;"
         "\ncheckpoint-restart survives but pays recomputation (higher F)."
     )
+    traced_forensics(plan)
 
 
 if __name__ == "__main__":

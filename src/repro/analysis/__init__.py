@@ -5,7 +5,9 @@ comparison utilities used by the benchmark harness.
   evaluatable formulas (Θ-shapes with unit constants).
 - :mod:`repro.analysis.compare` — scaling-exponent fits and overhead-ratio
   extraction from measured runs.
-- :mod:`repro.analysis.report` — text tables shaped like Tables 1 and 2.
+- :mod:`repro.analysis.report` — text tables shaped like Tables 1 and 2,
+  plus the virtual-time Gantt and critical-path-attribution reports for
+  traced runs (see :mod:`repro.obs`).
 """
 
 from repro.analysis.formulas import (
@@ -20,7 +22,13 @@ from repro.analysis.compare import (
     overhead_ratio,
     ratio_series,
 )
-from repro.analysis.report import render_table, render_series
+from repro.analysis.report import (
+    render_table,
+    render_series,
+    render_gantt,
+    render_critical_path_attribution,
+    render_metrics,
+)
 
 __all__ = [
     "parallel_toomcook_costs",
@@ -33,4 +41,7 @@ __all__ = [
     "ratio_series",
     "render_table",
     "render_series",
+    "render_gantt",
+    "render_critical_path_attribution",
+    "render_metrics",
 ]

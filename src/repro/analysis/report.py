@@ -1,14 +1,25 @@
-"""Plain-text tables shaped like the paper's Tables 1 and 2.
+"""Plain-text reporting: tables shaped like the paper's Tables 1 and 2,
+plus the observability layer's virtual-time Gantt chart and critical-path
+attribution.
 
-The benchmark harness prints these so each bench's output reads like the
-corresponding artifact of the paper; EXPERIMENTS.md pastes them verbatim.
+The benchmark harness prints the tables so each bench's output reads like
+the corresponding artifact of the paper; EXPERIMENTS.md pastes them
+verbatim.  The Gantt/attribution renderers consume a
+:class:`~repro.obs.tracer.RecordingTracer` /
+:class:`~repro.machine.engine.RunResult` (see ``python -m repro trace``).
 """
 
 from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["render_table", "render_series"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_gantt",
+    "render_critical_path_attribution",
+    "render_metrics",
+]
 
 
 def _fmt(value: Any) -> str:
@@ -60,3 +71,140 @@ def render_series(
         [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
     ]
     return render_table(headers, rows, title=title)
+
+
+# ---------------------------------------------------------------------------
+# Observability reports (virtual-time Gantt, critical-path attribution)
+# ---------------------------------------------------------------------------
+
+#: Timeline glyph per phase; unknown phases use their first letter.
+_PHASE_GLYPHS = {
+    "evaluation": "e",
+    "multiplication": "m",
+    "interpolation": "i",
+    "code-creation": "c",
+    "recovery": "r",
+}
+
+
+def _phase_glyph(phase: str) -> str:
+    glyph = _PHASE_GLYPHS.get(phase)
+    if glyph is None:
+        glyph = phase[0].lower() if phase else "?"
+    return glyph
+
+
+def render_gantt(trace, width: int = 72, title: str = "") -> str:
+    """ASCII Gantt chart of a traced run in virtual time.
+
+    One row per rank; columns map ``[0, max_vt]`` onto ``width`` cells.
+    Phase spans are drawn with per-phase glyphs (``e``/``m``/``i``/``c``/
+    ``r`` — innermost span wins where they nest); ``X`` marks a fault,
+    ``R`` a replacement coming up, ``!`` a column abort.  Deterministic:
+    built from the trace's (vt, rank, seq) order only.
+    """
+    from repro.obs.events import EV_ABORT, EV_FAULT, EV_REPLACEMENT
+    from repro.obs.export import _event_list, iter_phase_spans
+
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    events = _event_list(trace)
+    if not events:
+        return (title + "\n" if title else "") + "(empty trace)"
+    max_vt = max(e.vt for e in events) or 1.0
+    ranks = sorted({e.rank for e in events})
+
+    def col(vt: float) -> int:
+        return min(width - 1, int(vt / max_vt * width))
+
+    rows = {r: [" "] * width for r in ranks}
+    # Sort spans longest-first so nested (shorter) spans overwrite their
+    # parents and the innermost phase shows.
+    spans = sorted(
+        iter_phase_spans(events), key=lambda s: (-(s[3] - s[2]), s[0], s[2])
+    )
+    for rank, phase, begin, end in spans:
+        glyph = _phase_glyph(phase)
+        lo, hi = col(begin), col(end)
+        for c in range(lo, max(lo, hi) + 1):
+            rows[rank][c] = glyph
+    markers = {EV_FAULT: "X", EV_REPLACEMENT: "R", EV_ABORT: "!"}
+    for ev in events:
+        mark = markers.get(ev.kind)
+        # A fault marker is never overwritten — a replacement or abort
+        # landing in the same column would otherwise hide it.
+        if mark is not None and rows[ev.rank][col(ev.vt)] != "X":
+            rows[ev.rank][col(ev.vt)] = mark
+
+    label_w = max(len(f"rank {r}") for r in ranks)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'':{label_w}}  virtual time 0 .. {_fmt(max_vt)} "
+        "(alpha*L + beta*BW + gamma*F)"
+    )
+    for r in ranks:
+        lines.append(f"{f'rank {r}':{label_w}}  |" + "".join(rows[r]) + "|")
+    used = sorted({g for row in rows.values() for g in row if g not in " XR!"})
+    legend = [f"{g}={name}" for name, g in sorted(_PHASE_GLYPHS.items(), key=lambda kv: kv[1]) if g in used]
+    legend += [f"{g}=?" for g in used if g not in _PHASE_GLYPHS.values()]
+    lines.append(
+        f"{'':{label_w}}  " + "  ".join(legend + ["X=fault", "R=replacement", "!=abort"])
+    )
+    return "\n".join(lines)
+
+
+def render_critical_path_attribution(run, model=None, title: str = "") -> str:
+    """Attribute the modeled runtime to phases (per-phase critical path).
+
+    Each row is a phase's max-over-ranks (F, BW, L) and its modeled cost
+    ``C = alpha*L + beta*BW + gamma*F``; the share column is that cost
+    relative to the summed per-phase costs.  Per-phase maxima may overlap
+    across ranks, so shares attribute rather than partition exactly —
+    the bottom row gives the true end-to-end critical path for scale.
+    """
+    from repro.machine.costs import CostModel
+
+    model = model or CostModel()
+    rows = []
+    total_c = sum(model.runtime(pc) for pc in run.phase_costs.values()) or 1.0
+    for name, pc in run.phase_costs.items():
+        c = model.runtime(pc)
+        rows.append([name, pc.f, pc.bw, pc.l, c, f"{100 * c / total_c:.1f}%"])
+    critical = run.critical_path
+    rows.append(
+        [
+            "critical path",
+            critical.f,
+            critical.bw,
+            critical.l,
+            model.runtime(critical),
+            "",
+        ]
+    )
+    return render_table(
+        ["phase", "F", "BW", "L", "C", "share"], rows, title=title
+    )
+
+
+def render_metrics(metrics, title: str = "") -> str:
+    """Flat text dump of a :class:`~repro.obs.metrics.MetricsRegistry`."""
+    snap = metrics.as_dict()
+    rows = []
+    for name, value in snap["counters"].items():
+        rows.append([name, "counter", _fmt(value)])
+    for name, value in snap["gauges"].items():
+        rows.append([name, "gauge", _fmt(value)])
+    for name, hist in snap["histograms"].items():
+        rows.append(
+            [
+                name,
+                "histogram",
+                f"n={hist['count']} mean={_fmt(hist['total'] / max(1, hist['count']))} "
+                f"min={_fmt(hist['min'])} max={_fmt(hist['max'])}",
+            ]
+        )
+    if not rows:
+        rows.append(["(no metrics recorded)", "", ""])
+    return render_table(["metric", "type", "value"], rows, title=title)

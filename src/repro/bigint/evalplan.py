@@ -19,7 +19,6 @@ Plans work on any register values supporting ``+`` and integer scalar
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 
 from repro.bigint.evalpoints import EvalPoint
 

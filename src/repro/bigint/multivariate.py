@@ -17,7 +17,6 @@ concrete:
 from __future__ import annotations
 
 from fractions import Fraction
-from itertools import product as iter_product
 from typing import Iterable, Mapping, Sequence
 
 from repro.bigint.evalpoints import EvalPoint

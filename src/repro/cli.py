@@ -4,6 +4,8 @@
 
     python -m repro multiply 123456789 987654321 --k 3
     python -m repro multiply 0x1p500 12345 --parallel 9 --ft 1 --fault 4:multiplication:0
+    python -m repro multiply 0x1p4000 0x1p4000 --parallel 9 --ft 1 --trace-out /tmp/t.json
+    python -m repro trace 0x1p4000 0x1p4000 --parallel 9 --ft 1 --fault 4:multiplication:0
     python -m repro plan --bits 100000 --p 27 --k 2 --memory 500
     python -m repro predict --bits 100000 --p 27 --k 2
     python -m repro demo
@@ -51,6 +53,16 @@ def parse_fault(text: str):
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
+def parse_gantt_width(text: str) -> int:
+    try:
+        width = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from exc
+    if width < 10:
+        raise argparse.ArgumentTypeError("width must be at least 10")
+    return width
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -77,6 +89,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a fault (repeatable)",
     )
     mul.add_argument("--json", action="store_true", help="machine-readable output")
+    mul.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="record a virtual-time trace and write it to PATH "
+        "(.jsonl for JSON-lines, anything else for Chrome/Perfetto JSON); "
+        "implies --parallel",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced multiplication and print the virtual-time report",
+    )
+    trace.add_argument("a", type=parse_number)
+    trace.add_argument("b", type=parse_number)
+    trace.add_argument("--k", type=int, default=2, help="Toom-Cook split factor")
+    trace.add_argument("--word-bits", type=int, default=32)
+    trace.add_argument(
+        "--parallel", type=int, metavar="P", default=9,
+        help="simulated processor count (a power of 2k-1)",
+    )
+    trace.add_argument(
+        "--ft", type=int, metavar="F", default=0,
+        help="tolerate F hard faults",
+    )
+    trace.add_argument(
+        "--fault", type=parse_fault, action="append", default=[],
+        metavar="RANK:PHASE:OP[:KIND[:FACTOR]]",
+        help="inject a fault (repeatable)",
+    )
+    trace.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also export the trace (.jsonl or Chrome/Perfetto JSON)",
+    )
+    trace.add_argument(
+        "--width", type=parse_gantt_width, default=72, help="Gantt chart width"
+    )
+    trace.add_argument("--alpha", type=float, default=1.0, help="cost per message")
+    trace.add_argument("--beta", type=float, default=1.0, help="cost per word")
+    trace.add_argument("--gamma", type=float, default=1.0, help="cost per flop")
 
     plan = sub.add_parser("plan", help="show the BFS/DFS execution plan")
     plan.add_argument("--bits", type=int, required=True)
@@ -106,6 +156,8 @@ def _cmd_multiply(args) -> int:
     from repro.machine.fault import FaultSchedule
 
     expected = args.a * args.b
+    if args.trace_out and args.parallel == 0 and args.ft == 0:
+        args.parallel = 9
     if args.parallel == 0 and args.ft == 0:
         product = multiply(args.a, args.b, k=args.k, word_bits=args.word_bits)
         payload = {"product": str(product), "exact": product == expected}
@@ -117,16 +169,23 @@ def _cmd_multiply(args) -> int:
 
     p = args.parallel or 9
     schedule = FaultSchedule(args.fault)
+    trace = True if args.trace_out else None
     if args.ft:
         out = multiply_fault_tolerant(
             args.a, args.b, p=p, k=args.k, f=args.ft,
-            word_bits=args.word_bits, fault_schedule=schedule,
+            word_bits=args.word_bits, fault_schedule=schedule, trace=trace,
         )
     else:
         out = multiply_parallel(
             args.a, args.b, p=p, k=args.k,
-            word_bits=args.word_bits, fault_schedule=schedule,
+            word_bits=args.word_bits, fault_schedule=schedule, trace=trace,
         )
+    if args.trace_out:
+        from repro.obs.export import write_trace
+
+        fmt = write_trace(out.run.trace, args.trace_out)
+        if not args.json:
+            print(f"trace   : {len(out.run.trace)} events -> {args.trace_out} ({fmt})")
     c = out.run.critical_path
     payload = {
         "product": str(out.product),
@@ -146,6 +205,49 @@ def _cmd_multiply(args) -> int:
         print(f"costs   : F={c.f} BW={c.bw} L={c.l}")
         print(f"faults  : {payload['faults_fired']} fired, product still exact")
     return 0 if payload["exact"] else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis.report import (
+        render_critical_path_attribution,
+        render_gantt,
+        render_metrics,
+    )
+    from repro.core.api import multiply_fault_tolerant, multiply_parallel
+    from repro.machine.costs import CostModel
+    from repro.machine.fault import FaultSchedule
+    from repro.obs.export import write_trace
+
+    model = CostModel(alpha=args.alpha, beta=args.beta, gamma=args.gamma)
+    schedule = FaultSchedule(args.fault)
+    if args.ft:
+        out = multiply_fault_tolerant(
+            args.a, args.b, p=args.parallel, k=args.k, f=args.ft,
+            word_bits=args.word_bits, fault_schedule=schedule, trace=model,
+        )
+    else:
+        out = multiply_parallel(
+            args.a, args.b, p=args.parallel, k=args.k,
+            word_bits=args.word_bits, fault_schedule=schedule, trace=model,
+        )
+    exact = out.product == args.a * args.b
+    run = out.run
+    print(render_gantt(run.trace, width=args.width, title="virtual-time Gantt"))
+    print()
+    print(
+        render_critical_path_attribution(
+            run, model, title="critical-path attribution"
+        )
+    )
+    print()
+    print(render_metrics(run.metrics, title="metrics"))
+    print()
+    print(f"exact   = {exact}")
+    print(f"faults  = {len(run.fault_log)} fired")
+    if args.out:
+        fmt = write_trace(run.trace, args.out)
+        print(f"trace   : {len(run.trace)} events -> {args.out} ({fmt})")
+    return 0 if exact else 1
 
 
 def _cmd_plan(args) -> int:
@@ -217,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "multiply": _cmd_multiply,
+        "trace": _cmd_trace,
         "plan": _cmd_plan,
         "predict": _cmd_predict,
         "demo": _cmd_demo,

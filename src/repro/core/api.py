@@ -63,11 +63,16 @@ def multiply_parallel(
     word_bits: int = 64,
     m_words: float = math.inf,
     fault_schedule: FaultSchedule | None = None,
+    trace=None,
 ) -> MultiplyOutcome:
-    """Parallel Toom-Cook-k on ``p`` simulated processors (Section 3)."""
+    """Parallel Toom-Cook-k on ``p`` simulated processors (Section 3).
+
+    ``trace`` enables the observability layer (see :mod:`repro.obs`); the
+    resulting events and metrics ride back on ``outcome.run``.
+    """
     plan = _plan_for(a, b, p, k, word_bits, m_words)
     algo = ParallelToomCook(
-        plan, memory_words=m_words, fault_schedule=fault_schedule
+        plan, memory_words=m_words, fault_schedule=fault_schedule, trace=trace
     )
     return algo.multiply(a, b)
 
@@ -81,11 +86,13 @@ def multiply_fault_tolerant(
     word_bits: int = 64,
     m_words: float = math.inf,
     fault_schedule: FaultSchedule | None = None,
+    trace=None,
 ) -> MultiplyOutcome:
     """The combined fault-tolerant algorithm (Section 4, Theorem 5.2)."""
     plan = _plan_for(a, b, p, k, word_bits, m_words)
     algo = FaultTolerantToomCook(
-        plan, f=f, memory_words=m_words, fault_schedule=fault_schedule
+        plan, f=f, memory_words=m_words, fault_schedule=fault_schedule,
+        trace=trace,
     )
     return algo.multiply(a, b)
 

@@ -26,7 +26,7 @@ faults.
 from __future__ import annotations
 
 import math
-from typing import Any, Sequence
+from typing import Any
 
 from repro.bigint.blockops import apply_matrix_to_blocks, matrix_apply_flops
 from repro.bigint.evalpoints import extended_toom_points

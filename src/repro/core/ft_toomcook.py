@@ -40,7 +40,7 @@ from repro.core.ft_polynomial import (
     FaultToleranceExceeded,
     PolynomialCodedToomCook,
 )
-from repro.core.parallel_toomcook import TAG_BFS_DOWN, TAG_BFS_UP
+from repro.core.parallel_toomcook import TAG_BFS_DOWN
 from repro.core.plan import ExecutionPlan
 from repro.machine.errors import HardFault, MachineError, PeerDead
 from repro.machine.fault import FaultSchedule
@@ -60,6 +60,7 @@ class FaultTolerantToomCook(PolynomialCodedToomCook):
         memory_words: float = math.inf,
         fault_schedule: FaultSchedule | None = None,
         timeout: float = 60.0,
+        trace=None,
     ):
         if f < 1:
             raise ValueError("f must be at least 1")
@@ -76,6 +77,7 @@ class FaultTolerantToomCook(PolynomialCodedToomCook):
             memory_words=memory_words,
             fault_schedule=fault_schedule,
             timeout=timeout,
+            trace=trace,
         )
         self.f = f
         self.g2 = plan.p // plan.q

@@ -22,14 +22,12 @@ invertibility, Claim 6.1).
 from __future__ import annotations
 
 import math
-from typing import Sequence
 
 from repro.bigint.blockops import apply_matrix_to_blocks, matrix_apply_flops
 from repro.bigint.limbs import LimbVector
 from repro.bigint.multivariate import evaluation_matrix_multivariate, monomials
 from repro.coding.point_search import multistep_evaluation_points
 from repro.core.ft_polynomial import (
-    ColumnKilled,
     FaultToleranceExceeded,
     PolynomialCodedToomCook,
 )
@@ -138,7 +136,6 @@ class MultiStepToomCook(PolynomialCodedToomCook):
 
     # -- rank program ------------------------------------------------------------
     def _standard_main(self, comm, va: LimbVector, vb: LimbVector):
-        plan = self.plan
         comm.memory.allocate(
             "operands", va.words(comm.word_bits) + vb.words(comm.word_bits)
         )

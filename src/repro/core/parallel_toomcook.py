@@ -69,7 +69,15 @@ class ParallelToomCook:
     memory_words:
         Per-processor capacity ``M`` enforced by the machine
         (``math.inf`` = unlimited).
+    trace:
+        Observability switch forwarded to ``Machine(trace=...)`` — a
+        :class:`~repro.obs.tracer.Tracer`, ``True`` or a
+        :class:`~repro.machine.costs.CostModel` (None = no tracing).
     """
+
+    #: Default for subclasses whose __init__ predates the trace parameter;
+    #: callers can also set ``algo.trace = tracer`` after construction.
+    trace = None
 
     def __init__(
         self,
@@ -79,9 +87,12 @@ class ParallelToomCook:
         fault_schedule: FaultSchedule | None = None,
         timeout: float = 60.0,
         topology=None,
+        trace=None,
     ):
         self.plan = plan
         self.topology = topology
+        if trace is not None:
+            self.trace = trace
         self.points = list(points) if points else toom_points(plan.k)
         self.U, self.V, self.W_T = toom_operators(plan.k, self.points)
         self.grid = ProcessorGrid(plan.p, plan.q)
@@ -103,6 +114,7 @@ class ParallelToomCook:
             fault_schedule=self.fault_schedule or FaultSchedule(),
             timeout=self.timeout,
             topology=self.topology,
+            trace=self.trace,
         )
 
     # -- public ---------------------------------------------------------------

@@ -49,6 +49,44 @@ __all__ = [
 _ADD: Callable[[Any, Any], Any] = lambda a, b: a + b
 
 
+def _base_comm(comm):
+    """The root Communicator under any stack of sub-communicators."""
+    base = comm
+    while hasattr(base, "parent"):
+        base = base.parent
+    return base
+
+
+def _trace_collective(
+    comm, op: str, fan_in: int, payload: Any = None, words: int = 0,
+    modeled: bool = False,
+) -> None:
+    """Record a collective marker event (no-op when tracing is off).
+
+    ``fan_in`` > 0 marks the aggregating end of the tree (root of a
+    reduce/gather, every rank of an all-to-all); contributing leaves pass
+    0 so the fan-in histogram isn't inflated by group size.  Payload
+    sizing is deferred behind the enabled check.
+    """
+    base = _base_comm(comm)
+    tracer = base._state.tracer
+    if not tracer.enabled:
+        return
+    if payload is not None:
+        words = payload_words(payload, comm.word_bits)
+    tracer.on_collective(
+        base.rank,
+        base.current_phase,
+        base.clock.snapshot(),
+        base.incarnation,
+        op=op,
+        group_size=comm.size,
+        fan_in=fan_in,
+        words=words,
+        modeled=modeled,
+    )
+
+
 def _vrank(rank: int, root: int, size: int) -> int:
     return (rank - root) % size
 
@@ -64,6 +102,8 @@ def broadcast(comm, value: Any, root: int = 0, tag: int = 100) -> Any:
         raise CommError(f"broadcast root {root} out of range")
     if size == 1:
         return value
+    if comm.rank == root:
+        _trace_collective(comm, "broadcast", fan_in=size - 1, payload=value)
     me = _vrank(comm.rank, root, size)
     # MPICH-style binomial tree: receive once from the parent (the rank
     # differing in my lowest set bit), then forward down remaining bits.
@@ -94,6 +134,8 @@ def reduce(
     size = comm.size
     if not (0 <= root < size):
         raise CommError(f"reduce root {root} out of range")
+    if comm.rank == root and size > 1:
+        _trace_collective(comm, "reduce", fan_in=size - 1, payload=value)
     me = _vrank(comm.rank, root, size)
     acc = value
     mask = 1
@@ -122,6 +164,8 @@ def gather(comm, value: Any, root: int = 0, tag: int = 103) -> list | None:
     if not (0 <= root < size):
         raise CommError(f"gather root {root} out of range")
     if comm.rank == root:
+        if size > 1:
+            _trace_collective(comm, "gather", fan_in=size - 1, payload=value)
         out: list[Any] = [None] * size
         out[root] = value
         for r in range(size):
@@ -147,6 +191,8 @@ def scatter(comm, values: Sequence[Any] | None, root: int = 0, tag: int = 105) -
     if comm.rank == root:
         if values is None or len(values) != size:
             raise CommError(f"scatter requires exactly {size} values at root")
+        if size > 1:
+            _trace_collective(comm, "scatter", fan_in=size - 1, payload=values)
         for r in range(size):
             if r != root:
                 comm.send(r, values[r], tag=tag)
@@ -160,6 +206,8 @@ def alltoall(comm, send_blocks: Sequence[Any], tag: int = 106) -> list:
     size = comm.size
     if len(send_blocks) != size:
         raise CommError(f"alltoall requires exactly {size} blocks")
+    if size > 1:
+        _trace_collective(comm, "alltoall", fan_in=size - 1, payload=send_blocks)
     out: list[Any] = [None] * size
     out[comm.rank] = send_blocks[comm.rank]
     # Rotated schedule avoids everyone hammering rank 0 first.
@@ -175,6 +223,8 @@ def barrier(comm, tag: int = 107) -> None:
     """Dissemination barrier (log-round synchronization)."""
     size = comm.size
     rounds = max(1, math.ceil(math.log2(size))) if size > 1 else 0
+    if rounds and comm.rank == 0:
+        _trace_collective(comm, "barrier", fan_in=size - 1)
     for r in range(rounds):
         dist = 1 << r
         comm.send((comm.rank + dist) % size, None, tag=tag + r)
@@ -285,6 +335,13 @@ def t_reduce(
         payload_words(contributions[r], comm.word_bits) for r in roots
     )
     _charge_lemma25(comm, t, total_words, with_flops=True)
+    _trace_collective(
+        comm,
+        "t_reduce",
+        fan_in=(comm.size - 1) if comm.rank in roots else 0,
+        words=total_words,
+        modeled=True,
+    )
     result = None
     for i, root in enumerate(roots):
         mytag = tag + 3 * i
@@ -343,4 +400,11 @@ def t_broadcast(
             out[root] = _uncharged_recv(comm, root, mytag)
             total_words += payload_words(out[root], comm.word_bits)
     _charge_lemma25(comm, 0, total_words, with_flops=False)
+    _trace_collective(
+        comm,
+        "t_broadcast",
+        fan_in=(comm.size - 1) if comm.rank in roots else 0,
+        words=total_words,
+        modeled=True,
+    )
     return out

@@ -29,6 +29,7 @@ from repro.machine.fault import FaultLog, FaultSchedule
 from repro.machine.memory import LocalMemory
 from repro.machine.network import Message, Router
 from repro.machine.sizes import payload_words
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Communicator", "SubCommunicator"]
 
@@ -48,10 +49,14 @@ class _SharedState:
         fault_log: FaultLog,
         timeout: float,
         topology=None,
+        tracer: Tracer | None = None,
     ):
         from repro.machine.topology import FullyConnected
 
         self.size = size
+        # Explicit None-check: an empty RecordingTracer has len() == 0 and
+        # would be falsy under ``tracer or NULL_TRACER``.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.topology = topology or FullyConnected(size)
         self.router = router
         self.word_bits = word_bits
@@ -204,6 +209,15 @@ class Communicator:
         code column was killed); peers treat it like a dead sender for
         that task."""
         self._state.aborted_task[self.rank] = task
+        tracer = self._state.tracer
+        if tracer.enabled:
+            tracer.on_abort(
+                self.rank,
+                self.current_phase,
+                self.clock.snapshot(),
+                self.incarnation,
+                task,
+            )
 
     def aborted_at(self, rank: int) -> int:
         """The task index at which ``rank`` abandoned, or -1."""
@@ -223,13 +237,26 @@ class Communicator:
     # -- phases ------------------------------------------------------------
     @contextmanager
     def phase(self, name: str):
-        """Scope machine ops under a named algorithm phase."""
+        """Scope machine ops under a named algorithm phase.
+
+        With tracing enabled the scope is recorded as a begin/end span
+        pair in virtual time; spans nest exactly like the ``with`` blocks
+        do, which is what makes the exported Perfetto timeline stack."""
         previous = self.ledger.current_phase
         prev_ops = self._phase_ops
         self.set_phase(name)
+        tracer = self._state.tracer
+        if tracer.enabled:
+            tracer.on_phase_begin(
+                self.rank, name, self.clock.snapshot(), self.incarnation
+            )
         try:
             yield
         finally:
+            if tracer.enabled:
+                tracer.on_phase_end(
+                    self.rank, name, self.clock.snapshot(), self.incarnation
+                )
             self.ledger.set_phase(previous)
             self._phase_ops = prev_ops
 
@@ -254,7 +281,7 @@ class Communicator:
         if delay is not None:
             self.slowdown = max(self.slowdown, delay.factor)
             self._state.fault_log.record(
-                self.rank, self.current_phase, op, self.incarnation
+                self.rank, self.current_phase, op, self.incarnation, kind="delay"
             )
         if schedule.should_fail(
             self.rank, self.current_phase, op, self.incarnation
@@ -275,7 +302,7 @@ class Communicator:
             self.rank, self.current_phase, op, self.incarnation, kind="soft"
         ):
             self._state.fault_log.record(
-                self.rank, self.current_phase, op, self.incarnation
+                self.rank, self.current_phase, op, self.incarnation, kind="soft"
             )
             return True
         return False
@@ -285,7 +312,9 @@ class Communicator:
         with state.lock:
             state.alive[self.rank] = False
         phase = self.current_phase
-        state.fault_log.record(self.rank, phase, op_index, self.incarnation)
+        state.fault_log.record(
+            self.rank, phase, op_index, self.incarnation, kind="hard"
+        )
         # Data loss: the processor's memory contents are gone.
         self.memory.wipe()
         state.heaps[self.rank].clear()
@@ -314,6 +343,14 @@ class Communicator:
             # The abort marker is deliberately left untouched: recovery
             # protocols decide when the replacement rejoins a task.
         self._phase_ops = 0
+        tracer = state.tracer
+        if tracer.enabled:
+            tracer.on_replacement(
+                self.rank,
+                self.current_phase,
+                self.clock.snapshot(),
+                self.incarnation,
+            )
         return self.incarnation
 
     # -- accounting ----------------------------------------------------------
@@ -341,6 +378,12 @@ class Communicator:
         self.clock.bw += nwords
         self.clock.l += hops
         self.ledger.charge(bw=nwords, l=hops)
+        tracer = self._state.tracer
+        if tracer.enabled:
+            tracer.on_send(
+                self.rank, self.current_phase, self.clock.snapshot(),
+                self.incarnation, dest, tag, nwords, hops,
+            )
         self._state.router.post(
             Message(
                 source=self.rank,
@@ -390,12 +433,7 @@ class Communicator:
                         f"rank {self.rank}: no message from {source} tag {tag} "
                         f"after {limit:.1f}s"
                     ) from None
-        self.clock.merge(msg.clock)
-        hops = self._state.topology.hops(msg.source, self.rank)
-        self.clock.bw += msg.words
-        self.clock.l += hops
-        self.ledger.charge(bw=msg.words, l=hops)
-        return msg.payload
+        return self.absorb(msg)
 
     def recv_raw(
         self,
@@ -438,12 +476,20 @@ class Communicator:
 
     def absorb(self, msg) -> Any:
         """Account for a message obtained via :meth:`recv_raw`: merge its
-        clock and charge the transfer, exactly as :meth:`recv` would."""
+        clock and charge the transfer, exactly as :meth:`recv` would.
+        (:meth:`recv` itself ends here, so all charged receives trace
+        through one path.)"""
         self.clock.merge(msg.clock)
         hops = self._state.topology.hops(msg.source, self.rank)
         self.clock.bw += msg.words
         self.clock.l += hops
         self.ledger.charge(bw=msg.words, l=hops)
+        tracer = self._state.tracer
+        if tracer.enabled:
+            tracer.on_recv(
+                self.rank, self.current_phase, self.clock.snapshot(),
+                self.incarnation, msg.source, msg.tag, msg.words,
+            )
         return msg.payload
 
     def sendrecv(

@@ -27,7 +27,7 @@ the evaluation phase".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Counts", "CostClock", "CostModel", "PhaseLedger"]
 
@@ -123,18 +123,27 @@ class PhaseLedger:
         self._order: list[str] = []
         self.current_phase: str = "init"
 
+    def _register(self, name: str) -> None:
+        """Single registration path for ``_phases`` and ``_order``.
+
+        The old ``charge`` re-checked membership after reading ``_phases``
+        and could append ``name`` to ``_order`` twice when two paths raced
+        to register the same phase.  ``dict.setdefault`` is a single
+        atomic check-and-insert, so exactly one caller observes its own
+        sentinel back and appends.
+        """
+        sentinel = Counts()
+        if self._phases.setdefault(name, sentinel) is sentinel:
+            self._order.append(name)
+
     def set_phase(self, name: str) -> None:
         self.current_phase = name
-        if name not in self._phases:
-            self._phases[name] = Counts()
-            self._order.append(name)
+        self._register(name)
 
     def charge(self, f: int = 0, bw: int = 0, l: int = 0) -> None:
         name = self.current_phase
-        prev = self._phases.get(name, Counts())
-        if name not in self._phases:
-            self._order.append(name)
-        self._phases[name] = prev + Counts(f, bw, l)
+        self._register(name)
+        self._phases[name] = self._phases[name] + Counts(f, bw, l)
 
     def phases(self) -> list[str]:
         return list(self._order)

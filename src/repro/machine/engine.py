@@ -25,6 +25,7 @@ from repro.machine.errors import HardFault, MachineError
 from repro.machine.fault import FaultLog, FaultSchedule
 from repro.machine.memory import LocalMemory
 from repro.machine.network import Router
+from repro.obs.tracer import Tracer, make_tracer
 
 __all__ = ["Machine", "RunResult"]
 
@@ -40,6 +41,10 @@ class RunResult:
     peak_memory: list[int]
     fault_log: FaultLog
     errors: dict[int, BaseException] = field(default_factory=dict)
+    #: The tracer the run executed under (None when tracing was off).
+    trace: Tracer | None = None
+    #: The tracer's aggregate metrics (None when tracing was off).
+    metrics: Any = None
 
     @property
     def ok(self) -> bool:
@@ -71,6 +76,15 @@ class Machine:
         Hard-fault injection plan (empty by default).
     timeout:
         Per-receive deadlock timeout in seconds.
+    trace:
+        Observability switch (off by default — a no-op tracer that adds
+        one branch per machine op and never snapshots a clock).  Pass
+        ``True`` for a :class:`~repro.obs.tracer.RecordingTracer` under
+        the unit cost model, a :class:`~repro.machine.costs.CostModel`
+        to pick the virtual-time weights, or a
+        :class:`~repro.obs.tracer.Tracer` instance.  Tracing never
+        charges costs: ``RunResult.critical_path`` is identical with and
+        without it.
     """
 
     def __init__(
@@ -81,6 +95,7 @@ class Machine:
         fault_schedule: FaultSchedule | None = None,
         timeout: float = 60.0,
         topology=None,
+        trace=None,
     ):
         if size <= 0:
             raise ValueError("size must be positive")
@@ -96,6 +111,7 @@ class Machine:
         self.fault_schedule = fault_schedule or FaultSchedule()
         self.timeout = timeout
         self.topology = topology
+        self.tracer = make_tracer(trace)
 
     def run(
         self,
@@ -119,6 +135,7 @@ class Machine:
         memories = [
             LocalMemory(self.memory_words, rank=r) for r in range(self.size)
         ]
+        tracer = self.tracer
         state = _SharedState(
             size=self.size,
             router=router,
@@ -128,7 +145,10 @@ class Machine:
             fault_log=FaultLog(),
             timeout=self.timeout,
             topology=self.topology,
+            tracer=tracer,
         )
+        if tracer.enabled:
+            self._wire_tracer(state, memories)
         results: list[Any] = [None] * self.size
         errors: dict[int, BaseException] = {}
         lock = threading.Lock()
@@ -138,7 +158,8 @@ class Machine:
             try:
                 a = rank_args[rank] if rank_args is not None else args
                 out = program(comm, *a)
-                results[rank] = out
+                with lock:
+                    results[rank] = out
             except BaseException as exc:  # noqa: BLE001 - collected and reported
                 with lock:
                     errors[rank] = exc
@@ -158,6 +179,12 @@ class Machine:
             if t.is_alive():
                 raise MachineError(f"{t.name} failed to terminate (deadlock?)")
 
+        # Joining every runner is a happens-before edge, but take the same
+        # lock the runners write under anyway: the snapshot must be safe
+        # even if a deadlocked straggler thread is still limping along.
+        with lock:
+            results = list(results)
+            errors = dict(errors)
         per_rank = [c.snapshot() for c in state.clocks]
         critical = Counts()
         for c in per_rank:
@@ -178,12 +205,46 @@ class Machine:
             peak_memory=[m.peak for m in memories],
             fault_log=state.fault_log,
             errors=errors,
+            trace=tracer if tracer.enabled else None,
+            metrics=getattr(tracer, "metrics", None) if tracer.enabled else None,
         )
         if errors and raise_on_error:
-            rank, exc = sorted(errors.items())[0]
+            failed = sorted(errors.items())
+            rank, exc = failed[0]
             if isinstance(exc, HardFault) and len(errors) == 1:
                 raise exc
-            raise MachineError(
-                f"{len(errors)} rank(s) failed; first: rank {rank}: {exc!r}"
-            ) from exc
+            detail = "; ".join(f"rank {r}: {e!r}" for r, e in failed)
+            raise MachineError(f"{len(errors)} rank(s) failed: {detail}") from exc
         return result
+
+    def _wire_tracer(self, state: _SharedState, memories: list[LocalMemory]) -> None:
+        """Attach the fault-log and memory high-water observers.
+
+        Both callbacks fire on the observed rank's own thread, so reading
+        that rank's clock/ledger/incarnation is race-free."""
+        tracer = state.tracer
+
+        def on_fault(entry) -> None:
+            tracer.on_fault(
+                entry.rank,
+                entry.phase,
+                state.clocks[entry.rank].snapshot(),
+                entry.incarnation,
+                entry.kind,
+                entry.op_index,
+            )
+
+        state.fault_log.on_record = on_fault
+        for rank, memory in enumerate(memories):
+
+            def on_peak(mem, rank=rank) -> None:
+                tracer.on_mem_peak(
+                    rank,
+                    state.ledgers[rank].current_phase,
+                    state.clocks[rank].snapshot(),
+                    state.incarnations[rank],
+                    mem.in_use,
+                    mem.peak,
+                )
+
+            memory.on_peak = on_peak

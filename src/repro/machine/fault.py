@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.util.rng import DeterministicRNG
 
@@ -153,7 +154,13 @@ class RandomFaultModel:
 
 @dataclass
 class FaultLog:
-    """Record of faults that actually occurred during a run."""
+    """Record of faults that actually occurred during a run.
+
+    ``on_record`` is an optional observer called with each new entry from
+    the faulting rank's own thread — the engine wires it to the tracer so
+    every injected fault (hard, soft or delay) lands in the event stream
+    at exactly one choke point.
+    """
 
     @dataclass(frozen=True)
     class Entry:
@@ -161,14 +168,29 @@ class FaultLog:
         phase: str
         op_index: int
         incarnation: int
+        kind: str = "hard"
 
     entries: list["FaultLog.Entry"] = field(default_factory=list)
+    on_record: Any = None
 
-    def record(self, rank: int, phase: str, op_index: int, incarnation: int) -> None:
-        self.entries.append(FaultLog.Entry(rank, phase, op_index, incarnation))
+    def record(
+        self,
+        rank: int,
+        phase: str,
+        op_index: int,
+        incarnation: int,
+        kind: str = "hard",
+    ) -> None:
+        entry = FaultLog.Entry(rank, phase, op_index, incarnation, kind)
+        self.entries.append(entry)
+        if self.on_record is not None:
+            self.on_record(entry)
 
     def ranks(self) -> set[int]:
         return {e.rank for e in self.entries}
+
+    def by_kind(self, kind: str) -> list["FaultLog.Entry"]:
+        return [e for e in self.entries if e.kind == kind]
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -42,6 +42,10 @@ class LocalMemory:
         self._in_use = 0
         self._peak = 0
         self.wipe_count = 0
+        #: Optional observer called as ``on_peak(memory)`` from the owning
+        #: rank's thread whenever the high-water mark rises (the engine
+        #: wires this to the tracer; None = untraced, zero overhead).
+        self.on_peak = None
 
     # -- accounting -------------------------------------------------------
     @property
@@ -66,6 +70,8 @@ class LocalMemory:
         self._in_use = new_total
         if new_total > self._peak:
             self._peak = new_total
+            if self.on_peak is not None:
+                self.on_peak(self)
 
     def free(self, name: str) -> None:
         """Release the buffer ``name`` (missing names are ignored)."""

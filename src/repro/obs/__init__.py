@@ -1,0 +1,76 @@
+"""Observability: virtual-time tracing, metrics and fault forensics.
+
+The simulated machine counts costs (F arithmetic ops, BW words, L
+messages) along the critical path, but a single (F, BW, L) triple says
+nothing about *where* on the timeline a rank sent words, entered a phase,
+died, or got recovered.  This subpackage turns the machine into a glass
+box:
+
+- :class:`Tracer` / :class:`RecordingTracer` — structured events
+  (send/recv/collective, phase enter/exit, memory high-water marks, fault
+  injection, replacement) stamped with rank, phase, the (F, BW, L) clock
+  snapshot and a deterministic *virtual timestamp*
+  ``alpha*L + beta*BW + gamma*F`` under a :class:`~repro.machine.costs.CostModel`.
+  Traces are wall-clock-free: two runs of the same program under the same
+  fault schedule export byte-identical traces.
+- :class:`MetricsRegistry` — counters, gauges and power-of-two-bucket
+  histograms (message-size distribution, per-phase words, recovery words,
+  collective fan-in), aggregated into
+  :class:`~repro.machine.engine.RunResult`.
+- Exporters — Chrome/Perfetto trace-event JSON
+  (:func:`to_chrome_trace`) and JSONL structured logs
+  (:func:`to_jsonl_lines`).
+
+Tracing is **off by default** and costs one attribute load + branch per
+machine operation when disabled (:data:`NULL_TRACER`).  Enable it with
+``Machine(trace=...)``, ``python -m repro trace`` or
+``python -m repro multiply ... --trace-out out.json``.
+"""
+
+from repro.obs.events import (
+    EV_ABORT,
+    EV_COLLECTIVE,
+    EV_FAULT,
+    EV_MEM_PEAK,
+    EV_PHASE_BEGIN,
+    EV_PHASE_END,
+    EV_RECV,
+    EV_REPLACEMENT,
+    EV_SEND,
+    TraceEvent,
+)
+from repro.obs.export import (
+    dump_chrome_trace,
+    dump_jsonl,
+    iter_phase_spans,
+    to_chrome_trace,
+    to_jsonl_lines,
+    write_trace,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer, make_tracer
+
+__all__ = [
+    "TraceEvent",
+    "EV_SEND",
+    "EV_RECV",
+    "EV_COLLECTIVE",
+    "EV_PHASE_BEGIN",
+    "EV_PHASE_END",
+    "EV_MEM_PEAK",
+    "EV_FAULT",
+    "EV_REPLACEMENT",
+    "EV_ABORT",
+    "Tracer",
+    "RecordingTracer",
+    "NULL_TRACER",
+    "make_tracer",
+    "MetricsRegistry",
+    "Histogram",
+    "to_chrome_trace",
+    "to_jsonl_lines",
+    "dump_chrome_trace",
+    "dump_jsonl",
+    "write_trace",
+    "iter_phase_spans",
+]

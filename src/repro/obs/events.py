@@ -1,0 +1,86 @@
+"""The trace event model.
+
+One flat record type covers every observable machine occurrence; the
+``kind`` field discriminates.  Every event carries:
+
+- ``rank`` / ``incarnation`` — who (a replacement processor is the same
+  rank with a higher incarnation),
+- ``phase`` — the algorithm phase the rank was in (``evaluation``,
+  ``multiplication``, ``interpolation``, ``code-creation``, ``recovery``,
+  or ``init`` outside any phase),
+- ``clock`` — the rank's (F, BW, L) vector-clock snapshot at the event,
+- ``vt`` — the *virtual timestamp* ``alpha*L + beta*BW + gamma*F`` of that
+  snapshot under the tracer's cost model.  Virtual time is per-rank
+  monotone (clocks only advance) and wall-clock-free, so traces are
+  deterministic,
+- ``seq`` — the event's index in its rank's own stream (the deterministic
+  tie-breaker for equal virtual timestamps),
+- ``attrs`` — kind-specific payload (see the table in
+  ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machine.costs import Counts
+
+__all__ = [
+    "TraceEvent",
+    "EV_SEND",
+    "EV_RECV",
+    "EV_COLLECTIVE",
+    "EV_PHASE_BEGIN",
+    "EV_PHASE_END",
+    "EV_MEM_PEAK",
+    "EV_FAULT",
+    "EV_REPLACEMENT",
+    "EV_ABORT",
+]
+
+EV_SEND = "send"
+EV_RECV = "recv"
+EV_COLLECTIVE = "collective"
+EV_PHASE_BEGIN = "phase_begin"
+EV_PHASE_END = "phase_end"
+EV_MEM_PEAK = "mem_peak"
+EV_FAULT = "fault"
+EV_REPLACEMENT = "replacement"
+EV_ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured machine event in virtual time."""
+
+    kind: str
+    rank: int
+    seq: int
+    phase: str
+    vt: float
+    clock: Counts
+    incarnation: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready flat representation (deterministic key set)."""
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "rank": self.rank,
+            "seq": self.seq,
+            "phase": self.phase,
+            "vt": self.vt,
+            "f": self.clock.f,
+            "bw": self.clock.bw,
+            "l": self.clock.l,
+            "incarnation": self.incarnation,
+        }
+        for key in sorted(self.attrs):
+            out[key] = self.attrs[key]
+        return out
+
+    def sort_key(self) -> tuple:
+        """Deterministic global ordering: virtual time, then rank, then
+        the rank's own stream order."""
+        return (self.vt, self.rank, self.seq)

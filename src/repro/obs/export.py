@@ -1,0 +1,183 @@
+"""Trace exporters: Chrome/Perfetto trace-event JSON and JSONL.
+
+**Chrome trace-event JSON** (:func:`to_chrome_trace`) follows the Trace
+Event Format consumed by Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``: one process, one track ("thread") per rank, phase
+spans as ``B``/``E`` duration events and everything else as instant
+events.  Timestamps are *virtual* microseconds — the deterministic
+``alpha*L + beta*BW + gamma*F`` cost of the rank's clock at the event —
+so the rendered timeline is the modeled schedule, not wall clock.
+
+**JSONL** (:func:`to_jsonl_lines`) emits one flat JSON object per event
+for ad-hoc forensics (``jq``, pandas, grep).
+
+Both exporters serialize with sorted keys and fixed separators over the
+deterministic ``(vt, rank, seq)`` event order, so identical runs export
+byte-identical artifacts — the property the determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from repro.obs.events import (
+    EV_ABORT,
+    EV_FAULT,
+    EV_PHASE_BEGIN,
+    EV_PHASE_END,
+    EV_REPLACEMENT,
+    TraceEvent,
+)
+
+__all__ = [
+    "to_chrome_trace",
+    "to_jsonl_lines",
+    "dump_chrome_trace",
+    "dump_jsonl",
+    "write_trace",
+    "iter_phase_spans",
+]
+
+_INSTANT_SCOPES = {EV_FAULT: "p", EV_REPLACEMENT: "t", EV_ABORT: "t"}
+
+
+def _event_list(trace) -> list[TraceEvent]:
+    if hasattr(trace, "events"):
+        return trace.events()
+    return sorted(trace, key=TraceEvent.sort_key)
+
+
+def _num(value: float):
+    """Emit integers as ints so unit-cost traces serialize stably."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def to_chrome_trace(trace) -> dict:
+    """Render a tracer (or an iterable of events) as a Chrome trace dict.
+
+    Load the JSON-serialized result in Perfetto or ``chrome://tracing``.
+    Phase spans become nested duration events per rank track; sends,
+    receives, collectives, memory peaks, faults, replacements and aborts
+    become instant events on the same track.
+    """
+    events = _event_list(trace)
+    trace_events: list[dict] = []
+    for rank in sorted({e.rank for e in events}):
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": 0,
+                "tid": rank,
+                "args": {"sort_index": rank},
+            }
+        )
+    for ev in events:
+        base = {"pid": 0, "tid": ev.rank, "ts": _num(ev.vt)}
+        args = {
+            "f": ev.clock.f,
+            "bw": ev.clock.bw,
+            "l": ev.clock.l,
+            "incarnation": ev.incarnation,
+        }
+        if ev.kind == EV_PHASE_BEGIN:
+            trace_events.append(
+                {**base, "ph": "B", "cat": "phase", "name": ev.phase, "args": args}
+            )
+        elif ev.kind == EV_PHASE_END:
+            trace_events.append(
+                {**base, "ph": "E", "cat": "phase", "name": ev.phase, "args": args}
+            )
+        else:
+            for key in sorted(ev.attrs):
+                args[key] = ev.attrs[key]
+            trace_events.append(
+                {
+                    **base,
+                    "ph": "i",
+                    "s": _INSTANT_SCOPES.get(ev.kind, "t"),
+                    "cat": ev.kind,
+                    "name": ev.kind,
+                    "args": args,
+                }
+            )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual (alpha*L + beta*BW + gamma*F)",
+            "source": "repro.obs",
+        },
+    }
+
+
+def to_jsonl_lines(trace) -> Iterator[str]:
+    """One deterministic JSON object per event, in (vt, rank, seq) order."""
+    for ev in _event_list(trace):
+        record = ev.as_dict()
+        record["vt"] = _num(record["vt"])
+        yield json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def dump_chrome_trace(trace, path: str) -> None:
+    """Write a Perfetto-loadable trace file (byte-deterministic)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            to_chrome_trace(trace), fh, sort_keys=True, separators=(",", ":")
+        )
+        fh.write("\n")
+
+
+def dump_jsonl(trace, path: str) -> None:
+    """Write the JSONL structured log (byte-deterministic)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in to_jsonl_lines(trace):
+            fh.write(line)
+            fh.write("\n")
+
+
+def write_trace(trace, path: str) -> str:
+    """Write ``path``, picking the format by extension: ``.jsonl`` →
+    JSONL, anything else → Chrome trace JSON.  Returns the format used."""
+    if path.endswith(".jsonl"):
+        dump_jsonl(trace, path)
+        return "jsonl"
+    dump_chrome_trace(trace, path)
+    return "chrome"
+
+
+def iter_phase_spans(trace) -> Iterable[tuple[int, str, float, float]]:
+    """Yield ``(rank, phase, vt_begin, vt_end)`` for every closed phase
+    span, reconstructed from the per-rank begin/end nesting.  Spans cut
+    short by a hard fault (no matching end) are closed at the rank's last
+    event."""
+    events = _event_list(trace)
+    by_rank: dict[int, list[TraceEvent]] = {}
+    for ev in events:
+        by_rank.setdefault(ev.rank, []).append(ev)
+    for rank in sorted(by_rank):
+        stream = sorted(by_rank[rank], key=lambda e: e.seq)
+        stack: list[TraceEvent] = []
+        last_vt = stream[-1].vt if stream else 0.0
+        for ev in stream:
+            if ev.kind == EV_PHASE_BEGIN:
+                stack.append(ev)
+            elif ev.kind == EV_PHASE_END:
+                if stack and stack[-1].phase == ev.phase:
+                    begin = stack.pop()
+                    yield (rank, ev.phase, begin.vt, ev.vt)
+        while stack:
+            begin = stack.pop()
+            yield (rank, begin.phase, begin.vt, last_vt)

@@ -1,0 +1,155 @@
+"""Run-level metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is the aggregate companion to the event
+stream: where the tracer answers "what happened when", the registry
+answers "how much, in total" — message-size distribution, words moved per
+phase, recovery traffic per fault, collective fan-in.
+
+Metrics are keyed by ``(name, labels)`` where ``labels`` is a sorted
+tuple of ``(key, value)`` pairs, Prometheus-style.  All mutation goes
+through one lock (rank threads record concurrently); all read-out is
+sorted, so exported snapshots are deterministic regardless of thread
+interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+def _label_key(labels: dict[str, Any]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Histogram:
+    """Power-of-two-bucket histogram of non-negative observations.
+
+    Bucket ``e`` counts observations ``v`` with ``2**(e-1) < v <= 2**e``
+    (bucket 0 holds ``v <= 1``).  Exact ``count``/``total``/``min``/``max``
+    are kept alongside.
+    """
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("histogram observations must be non-negative")
+        exp = 0 if value <= 1 else (int(value - 1)).bit_length()
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(e): self.buckets[e] for e in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, float] = {}
+        self._gauges: dict[tuple, float] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- recording ---------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` to the counter ``name{labels}`` (counters are
+        monotonic: negative increments are rejected)."""
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge ``name{labels}`` to ``value``."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._gauges[key] = value
+
+    def gauge_max(self, name: str, value: float, **labels: Any) -> None:
+        """Raise the gauge ``name{labels}`` to ``value`` if higher
+        (high-water-mark semantics)."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            if value > self._gauges.get(key, float("-inf")):
+                self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record ``value`` into the histogram ``name{labels}``."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram()
+            hist.observe(value)
+
+    # -- reading -----------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> float:
+        return self._counters.get((name, _label_key(labels)), 0)
+
+    def gauge(self, name: str, **labels: Any) -> float | None:
+        return self._gauges.get((name, _label_key(labels)))
+
+    def histogram(self, name: str, **labels: Any) -> Histogram | None:
+        return self._histograms.get((name, _label_key(labels)))
+
+    def counters_by_label(self, name: str, label: str) -> dict[Any, float]:
+        """All series of counter ``name`` keyed by one label's value
+        (e.g. per-phase words keyed by ``phase``)."""
+        out: dict[Any, float] = {}
+        with self._lock:
+            for (n, labels), v in self._counters.items():
+                if n != name:
+                    continue
+                d = dict(labels)
+                if label in d:
+                    out[d[label]] = out.get(d[label], 0) + v
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        """Deterministic snapshot of every series (sorted keys)."""
+
+        def fmt(key: tuple) -> str:
+            name, labels = key
+            if not labels:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            return f"{name}{{{inner}}}"
+
+        with self._lock:
+            return {
+                "counters": {fmt(k): self._counters[k] for k in sorted(self._counters)},
+                "gauges": {fmt(k): self._gauges[k] for k in sorted(self._gauges)},
+                "histograms": {
+                    fmt(k): self._histograms[k].as_dict()
+                    for k in sorted(self._histograms)
+                },
+            }
+
+    def is_empty(self) -> bool:
+        with self._lock:
+            return not (self._counters or self._gauges or self._histograms)

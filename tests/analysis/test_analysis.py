@@ -179,3 +179,88 @@ class TestRender:
         out = render_table(["v"], [[0.123456], [0.0], [1e-9]])
         assert "0.123" in out
         assert "1e-09" in out
+
+
+class TestObservabilityReports:
+    @staticmethod
+    def traced_run():
+        from repro.machine.engine import Machine
+        from repro.machine.errors import HardFault
+        from repro.machine.fault import FaultEvent, FaultSchedule
+
+        def program(comm):
+            with comm.phase("evaluation"):
+                comm.charge_flops(10)
+            try:
+                with comm.phase("multiplication"):
+                    comm.charge_flops(100)
+            except HardFault:
+                comm.begin_replacement()
+                with comm.phase("recovery"):
+                    comm.charge_flops(5)
+
+        sched = FaultSchedule(
+            [FaultEvent(rank=1, phase="multiplication", op_index=0)]
+        )
+        return Machine(2, fault_schedule=sched, trace=True).run(program)
+
+    def test_render_gantt(self):
+        from repro.analysis.report import render_gantt
+
+        out = render_gantt(self.traced_run().trace, width=40, title="G")
+        lines = out.splitlines()
+        assert lines[0] == "G"
+        assert "virtual time 0 .." in lines[1]
+        assert any(line.startswith("rank 0") for line in lines)
+        assert any(line.startswith("rank 1") for line in lines)
+        assert "X" in out  # the injected fault
+        assert "X=fault" in out
+        assert "e=evaluation" in out and "m=multiplication" in out
+
+    def test_render_gantt_deterministic(self):
+        from repro.analysis.report import render_gantt
+
+        assert render_gantt(self.traced_run().trace) == render_gantt(
+            self.traced_run().trace
+        )
+
+    def test_render_gantt_validates_width(self):
+        from repro.analysis.report import render_gantt
+
+        with pytest.raises(ValueError):
+            render_gantt(self.traced_run().trace, width=3)
+
+    def test_render_gantt_empty(self):
+        from repro.analysis.report import render_gantt
+        from repro.obs.tracer import RecordingTracer
+
+        assert "(empty trace)" in render_gantt(RecordingTracer())
+
+    def test_render_critical_path_attribution(self):
+        from repro.analysis.report import render_critical_path_attribution
+        from repro.machine.costs import CostModel
+
+        run = self.traced_run()
+        out = render_critical_path_attribution(run, CostModel())
+        assert "multiplication" in out
+        assert "critical path" in out
+        assert "%" in out
+        # The dominant phase carries the dominant share.
+        mult_line = [
+            line for line in out.splitlines() if line.startswith("multiplication")
+        ][0]
+        assert "100" in mult_line or "8" in mult_line  # f=100 is most of C
+
+    def test_render_metrics(self):
+        from repro.analysis.report import render_metrics
+
+        out = render_metrics(self.traced_run().metrics, title="M")
+        assert out.splitlines()[0] == "M"
+        assert "faults_total{kind=hard}" in out
+        assert "counter" in out
+
+    def test_render_metrics_empty(self):
+        from repro.analysis.report import render_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        assert "(no metrics recorded)" in render_metrics(MetricsRegistry())

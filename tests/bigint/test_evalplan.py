@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bigint.evalplan import EvalPlan, LinOp, reuse_evaluation_plan
+from repro.bigint.evalplan import LinOp, reuse_evaluation_plan
 from repro.bigint.evalpoints import extended_toom_points, toom_points
 from repro.bigint.limbs import LimbVector
 from repro.bigint.matrices import evaluation_matrix

@@ -11,7 +11,6 @@ from repro.bigint.multivariate import (
     grid_points,
     monomials,
 )
-from repro.util.rational import mat_mul, mat_identity
 
 
 class TestMonomials:

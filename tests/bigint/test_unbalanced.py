@@ -83,7 +83,7 @@ class TestCostAdvantage:
     def test_sub_products_are_square(self):
         # Digit widths: 6000/3 == 4000/2, so the pointwise products have
         # equally sized operands (up to evaluation growth).
-        algo = UnbalancedToomCook(3, 2, threshold_bits=16)
+        UnbalancedToomCook(3, 2, threshold_bits=16)
         a_bits, b_bits = 6000, 4000
         base = max(-(-a_bits // 3), -(-b_bits // 2))
         assert base == 2000

@@ -3,7 +3,6 @@ the replication baseline under unusual fault placements."""
 
 import random
 
-import pytest
 
 from repro.core.checkpoint import CheckpointedToomCook
 from repro.core.plan import make_plan

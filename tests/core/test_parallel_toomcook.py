@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.parallel_toomcook import ParallelToomCook
 from repro.core.plan import make_plan
-from repro.machine.errors import MemoryExceeded
 
 
 def multiply(n_bits, p, k, extra_dfs=0, seed=0, m_words=math.inf, memory_enforced=False):

@@ -13,7 +13,7 @@ from repro.core.layout import (
     cyclic_merge,
     cyclic_slice,
 )
-from repro.core.plan import ExecutionPlan, bfs_memory_blowup, make_plan, min_dfs_steps
+from repro.core.plan import bfs_memory_blowup, make_plan, min_dfs_steps
 
 
 class TestMinDfsSteps:

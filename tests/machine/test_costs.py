@@ -92,6 +92,48 @@ class TestPhaseLedger:
         led.charge(bw=2, l=3)
         assert led.total() == Counts(f=1, bw=2, l=3)
 
+    def test_charge_before_set_phase_registers_once(self):
+        # Regression: charging the implicit "init" phase before any
+        # set_phase, then re-entering it, must register it exactly once.
+        led = PhaseLedger()
+        led.charge(f=1)
+        led.charge(bw=2)
+        led.set_phase("init")
+        led.charge(l=1)
+        assert led.phases() == ["init"]
+        assert led.get("init") == Counts(f=1, bw=2, l=1)
+        assert sorted(led.phases()) == sorted(set(led.phases()))
+
+    def test_concurrent_first_charge_registers_once(self):
+        # Regression: the old charge re-checked membership after .get()
+        # and could double-append a phase to _order when two threads
+        # raced to register it.  Registration is now a single atomic
+        # setdefault, so this passes deterministically.
+        import sys
+        import threading
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            for _ in range(20):
+                led = PhaseLedger()
+                led.current_phase = "recovery"
+                start = threading.Barrier(4)
+
+                def worker():
+                    start.wait()
+                    for _ in range(50):
+                        led.charge(f=1)
+
+                threads = [threading.Thread(target=worker) for _ in range(4)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert led.phases().count("recovery") == 1
+        finally:
+            sys.setswitchinterval(old_interval)
+
     def test_max_over(self):
         l1, l2 = PhaseLedger(), PhaseLedger()
         l1.set_phase("x")

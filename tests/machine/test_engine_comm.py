@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.machine.comm import Communicator
 from repro.machine.costs import Counts
-from repro.machine.engine import Machine, RunResult
+from repro.machine.engine import Machine
 from repro.machine.errors import (
-    CommError,
     DeadlockError,
     HardFault,
     MachineError,
@@ -173,8 +171,6 @@ class TestCostAccounting:
 
 class TestMemoryIntegration:
     def test_memory_visible_and_enforced(self):
-        from repro.machine.errors import MemoryExceeded
-
         def program(comm):
             comm.memory.allocate("buf", 100)
 
@@ -198,6 +194,27 @@ class TestErrors:
 
         with pytest.raises(MachineError, match="boom"):
             run(2, program)
+
+    def test_all_failed_ranks_reported(self):
+        # Regression: the error used to name only the first failed rank.
+        def program(comm):
+            if comm.rank in (1, 3):
+                raise RuntimeError(f"boom-{comm.rank}")
+
+        with pytest.raises(MachineError, match="2 rank\\(s\\) failed") as exc_info:
+            run(4, program)
+        message = str(exc_info.value)
+        assert "rank 1" in message and "boom-1" in message
+        assert "rank 3" in message and "boom-3" in message
+
+    def test_single_hard_fault_reraised_verbatim(self):
+        def program(comm):
+            with comm.phase("work"):
+                comm.charge_flops(1)
+
+        sched = FaultSchedule([FaultEvent(rank=0, phase="work", op_index=0)])
+        with pytest.raises(HardFault):
+            run(1, program, fault_schedule=sched)
 
     def test_rank_exception_collected_when_asked(self):
         def program(comm):

@@ -1,0 +1,130 @@
+"""Tests for the Chrome-trace and JSONL exporters."""
+
+import json
+
+from repro.machine.costs import Counts
+from repro.obs.export import (
+    dump_chrome_trace,
+    dump_jsonl,
+    iter_phase_spans,
+    to_chrome_trace,
+    to_jsonl_lines,
+    write_trace,
+)
+from repro.obs.tracer import RecordingTracer
+
+
+def small_trace():
+    """Two ranks, one phase each, a send/recv pair and a fault."""
+    t = RecordingTracer()
+    t.on_phase_begin(0, "evaluation", Counts(), 0)
+    t.on_send(0, "evaluation", Counts(bw=4, l=1), 0, 1, 0, 4, 1)
+    t.on_phase_end(0, "evaluation", Counts(f=2, bw=4, l=1), 0)
+    t.on_phase_begin(1, "evaluation", Counts(), 0)
+    t.on_recv(1, "evaluation", Counts(bw=8, l=2), 0, 0, 0, 4)
+    t.on_fault(1, "evaluation", Counts(bw=8, l=2), 0, "hard", 0)
+    t.on_phase_end(1, "evaluation", Counts(f=1, bw=8, l=2), 0)
+    return t
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = to_chrome_trace(small_trace())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        phs = [e["ph"] for e in doc["traceEvents"]]
+        # Two ranks -> two thread_name + two thread_sort_index records.
+        assert phs.count("M") == 4
+        assert phs.count("B") == 2 and phs.count("E") == 2
+
+    def test_phase_spans_named_after_phase(self):
+        doc = to_chrome_trace(small_trace())
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        assert {e["name"] for e in begins} == {"evaluation"}
+        assert all(e["cat"] == "phase" for e in begins)
+
+    def test_instants_carry_clock_and_attrs(self):
+        doc = to_chrome_trace(small_trace())
+        (send,) = [e for e in doc["traceEvents"] if e.get("name") == "send"]
+        assert send["ph"] == "i"
+        assert send["args"]["bw"] == 4
+        assert send["args"]["dest"] == 1
+        assert send["args"]["words"] == 4
+
+    def test_fault_is_process_scoped(self):
+        doc = to_chrome_trace(small_trace())
+        (fault,) = [e for e in doc["traceEvents"] if e.get("name") == "fault"]
+        assert fault["s"] == "p"
+        assert fault["args"]["fault_kind"] == "hard"
+
+    def test_tracks_one_per_rank(self):
+        doc = to_chrome_trace(small_trace())
+        tids = {e["tid"] for e in doc["traceEvents"]}
+        assert tids == {0, 1}
+
+    def test_json_serializable(self):
+        json.dumps(to_chrome_trace(small_trace()))
+
+    def test_accepts_plain_event_iterable(self):
+        events = small_trace().events()
+        assert to_chrome_trace(events) == to_chrome_trace(small_trace())
+
+
+class TestJsonl:
+    def test_one_line_per_event(self):
+        t = small_trace()
+        lines = list(to_jsonl_lines(t))
+        assert len(lines) == len(t)
+        for line in lines:
+            rec = json.loads(line)
+            assert {"kind", "rank", "seq", "phase", "vt", "f", "bw", "l"} <= set(rec)
+
+    def test_lines_in_global_order(self):
+        recs = [json.loads(line) for line in to_jsonl_lines(small_trace())]
+        keys = [(r["vt"], r["rank"], r["seq"]) for r in recs]
+        assert keys == sorted(keys)
+
+
+class TestFileWriters:
+    def test_write_trace_picks_format_by_extension(self, tmp_path):
+        t = small_trace()
+        chrome = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        assert write_trace(t, str(chrome)) == "chrome"
+        assert write_trace(t, str(jsonl)) == "jsonl"
+        assert "traceEvents" in json.loads(chrome.read_text())
+        assert len(jsonl.read_text().splitlines()) == len(t)
+
+    def test_dumps_are_byte_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        dump_chrome_trace(small_trace(), str(a))
+        dump_chrome_trace(small_trace(), str(b))
+        assert a.read_bytes() == b.read_bytes()
+        a2, b2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        dump_jsonl(small_trace(), str(a2))
+        dump_jsonl(small_trace(), str(b2))
+        assert a2.read_bytes() == b2.read_bytes()
+
+
+class TestPhaseSpans:
+    def test_closed_spans(self):
+        spans = sorted(iter_phase_spans(small_trace()))
+        assert spans == [
+            (0, "evaluation", 0.0, 7.0),
+            (1, "evaluation", 0.0, 11.0),
+        ]
+
+    def test_unclosed_span_closed_at_last_event(self):
+        t = RecordingTracer()
+        t.on_phase_begin(0, "multiplication", Counts(f=1), 0)
+        t.on_fault(0, "multiplication", Counts(f=5), 0, "hard", 0)
+        spans = list(iter_phase_spans(t))
+        assert spans == [(0, "multiplication", 1.0, 5.0)]
+
+    def test_nested_spans(self):
+        t = RecordingTracer()
+        t.on_phase_begin(0, "outer", Counts(), 0)
+        t.on_phase_begin(0, "inner", Counts(f=1), 0)
+        t.on_phase_end(0, "inner", Counts(f=2), 0)
+        t.on_phase_end(0, "outer", Counts(f=3), 0)
+        spans = sorted(iter_phase_spans(t), key=lambda s: s[2])
+        assert spans == [(0, "outer", 0.0, 3.0), (0, "inner", 1.0, 2.0)]

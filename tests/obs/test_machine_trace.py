@@ -1,0 +1,137 @@
+"""Integration tests: the machine under a recording tracer."""
+
+from repro.machine.costs import CostModel
+from repro.machine.engine import Machine
+from repro.machine.errors import HardFault
+from repro.machine.fault import FaultEvent, FaultSchedule
+from repro.obs.events import (
+    EV_FAULT,
+    EV_MEM_PEAK,
+    EV_PHASE_BEGIN,
+    EV_PHASE_END,
+    EV_RECV,
+    EV_REPLACEMENT,
+    EV_SEND,
+)
+from repro.obs.tracer import RecordingTracer
+
+
+def ping_pong(comm):
+    with comm.phase("evaluation"):
+        if comm.rank == 0:
+            comm.send(1, [1, 2, 3, 4])
+            return comm.recv(1)
+        comm.recv(0)
+        comm.send(0, [9, 9])
+        return None
+
+
+class TestTracedRuns:
+    def test_disabled_by_default(self):
+        res = Machine(2).run(ping_pong)
+        assert res.trace is None
+        assert res.metrics is None
+
+    def test_events_recorded(self):
+        res = Machine(2, trace=True).run(ping_pong)
+        kinds = {e.kind for e in res.trace.events()}
+        assert {EV_PHASE_BEGIN, EV_PHASE_END, EV_SEND, EV_RECV} <= kinds
+        sends = [e for e in res.trace.events() if e.kind == EV_SEND]
+        assert {e.rank for e in sends} == {0, 1}
+        assert all(e.phase == "evaluation" for e in sends)
+
+    def test_tracing_does_not_change_costs(self):
+        plain = Machine(2).run(ping_pong)
+        traced = Machine(2, trace=True).run(ping_pong)
+        assert traced.critical_path == plain.critical_path
+        assert traced.per_rank == plain.per_rank
+        assert traced.phase_costs == plain.phase_costs
+        assert traced.results == plain.results
+
+    def test_vt_uses_cost_model(self):
+        model = CostModel(alpha=1000.0, beta=1.0, gamma=0.0)
+        res = Machine(2, trace=model).run(ping_pong)
+        (send0,) = [
+            e for e in res.trace.events() if e.kind == EV_SEND and e.rank == 0
+        ]
+        # After rank 0's send: bw=4, l=1 -> vt = 1000*1 + 1*4.
+        assert send0.vt == 1004.0
+
+    def test_memory_peaks_traced(self):
+        def program(comm):
+            comm.memory.allocate("a", 10)
+            comm.memory.allocate("b", 20)
+            comm.memory.free("a")
+
+        res = Machine(1, memory_words=100, trace=True).run(program)
+        peaks = [e for e in res.trace.events() if e.kind == EV_MEM_PEAK]
+        assert [e.attrs["peak"] for e in peaks] == [10, 30]
+        assert res.metrics.gauge("peak_memory_words", rank=0) == 30
+
+    def test_fault_and_replacement_traced(self):
+        def program(comm):
+            try:
+                with comm.phase("multiplication"):
+                    comm.charge_flops(1)
+            except HardFault:
+                comm.begin_replacement()
+                with comm.phase("recovery"):
+                    comm.charge_flops(1)
+            return comm.incarnation
+
+        sched = FaultSchedule([FaultEvent(rank=1, phase="multiplication", op_index=0)])
+        res = Machine(2, fault_schedule=sched, trace=True).run(program)
+        assert res.results == [0, 1]
+        stream = res.trace.events_for(1)
+        kinds = [e.kind for e in stream]
+        assert EV_FAULT in kinds and EV_REPLACEMENT in kinds
+        assert kinds.index(EV_FAULT) < kinds.index(EV_REPLACEMENT)
+        (fault,) = [e for e in stream if e.kind == EV_FAULT]
+        assert fault.phase == "multiplication"
+        assert fault.attrs["fault_kind"] == "hard"
+        (repl,) = [e for e in stream if e.kind == EV_REPLACEMENT]
+        assert repl.incarnation == 1
+        assert res.metrics.counter("faults_total", kind="hard") == 1
+        assert res.metrics.counter("replacements_total") == 1
+
+    def test_soft_and_delay_faults_traced(self):
+        def program(comm):
+            with comm.phase("multiplication"):
+                comm.charge_flops(1)
+                comm.soft_fault_point()
+
+        sched = FaultSchedule(
+            [
+                FaultEvent(rank=0, phase="multiplication", op_index=0, kind="delay", factor=4.0),
+                FaultEvent(rank=1, phase="multiplication", op_index=0, kind="soft"),
+            ]
+        )
+        res = Machine(2, fault_schedule=sched, trace=True).run(program)
+        kinds = {
+            e.attrs["fault_kind"]
+            for e in res.trace.events()
+            if e.kind == EV_FAULT
+        }
+        assert kinds == {"delay", "soft"}
+        assert res.metrics.counter("faults_total", kind="delay") == 1
+        assert res.metrics.counter("faults_total", kind="soft") == 1
+
+    def test_external_tracer_instance(self):
+        tracer = RecordingTracer()
+        res = Machine(2, trace=tracer).run(ping_pong)
+        assert res.trace is tracer
+        assert len(tracer) > 0
+
+    def test_collectives_traced(self):
+        from repro.machine.collectives import reduce as mreduce
+
+        def program(comm):
+            with comm.phase("interpolation"):
+                return mreduce(comm, comm.rank, op=lambda a, b: a + b, root=0)
+
+        res = Machine(4, trace=True).run(program)
+        assert res.results[0] == 6
+        colls = [e for e in res.trace.events() if e.kind == "collective"]
+        assert len(colls) == 1  # recorded at the root only
+        assert colls[0].attrs["op"] == "reduce"
+        assert colls[0].attrs["fan_in"] == 3

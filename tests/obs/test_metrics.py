@@ -1,0 +1,103 @@
+"""Tests for the metrics registry and power-of-two histograms."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = Histogram()
+        for v in (1, 2, 3, 4, 5, 1024):
+            h.observe(v)
+        # bucket exponent = ceil(log2(v)) (v=1 -> 0)
+        assert h.buckets[0] == 1  # 1
+        assert h.buckets[1] == 1  # 2
+        assert h.buckets[2] == 2  # 3, 4
+        assert h.buckets[3] == 1  # 5
+        assert h.buckets[10] == 1  # 1024
+
+    def test_summary_stats(self):
+        h = Histogram()
+        for v in (2, 4, 6):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12
+        assert h.min == 2
+        assert h.max == 6
+        assert h.mean == 4
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+
+    def test_as_dict_sorted_buckets(self):
+        h = Histogram()
+        for v in (100, 1, 9):
+            h.observe(v)
+        d = h.as_dict()
+        assert list(d["buckets"]) == sorted(d["buckets"])
+        assert d["count"] == 3
+
+
+class TestMetricsRegistry:
+    def test_counters_with_labels(self):
+        m = MetricsRegistry()
+        m.inc("msgs")
+        m.inc("msgs", 4)
+        m.inc("words", 10, phase="evaluation")
+        m.inc("words", 5, phase="recovery")
+        assert m.counter("msgs") == 5
+        assert m.counter("words", phase="evaluation") == 10
+        assert m.counter("words", phase="recovery") == 5
+        assert m.counter("words", phase="nope") == 0
+
+    def test_counters_by_label(self):
+        m = MetricsRegistry()
+        m.inc("words", 10, phase="evaluation")
+        m.inc("words", 5, phase="recovery")
+        by = m.counters_by_label("words", "phase")
+        assert by == {"evaluation": 10, "recovery": 5}
+
+    def test_gauges(self):
+        m = MetricsRegistry()
+        m.gauge_set("x", 3)
+        m.gauge_max("x", 10)
+        m.gauge_max("x", 7)
+        assert m.gauge("x") == 10
+
+    def test_histograms(self):
+        m = MetricsRegistry()
+        m.observe("sizes", 8)
+        m.observe("sizes", 16)
+        assert m.histogram("sizes").count == 2
+
+    def test_as_dict_deterministic(self):
+        def build():
+            m = MetricsRegistry()
+            m.inc("b", 1, x="2")
+            m.inc("a")
+            m.inc("b", 1, x="1")
+            m.observe("h", 5)
+            m.gauge_set("g", 1)
+            return m
+
+        d1, d2 = build().as_dict(), build().as_dict()
+        assert d1 == d2
+        import json
+
+        assert json.dumps(d1, sort_keys=True) == json.dumps(d2, sort_keys=True)
+        # Label formatting is the Prometheus-ish name{k=v} form.
+        assert "b{x=1}" in d1["counters"]
+
+    def test_is_empty(self):
+        m = MetricsRegistry()
+        assert m.is_empty()
+        m.inc("a")
+        assert not m.is_empty()
+
+    def test_negative_inc_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.inc("a", -1)

@@ -84,6 +84,74 @@ class TestMultiply:
         assert "multiplication" in payload["phases"]
 
 
+class TestTraceOut:
+    def test_multiply_trace_out_chrome(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        rc = main(
+            [
+                "multiply", "0x1p300", "0x1p299",
+                "--parallel", "9", "--ft", "1", "--word-bits", "16",
+                "--fault", "4:multiplication:0",
+                "--trace-out", str(path),
+            ]
+        )
+        assert rc == 0
+        assert "trace   :" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert {"evaluation", "multiplication", "interpolation"} <= names
+        assert "fault" in names
+
+    def test_multiply_trace_out_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rc = main(
+            ["multiply", "0x1p200", "3", "--parallel", "3",
+             "--word-bits", "16", "--trace-out", str(path)]
+        )
+        assert rc == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        assert all("vt" in json.loads(line) for line in lines)
+
+    def test_trace_out_implies_parallel(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        rc = main(
+            ["multiply", "0x1p200", "3", "--word-bits", "16",
+             "--trace-out", str(path)]
+        )
+        assert rc == 0
+        assert path.exists()
+
+
+class TestTraceSubcommand:
+    def test_trace_report(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rc = main(
+            [
+                "trace", "0x1p300", "0x1p299",
+                "--parallel", "9", "--ft", "1", "--word-bits", "16",
+                "--fault", "4:multiplication:0",
+                "--out", str(path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "virtual-time Gantt" in out
+        assert "critical-path attribution" in out
+        assert "metrics" in out
+        assert "X=fault" in out
+        assert "exact   = True" in out
+        assert path.exists()
+
+    def test_trace_custom_cost_model(self, capsys):
+        rc = main(
+            ["trace", "0x1p200", "3", "--parallel", "3", "--word-bits", "16",
+             "--alpha", "100", "--beta", "10", "--gamma", "1"]
+        )
+        assert rc == 0
+        assert "virtual time 0 .." in capsys.readouterr().out
+
+
 class TestPlanPredict:
     def test_plan_text(self, capsys):
         rc = main(["plan", "--bits", "100000", "--p", "27", "--k", "2",
