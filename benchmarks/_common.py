@@ -34,3 +34,12 @@ def emit(name: str, text: str) -> None:
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark and return its value."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_registry(out):
+    """Per-phase metrics for an algorithm result, via the shared
+    MetricsRegistry aggregation path (same series the traced view reads):
+    read individual phases back with ``repro.obs.metrics.phase_cost``."""
+    from repro.obs.metrics import publish_run_metrics
+
+    return publish_run_metrics(out.run)

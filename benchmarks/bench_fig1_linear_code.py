@@ -8,11 +8,12 @@ and (c) an end-to-end evaluation-phase fault survived through linear
 recovery.
 """
 
-from _common import WORD_BITS, emit, once, operands, plan_for
+from _common import WORD_BITS, emit, once, operands, plan_for, run_registry
 
 from repro.analysis.report import render_table
 from repro.core.ft_toomcook import FaultTolerantToomCook
 from repro.machine.fault import FaultEvent, FaultSchedule
+from repro.obs.metrics import phase_cost
 
 N_BITS = 1600
 
@@ -43,7 +44,7 @@ def test_fig1_grid_and_code_costs(benchmark):
 
     algo, out = once(benchmark, run)
     grid = render_grid(p, plan.q, f, code_base=p)
-    cc = out.run.phase_costs["code-creation"]
+    cc = phase_cost(run_registry(out), "code-creation")
     state_words = 2 * plan.local_words  # va + vb at the first encode
     n_boundaries = algo.n_tasks() + 1
     rows = [
@@ -81,7 +82,7 @@ def test_fig1_recovery_cost_is_one_reduce(benchmark):
         return out
 
     out = once(benchmark, run)
-    rec = out.run.phase_costs["recovery"]
+    rec = phase_cost(run_registry(out), "recovery")
     state_words_bound = 8 * plan.local_words  # full state incl. stack, slack 2x
     rows = [
         ["recovery BW (measured)", rec.bw],

@@ -8,12 +8,13 @@ arithmetic with and without a fault, and (c) the first-step overhead
 factor ``(2k-1+f)/(2k-1)``.
 """
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, run_registry
 
 from repro.analysis.report import render_series, render_table
 from repro.core.ft_polynomial import PolynomialCodedToomCook
 from repro.core.parallel_toomcook import ParallelToomCook
 from repro.machine.fault import FaultEvent, FaultSchedule
+from repro.obs.metrics import phase_cost
 
 N_BITS = 1200
 
@@ -87,9 +88,9 @@ def test_fig2_first_step_overhead_scales_with_f(benchmark):
 
     base, results = once(benchmark, run)
     fs = sorted(results)
+    base_eval = phase_cost(run_registry(base), "evaluation")
     measured = [
-        results[f].run.phase_costs["evaluation"].f
-        / base.run.phase_costs["evaluation"].f
+        phase_cost(run_registry(results[f]), "evaluation").f / base_eval.f
         for f in fs
     ]
     predicted = [(plan.q + f) / plan.q for f in fs]

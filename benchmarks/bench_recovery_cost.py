@@ -4,11 +4,12 @@ the run the fault lands, and the polynomial code's multiplication-phase
 recovery is free (no recovery phase at all).
 """
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, run_registry
 
 from repro.analysis.report import render_table
 from repro.core.ft_toomcook import FaultTolerantToomCook
 from repro.machine.fault import FaultEvent, FaultSchedule
+from repro.obs.metrics import phase_cost
 
 N_BITS = 1600
 
@@ -28,7 +29,7 @@ def test_recovery_cost_by_fault_phase(benchmark):
         rows = []
         for phase, op in [("evaluation", 2), ("multiplication", 0), ("interpolation", 1)]:
             plan, out = _run_with_fault(phase, op)
-            rec = out.run.phase_costs.get("recovery")
+            rec = phase_cost(run_registry(out), "recovery")
             rows.append(
                 [
                     phase,
@@ -65,8 +66,9 @@ def test_recovery_scales_linearly_in_f(benchmark):
             algo = FaultTolerantToomCook(plan, f=f, fault_schedule=sched, timeout=90)
             out = algo.multiply(a, b)
             assert out.product == a * b
-            cc = out.run.phase_costs["code-creation"]
-            rows.append([f, cc.bw, out.run.phase_costs["recovery"].bw])
+            reg = run_registry(out)
+            cc = phase_cost(reg, "code-creation")
+            rows.append([f, cc.bw, phase_cost(reg, "recovery").bw])
         return rows
 
     rows = once(benchmark, run)
@@ -93,7 +95,7 @@ def test_multiplication_fault_needs_no_recovery_reduce(benchmark):
         return out
 
     out = once(benchmark, run)
-    rec = out.run.phase_costs.get("recovery")
+    rec = phase_cost(run_registry(out), "recovery")
     rows = [
         ["recovery BW after multiplication fault", rec.bw if rec else 0],
         ["total BW", out.run.critical_path.bw],

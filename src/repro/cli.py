@@ -9,6 +9,8 @@
     python -m repro plan --bits 100000 --p 27 --k 2 --memory 500
     python -m repro predict --bits 100000 --p 27 --k 2
     python -m repro demo
+    python -m repro lint src --format json
+    python -m repro lint --list-rules
 
 Numbers accept decimal, ``0x...`` hex, or ``0b...`` binary, plus the
 shorthand ``0x1pN`` for ``2**N``.
@@ -148,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--json", action="store_true")
 
     sub.add_parser("demo", help="one-minute fault-tolerance demonstration")
+
+    lint = sub.add_parser(
+        "lint", help="project-specific static analysis (see docs/STATIC_ANALYSIS.md)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json", "github"], default="text",
+        help="report format (github emits ::error workflow annotations)",
+    )
+    lint.add_argument(
+        "--select", action="append", default=[], metavar="RULE",
+        help="run only the named rule id (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
     return parser
 
 
@@ -315,6 +336,18 @@ def _cmd_demo(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import list_rules_text, run_lint
+
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+    code, report = run_lint(args.paths, fmt=args.format, select=args.select)
+    if report:
+        print(report)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -323,6 +356,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "predict": _cmd_predict,
         "demo": _cmd_demo,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

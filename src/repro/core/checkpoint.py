@@ -105,7 +105,7 @@ class CheckpointedToomCook(ParallelToomCook):
             if lost:
                 comm.begin_replacement(purge=False)
             dead_ever |= dead
-            votes = comm.votes(("ckpt-vote", attempt))
+            votes = comm.poll_votes(("ckpt-vote", attempt))
             success = bool(votes) and all(votes.values())
             if dead:
                 va, vb, held = self._restore(

@@ -84,6 +84,7 @@ class ColumnCode:
         self.code = SystematicCode(k=len(column), f=self.f)
 
     # -- encoding -------------------------------------------------------------
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def encode(self, comm, state: LimbVector | None, epoch: int) -> LimbVector | None:
         """Code-creation round (one ``f``-reduce, Lemma 2.5).
 
@@ -116,6 +117,7 @@ class ColumnCode:
         return result if comm.rank in self.code_ranks else None
 
     # -- recovery ----------------------------------------------------------------
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def recover(
         self,
         comm,

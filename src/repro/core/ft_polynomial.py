@@ -232,6 +232,7 @@ class PolynomialCodedToomCook(ParallelToomCook):
         return None
 
     # -- coded-step exchanges ----------------------------------------------------
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _coded_exchange_down(self, comm, payload: list, ctx: dict):
         """Like the base descent exchange, but targets span all q+f columns
         (payload has q+f evaluation slices)."""
@@ -311,6 +312,7 @@ class PolynomialCodedToomCook(ParallelToomCook):
             out = self._interpolate_with(comm, w_t, blocks, len(blocks[0]) // 2)
         return out
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _collect_in_order(self, comm, ctx, tag_base, task, my_class):
         """Blocking collection, columns visited in index order (the
         fault-free fast path: the first 2k-1 columns are the standard
@@ -337,6 +339,7 @@ class PolynomialCodedToomCook(ParallelToomCook):
                 continue
         return collected
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _collect_eager(self, comm, ctx, tag_base, task, my_class):
         """Straggler-mitigating collection: physically drain every live
         column's result, then *absorb* (wait for, in virtual time) only
@@ -382,6 +385,7 @@ class PolynomialCodedToomCook(ParallelToomCook):
             collected[j] = comm.absorb(raw[j])
         return collected
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _interpolate_with(self, comm, w_t, result_blocks, child_offset):
         coeffs = apply_matrix_to_blocks(w_t.rows, result_blocks)
         comm.charge_flops(matrix_apply_flops(w_t.rows, len(result_blocks[0])))

@@ -187,7 +187,7 @@ class FaultTolerantToomCook(PolynomialCodedToomCook):
                     if comm.rank not in dead:  # pragma: no cover
                         raise MachineError("lost state but not agreed dead")
                     comm.begin_replacement(purge=False)
-                votes = comm.votes(("vote", scope))
+                votes = comm.poll_votes(("vote", scope))
                 success = bool(votes) and all(votes.values())
                 stale_codes |= {
                     r
@@ -241,6 +241,7 @@ class FaultTolerantToomCook(PolynomialCodedToomCook):
         self._send_ascent_parts(comm, new_group, sub_result, ctx)
         return self._coded_interpolation(comm, ctx=ctx)
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _task_operands(self, comm, va, vb, t: int) -> tuple[LimbVector, LimbVector]:
         """Evaluate the DFS path for task ``t`` (local; prefix-cached so
         shared path prefixes are not recomputed — the classic DFS walk)."""
@@ -333,6 +334,7 @@ class FaultTolerantToomCook(PolynomialCodedToomCook):
             schema.extend([child_local] * count)
         return tuple(schema)
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _resend_ascent(self, comm, scope: int, dead_standard: list[int]) -> None:
         """Senders that owed this attempt's ascent slices to a dead parent
         resend them from cache (the replacement's mailbox survives)."""
@@ -383,7 +385,7 @@ class FaultTolerantToomCook(PolynomialCodedToomCook):
                         # next encode refreshes it.
                         comm.begin_replacement(purge=False)
                         word = None
-                    votes = comm.votes(("vote", scope))
+                    votes = comm.poll_votes(("vote", scope))
                     success = bool(votes) and all(votes.values())
                     stale_codes |= {
                         r
@@ -415,7 +417,7 @@ class FaultTolerantToomCook(PolynomialCodedToomCook):
                     comm.agree_dead(("boundary", scope), all_ranks)
                     comm.begin_replacement(purge=False)
                     word = None
-                    votes = comm.votes(("vote", scope))
+                    votes = comm.poll_votes(("vote", scope))
                     if bool(votes) and all(votes.values()):
                         break
                 attempt += 1
@@ -475,7 +477,7 @@ class FaultTolerantToomCook(PolynomialCodedToomCook):
                 dead = comm.agree_dead(("boundary", scope), all_ranks)
                 if crashed:
                     comm.begin_replacement(purge=False)
-                votes = comm.votes(("vote", scope))
+                votes = comm.poll_votes(("vote", scope))
                 success = bool(votes) and all(votes.values())
                 dead_standard = sorted(r for r in dead if r < self.plan.p)
                 if success:

@@ -231,6 +231,7 @@ class MultiStepToomCook(PolynomialCodedToomCook):
             out = self._multivariate_overlap_add(comm, coeffs)
         return out
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _multivariate_overlap_add(self, comm, coeffs: list[LimbVector]) -> LimbVector:
         """Place the coefficient block of each ``Poly_{2k-1,l}`` monomial
         at its univariate offset ``sum_i e_i * n/k**(i+1)`` (local words)."""

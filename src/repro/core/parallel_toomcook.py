@@ -275,6 +275,7 @@ class ParallelToomCook:
         my_col = group.index(comm.rank) // g2
         return columns, my_col
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _exchange_down(
         self, comm, group: list[int], payload: list, step: int, ctx: dict
     ) -> tuple[list[int], list]:
@@ -310,6 +311,7 @@ class ParallelToomCook:
                 )
         return new_group, parts
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _exchange_up(
         self,
         comm,
@@ -352,6 +354,7 @@ class ParallelToomCook:
         return out
 
     # -- local math ------------------------------------------------------------------
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _interpolate_and_overlap(
         self, comm, result_blocks: list[LimbVector], child_offset: int
     ) -> LimbVector:

@@ -145,6 +145,7 @@ class SoftTolerantToomCook(PolynomialCodedToomCook):
                 )
             return self._overlap_add(comm, coeffs)
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _interp_subset(self, comm, collected, subset):
         points = [self.points[j] for j in subset]
         w_t = interpolation_matrix_for_points(points, self.plan.q)
@@ -153,6 +154,7 @@ class SoftTolerantToomCook(PolynomialCodedToomCook):
         comm.charge_flops(matrix_apply_flops(w_t.rows, len(blocks[0])))
         return coeffs
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _agreement(self, comm, coeffs, collected, live) -> int:
         """How many live columns' results match the candidate product's
         evaluation at their points."""
@@ -165,6 +167,7 @@ class SoftTolerantToomCook(PolynomialCodedToomCook):
                 agree += 1
         return agree
 
+    # repro-lint: in-phase -- runs inside the caller's phase context
     def _overlap_add(self, comm, coeffs) -> LimbVector:
         child_offset = len(coeffs[0]) // 2
         out = [0] * (2 * self.plan.k * child_offset)

@@ -1,0 +1,28 @@
+"""Project-specific static analysis (``python -m repro lint``).
+
+Machine-checks the invariants the test suite can only spot-check:
+virtual-time code is wall-clock-free and deterministic (DET001-DET004),
+shared state is touched only under its declared lock (LOCK001), the
+coding layer stays in exact rational arithmetic (EXACT001-EXACT003),
+and every cost charged in ``core/`` lands in a named phase (PHASE001).
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and conventions.
+"""
+
+from repro.lint.engine import (
+    LintResult,
+    LintRunner,
+    Rule,
+    SourceFile,
+    Violation,
+)
+from repro.lint.rules import default_rules, rule_catalog
+
+__all__ = [
+    "LintResult",
+    "LintRunner",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "default_rules",
+    "rule_catalog",
+]

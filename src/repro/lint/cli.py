@@ -1,0 +1,35 @@
+"""``python -m repro lint`` entry point (wired into repro.cli)."""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintRunner
+from repro.lint.reporters import FORMATS
+from repro.lint.rules import default_rules, rule_catalog
+
+__all__ = ["run_lint", "list_rules_text"]
+
+
+def list_rules_text() -> str:
+    lines = []
+    for entry in rule_catalog():
+        lines.append(f"{entry['id']}  {entry['name']}  [{entry['scopes']}]")
+        lines.append(f"    {entry['description']}")
+    return "\n".join(lines)
+
+
+def run_lint(
+    paths: list[str],
+    fmt: str = "text",
+    select: list[str] | None = None,
+) -> tuple[int, str]:
+    """Lint ``paths`` and return ``(exit_code, rendered_report)``."""
+    rules = default_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            raise SystemExit(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.id in wanted]
+    runner = LintRunner(rules)
+    result = runner.run(paths)
+    return result.exit_code, FORMATS[fmt](result)

@@ -1,0 +1,355 @@
+"""Rule engine for ``repro lint``.
+
+The engine is deliberately small: a :class:`SourceFile` wraps one parsed
+module (AST, comments, suppression/annotation maps), a :class:`Rule`
+contributes :class:`Violation` objects for one file, and
+:class:`LintRunner` drives a two-pass run — every rule first sees all
+in-scope files (``prepare``, used by cross-file collectors such as the
+lock-discipline rule) and is then asked to ``check`` each file.
+
+Comment conventions understood here (and documented in
+``docs/STATIC_ANALYSIS.md``):
+
+``# repro-lint: disable=RULE1,RULE2``
+    Suppress the listed rules on this line.  On a line of its own the
+    comment applies to the next code line.  Suppressions that never fire
+    are themselves reported (``LINT001``); unknown rule ids are reported
+    (``LINT002``).  A rationale may follow after `` -- ``.
+
+``# repro-lint: in-phase``
+    On (or directly above) a ``def``: the function intentionally relies
+    on its *caller's* ``with comm.phase(...)`` context, so the
+    phase-accounting rule skips it.
+
+``# guarded-by: <lock>``
+    On a field assignment inside a class: the field is shared mutable
+    state protected by the named lock attribute.  Consumed by the
+    lock-discipline rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "SourceFile",
+    "LintResult",
+    "LintRunner",
+    "dotted_name",
+    "iter_functions",
+    "UNUSED_SUPPRESSION",
+    "UNKNOWN_RULE",
+    "SYNTAX_ERROR",
+]
+
+UNUSED_SUPPRESSION = "LINT001"
+UNKNOWN_RULE = "LINT002"
+SYNTAX_ERROR = "LINT003"
+
+#: Engine-level diagnostics (not Rule subclasses) shown by ``--list-rules``.
+ENGINE_DIAGNOSTICS: dict[str, str] = {
+    UNUSED_SUPPRESSION: "suppression comment never matched a violation",
+    UNKNOWN_RULE: "suppression names a rule id the engine does not know",
+    SYNTAX_ERROR: "file does not parse",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,]+)")
+_IN_PHASE_RE = re.compile(r"#\s*repro-lint:\s*in-phase\b")
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, anchored to ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _repro_relpath(path: Path) -> str | None:
+    """Path relative to the innermost ``repro`` package directory.
+
+    ``src/repro/machine/comm.py`` -> ``machine/comm.py``.  Rule scopes are
+    matched against this, so fixture trees like ``tmp/repro/machine/x.py``
+    scope exactly like the real package.  Returns ``None`` when the file
+    is not under a ``repro`` directory.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            rel = parts[i + 1 :]
+            return "/".join(rel) if rel else None
+    return None
+
+
+def _import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module/object they were imported as."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    out[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    out[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.level == 0:
+                for alias in node.names:
+                    out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
+
+def dotted_name(node: ast.expr, imports: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to a dotted name, through the import map.
+
+    ``time.monotonic()`` -> ``time.monotonic``; with
+    ``from datetime import datetime``, ``datetime.now()`` resolves to
+    ``datetime.datetime.now``.  Chains rooted at anything other than a
+    plain name (``self._rng.random()``) return the literal chain rooted at
+    the unresolved name, so module-level bans do not fire on attributes of
+    local objects.
+    """
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(imports.get(cur.id, cur.id))
+    return ".".join(reversed(parts))
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """All function/method defs in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class SourceFile:
+    """A parsed module plus the comment-level annotations rules consume."""
+
+    def __init__(self, path: str | Path, text: str | None = None):
+        self.path = Path(path)
+        self.display = str(path)
+        if text is None:
+            text = self.path.read_text(encoding="utf-8")
+        self.text = text
+        self.lines = text.splitlines()
+        self.relpath = _repro_relpath(self.path)
+        self.tree: ast.Module = ast.parse(text, filename=self.display)
+        self.imports = _import_map(self.tree)
+        #: line -> set of rule ids suppressed on that line
+        self.suppressions: dict[int, set[str]] = {}
+        #: def/decorator lines carrying ``# repro-lint: in-phase``
+        self.in_phase_lines: set[int] = set()
+        #: assignment line -> lock name from ``# guarded-by: <lock>``
+        self.guarded_lines: dict[int, str] = {}
+        self._scan_comments()
+
+    # -- comment scanning -------------------------------------------------
+
+    def _effective_line(self, row: int, standalone: bool) -> int:
+        """Trailing comments hit their own line; standalone comments apply
+        to the next non-blank, non-comment line."""
+        if not standalone:
+            return row
+        for i in range(row, len(self.lines)):
+            stripped = self.lines[i].strip()
+            if stripped and not stripped.startswith("#"):
+                return i + 1
+        return row
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                row, col = tok.start
+                standalone = not self.lines[row - 1][:col].strip()
+                m = _SUPPRESS_RE.search(tok.string)
+                if m:
+                    target = self._effective_line(row, standalone)
+                    ids = {r for r in m.group(1).split(",") if r}
+                    self.suppressions.setdefault(target, set()).update(ids)
+                if _IN_PHASE_RE.search(tok.string):
+                    self.in_phase_lines.add(self._effective_line(row, standalone))
+                m = _GUARDED_RE.search(tok.string)
+                if m:
+                    target = self._effective_line(row, standalone)
+                    self.guarded_lines[target] = m.group(1)
+        except tokenize.TokenError:  # pragma: no cover - parse already passed
+            pass
+
+
+class Rule:
+    """Base class: subclasses set the id/description/scopes and implement
+    ``check`` (and optionally ``prepare`` for a cross-file collect pass)."""
+
+    id: str = "RULE000"
+    name: str = "unnamed"
+    description: str = ""
+    severity: str = "error"
+    #: ``repro``-relative path prefixes this rule applies to; empty = all.
+    scopes: tuple[str, ...] = ()
+
+    def applies_to(self, sf: SourceFile) -> bool:
+        if not self.scopes:
+            return True
+        rel = sf.relpath
+        if rel is None:
+            return False
+        return any(rel == s or rel.startswith(s) for s in self.scopes)
+
+    def prepare(self, files: Sequence[SourceFile]) -> None:
+        """Cross-file collect pass; runs before any ``check``."""
+
+    def check(self, sf: SourceFile) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(self, sf: SourceFile, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=sf.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=self.severity,
+        )
+
+
+@dataclass
+class LintResult:
+    violations: list[Violation]
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations else 0
+
+
+class LintRunner:
+    """Load files, run every rule, apply suppressions, report leftovers."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None):
+        if rules is None:
+            from repro.lint.rules import default_rules
+
+            rules = default_rules()
+        self.rules: list[Rule] = list(rules)
+        self.known_ids = {r.id for r in self.rules} | set(ENGINE_DIAGNOSTICS)
+
+    # -- file discovery ---------------------------------------------------
+
+    @staticmethod
+    def discover(paths: Sequence[str | Path]) -> list[Path]:
+        seen: set[Path] = set()
+        out: list[Path] = []
+        for p in paths:
+            p = Path(p)
+            if p.is_dir():
+                candidates = sorted(
+                    f
+                    for f in p.rglob("*.py")
+                    if not any(
+                        part.startswith(".") or part == "__pycache__"
+                        for part in f.parts
+                    )
+                )
+            else:
+                candidates = [p]
+            for f in candidates:
+                key = f.resolve()
+                if key not in seen:
+                    seen.add(key)
+                    out.append(f)
+        return out
+
+    # -- main entry point -------------------------------------------------
+
+    def run(self, paths: Sequence[str | Path]) -> LintResult:
+        violations: list[Violation] = []
+        files: list[SourceFile] = []
+        for path in self.discover(paths):
+            try:
+                files.append(SourceFile(path))
+            except SyntaxError as exc:
+                violations.append(
+                    Violation(
+                        rule=SYNTAX_ERROR,
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+
+        for rule in self.rules:
+            rule.prepare([sf for sf in files if rule.applies_to(sf)])
+
+        for sf in files:
+            raw: list[Violation] = []
+            for rule in self.rules:
+                if rule.applies_to(sf):
+                    raw.extend(rule.check(sf))
+            violations.extend(self._apply_suppressions(sf, raw))
+
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return LintResult(violations=violations, files_checked=len(files))
+
+    def _apply_suppressions(
+        self, sf: SourceFile, raw: list[Violation]
+    ) -> list[Violation]:
+        used: set[tuple[int, str]] = set()
+        kept: list[Violation] = []
+        for v in raw:
+            if v.rule in sf.suppressions.get(v.line, ()):
+                used.add((v.line, v.rule))
+            else:
+                kept.append(v)
+        for line in sorted(sf.suppressions):
+            for rule_id in sorted(sf.suppressions[line]):
+                if (line, rule_id) in used:
+                    continue
+                if rule_id not in self.known_ids:
+                    kept.append(
+                        Violation(
+                            rule=UNKNOWN_RULE,
+                            path=sf.display,
+                            line=line,
+                            col=1,
+                            message=f"suppression names unknown rule id {rule_id!r}",
+                        )
+                    )
+                else:
+                    kept.append(
+                        Violation(
+                            rule=UNUSED_SUPPRESSION,
+                            path=sf.display,
+                            line=line,
+                            col=1,
+                            message=(
+                                f"unused suppression: {rule_id} did not fire "
+                                "on this line"
+                            ),
+                        )
+                    )
+        return kept

@@ -1,0 +1,59 @@
+"""Output renderers for lint results: text, JSON, GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult, Violation
+
+__all__ = ["render_text", "render_json", "render_github", "FORMATS"]
+
+
+def render_text(result: LintResult) -> str:
+    lines = [v.render() for v in result.violations]
+    noun = "file" if result.files_checked == 1 else "files"
+    if result.violations:
+        count = len(result.violations)
+        vnoun = "violation" if count == 1 else "violations"
+        lines.append(f"{count} {vnoun} in {result.files_checked} {noun} checked")
+    else:
+        lines.append(f"clean: {result.files_checked} {noun} checked")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "files_checked": result.files_checked,
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "severity": v.severity,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _github_line(v: Violation) -> str:
+    # https://docs.github.com/actions/reference/workflow-commands
+    level = "error" if v.severity == "error" else "warning"
+    return (
+        f"::{level} file={v.path},line={v.line},col={v.col},"
+        f"title={v.rule}::{v.message}"
+    )
+
+
+def render_github(result: LintResult) -> str:
+    return "\n".join(_github_line(v) for v in result.violations)
+
+
+FORMATS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}

@@ -1,0 +1,224 @@
+"""Determinism rules (DET001-DET004).
+
+The simulator runs in *virtual* time: every run on the same inputs must
+produce byte-identical traces and cost reports.  Wall-clock reads,
+unseeded randomness, and iteration over unordered containers in code
+that feeds trace exports all break that, so they are banned in the
+``machine``, ``core``, and ``obs`` layers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Rule, SourceFile, Violation, dotted_name
+
+__all__ = [
+    "WallClockRule",
+    "RandomnessRule",
+    "SetIterationRule",
+    "DictViewIterationRule",
+]
+
+_DETERMINISTIC_SCOPES = ("machine/", "core/", "obs/")
+
+#: Calls that read (or wait on) the host's wall clock.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Entropy sources with no seedable handle at all.
+_ENTROPY = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+    }
+)
+
+#: Consumers for which the iteration order of their argument is
+#: irrelevant (fold is commutative or the consumer re-orders).
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "sum", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+
+class WallClockRule(Rule):
+    id = "DET001"
+    name = "wall-clock"
+    description = (
+        "wall-clock reads (time.time/monotonic/sleep, datetime.now, ...) are "
+        "banned in virtual-time code"
+    )
+    scopes = _DETERMINISTIC_SCOPES
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, sf.imports)
+            if name in _WALL_CLOCK:
+                yield self.violation(
+                    sf,
+                    node,
+                    f"wall-clock call {name}() in virtual-time code; "
+                    "route through the cost model or suppress with a rationale",
+                )
+
+
+class RandomnessRule(Rule):
+    id = "DET002"
+    name = "unseeded-randomness"
+    description = (
+        "module-level random.* calls, random.Random() without a seed, and "
+        "os.urandom/uuid4-style entropy are banned; use util.rng.DeterministicRNG"
+    )
+    scopes = _DETERMINISTIC_SCOPES
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, sf.imports)
+            if name is None:
+                continue
+            if name == "random.Random":
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        sf, node, "random.Random() without a seed is unseeded"
+                    )
+            elif name in _ENTROPY or name.startswith(("random.", "secrets.")):
+                yield self.violation(
+                    sf,
+                    node,
+                    f"nondeterministic entropy source {name}(); "
+                    "use a seeded DeterministicRNG",
+                )
+
+
+def _is_set_expr(node: ast.expr, imports: dict[str, str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func, imports) in {"set", "frozenset"}
+    return False
+
+
+def _parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    return {
+        child: parent
+        for parent in ast.walk(tree)
+        for child in ast.iter_child_nodes(parent)
+    }
+
+
+def _consumed_order_insensitively(
+    node: ast.AST, parents: dict[ast.AST, ast.AST], imports: dict[str, str]
+) -> bool:
+    """True when ``node`` is a direct argument of an order-insensitive
+    consumer call, e.g. ``sorted(x for x in s)`` or ``sum({...})``."""
+    parent = parents.get(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        return dotted_name(parent.func, imports) in ORDER_INSENSITIVE_CONSUMERS
+    return False
+
+
+class SetIterationRule(Rule):
+    id = "DET003"
+    name = "set-iteration"
+    description = (
+        "iterating a set in arbitrary order is banned unless wrapped in "
+        "sorted() or fed to an order-insensitive consumer (sum/min/max/any/all)"
+    )
+    scopes = _DETERMINISTIC_SCOPES
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        parents = _parent_map(sf.tree)
+        for node in ast.walk(sf.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, sf.imports):
+                    yield self.violation(
+                        sf,
+                        node.iter,
+                        "for-loop over a set has nondeterministic order; "
+                        "iterate sorted(...) instead",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                hazard = any(
+                    _is_set_expr(gen.iter, sf.imports) for gen in node.generators
+                )
+                if not hazard:
+                    continue
+                if isinstance(node, ast.SetComp):
+                    # building another set: order of construction is moot
+                    continue
+                if _consumed_order_insensitively(node, parents, sf.imports):
+                    continue
+                yield self.violation(
+                    sf,
+                    node,
+                    "comprehension over a set has nondeterministic order; "
+                    "wrap the source in sorted(...)",
+                )
+
+
+class DictViewIterationRule(Rule):
+    id = "DET004"
+    name = "dict-view-iteration"
+    description = (
+        "iterating .keys()/.values()/.items() in export-feeding code (obs/) "
+        "must go through sorted() or an order-insensitive consumer"
+    )
+    scopes = ("obs/",)
+
+    _VIEWS = frozenset({"keys", "values", "items"})
+
+    def _is_view_call(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and not node.args
+            and not node.keywords
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._VIEWS
+        )
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        parents = _parent_map(sf.tree)
+        for node in ast.walk(sf.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_view_call(node.iter):
+                    yield self.violation(
+                        sf,
+                        node.iter,
+                        "for-loop over a dict view relies on insertion order; "
+                        "iterate sorted(...) for export-stable output",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                hazard = any(self._is_view_call(gen.iter) for gen in node.generators)
+                if not hazard:
+                    continue
+                if _consumed_order_insensitively(node, parents, sf.imports):
+                    continue
+                yield self.violation(
+                    sf,
+                    node,
+                    "comprehension over a dict view relies on insertion order; "
+                    "wrap the source in sorted(...)",
+                )

@@ -1,0 +1,105 @@
+"""Exactness rules (EXACT001-EXACT003).
+
+The coding layer (Vandermonde / erasure codes over the rationals) and
+the exact linear-algebra kernel must never leave exact arithmetic: one
+stray ``float`` breaks the word-exact recovery the paper's Section 4
+construction depends on.  Floats, true division, and floating ``math.*``
+functions are banned in ``coding/`` and ``util/rational.py``; integer-
+exact ``math`` helpers (gcd, isqrt, comb, ...) are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Rule, SourceFile, Violation, dotted_name
+
+__all__ = ["FloatLiteralRule", "TrueDivisionRule", "MathFloatRule"]
+
+_EXACT_SCOPES = ("coding/", "util/rational.py")
+
+#: ``math`` functions that are exact on integer inputs.
+MATH_EXACT_ALLOWLIST = frozenset(
+    {"math.gcd", "math.lcm", "math.isqrt", "math.comb", "math.perm", "math.factorial"}
+)
+
+
+class FloatLiteralRule(Rule):
+    id = "EXACT001"
+    name = "float-literal"
+    description = (
+        "float/complex literals and float(...) conversions are banned in "
+        "exact-arithmetic code; use Fraction"
+    )
+    scopes = _EXACT_SCOPES
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, (float, complex)
+            ):
+                yield self.violation(
+                    sf,
+                    node,
+                    f"float literal {node.value!r} in exact-arithmetic code",
+                )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func, sf.imports)
+                if name in {"float", "complex"}:
+                    yield self.violation(
+                        sf, node, f"{name}(...) conversion in exact-arithmetic code"
+                    )
+
+
+class TrueDivisionRule(Rule):
+    id = "EXACT002"
+    name = "true-division"
+    description = (
+        "'/' true division is banned in exact-arithmetic code (int/int "
+        "yields float); use Fraction or '//'"
+    )
+    scopes = _EXACT_SCOPES
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield self.violation(
+                    sf,
+                    node,
+                    "true division '/' in exact-arithmetic code; int/int is a "
+                    "float — use Fraction division or '//'",
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+                yield self.violation(
+                    sf,
+                    node,
+                    "augmented true division '/=' in exact-arithmetic code",
+                )
+
+
+class MathFloatRule(Rule):
+    id = "EXACT003"
+    name = "math-float-function"
+    description = (
+        "floating math.*/cmath.* functions are banned in exact-arithmetic "
+        "code; only integer-exact helpers (gcd, lcm, isqrt, comb, perm, "
+        "factorial) are allowed"
+    )
+    scopes = _EXACT_SCOPES
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, sf.imports)
+            if name is None:
+                continue
+            if name.startswith("cmath."):
+                yield self.violation(sf, node, f"complex-float call {name}()")
+            elif name.startswith("math.") and name not in MATH_EXACT_ALLOWLIST:
+                yield self.violation(
+                    sf,
+                    node,
+                    f"floating-point call {name}() in exact-arithmetic code",
+                )

@@ -1,0 +1,133 @@
+"""Phase-accounting rule (PHASE001).
+
+Every cost the simulator charges must be attributable to a named phase
+so the critical-path attribution report (and the Theorem 5.1-5.3
+comparisons) can break runtime down by phase.  In ``core/``, calls to
+``Communicator`` messaging primitives, collectives, and
+``charge_flops`` therefore have to happen lexically inside a
+``with comm.phase("..."):`` block — or inside a helper whose ``def`` is
+marked ``# repro-lint: in-phase``, declaring that it is only ever
+invoked from a caller's phase context.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Rule, SourceFile, Violation
+
+__all__ = ["PhaseAccountingRule"]
+
+#: Communicator methods that charge costs.
+MACHINE_OPS = frozenset(
+    {"send", "recv", "recv_raw", "sendrecv", "absorb", "charge_flops"}
+)
+
+#: Collective helpers (repro.machine.collectives) that charge costs.
+COLLECTIVE_OPS = frozenset(
+    {
+        "broadcast",
+        "reduce",
+        "allreduce",
+        "gather",
+        "allgather",
+        "scatter",
+        "alltoall",
+        "barrier",
+        "t_reduce",
+        "t_broadcast",
+    }
+)
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _is_phase_with(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "phase"
+    )
+
+
+class PhaseAccountingRule(Rule):
+    id = "PHASE001"
+    name = "phase-accounting"
+    description = (
+        "Communicator send/recv/collective/charge_flops calls in core/ must "
+        "be inside 'with comm.phase(...)' (or a '# repro-lint: in-phase' "
+        "helper) so every cost lands in a named phase"
+    )
+    scopes = ("core/",)
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        out: list[Violation] = []
+        for func in self._functions(sf.tree):
+            if self._marked_in_phase(func, sf):
+                continue
+            for stmt in func.body:
+                self._visit(stmt, False, sf, out)
+        return iter(out)
+
+    @staticmethod
+    def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, _FUNC_NODES):
+                yield node
+
+    @staticmethod
+    def _marked_in_phase(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, sf: SourceFile
+    ) -> bool:
+        candidates = {func.lineno} | {d.lineno for d in func.decorator_list}
+        return bool(candidates & sf.in_phase_lines)
+
+    def _visit(
+        self, node: ast.AST, in_phase: bool, sf: SourceFile, out: list[Violation]
+    ) -> None:
+        if isinstance(node, _SCOPE_NODES):
+            return  # nested defs are checked as functions in their own right
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            entered = in_phase or any(_is_phase_with(item) for item in node.items)
+            for item in node.items:
+                self._visit(item.context_expr, in_phase, sf, out)
+            for stmt in node.body:
+                self._visit(stmt, entered, sf, out)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, in_phase, sf, out)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, in_phase, sf, out)
+
+    def _check_call(
+        self, node: ast.Call, in_phase: bool, sf: SourceFile, out: list[Violation]
+    ) -> None:
+        if in_phase:
+            return
+        op: str | None = None
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in MACHINE_OPS or func.attr in COLLECTIVE_OPS:
+                op = func.attr
+        elif isinstance(func, ast.Name):
+            resolved = sf.imports.get(func.id)
+            leaf = (resolved or func.id).rsplit(".", 1)[-1]
+            # an imported bare name only counts when it comes from the
+            # collectives module (functools.reduce is not a collective)
+            if leaf in COLLECTIVE_OPS and (
+                resolved is None or "collectives" in resolved
+            ):
+                op = leaf
+        if op is not None:
+            out.append(
+                self.violation(
+                    sf,
+                    node,
+                    f"cost-charging call {op}(...) outside a phase(...) context; "
+                    "wrap it in 'with comm.phase(...)' or mark the helper "
+                    "'# repro-lint: in-phase'",
+                )
+            )

@@ -49,7 +49,7 @@ __all__ = [
 _ADD: Callable[[Any, Any], Any] = lambda a, b: a + b
 
 
-def _base_comm(comm):
+def _base_comm(comm: Any) -> Any:
     """The root Communicator under any stack of sub-communicators."""
     base = comm
     while hasattr(base, "parent"):
@@ -58,7 +58,7 @@ def _base_comm(comm):
 
 
 def _trace_collective(
-    comm, op: str, fan_in: int, payload: Any = None, words: int = 0,
+    comm: Any, op: str, fan_in: int, payload: Any = None, words: int = 0,
     modeled: bool = False,
 ) -> None:
     """Record a collective marker event (no-op when tracing is off).
@@ -95,7 +95,7 @@ def _prank(vrank: int, root: int, size: int) -> int:
     return (vrank + root) % size
 
 
-def broadcast(comm, value: Any, root: int = 0, tag: int = 100) -> Any:
+def broadcast(comm: Any, value: Any, root: int = 0, tag: int = 100) -> Any:
     """Binomial-tree broadcast; returns the value at every rank."""
     size = comm.size
     if not (0 <= root < size):
@@ -123,7 +123,7 @@ def broadcast(comm, value: Any, root: int = 0, tag: int = 100) -> Any:
 
 
 def reduce(
-    comm,
+    comm: Any,
     value: Any,
     op: Callable[[Any, Any], Any] = _ADD,
     root: int = 0,
@@ -151,14 +151,14 @@ def reduce(
 
 
 def allreduce(
-    comm, value: Any, op: Callable[[Any, Any], Any] = _ADD, tag: int = 102
+    comm: Any, value: Any, op: Callable[[Any, Any], Any] = _ADD, tag: int = 102
 ) -> Any:
     """Reduce-to-0 then broadcast (every rank gets the result)."""
     acc = reduce(comm, value, op=op, root=0, tag=tag)
     return broadcast(comm, acc, root=0, tag=tag + 1)
 
 
-def gather(comm, value: Any, root: int = 0, tag: int = 103) -> list | None:
+def gather(comm: Any, value: Any, root: int = 0, tag: int = 103) -> list | None:
     """Gather one value per rank at ``root`` (group order)."""
     size = comm.size
     if not (0 <= root < size):
@@ -176,14 +176,14 @@ def gather(comm, value: Any, root: int = 0, tag: int = 103) -> list | None:
     return None
 
 
-def allgather(comm, value: Any, tag: int = 104) -> list:
+def allgather(comm: Any, value: Any, tag: int = 104) -> list:
     """Gather at 0, broadcast the list (ring/doubling costs don't matter
     for the constant-size groups this project uses)."""
     collected = gather(comm, value, root=0, tag=tag)
     return broadcast(comm, collected, root=0, tag=tag + 1)
 
 
-def scatter(comm, values: Sequence[Any] | None, root: int = 0, tag: int = 105) -> Any:
+def scatter(comm: Any, values: Sequence[Any] | None, root: int = 0, tag: int = 105) -> Any:
     """Scatter ``values[i]`` to rank ``i`` from ``root``."""
     size = comm.size
     if not (0 <= root < size):
@@ -200,7 +200,7 @@ def scatter(comm, values: Sequence[Any] | None, root: int = 0, tag: int = 105) -
     return comm.recv(root, tag=tag)
 
 
-def alltoall(comm, send_blocks: Sequence[Any], tag: int = 106) -> list:
+def alltoall(comm: Any, send_blocks: Sequence[Any], tag: int = 106) -> list:
     """Direct-exchange all-to-all: rank ``i`` receives ``send_blocks[i]``
     from every rank.  Cost per rank: ``size-1`` messages each way."""
     size = comm.size
@@ -219,7 +219,7 @@ def alltoall(comm, send_blocks: Sequence[Any], tag: int = 106) -> list:
     return out
 
 
-def barrier(comm, tag: int = 107) -> None:
+def barrier(comm: Any, tag: int = 107) -> None:
     """Dissemination barrier (log-round synchronization)."""
     size = comm.size
     rounds = max(1, math.ceil(math.log2(size))) if size > 1 else 0
@@ -236,7 +236,7 @@ def barrier(comm, tag: int = 107) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _charge_lemma25(comm, t: int, total_words: int, with_flops: bool) -> None:
+def _charge_lemma25(comm: Any, t: int, total_words: int, with_flops: bool) -> None:
     """Charge one rank the Lemma 2.5 critical-path costs."""
     logp = max(1, math.ceil(math.log2(max(2, comm.size))))
     comm.clock.charge_flops(total_words if with_flops else 0)
@@ -247,7 +247,7 @@ def _charge_lemma25(comm, t: int, total_words: int, with_flops: bool) -> None:
     )
 
 
-def _uncharged_send(comm, dest: int, payload: Any, tag: int) -> None:
+def _uncharged_send(comm: Any, dest: int, payload: Any, tag: int) -> None:
     """Transport without cost charging (modeled collectives pay in bulk).
 
     Clock propagation still happens on the receive side, so critical-path
@@ -274,7 +274,7 @@ def _uncharged_send(comm, dest: int, payload: Any, tag: int) -> None:
     )
 
 
-def _uncharged_recv(comm, source: int, tag: int) -> Any:
+def _uncharged_recv(comm: Any, source: int, tag: int) -> Any:
     from repro.machine.errors import DeadlockError, PeerDead
 
     base, gsource = comm, source
@@ -290,7 +290,9 @@ def _uncharged_recv(comm, source: int, tag: int) -> Any:
             break
         except DeadlockError:
             waited += 0.02
-            if not state.alive[gsource]:
+            with state.lock:
+                source_dead = not state.alive[gsource]
+            if source_dead:
                 raise PeerDead(gsource) from None
             if waited >= state.timeout:
                 raise
@@ -299,7 +301,7 @@ def _uncharged_recv(comm, source: int, tag: int) -> Any:
 
 
 def t_reduce(
-    comm,
+    comm: Any,
     contributions: dict[int, Any],
     op: Callable[[Any, Any], Any] = _ADD,
     tag: int = 120,
@@ -363,7 +365,7 @@ def t_reduce(
 
 
 def t_broadcast(
-    comm,
+    comm: Any,
     values: dict[int, Any],
     tag: int = 140,
     modeled: bool = True,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.machine.costs import CostClock, PhaseLedger
 from repro.machine.errors import CommError, DeadlockError, HardFault, PeerDead
@@ -48,7 +48,7 @@ class _SharedState:
         fault_schedule: FaultSchedule,
         fault_log: FaultLog,
         timeout: float,
-        topology=None,
+        topology: Any = None,
         tracer: Tracer | None = None,
     ):
         from repro.machine.topology import FullyConnected
@@ -64,25 +64,25 @@ class _SharedState:
         self.fault_schedule = fault_schedule
         self.fault_log = fault_log
         self.timeout = timeout
-        self.alive = [True] * size
+        self.lock = threading.Lock()
+        self.alive = [True] * size  # guarded-by: lock
         # Logical withdrawal markers: a rank that abandons the current task
         # (polynomial-code column halt, Section 4.2) records the task index
         # here so peers stop waiting for its messages.  -1 = participating.
-        self.aborted_task = [-1] * size
-        self.incarnations = [0] * size
+        self.aborted_task = [-1] * size  # guarded-by: lock
+        self.incarnations = [0] * size  # guarded-by: lock
         self.clocks = [CostClock() for _ in range(size)]
         self.ledgers = [PhaseLedger() for _ in range(size)]
         self.heaps: list[dict[str, Any]] = [dict() for _ in range(size)]
-        self.lock = threading.Lock()
         # Runtime-provided agreement on failure sets (models the agreement
         # primitive of fault-tolerant MPI runtimes such as ULFM): the first
         # caller per key snapshots the detector; later callers see the same
         # snapshot, so all ranks act on a consistent dead set.
-        self.agreed_dead: dict[Any, frozenset] = {}
+        self.agreed_dead: dict[Any, frozenset] = {}  # guarded-by: lock
         # Fault-tolerant barrier registrations (see Communicator.gate).
-        self.gates: dict[Any, set[int]] = {}
+        self.gates: dict[Any, set[int]] = {}  # guarded-by: lock
         # Flag votes collected before a gate (see Communicator.vote).
-        self.votes: dict[Any, dict[int, bool]] = {}
+        self.votes: dict[Any, dict[int, bool]] = {}  # guarded-by: lock
 
 
 class Communicator:
@@ -125,17 +125,20 @@ class Communicator:
 
     @property
     def incarnation(self) -> int:
-        return self._state.incarnations[self.rank]
+        with self._state.lock:
+            return self._state.incarnations[self.rank]
 
     def is_alive(self, rank: int) -> bool:
-        return self._state.alive[rank]
+        with self._state.lock:
+            return self._state.alive[rank]
 
     def incarnation_of(self, rank: int) -> int:
         """Current incarnation number of ``rank`` (0 = original processor).
         Protocols use this to wait for a replacement to come up."""
-        return self._state.incarnations[rank]
+        with self._state.lock:
+            return self._state.incarnations[rank]
 
-    def agree_dead(self, key, candidates: Sequence[int]) -> frozenset:
+    def agree_dead(self, key: Any, candidates: Sequence[int]) -> frozenset:
         """Consistent failure snapshot (ULFM-style agreement).
 
         All ranks calling with the same ``key`` observe the same set of
@@ -152,22 +155,25 @@ class Communicator:
                 )
             return state.agreed_dead[key]
 
-    def vote(self, key, value: bool) -> None:
+    def vote(self, key: Any, value: bool) -> None:
         """Record a boolean flag under ``key`` (read after the matching
-        :meth:`gate` with :meth:`votes`) — used for consistent group
+        :meth:`gate` with :meth:`poll_votes`) — used for consistent group
         decisions such as "did this task attempt succeed everywhere"."""
         state = self._state
         with state.lock:
             state.votes.setdefault(key, {})[self.rank] = value
 
-    def votes(self, key) -> dict[int, bool]:
+    def poll_votes(self, key: Any) -> dict[int, bool]:
         """All votes recorded under ``key`` so far (vote before the gate,
-        read after it, and every live participant's vote is present)."""
+        read after it, and every live participant's vote is present).
+
+        Named ``poll_votes`` (not ``votes``) so the accessor is not
+        mistaken for the guarded ``_SharedState.votes`` field itself."""
         state = self._state
         with state.lock:
             return dict(state.votes.get(key, {}))
 
-    def gate(self, key, participants: Sequence[int], timeout: float | None = None) -> None:
+    def gate(self, key: Any, participants: Sequence[int], timeout: float | None = None) -> None:
         """Fault-tolerant barrier: block until every participant has
         either registered at this gate or failed.
 
@@ -183,7 +189,13 @@ class Communicator:
         with state.lock:
             state.gates.setdefault(key, set()).add(self.rank)
         limit = state.timeout if timeout is None else timeout
-        deadline = time.monotonic() + limit
+        # The gate's timeout is a *hang detector* for the real threads
+        # backing the simulation, not part of the simulated machine: a
+        # stuck peer thread is invisible in virtual time (its clock simply
+        # stops advancing), so only the host's wall clock can notice it.
+        # No virtual cost is charged here, and a healthy run's trace is
+        # unaffected by how long the polling actually took.
+        deadline = time.monotonic() + limit  # repro-lint: disable=DET001
         while True:
             with state.lock:
                 arrived = state.gates[key]
@@ -192,23 +204,25 @@ class Communicator:
                 )
             if ready:
                 return
-            if time.monotonic() > deadline:
+            if time.monotonic() > deadline:  # repro-lint: disable=DET001
                 raise DeadlockError(
                     f"rank {self.rank}: gate {key!r} never completed"
                 )
-            time.sleep(_POLL_INTERVAL)
+            time.sleep(_POLL_INTERVAL)  # repro-lint: disable=DET001
 
     def dead_ranks(self, ranks: Sequence[int] | None = None) -> set[int]:
         """The perfect failure detector: dead ranks among ``ranks``."""
         pool = range(self.size) if ranks is None else ranks
-        return {r for r in pool if not self._state.alive[r]}
+        with self._state.lock:
+            return {r for r in pool if not self._state.alive[r]}
 
     # -- logical withdrawal (column halt, Section 4.2) ---------------------
     def mark_aborted(self, task: int) -> None:
         """Record that this rank abandoned task ``task`` (its polynomial-
         code column was killed); peers treat it like a dead sender for
         that task."""
-        self._state.aborted_task[self.rank] = task
+        with self._state.lock:
+            self._state.aborted_task[self.rank] = task
         tracer = self._state.tracer
         if tracer.enabled:
             tracer.on_abort(
@@ -221,22 +235,24 @@ class Communicator:
 
     def aborted_at(self, rank: int) -> int:
         """The task index at which ``rank`` abandoned, or -1."""
-        return self._state.aborted_task[rank]
+        with self._state.lock:
+            return self._state.aborted_task[rank]
 
     def withdrawn_ranks(self, ranks: Sequence[int], task: int) -> set[int]:
         """Ranks among ``ranks`` that are dead or have abandoned exactly
         task ``task`` (an abort is scoped to one task; the rank
         participates again in the next)."""
         out = set()
-        for r in ranks:
-            at = self._state.aborted_task[r]
-            if not self._state.alive[r] or at == task:
-                out.add(r)
+        with self._state.lock:
+            for r in ranks:
+                at = self._state.aborted_task[r]
+                if not self._state.alive[r] or at == task:
+                    out.add(r)
         return out
 
     # -- phases ------------------------------------------------------------
     @contextmanager
-    def phase(self, name: str):
+    def phase(self, name: str) -> Iterator[None]:
         """Scope machine ops under a named algorithm phase.
 
         With tracing enabled the scope is recorded as a begin/end span
@@ -424,9 +440,12 @@ class Communicator:
                 break
             except DeadlockError:
                 waited += _POLL_INTERVAL
-                if not state.alive[source]:
-                    raise PeerDead(source) from None
-                if abort_check is not None and state.aborted_task[source] == abort_check:
+                with state.lock:
+                    source_gone = not state.alive[source] or (
+                        abort_check is not None
+                        and state.aborted_task[source] == abort_check
+                    )
+                if source_gone:
                     raise PeerDead(source) from None
                 if waited >= limit:
                     raise DeadlockError(
@@ -441,7 +460,7 @@ class Communicator:
         tag: int = 0,
         timeout: float | None = None,
         abort_check: int | None = None,
-    ):
+    ) -> Message:
         """Matched receive **without** clock merging or cost charging.
 
         Returns the raw :class:`~repro.machine.network.Message`; callers
@@ -464,9 +483,12 @@ class Communicator:
                 )
             except DeadlockError:
                 waited += _POLL_INTERVAL
-                if not state.alive[source]:
-                    raise PeerDead(source) from None
-                if abort_check is not None and state.aborted_task[source] == abort_check:
+                with state.lock:
+                    source_gone = not state.alive[source] or (
+                        abort_check is not None
+                        and state.aborted_task[source] == abort_check
+                    )
+                if source_gone:
                     raise PeerDead(source) from None
                 if waited >= limit:
                     raise DeadlockError(
@@ -474,7 +496,7 @@ class Communicator:
                         f"after {limit:.1f}s"
                     ) from None
 
-    def absorb(self, msg) -> Any:
+    def absorb(self, msg: Message) -> Any:
         """Account for a message obtained via :meth:`recv_raw`: merge its
         clock and charge the transfer, exactly as :meth:`recv` would.
         (:meth:`recv` itself ends here, so all charged receives trace
@@ -566,7 +588,7 @@ class SubCommunicator:
     def incarnation_of(self, local_rank: int) -> int:
         return self.parent.incarnation_of(self.ranks[local_rank])
 
-    def agree_dead(self, key, candidates: Sequence[int]) -> frozenset:
+    def agree_dead(self, key: Any, candidates: Sequence[int]) -> frozenset:
         globalized = self.parent.agree_dead(
             key, [self.ranks[r] for r in candidates]
         )
@@ -578,7 +600,7 @@ class SubCommunicator:
         pool = range(self.size) if ranks is None else ranks
         return {r for r in pool if not self.is_alive(r)}
 
-    def phase(self, name: str):
+    def phase(self, name: str) -> Any:
         return self.parent.phase(name)
 
     def set_phase(self, name: str) -> None:
@@ -617,7 +639,7 @@ class SubCommunicator:
     def mark_aborted(self, task: int) -> None:
         self.parent.mark_aborted(task)
 
-    def gate(self, key, participants: Sequence[int], timeout: float | None = None) -> None:
+    def gate(self, key: Any, participants: Sequence[int], timeout: float | None = None) -> None:
         self.parent.gate(key, [self.ranks[p] for p in participants], timeout=timeout)
 
     def aborted_at(self, local_rank: int) -> int:
@@ -632,15 +654,28 @@ class SubCommunicator:
             )
         }
 
-    def recv_raw(self, source, tag: int = 0, timeout=None, abort_check=None):
+    def recv_raw(
+        self,
+        source: int,
+        tag: int = 0,
+        timeout: float | None = None,
+        abort_check: int | None = None,
+    ) -> Message:
         return self.parent.recv_raw(
             self.ranks[source], tag=tag, timeout=timeout, abort_check=abort_check
         )
 
-    def absorb(self, msg):
+    def absorb(self, msg: Message) -> Any:
         return self.parent.absorb(msg)
 
-    def sendrecv(self, dest, payload, source, send_tag: int = 0, recv_tag=None):
+    def sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        source: int,
+        send_tag: int = 0,
+        recv_tag: int | None = None,
+    ) -> Any:
         self.send(dest, payload, tag=send_tag)
         return self.recv(source, tag=send_tag if recv_tag is None else recv_tag)
 

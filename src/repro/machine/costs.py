@@ -118,7 +118,7 @@ class PhaseLedger:
     come from :class:`CostClock` instead.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._phases: dict[str, Counts] = {}
         self._order: list[str] = []
         self.current_phase: str = "init"

@@ -94,8 +94,8 @@ class Machine:
         word_bits: int = 64,
         fault_schedule: FaultSchedule | None = None,
         timeout: float = 60.0,
-        topology=None,
-        trace=None,
+        topology: Any = None,
+        trace: Any = None,
     ):
         if size <= 0:
             raise ValueError("size must be positive")
@@ -224,7 +224,7 @@ class Machine:
         that rank's clock/ledger/incarnation is race-free."""
         tracer = state.tracer
 
-        def on_fault(entry) -> None:
+        def on_fault(entry: FaultLog.Entry) -> None:
             tracer.on_fault(
                 entry.rank,
                 entry.phase,
@@ -237,12 +237,15 @@ class Machine:
         state.fault_log.on_record = on_fault
         for rank, memory in enumerate(memories):
 
-            def on_peak(mem, rank=rank) -> None:
+            def on_peak(mem: LocalMemory, rank: int = rank) -> None:
                 tracer.on_mem_peak(
                     rank,
                     state.ledgers[rank].current_phase,
                     state.clocks[rank].snapshot(),
-                    state.incarnations[rank],
+                    # Lock-free on purpose: the callback runs on rank's own
+                    # thread, and a rank's incarnation slot is only written
+                    # from that thread (begin_replacement).
+                    state.incarnations[rank],  # repro-lint: disable=LOCK001
                     mem.in_use,
                     mem.peak,
                 )

@@ -49,7 +49,7 @@ class FaultEvent:
     kind: str = "hard"
     factor: float = 8.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in ("hard", "soft", "delay"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.kind == "delay" and self.factor <= 1:
@@ -60,20 +60,23 @@ class FaultSchedule:
     """A deterministic set of fault events, consumed as ranks execute."""
 
     def __init__(self, events: list[FaultEvent] | None = None):
-        self._events: list[FaultEvent] = list(events or [])
-        self._fired: list[FaultEvent] = []
         self._lock = threading.Lock()
+        self._events: list[FaultEvent] = list(events or [])  # guarded-by: _lock
+        self._fired: list[FaultEvent] = []  # guarded-by: _lock
 
     @property
     def events(self) -> list[FaultEvent]:
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     @property
     def fired(self) -> list[FaultEvent]:
-        return list(self._fired)
+        with self._lock:
+            return list(self._fired)
 
     def add(self, event: FaultEvent) -> None:
-        self._events.append(event)
+        with self._lock:
+            self._events.append(event)
 
     def should_fail(
         self,
@@ -110,7 +113,8 @@ class FaultSchedule:
         return None
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
 
 class RandomFaultModel:

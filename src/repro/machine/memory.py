@@ -15,6 +15,7 @@ loses its data").
 from __future__ import annotations
 
 import math
+from typing import Callable
 
 from repro.machine.errors import MemoryExceeded
 
@@ -45,7 +46,7 @@ class LocalMemory:
         #: Optional observer called as ``on_peak(memory)`` from the owning
         #: rank's thread whenever the high-water mark rises (the engine
         #: wires this to the tracer; None = untraced, zero overhead).
-        self.on_peak = None
+        self.on_peak: Callable[[LocalMemory], None] | None = None
 
     # -- accounting -------------------------------------------------------
     @property

@@ -44,7 +44,7 @@ class Router:
         self.size = size
         self.default_timeout = default_timeout
         self._locks = [threading.Condition() for _ in range(size)]
-        self._queues: list[list[Message]] = [[] for _ in range(size)]
+        self._queues: list[list[Message]] = [[] for _ in range(size)]  # guarded-by: _locks
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.size):
@@ -83,15 +83,20 @@ class Router:
                 for i, msg in enumerate(queue):
                     if msg.source == source and msg.tag == tag:
                         return queue.pop(i)
+                # Wall-clock is confined to the receive *timeout*: it bounds
+                # how long a real thread may block before the run is declared
+                # deadlocked (a stuck peer never advances virtual time, so no
+                # virtual clock can detect it).  Delivery order and all
+                # charged costs are independent of these readings.
                 if deadline is None:
                     import time
 
-                    deadline = time.monotonic() + timeout
+                    deadline = time.monotonic() + timeout  # repro-lint: disable=DET001
                     remaining = timeout
                 else:
                     import time
 
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - time.monotonic()  # repro-lint: disable=DET001
                 if remaining <= 0 or not cond.wait(timeout=remaining):
                     raise DeadlockError(
                         f"rank {dest}: no message from rank {source} with tag "

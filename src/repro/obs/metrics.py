@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-__all__ = ["Histogram", "MetricsRegistry"]
+__all__ = ["Histogram", "MetricsRegistry", "publish_run_metrics", "phase_cost"]
 
 
 def _label_key(labels: dict[str, Any]) -> tuple:
@@ -70,9 +70,9 @@ class MetricsRegistry:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._counters: dict[tuple, float] = {}
-        self._gauges: dict[tuple, float] = {}
-        self._histograms: dict[tuple, Histogram] = {}
+        self._counters: dict[tuple, float] = {}  # guarded-by: _lock
+        self._gauges: dict[tuple, float] = {}  # guarded-by: _lock
+        self._histograms: dict[tuple, Histogram] = {}  # guarded-by: _lock
 
     # -- recording ---------------------------------------------------------
     def inc(self, name: str, value: float = 1, **labels: Any) -> None:
@@ -109,25 +109,31 @@ class MetricsRegistry:
 
     # -- reading -----------------------------------------------------------
     def counter(self, name: str, **labels: Any) -> float:
-        return self._counters.get((name, _label_key(labels)), 0)
+        with self._lock:
+            return self._counters.get((name, _label_key(labels)), 0)
 
     def gauge(self, name: str, **labels: Any) -> float | None:
-        return self._gauges.get((name, _label_key(labels)))
+        with self._lock:
+            return self._gauges.get((name, _label_key(labels)))
 
     def histogram(self, name: str, **labels: Any) -> Histogram | None:
-        return self._histograms.get((name, _label_key(labels)))
+        with self._lock:
+            return self._histograms.get((name, _label_key(labels)))
 
     def counters_by_label(self, name: str, label: str) -> dict[Any, float]:
         """All series of counter ``name`` keyed by one label's value
         (e.g. per-phase words keyed by ``phase``)."""
         out: dict[Any, float] = {}
         with self._lock:
-            for (n, labels), v in self._counters.items():
-                if n != name:
-                    continue
-                d = dict(labels)
-                if label in d:
-                    out[d[label]] = out.get(d[label], 0) + v
+            # repr-keyed sort: label values may mix types, and the output
+            # dict's insertion order must not depend on recording order.
+            series = sorted(self._counters.items(), key=lambda kv: repr(kv[0]))
+        for (n, labels), v in series:
+            if n != name:
+                continue
+            d = dict(labels)
+            if label in d:
+                out[d[label]] = out.get(d[label], 0) + v
         return out
 
     def as_dict(self) -> dict[str, Any]:
@@ -153,3 +159,50 @@ class MetricsRegistry:
     def is_empty(self) -> bool:
         with self._lock:
             return not (self._counters or self._gauges or self._histograms)
+
+
+def publish_run_metrics(run: Any, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Publish a finished run's aggregate costs into a registry.
+
+    This is the one aggregation path shared by benchmark tables and the
+    traced view: per-phase critical-path costs (element-wise max over
+    ranks) land as ``phase_cost{phase=...,component=f|bw|l}`` gauges, the
+    overall critical path as ``critical_path{component=...}``, per-rank
+    memory high-water marks as ``peak_memory_words{rank=...}``, and the
+    fault tally as ``faults_fired``.  Gauge semantics make republishing
+    the same run idempotent.
+
+    By default the run's own registry (``run.metrics``, populated by the
+    tracer when the run was traced) is extended in place, so event-derived
+    counters and ledger-derived gauges live side by side; untraced runs
+    get a fresh registry.
+    """
+    reg = registry
+    if reg is None:
+        reg = run.metrics if getattr(run, "metrics", None) is not None else MetricsRegistry()
+    for phase, counts in sorted(run.phase_costs.items(), key=lambda kv: kv[0]):
+        reg.gauge_set("phase_cost", counts.f, phase=phase, component="f")
+        reg.gauge_set("phase_cost", counts.bw, phase=phase, component="bw")
+        reg.gauge_set("phase_cost", counts.l, phase=phase, component="l")
+    critical = run.critical_path
+    reg.gauge_set("critical_path", critical.f, component="f")
+    reg.gauge_set("critical_path", critical.bw, component="bw")
+    reg.gauge_set("critical_path", critical.l, component="l")
+    for rank, peak in enumerate(run.peak_memory):
+        reg.gauge_max("peak_memory_words", peak, rank=rank)
+    reg.gauge_set("faults_fired", len(run.fault_log))
+    return reg
+
+
+def phase_cost(registry: MetricsRegistry, phase: str) -> Any:
+    """Read one phase's (F, BW, L) back from published ``phase_cost``
+    gauges as a :class:`~repro.machine.costs.Counts`, or ``None`` when the
+    phase was never published."""
+    from repro.machine.costs import Counts
+
+    f = registry.gauge("phase_cost", phase=phase, component="f")
+    bw = registry.gauge("phase_cost", phase=phase, component="bw")
+    latency = registry.gauge("phase_cost", phase=phase, component="l")
+    if f is None and bw is None and latency is None:
+        return None
+    return Counts(int(f or 0), int(bw or 0), int(latency or 0))

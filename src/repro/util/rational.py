@@ -120,7 +120,8 @@ def _eliminate(aug: Matrix, ncols: int) -> int:
             continue
         aug[rank], aug[pivot_row] = aug[pivot_row], aug[rank]
         pv = aug[rank][col]
-        aug[rank] = [v / pv for v in aug[rank]]
+        # Fraction / Fraction stays exact (pv is a nonzero pivot Fraction).
+        aug[rank] = [v / pv for v in aug[rank]]  # repro-lint: disable=EXACT002
         for r in range(nrows):
             if r != rank and aug[r][col] != 0:
                 factor = aug[r][col]
@@ -158,7 +159,9 @@ def mat_det(a: Sequence[Sequence[Number]]) -> Fraction:
             sign = -sign
         for i in range(k + 1, n):
             for j in range(k + 1, n):
-                m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) / prev
+                # Bareiss: division by prev is exact over Fractions (the
+                # quotient is the fraction-free minor by construction).
+                m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) / prev  # repro-lint: disable=EXACT002
             m[i][k] = Fraction(0)
         prev = m[k][k]
     return sign * m[n - 1][n - 1]

@@ -1,0 +1,35 @@
+"""Shared fixture: write a throwaway ``repro`` package tree and lint it.
+
+Rule scopes are matched against the path relative to the innermost
+``repro`` directory, so fixture files written under
+``tmp_path/repro/machine/...`` scope exactly like the real package.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import LintRunner
+
+
+@pytest.fixture
+def lint(tmp_path):
+    calls = iter(range(1000))
+
+    def run(files, rules=None):
+        # Fresh tree per call so multiple lint() calls in one test don't
+        # see each other's fixture files.
+        root = tmp_path / f"t{next(calls)}" / "repro"
+        for rel, source in files.items():
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return LintRunner(rules).run([root])
+
+    return run
+
+
+def rule_ids(result):
+    return [v.rule for v in result.violations]

@@ -1,0 +1,119 @@
+"""CLI surface: run_lint, --select, --list-rules, output formats."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import list_rules_text, run_lint
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+DIRTY = """\
+import time
+
+
+def now():
+    return time.monotonic()
+"""
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    target = tmp_path / "repro" / "machine" / "clock.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(DIRTY)
+    return tmp_path
+
+
+def test_run_lint_reports_violation_with_location(dirty_tree):
+    code, report = run_lint([str(dirty_tree)])
+    assert code == 1
+    assert "clock.py:5:12: DET001" in report
+
+
+def test_run_lint_clean_exit_zero(tmp_path):
+    target = tmp_path / "repro" / "core" / "ok.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("X = 1\n")
+    code, report = run_lint([str(tmp_path)])
+    assert code == 0
+    assert report == "clean: 1 file checked"
+
+
+def test_run_lint_json_format(dirty_tree):
+    code, report = run_lint([str(dirty_tree)], fmt="json")
+    payload = json.loads(report)
+    assert code == 1
+    assert payload["files_checked"] == 1
+    assert payload["violations"][0]["rule"] == "DET001"
+
+
+def test_run_lint_github_format(dirty_tree):
+    _, report = run_lint([str(dirty_tree)], fmt="github")
+    assert report.startswith("::error file=")
+    assert "title=DET001" in report
+
+
+def test_select_restricts_rules(dirty_tree):
+    code, _ = run_lint([str(dirty_tree)], select=["EXACT001"])
+    assert code == 0
+    code, _ = run_lint([str(dirty_tree)], select=["DET001"])
+    assert code == 1
+
+
+def test_select_unknown_rule_id_rejected(dirty_tree):
+    with pytest.raises(SystemExit, match="NOPE999"):
+        run_lint([str(dirty_tree)], select=["NOPE999"])
+
+
+def test_list_rules_names_every_rule():
+    text = list_rules_text()
+    for rule_id in (
+        "DET001", "DET002", "DET003", "DET004",
+        "LOCK001",
+        "EXACT001", "EXACT002", "EXACT003",
+        "PHASE001",
+        "LINT001", "LINT002", "LINT003",
+    ):
+        assert rule_id in text
+
+
+def _repro(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+        cwd=cwd,
+    )
+
+
+def test_module_entrypoint_list_rules():
+    proc = _repro("lint", "--list-rules")
+    assert proc.returncode == 0
+    assert "LOCK001" in proc.stdout
+
+
+def test_module_entrypoint_nonzero_on_seeded_violation(tmp_path):
+    target = tmp_path / "repro" / "coding" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        textwrap.dedent(
+            """\
+            def bad(x):
+                return x / 2
+            """
+        )
+    )
+    proc = _repro("lint", str(tmp_path), "--format", "json", cwd=tmp_path)
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["violations"][0]["rule"] == "EXACT002"
+    assert payload["violations"][0]["line"] == 2

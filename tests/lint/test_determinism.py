@@ -1,0 +1,132 @@
+"""DET001-DET004: wall clock, entropy, unordered iteration."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+def test_wall_clock_through_from_import(lint):
+    result = lint(
+        {
+            "core/stamp.py": """\
+    from datetime import datetime
+
+    def stamp():
+        return datetime.now()
+    """
+        }
+    )
+    assert rule_ids(result) == ["DET001"]
+
+
+def test_wall_clock_import_inside_function(lint):
+    result = lint(
+        {
+            "machine/gate.py": """\
+    def wait():
+        import time
+        time.sleep(0.01)
+    """
+        }
+    )
+    assert rule_ids(result) == ["DET001"]
+
+
+def test_unseeded_random_flagged_seeded_rng_allowed(lint):
+    result = lint(
+        {
+            "core/draw.py": """\
+    import random
+
+    def bad():
+        return random.random()
+
+    def good(rng):
+        return rng.random()
+
+    def seeded():
+        return random.Random(42)
+    """
+        }
+    )
+    # rng.random() is an attribute of a local object — not module-level
+    # random — and random.Random(42) carries a seed.
+    assert rule_ids(result) == ["DET002"]
+
+
+def test_unseeded_random_constructor_flagged(lint):
+    result = lint({"machine/r.py": "import random\nr = random.Random()\n"})
+    assert rule_ids(result) == ["DET002"]
+
+
+def test_entropy_sources_flagged(lint):
+    result = lint(
+        {
+            "obs/ids.py": """\
+    import os
+    import uuid
+
+    def fresh():
+        return os.urandom(8), uuid.uuid4()
+    """
+        }
+    )
+    assert rule_ids(result) == ["DET002", "DET002"]
+
+
+def test_set_iteration_flagged_sorted_allowed(lint):
+    result = lint(
+        {
+            "machine/s.py": """\
+    def f(items):
+        s = set(items)
+        for x in s:
+            pass
+        for x in sorted({1, 2}):
+            pass
+        return [y for y in {3, 4}]
+    """
+        }
+    )
+    # Only literal set expressions are structurally recognisable: the
+    # for-loop over {1, 2} is saved by sorted(); the comprehension over
+    # {3, 4} builds an ordered list from an unordered source.
+    assert rule_ids(result) == ["DET003"]
+
+
+def test_set_comp_feeding_order_insensitive_consumer_allowed(lint):
+    result = lint(
+        {
+            "machine/s.py": """\
+    def f():
+        total = sum(x for x in {1, 2, 3})
+        everything = {x + 1 for x in {1, 2}}
+        return total, everything
+    """
+        }
+    )
+    # sum() is order-insensitive; a set comprehension builds another set.
+    assert result.violations == []
+
+
+def test_dict_view_iteration_only_in_obs(lint):
+    source = """\
+    def dump(d):
+        return [k for k in d.keys()]
+    """
+    assert rule_ids(lint({"obs/export.py": source})) == ["DET004"]
+    assert lint({"machine/export.py": source}).violations == []
+
+
+def test_dict_view_sorted_allowed(lint):
+    result = lint(
+        {
+            "obs/export.py": """\
+    def dump(d):
+        for k in sorted(d.keys()):
+            yield k
+        return sum(d.values())
+    """
+        }
+    )
+    assert result.violations == []

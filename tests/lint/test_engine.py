@@ -1,0 +1,174 @@
+"""Engine behaviour: suppressions, diagnostics, ordering, scoping."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import (
+    SYNTAX_ERROR,
+    UNKNOWN_RULE,
+    UNUSED_SUPPRESSION,
+    LintRunner,
+    SourceFile,
+)
+from repro.lint.reporters import render_json, render_text
+
+from .conftest import rule_ids
+
+WALL_CLOCK = """\
+    import time
+
+    def now():
+        return time.monotonic()
+    """
+
+
+def test_violation_has_file_line_col(lint):
+    result = lint({"machine/clock.py": WALL_CLOCK})
+    (v,) = result.violations
+    assert v.rule == "DET001"
+    assert v.path.endswith("machine/clock.py")
+    assert (v.line, v.col) == (4, 12)
+    assert v.render() == f"{v.path}:4:12: DET001 {v.message}"
+
+
+def test_trailing_suppression_silences_and_is_consumed(lint):
+    result = lint(
+        {
+            "machine/clock.py": """\
+    import time
+
+    def now():
+        return time.monotonic()  # repro-lint: disable=DET001 -- host hang detector
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_standalone_suppression_applies_to_next_code_line(lint):
+    result = lint(
+        {
+            "machine/clock.py": """\
+    import time
+
+    def now():
+        # repro-lint: disable=DET001 -- host hang detector
+        return time.monotonic()
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_unused_suppression_reported(lint):
+    result = lint(
+        {
+            "machine/ok.py": """\
+    def f():
+        return 1  # repro-lint: disable=DET001
+    """
+        }
+    )
+    assert rule_ids(result) == [UNUSED_SUPPRESSION]
+    assert result.exit_code == 1
+
+
+def test_unknown_rule_id_reported(lint):
+    result = lint(
+        {
+            "machine/ok.py": """\
+    def f():
+        return 1  # repro-lint: disable=NOPE999
+    """
+        }
+    )
+    assert rule_ids(result) == [UNKNOWN_RULE]
+
+
+def test_suppressing_one_rule_keeps_the_other(lint):
+    result = lint(
+        {
+            "machine/two.py": """\
+    import time, random
+
+    def f():
+        return time.sleep(0), random.random()  # repro-lint: disable=DET001
+    """
+        }
+    )
+    assert rule_ids(result) == ["DET002"]
+
+
+def test_syntax_error_becomes_lint003(lint):
+    result = lint({"machine/bad.py": "def broken(:\n"})
+    assert rule_ids(result) == [SYNTAX_ERROR]
+    assert result.files_checked == 0
+
+
+def test_violations_sorted_by_path_then_line(lint):
+    result = lint(
+        {
+            "machine/b.py": WALL_CLOCK,
+            "machine/a.py": """\
+    import time
+
+    def f():
+        time.sleep(1)
+        time.sleep(2)
+    """,
+        }
+    )
+    keys = [(v.path, v.line) for v in result.violations]
+    assert keys == sorted(keys)
+
+
+def test_scoping_outside_repro_package_is_skipped(tmp_path):
+    other = tmp_path / "elsewhere"
+    other.mkdir()
+    (other / "clock.py").write_text("import time\ntime.monotonic()\n")
+    result = LintRunner().run([other])
+    assert result.violations == []
+    assert result.files_checked == 1
+
+
+def test_scoped_rule_ignores_other_layers(lint):
+    # DET001 scopes machine/core/obs — analysis/ is exempt.
+    result = lint({"analysis/clock.py": WALL_CLOCK})
+    assert result.violations == []
+
+
+def test_json_reporter_round_trips(lint):
+    result = lint({"machine/clock.py": WALL_CLOCK})
+    payload = json.loads(render_json(result))
+    assert payload["files_checked"] == 1
+    (v,) = payload["violations"]
+    assert v["rule"] == "DET001"
+    assert v["line"] == 4
+    assert set(v) == {"rule", "path", "line", "col", "severity", "message"}
+
+
+def test_text_reporter_summarises(lint):
+    clean = lint({"machine/ok.py": "def f():\n    return 1\n"})
+    assert render_text(clean) == "clean: 1 file checked"
+    dirty = lint({"machine/clock.py": WALL_CLOCK})
+    assert render_text(dirty).endswith("1 violation in 1 file checked")
+
+
+def test_discover_deduplicates_overlapping_paths(tmp_path):
+    pkg = tmp_path / "repro" / "machine"
+    pkg.mkdir(parents=True)
+    f = pkg / "m.py"
+    f.write_text("x = 1\n")
+    found = LintRunner.discover([tmp_path, f])
+    assert found.count(f) <= 1
+    assert len(found) == 1
+
+
+def test_guarded_by_standalone_comment_forwards(tmp_path):
+    sf = SourceFile(
+        tmp_path / "x.py",
+        text="class C:\n    def __init__(self):\n"
+        "        # guarded-by: lock\n        self.field = 1\n",
+    )
+    assert sf.guarded_lines == {4: "lock"}

@@ -1,0 +1,77 @@
+"""EXACT001-EXACT003: the coding layer must stay in exact arithmetic."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+def test_float_literal_and_conversion_flagged(lint):
+    result = lint(
+        {
+            "coding/vandermonde.py": """\
+    def scale(x):
+        y = 0.5 * x
+        return float(y)
+    """
+        }
+    )
+    assert rule_ids(result) == ["EXACT001", "EXACT001"]
+
+
+def test_true_division_flagged_floor_div_allowed(lint):
+    result = lint(
+        {
+            "coding/solve.py": """\
+    def halve(x):
+        a = x / 2
+        b = x // 2
+        x /= 3
+        return a, b, x
+    """
+        }
+    )
+    assert rule_ids(result) == ["EXACT002", "EXACT002"]
+
+
+def test_math_float_functions_flagged_exact_helpers_allowed(lint):
+    result = lint(
+        {
+            "util/rational.py": """\
+    import math
+
+    def f(x):
+        return math.sqrt(x) + math.gcd(x, 6) + math.isqrt(x)
+    """
+        }
+    )
+    assert rule_ids(result) == ["EXACT003"]
+    assert "math.sqrt" in result.violations[0].message
+
+
+def test_exactness_rules_do_not_apply_outside_scope(lint):
+    # machine/ may use floats freely (timeouts, cost-model parameters).
+    result = lint(
+        {
+            "machine/model.py": """\
+    import math
+
+    def runtime(alpha, l):
+        return alpha * l / 2.0 * math.log2(8)
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_suppression_with_rationale_for_exact_fraction_division(lint):
+    result = lint(
+        {
+            "coding/solve.py": """\
+    def eliminate(aug, rank, pv):
+        # Fraction / Fraction stays exact.
+        aug[rank] = [v / pv for v in aug[rank]]  # repro-lint: disable=EXACT002
+        return aug
+    """
+        }
+    )
+    assert result.violations == []

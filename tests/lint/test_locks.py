@@ -1,0 +1,204 @@
+"""LOCK001: guarded-by fields must be touched under their lock."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+STATE = """\
+    import threading
+
+
+    class State:
+        def __init__(self, size):
+            self.lock = threading.Lock()
+            self.alive = [True] * size  # guarded-by: lock
+"""
+
+
+def test_unlocked_read_and_write_flagged(lint):
+    result = lint(
+        {
+            "machine/state.py": STATE
+            + """\
+
+        def kill(self, rank):
+            self.alive[rank] = False
+
+        def peek(self, rank):
+            return self.alive[rank]
+    """
+        }
+    )
+    assert rule_ids(result) == ["LOCK001", "LOCK001"]
+    messages = [v.message for v in result.violations]
+    assert "read of guarded field 'alive'" in messages[1]
+    # self.alive[rank] = False stores through the subscript: the attribute
+    # itself is a read (Load) feeding the subscript store.
+    assert "'with lock:'" in messages[0]
+
+
+def test_with_lock_scope_allows_access(lint):
+    result = lint(
+        {
+            "machine/state.py": STATE
+            + """\
+
+        def kill(self, rank):
+            with self.lock:
+                self.alive[rank] = False
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_nested_with_keeps_outer_lock_held(lint):
+    result = lint(
+        {
+            "machine/state.py": STATE
+            + """\
+
+        def kill(self, rank, log):
+            with self.lock:
+                with open(log) as fh:
+                    fh.write(str(self.alive[rank]))
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_access_after_with_block_is_flagged(lint):
+    result = lint(
+        {
+            "machine/state.py": STATE
+            + """\
+
+        def kill(self, rank):
+            with self.lock:
+                pass
+            self.alive[rank] = False
+    """
+        }
+    )
+    assert rule_ids(result) == ["LOCK001"]
+
+
+def test_alias_through_local_variable(lint):
+    result = lint(
+        {
+            "machine/router.py": STATE
+            + """\
+
+
+    class Router:
+        def __init__(self, state):
+            self.state = state
+
+        def purge(self, rank):
+            lk = self.state.lock
+            with lk:
+                self.state.alive[rank] = True
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_alias_through_attribute_chain(lint):
+    # with self.state.lock: — the terminal attribute is the lock name.
+    result = lint(
+        {
+            "machine/router.py": STATE
+            + """\
+
+
+    class Router:
+        def __init__(self, state):
+            self.state = state
+
+        def purge(self, rank):
+            with self.state.lock:
+                return self.state.alive[rank]
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_subscripted_lock_array(lint):
+    result = lint(
+        {
+            "machine/net.py": """\
+    import threading
+
+
+    class Net:
+        def __init__(self, size):
+            self._locks = [threading.Lock() for _ in range(size)]
+            self._queues = [[] for _ in range(size)]  # guarded-by: _locks
+
+        def post(self, dest, msg):
+            cond = self._locks[dest]
+            with cond:
+                self._queues[dest].append(msg)
+
+        def steal(self, dest):
+            return self._queues[dest]
+    """
+        }
+    )
+    assert rule_ids(result) == ["LOCK001"]
+    assert result.violations[0].line == 15
+
+
+def test_init_is_exempt(lint):
+    result = lint(
+        {
+            "machine/state.py": """\
+    import threading
+
+
+    class State:
+        def __init__(self, size):
+            self.lock = threading.Lock()
+            self.alive = [True] * size  # guarded-by: lock
+            self.alive.append(True)
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_nested_def_does_not_inherit_held_lock(lint):
+    result = lint(
+        {
+            "machine/state.py": STATE
+            + """\
+
+        def snapshot(self):
+            with self.lock:
+                def peek():
+                    return self.alive[0]
+                return peek()
+    """
+        }
+    )
+    # The closure may run after the with block exits, so the held lock
+    # must not leak into it.
+    assert rule_ids(result) == ["LOCK001"]
+
+
+def test_cross_file_guard_declaration(lint):
+    # Field declared in one file, misused in another.
+    result = lint(
+        {
+            "machine/state.py": STATE,
+            "machine/user.py": """\
+    def reap(state):
+        return [r for r, ok in enumerate(state.alive) if not ok]
+    """,
+        }
+    )
+    assert rule_ids(result) == ["LOCK001"]
+    assert result.violations[0].path.endswith("machine/user.py")

@@ -1,0 +1,115 @@
+"""PHASE001: cost-charging calls in core/ need a phase(...) context."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+def test_machine_op_outside_phase_flagged(lint):
+    result = lint(
+        {
+            "core/algo.py": """\
+    def step(comm, dest, payload):
+        comm.send(dest, payload)
+    """
+        }
+    )
+    assert rule_ids(result) == ["PHASE001"]
+    assert "send(...)" in result.violations[0].message
+
+
+def test_phase_with_block_allows_ops(lint):
+    result = lint(
+        {
+            "core/algo.py": """\
+    def step(comm, dest, payload):
+        with comm.phase("evaluation"):
+            comm.send(dest, payload)
+            return comm.recv(dest)
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_phase_context_survives_nested_with(lint):
+    result = lint(
+        {
+            "core/algo.py": """\
+    def step(comm, dest, payload, log):
+        with comm.phase("evaluation"):
+            with open(log) as fh:
+                comm.send(dest, payload)
+                fh.write("sent")
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_in_phase_marker_on_def_line(lint):
+    result = lint(
+        {
+            "core/algo.py": """\
+    def _helper(comm, dest, x):  # repro-lint: in-phase
+        comm.send(dest, x)
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_in_phase_marker_above_def(lint):
+    result = lint(
+        {
+            "core/algo.py": """\
+    # repro-lint: in-phase -- runs inside the caller's phase context
+    def _helper(comm, dest, x):
+        comm.send(dest, x)
+    """
+        }
+    )
+    assert result.violations == []
+
+
+def test_collective_bare_name_flagged_only_from_collectives(lint):
+    result = lint(
+        {
+            "core/algo.py": """\
+    from functools import reduce
+    from repro.machine.collectives import allreduce
+
+    def fold(comm, values):
+        total = reduce(lambda a, b: a + b, values)
+        return allreduce(comm, total)
+    """
+        }
+    )
+    # functools.reduce is not a collective; the imported allreduce is.
+    assert rule_ids(result) == ["PHASE001"]
+    assert "allreduce(...)" in result.violations[0].message
+
+
+def test_phase_rule_scoped_to_core(lint):
+    source = """\
+    def step(comm, dest, payload):
+        comm.send(dest, payload)
+    """
+    assert lint({"machine/helper.py": source}).violations == []
+    assert rule_ids(lint({"core/helper.py": source})) == ["PHASE001"]
+
+
+def test_nested_def_does_not_inherit_phase(lint):
+    result = lint(
+        {
+            "core/algo.py": """\
+    def step(comm, dest, payload):
+        with comm.phase("evaluation"):
+            def fire():
+                comm.send(dest, payload)
+            fire()
+    """
+        }
+    )
+    # The nested def may escape the with block; it needs its own marker.
+    assert rule_ids(result) == ["PHASE001"]

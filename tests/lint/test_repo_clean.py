@@ -1,0 +1,28 @@
+"""Golden gate: the repository's own source tree lints clean.
+
+This is the same invocation CI runs (``python -m repro lint src``); if it
+fails here, either fix the flagged code or add a suppression with a
+rationale — see docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.cli import run_lint
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_repository_lints_clean():
+    code, report = run_lint([str(REPO_SRC)])
+    assert code == 0, f"repro lint found violations:\n{report}"
+
+
+def test_repository_lint_covers_expected_file_count():
+    # A discovery regression (e.g. skipping src/repro entirely) would let
+    # the clean gate pass vacuously; pin a floor on coverage instead.
+    code, report = run_lint([str(REPO_SRC)])
+    assert code == 0
+    files = int(report.rsplit("clean: ", 1)[1].split()[0])
+    assert files >= 60, report

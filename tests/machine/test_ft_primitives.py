@@ -90,13 +90,13 @@ class TestVotes:
         def program(comm):
             comm.vote("v", comm.rank % 2 == 0)
             comm.gate("g", range(comm.size))
-            return comm.votes("v")
+            return comm.poll_votes("v")
 
         res = Machine(3, timeout=10).run(program)
         assert res.results[0] == {0: True, 1: False, 2: True}
 
     def test_missing_key_is_empty(self):
-        res = Machine(1).run(lambda comm: comm.votes("nope"))
+        res = Machine(1).run(lambda comm: comm.poll_votes("nope"))
         assert res.results[0] == {}
 
 
