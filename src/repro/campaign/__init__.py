@@ -1,0 +1,68 @@
+"""Fault-injection campaign subsystem (``python -m repro campaign``).
+
+The paper's contribution is surviving ``f`` hard faults with ``(1+o(1))``
+overhead; this package is the standing harness that *searches* for
+recovery bugs instead of replaying hand-pinned scenarios.  A campaign
+
+1. enumerates every registered algorithm variant
+   (:mod:`repro.campaign.registry`),
+2. dry-runs each one under a :class:`~repro.machine.fault.ProbingFaultSchedule`
+   to measure the real per-phase op space (:mod:`repro.campaign.probe`),
+3. draws seeded randomized fault schedules — hard/soft/delay, single and
+   correlated multi-fault — whose op indices are sampled from the measured
+   space (:mod:`repro.campaign.sampler`),
+4. executes each trial and classifies the outcome with an oracle
+   (:mod:`repro.campaign.oracle`): within the tolerance budget the product
+   must be exact; beyond it the run must fail *loudly* — a wrong product
+   or a hang is a defect,
+5. delta-debugs every defect down to a smallest-reproducing schedule and
+   emits a copy-pasteable repro snippet plus fault forensics
+   (:mod:`repro.campaign.minimize`).
+
+Coverage (phase x kind x fault-count cells) and per-variant verdicts flow
+through :class:`~repro.obs.metrics.MetricsRegistry` into the text/JSON
+reporters (:mod:`repro.campaign.report`).  See ``docs/FAULT_CAMPAIGNS.md``.
+"""
+
+from repro.campaign.minimize import minimize_schedule
+from repro.campaign.oracle import (
+    DEFECT_VERDICTS,
+    VERDICT_EXACT,
+    VERDICT_TOLERATED,
+    classify,
+)
+from repro.campaign.probe import OpSpace, probe_variant
+from repro.campaign.registry import (
+    VariantSpec,
+    get_variant,
+    register_variant,
+    registered_variants,
+)
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignResult,
+    TrialRecord,
+    run_campaign,
+    run_trial,
+)
+from repro.campaign.sampler import ScheduleSampler
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "DEFECT_VERDICTS",
+    "OpSpace",
+    "ScheduleSampler",
+    "TrialRecord",
+    "VariantSpec",
+    "VERDICT_EXACT",
+    "VERDICT_TOLERATED",
+    "classify",
+    "get_variant",
+    "minimize_schedule",
+    "probe_variant",
+    "register_variant",
+    "registered_variants",
+    "run_campaign",
+    "run_trial",
+]

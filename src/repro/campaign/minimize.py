@@ -1,0 +1,163 @@
+"""Automatic failure minimization (delta debugging).
+
+When a trial produces a defect verdict, the campaign shrinks the failing
+:class:`~repro.machine.fault.FaultSchedule` to a smallest-reproducing one
+before reporting it: first classic ddmin over the event list (drop
+complements at increasing granularity), then a per-event attribute shrink
+(op index toward 0, incarnation toward 0).  Every candidate is judged by
+re-executing the variant — the ``is_failing`` predicate — under a result
+cache so the same candidate never runs twice, and a probe budget bounds
+the total number of re-executions.
+
+The runs are virtual-time deterministic, so a failure that reproduces
+once reproduces every time — ddmin's monotonicity caveats are about
+flaky tests, not this machine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.machine.fault import FaultEvent
+
+__all__ = ["MinimizationResult", "minimize_schedule"]
+
+
+class MinimizationResult:
+    """Outcome of one minimization: the smallest failing event list found
+    and how many re-executions it took."""
+
+    def __init__(self, events: list[FaultEvent], probes: int, exhausted: bool):
+        self.events = events
+        self.probes = probes
+        #: True when the probe budget ran out before the search finished.
+        self.exhausted = exhausted
+
+
+def _key(events: Sequence[FaultEvent]) -> tuple:
+    return tuple(
+        (e.rank, e.phase, e.op_index, e.incarnation, e.kind, e.factor)
+        for e in events
+    )
+
+
+class _BudgetExhausted(Exception):
+    pass
+
+
+class _CachedPredicate:
+    def __init__(
+        self,
+        is_failing: Callable[[list[FaultEvent]], bool],
+        max_probes: int,
+    ):
+        self._fn = is_failing
+        self._cache: dict[tuple, bool] = {}
+        self._max = max_probes
+        self.probes = 0
+
+    def __call__(self, events: list[FaultEvent]) -> bool:
+        key = _key(events)
+        if key in self._cache:
+            return self._cache[key]
+        if self.probes >= self._max:
+            raise _BudgetExhausted
+        self.probes += 1
+        verdict = self._fn(list(events))
+        self._cache[key] = verdict
+        return verdict
+
+
+def _ddmin(
+    events: list[FaultEvent], failing: _CachedPredicate
+) -> list[FaultEvent]:
+    """Zeller's ddmin: find a 1-minimal failing subsequence."""
+    current = list(events)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            complement = current[:start] + current[start + chunk :]
+            if complement and failing(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def _shrink_events(
+    events: list[FaultEvent], failing: _CachedPredicate
+) -> list[FaultEvent]:
+    """Per-event attribute shrink: smaller op indices and incarnations
+    make the repro fire earlier and read simpler."""
+    current = list(events)
+    for i, ev in enumerate(list(current)):
+        for op in _shrink_values(ev.op_index):
+            candidate = list(current)
+            candidate[i] = FaultEvent(
+                rank=ev.rank,
+                phase=ev.phase,
+                op_index=op,
+                incarnation=ev.incarnation,
+                kind=ev.kind,
+                factor=ev.factor,
+            )
+            if failing(candidate):
+                current = candidate
+                ev = candidate[i]
+                break
+        if ev.incarnation > 0:
+            candidate = list(current)
+            candidate[i] = FaultEvent(
+                rank=ev.rank,
+                phase=ev.phase,
+                op_index=ev.op_index,
+                incarnation=0,
+                kind=ev.kind,
+                factor=ev.factor,
+            )
+            if failing(candidate):
+                current = candidate
+    return current
+
+
+def _shrink_values(op_index: int) -> list[int]:
+    """Candidate smaller op indices, most aggressive first."""
+    out: list[int] = []
+    for v in (0, op_index // 2):
+        if v < op_index and v not in out:
+            out.append(v)
+    return out
+
+
+def minimize_schedule(
+    events: Sequence[FaultEvent],
+    is_failing: Callable[[list[FaultEvent]], bool],
+    max_probes: int = 64,
+) -> MinimizationResult:
+    """Shrink ``events`` to a smallest list for which ``is_failing`` still
+    holds.  ``is_failing`` receives a candidate event list and must
+    re-execute the trial; it is cached and budget-limited to
+    ``max_probes`` actual executions.  The original failing schedule is
+    never re-probed (it is known to fail), so the result is at worst the
+    input itself.
+    """
+    failing = _CachedPredicate(is_failing, max_probes)
+    failing._cache[_key(events)] = True  # known to fail; don't re-run
+    current = list(events)
+    exhausted = False
+    try:
+        current = _ddmin(current, failing)
+        current = _shrink_events(current, failing)
+    except _BudgetExhausted:
+        exhausted = True
+    return MinimizationResult(current, failing.probes, exhausted)

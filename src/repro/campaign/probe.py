@@ -1,0 +1,123 @@
+"""Dry-run probing of a variant's fault-point space.
+
+Fault events only fire when their ``op_index`` is actually reached inside
+the named phase, so sampling indices from a guessed range silently skews a
+campaign toward no-op trials (the old ``RandomFaultModel`` truncated its
+exponential draw to ``% 8`` for exactly this reason).  The probe removes
+the guess: one fault-free run under a
+:class:`~repro.machine.fault.ProbingFaultSchedule` records every
+``(rank, phase, op_index)`` the program exposes, and :class:`OpSpace`
+serves deterministic queries over that measured space.
+
+Domains separate the two fault-point counters of
+:class:`~repro.machine.comm.Communicator`: ``"machine"`` ops (shared by
+``hard`` and ``delay`` events) and ``"soft"`` check points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.machine.fault import ProbingFaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.campaign.registry import Execution, VariantSpec
+    from repro.campaign.runner import CampaignConfig
+
+__all__ = ["OpSpace", "ProbeFailure", "probe_variant"]
+
+#: Fault-point domain for each event kind.
+DOMAIN_OF_KIND = {"hard": "machine", "delay": "machine", "soft": "soft"}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One measured fault-point cell: a ``(rank, phase)`` pair in a domain
+    together with every op index observed there."""
+
+    rank: int
+    phase: str
+    domain: str
+    ops: tuple[int, ...]
+
+
+class OpSpace:
+    """Deterministic view over the op indices measured by a probe run."""
+
+    def __init__(self, observed: dict[tuple[int, str, str], tuple[int, ...]]):
+        self._cells = [
+            Cell(rank=rank, phase=phase, domain=domain, ops=ops)
+            for (rank, phase, domain), ops in sorted(observed.items())
+            if ops
+        ]
+
+    @classmethod
+    def from_probe(cls, schedule: ProbingFaultSchedule) -> "OpSpace":
+        return cls(schedule.observed())
+
+    def cells(self, domain: str | None = None) -> list[Cell]:
+        if domain is None:
+            return list(self._cells)
+        return [c for c in self._cells if c.domain == domain]
+
+    def phases(self, domain: str = "machine") -> list[str]:
+        """Distinct phase names in first-observed (rank-sorted) order."""
+        out: list[str] = []
+        for cell in self._cells:
+            if cell.domain == domain and cell.phase not in out:
+                out.append(cell.phase)
+        return out
+
+    def ranks(self, domain: str = "machine") -> list[int]:
+        return sorted({c.rank for c in self._cells if c.domain == domain})
+
+    def ops(self, rank: int, phase: str, domain: str = "machine") -> tuple[int, ...]:
+        for cell in self._cells:
+            if cell.rank == rank and cell.phase == phase and cell.domain == domain:
+                return cell.ops
+        return ()
+
+    def phase_op_counts(self, domain: str = "machine") -> dict[str, int]:
+        """Per-phase op counts (max over ranks of ops observed in one
+        phase) — the measured replacement for ``RandomFaultModel``'s
+        ``default_phase_ops`` guess."""
+        counts: dict[str, int] = {}
+        for cell in self._cells:
+            if cell.domain == domain:
+                counts[cell.phase] = max(counts.get(cell.phase, 0), len(cell.ops))
+        return counts
+
+    def is_empty(self) -> bool:
+        return not self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+class ProbeFailure(RuntimeError):
+    """The fault-free dry run of a variant did not produce an exact result
+    — the campaign cannot trust any verdict on top of a broken baseline."""
+
+
+def probe_variant(
+    spec: "VariantSpec", workload: object, cfg: "CampaignConfig"
+) -> tuple[OpSpace, "Execution"]:
+    """Run ``spec`` once without faults, measuring its fault-point space.
+
+    Returns the measured :class:`OpSpace` and the clean-run execution
+    record; raises :class:`ProbeFailure` when the fault-free run errors or
+    returns an inexact result.
+    """
+    schedule = ProbingFaultSchedule()
+    execution = spec.execute(workload, schedule, cfg)
+    if execution.error is not None:
+        raise ProbeFailure(
+            f"variant {spec.name!r}: fault-free probe run raised "
+            f"{type(execution.error).__name__}: {execution.error}"
+        )
+    if execution.actual != execution.expected:
+        raise ProbeFailure(
+            f"variant {spec.name!r}: fault-free probe run returned a wrong result"
+        )
+    return OpSpace.from_probe(schedule), execution

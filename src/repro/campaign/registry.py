@@ -1,0 +1,475 @@
+"""The campaign's variant registry.
+
+Every fault-tolerant (and deliberately non-tolerant) algorithm in the
+repo registers here as a :class:`VariantSpec` so a campaign can enumerate
+them uniformly: build a seeded workload, execute it under an arbitrary
+:class:`~repro.machine.fault.FaultSchedule`, and — crucially — declare its
+*tolerance contract*: which fault cells it promises to survive and how
+many.  The oracle turns that contract into verdicts
+(:mod:`repro.campaign.oracle`).
+
+Contracts are deliberately written down per variant instead of inferred,
+because they differ: the polynomial code only covers the multiplication
+window, the combined algorithm covers evaluation/multiplication/
+interpolation on standard ranks plus the boundary protocol on its code
+rows, replication covers any single rank anywhere, and the soft-fault
+variant obeys the MDS rule ``hard + 2*soft <= f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.machine.fault import FaultEvent, FaultSchedule
+from repro.util.rng import DeterministicRNG
+
+__all__ = [
+    "Execution",
+    "VariantSpec",
+    "register_variant",
+    "registered_variants",
+    "get_variant",
+]
+
+PHASE_EVAL = "evaluation"
+PHASE_MULT = "multiplication"
+PHASE_INTERP = "interpolation"
+PHASE_CODE = "code-creation"
+PHASE_RECOV = "recovery"
+
+_TRAVERSAL_PHASES = (PHASE_EVAL, PHASE_MULT, PHASE_INTERP)
+
+
+@dataclass(frozen=True)
+class Execution:
+    """Outcome of running one variant under one fault schedule.
+
+    ``actual``/``expected`` are opaque comparables (the product for the
+    multiplication variants, the recovered state tuple for the protocol
+    variants).  ``error`` is the escaped exception, if any; ``fired`` is
+    the snapshot of schedule events that actually triggered (available
+    even when the run raised, because the caller owns the schedule).
+    """
+
+    actual: Any
+    expected: Any
+    error: BaseException | None
+    fired: tuple[FaultEvent, ...]
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One campaign-runnable algorithm variant.
+
+    ``kinds`` lists the fault kinds worth injecting (soft events only fire
+    in programs that call ``soft_fault_point``).  ``tolerates`` judges a
+    single event against the variant's contract; ``budgets`` caps the
+    per-kind counts of tolerated events (``delay`` events never count —
+    they only stretch virtual time).  ``budget_rule`` optionally replaces
+    the default counting rule (the soft variant's MDS constraint).
+
+    ``execute(workload, schedule, cfg, trace=None)`` runs one trial; the
+    optional ``trace`` is a :class:`~repro.obs.tracer.Tracer` the forensic
+    re-run of a minimized failure passes in.
+    """
+
+    name: str
+    description: str
+    kinds: tuple[str, ...]
+    budgets: dict[str, int]
+    make_workload: Callable[[DeterministicRNG, Any], Any]
+    execute: Callable[..., Execution]
+    tolerates: Callable[[FaultEvent, Any], bool]
+    budget_rule: Callable[[Sequence[FaultEvent], Any], str] | None = None
+
+    def budget(self, events: Sequence[FaultEvent], cfg: Any) -> str:
+        """Classify a schedule against the contract.
+
+        ``"must"``: every event is inside the tolerance budget, so the run
+        must produce the exact result.  ``"may"``: the schedule exceeds
+        the contract, so a loud, typed failure is also acceptable.
+        """
+        if self.budget_rule is not None:
+            return self.budget_rule(events, cfg)
+        counts: dict[str, int] = {}
+        for ev in events:
+            if ev.kind == "delay":
+                continue
+            if ev.incarnation != 0 or not self.tolerates(ev, cfg):
+                return "may"
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        for kind in sorted(counts):
+            if counts[kind] > self.budgets.get(kind, 0):
+                return "may"
+        return "must"
+
+
+_REGISTRY: dict[str, VariantSpec] = {}
+
+
+def register_variant(spec: VariantSpec) -> VariantSpec:
+    """Register ``spec`` (replacing any previous spec of the same name —
+    tests register throwaway broken variants under fresh names)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def registered_variants() -> list[VariantSpec]:
+    """All registered variants in registration order (deterministic: the
+    built-ins register at import time, in source order)."""
+    return list(_REGISTRY.values())
+
+
+def get_variant(name: str) -> VariantSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown variant {name!r} (registered: {known})") from None
+
+
+def unregister_variant(name: str) -> None:
+    """Remove a variant (test clean-up for throwaway registrations)."""
+    _REGISTRY.pop(name, None)
+
+
+# -- workload / execution helpers -------------------------------------------
+
+
+def _operand_workload(rng: DeterministicRNG, cfg: Any) -> tuple[int, int]:
+    return rng.integer_bits(cfg.bits), rng.integer_bits(max(1, cfg.bits - 10))
+
+
+def _multiply_execution(
+    algo: Any, a: int, b: int, schedule: FaultSchedule
+) -> Execution:
+    try:
+        # raise_on_error=True is the loud-failure convention the oracle
+        # relies on: beyond-tolerance runs must raise, never return a
+        # placeholder product.
+        out = algo.multiply(a, b, raise_on_error=True)
+    except Exception as exc:  # noqa: BLE001 - the oracle classifies it
+        return Execution(
+            actual=None, expected=a * b, error=exc, fired=tuple(schedule.fired)
+        )
+    return Execution(
+        actual=out.product, expected=a * b, error=None, fired=tuple(schedule.fired)
+    )
+
+
+def _multiply_variant(
+    name: str,
+    description: str,
+    factory: Callable[[Any, FaultSchedule], Any],
+    tolerates: Callable[[FaultEvent, Any], bool],
+    budgets: dict[str, int],
+    kinds: tuple[str, ...] = ("hard", "delay"),
+    budget_rule: Callable[[Sequence[FaultEvent], Any], str] | None = None,
+) -> VariantSpec:
+    def execute(
+        workload: Any, schedule: FaultSchedule, cfg: Any, trace: Any = None
+    ) -> Execution:
+        a, b = workload
+        try:
+            algo = factory(cfg, schedule)
+        except Exception as exc:  # noqa: BLE001 - surfaced as a trial error
+            return Execution(actual=None, expected=a * b, error=exc, fired=())
+        if trace is not None:
+            algo.trace = trace
+        return _multiply_execution(algo, a, b, schedule)
+
+    return register_variant(
+        VariantSpec(
+            name=name,
+            description=description,
+            kinds=kinds,
+            budgets=budgets,
+            make_workload=_operand_workload,
+            execute=execute,
+            tolerates=tolerates,
+            budget_rule=budget_rule,
+        )
+    )
+
+
+def _plan(cfg: Any, extra_dfs: int = 0) -> Any:
+    from repro.core.plan import make_plan
+
+    return make_plan(
+        cfg.bits, p=cfg.p, k=cfg.k, word_bits=cfg.word_bits, extra_dfs=extra_dfs
+    )
+
+
+# -- built-in variants -------------------------------------------------------
+# Geometry shared by the contracts below (defaults: p=9, k=2, q=3):
+#   ft_polynomial / soft_faults / multistep: [P standard | f code columns]
+#   ft_toomcook: [P standard | f*q linear-code rows | f*(P/q) poly columns]
+
+
+def _register_builtins() -> None:
+    from repro.core.checkpoint import CheckpointedToomCook
+    from repro.core.ft_polynomial import PolynomialCodedToomCook
+    from repro.core.ft_toomcook import FaultTolerantToomCook
+    from repro.core.multistep import MultiStepToomCook
+    from repro.core.parallel_toomcook import ParallelToomCook
+    from repro.core.replication import ReplicatedToomCook
+    from repro.core.soft_faults import SoftTolerantToomCook
+
+    _multiply_variant(
+        "parallel",
+        "plain Parallel Toom-Cook — tolerates nothing; every fault must fail loudly",
+        lambda cfg, sched: ParallelToomCook(
+            _plan(cfg), fault_schedule=sched, timeout=cfg.timeout
+        ),
+        tolerates=lambda ev, cfg: False,
+        budgets={},
+    )
+
+    register_variant(_ft_linear_spec())
+
+    _multiply_variant(
+        "ft_polynomial",
+        "polynomial code: f redundant evaluation columns cover the "
+        "multiplication window (Section 4.2)",
+        lambda cfg, sched: PolynomialCodedToomCook(
+            _plan(cfg), f=cfg.f, fault_schedule=sched, timeout=cfg.timeout
+        ),
+        # Top-level *evaluation* exchange ops are not covered (losing a
+        # rank there kills every column it feeds — only the combined
+        # algorithm's linear code covers evaluation); interpolation and
+        # multiplication ops always land inside a column, which the
+        # redundant evaluation points do cover.
+        tolerates=lambda ev, cfg: ev.kind == "hard"
+        and ev.phase in (PHASE_MULT, PHASE_INTERP),
+        budgets={"hard": 1},
+    )
+
+    def _ft_toomcook_tolerates(ev: FaultEvent, cfg: Any) -> bool:
+        if ev.kind != "hard":
+            return False
+        p = cfg.p
+        q = 2 * cfg.k - 1
+        linear_rows = range(p, p + cfg.f * q)
+        if ev.rank < p or ev.rank >= linear_rows.stop:
+            # Standard and poly-code ranks recover inside the task loop.
+            return ev.phase in _TRAVERSAL_PHASES
+        # Linear-code rows only execute the boundary protocol.
+        return ev.phase in (PHASE_CODE, PHASE_RECOV)
+
+    _multiply_variant(
+        "ft_toomcook",
+        "combined linear+polynomial coded algorithm with task boundaries "
+        "(Section 4, Theorem 5.2)",
+        lambda cfg, sched: FaultTolerantToomCook(
+            _plan(cfg, extra_dfs=1), f=cfg.f, fault_schedule=sched, timeout=cfg.timeout
+        ),
+        tolerates=_ft_toomcook_tolerates,
+        budgets={"hard": 1},
+    )
+
+    def _soft_budget(events: Sequence[FaultEvent], cfg: Any) -> str:
+        f = 2 * cfg.f  # the soft variant runs with doubled redundancy
+        hard = sum(1 for ev in events if ev.kind == "hard")
+        soft = sum(1 for ev in events if ev.kind == "soft")
+        for ev in events:
+            if ev.kind == "delay":
+                continue
+            if ev.incarnation != 0 or ev.phase != PHASE_MULT:
+                return "may"
+        # MDS decoding: s erasures + e errors decodable iff s + 2e <= f.
+        return "must" if hard + 2 * soft <= f else "may"
+
+    _multiply_variant(
+        "soft_faults",
+        "soft-fault hardened interpolation: detects f, corrects floor(f/2) "
+        "silent miscalculations (Section 7)",
+        lambda cfg, sched: SoftTolerantToomCook(
+            _plan(cfg), f=2 * cfg.f, fault_schedule=sched, timeout=cfg.timeout
+        ),
+        tolerates=lambda ev, cfg: ev.phase == PHASE_MULT
+        and ev.kind in ("hard", "soft"),
+        budgets={"hard": 2, "soft": 1},
+        kinds=("soft", "hard", "delay"),
+        budget_rule=_soft_budget,
+    )
+
+    _multiply_variant(
+        "checkpoint",
+        "diskless checkpoint-restart baseline with global rollback",
+        lambda cfg, sched: CheckpointedToomCook(
+            _plan(cfg), f=cfg.f, fault_schedule=sched, timeout=cfg.timeout
+        ),
+        tolerates=lambda ev, cfg: ev.kind == "hard"
+        and ev.rank < cfg.p
+        and ev.phase in _TRAVERSAL_PHASES,
+        budgets={"hard": 1},
+    )
+
+    _multiply_variant(
+        "replication",
+        "f+1 independent copies baseline (Theorem 5.3) — any f faults anywhere",
+        lambda cfg, sched: ReplicatedToomCook(
+            _plan(cfg), f=cfg.f, fault_schedule=sched, timeout=cfg.timeout
+        ),
+        tolerates=lambda ev, cfg: ev.kind == "hard",
+        budgets={"hard": 1},
+    )
+
+    def _multistep_factory(cfg: Any, sched: FaultSchedule) -> Any:
+        plan = _plan(cfg)
+        return MultiStepToomCook(
+            plan,
+            l=min(2, plan.l_bfs),
+            f=cfg.f,
+            fault_schedule=sched,
+            timeout=cfg.timeout,
+        )
+
+    _multiply_variant(
+        "multistep",
+        "l combined BFS steps with multivariate polynomial coding "
+        "(Sections 4.3/6.1)",
+        _multistep_factory,
+        tolerates=lambda ev, cfg: ev.kind == "hard" and ev.phase == PHASE_MULT,
+        budgets={"hard": 1},
+    )
+
+
+# -- the ft_linear protocol variant ------------------------------------------
+
+_FT_LINEAR_COLUMN = 3  # standard processors in the probed column
+_FT_LINEAR_STATE_WORDS = 8
+_FT_LINEAR_WORK_OPS = 6
+
+
+def _ft_linear_spec() -> VariantSpec:
+    """The Section 4.1 column code exercised as a standalone protocol.
+
+    One grid column of 3 standard processors plus ``f`` code rows runs
+    encode -> work window -> boundary agreement -> recovery; the oracle
+    checks that every standard rank ends the run holding its original
+    state (replacements must have it rebuilt by the code)."""
+
+    def make_workload(rng: DeterministicRNG, cfg: Any) -> tuple[tuple[int, ...], ...]:
+        return tuple(
+            tuple(
+                rng.integer_range(0, (1 << cfg.word_bits) - 1)
+                for _ in range(_FT_LINEAR_STATE_WORDS)
+            )
+            for _ in range(_FT_LINEAR_COLUMN)
+        )
+
+    def execute(
+        workload: Any, schedule: FaultSchedule, cfg: Any, trace: Any = None
+    ) -> Execution:
+        from repro.bigint.limbs import LimbVector
+        from repro.core.ft_linear import ColumnCode
+        from repro.machine.engine import Machine
+        from repro.machine.errors import HardFault, MachineError
+
+        f = cfg.f
+        size = _FT_LINEAR_COLUMN + f
+        code = ColumnCode(
+            column=list(range(_FT_LINEAR_COLUMN)),
+            code_ranks=list(range(_FT_LINEAR_COLUMN, size)),
+        )
+        all_ranks = list(range(size))
+
+        def program(comm: Any, limbs: tuple[int, ...] | None) -> tuple[int, ...] | None:
+            state = (
+                LimbVector(list(limbs), cfg.word_bits) if limbs is not None else None
+            )
+            word = None
+            lost = False
+            try:
+                with comm.phase(PHASE_CODE):
+                    if comm.rank < _FT_LINEAR_COLUMN:
+                        code.encode(comm, state, epoch=0)
+                    else:
+                        word = code.encode(comm, None, epoch=0)
+                # A member that died mid-encode never casts this vote, so
+                # the poll below detects a half-built code deterministically
+                # (votes land before the gate; later deaths already voted).
+                comm.vote(("encode-ok", 0), True)
+                with comm.phase("work"):
+                    for _ in range(_FT_LINEAR_WORK_OPS):
+                        comm.charge_flops(4)
+            except HardFault:
+                state = None
+                word = None
+                lost = True
+            comm.gate(("boundary", 0), all_ranks)
+            votes = comm.poll_votes(("encode-ok", 0))
+            if len(votes) < size:
+                # The code epoch is invalid — there is no earlier epoch to
+                # fall back to, so recovery is impossible: fail loudly
+                # rather than decode garbage from a partial reduce.
+                raise MachineError(
+                    "fault during code creation: epoch 0 is incomplete"
+                )
+            dead = comm.agree_dead(("dead", 0), all_ranks)
+            if lost:
+                comm.begin_replacement(purge=False)
+            dead_standard = sorted(r for r in dead if r < _FT_LINEAR_COLUMN)
+            stale_codes = sorted(r for r in dead if r >= _FT_LINEAR_COLUMN)
+            if dead_standard:
+                with comm.phase(PHASE_RECOV):
+                    recovered = code.recover(
+                        comm,
+                        dead=dead_standard,
+                        my_state=state,
+                        my_code_word=word,
+                        epoch=1,
+                        excluded=stale_codes,
+                    )
+                if comm.rank in dead_standard:
+                    state = recovered
+            if comm.rank >= _FT_LINEAR_COLUMN or state is None:
+                return None
+            return tuple(state.limbs)
+
+        machine = Machine(
+            size,
+            word_bits=cfg.word_bits,
+            fault_schedule=schedule,
+            timeout=cfg.timeout,
+            trace=trace,
+        )
+        rank_args = [(w,) for w in workload] + [(None,)] * f
+        try:
+            run = machine.run(program, rank_args=rank_args)
+        except Exception as exc:  # noqa: BLE001 - the oracle classifies it
+            return Execution(
+                actual=None,
+                expected=tuple(workload),
+                error=exc,
+                fired=tuple(schedule.fired),
+            )
+        return Execution(
+            actual=tuple(run.results[: _FT_LINEAR_COLUMN]),
+            expected=tuple(workload),
+            error=None,
+            fired=tuple(schedule.fired),
+        )
+
+    def tolerates(ev: FaultEvent, cfg: Any) -> bool:
+        return (
+            ev.kind == "hard"
+            and ev.rank < _FT_LINEAR_COLUMN
+            and ev.phase == "work"
+        )
+
+    return VariantSpec(
+        name="ft_linear",
+        description="linear (Vandermonde) column code protecting persistent "
+        "state (Section 4.1), run as a standalone protocol",
+        kinds=("hard", "delay"),
+        budgets={"hard": 1},
+        make_workload=make_workload,
+        execute=execute,
+        tolerates=tolerates,
+    )
+
+
+_register_builtins()

@@ -1,0 +1,209 @@
+"""Campaign reporters: deterministic text and JSON renderings.
+
+Both renderers are pure functions of a :class:`CampaignResult` — no
+clocks, no environment — so two same-seed campaigns produce byte-equal
+output (the CI smoke job uploads the JSON form as an artifact and the
+determinism test diffs two runs).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign.oracle import DEFECT_VERDICTS
+from repro.campaign.runner import CampaignResult, FailureReport, VariantReport
+from repro.machine.fault import FaultEvent
+
+__all__ = ["render_text", "to_json"]
+
+
+def _event_dict(ev: FaultEvent) -> dict:
+    out: dict = {
+        "rank": ev.rank,
+        "phase": ev.phase,
+        "op_index": ev.op_index,
+        "kind": ev.kind,
+    }
+    if ev.incarnation:
+        out["incarnation"] = ev.incarnation
+    if ev.kind == "delay":
+        out["factor"] = ev.factor
+    return out
+
+
+def _event_text(ev: FaultEvent) -> str:
+    parts = [f"{ev.kind} rank={ev.rank} {ev.phase}[{ev.op_index}]"]
+    if ev.incarnation:
+        parts.append(f"inc={ev.incarnation}")
+    return " ".join(parts)
+
+
+# -- coverage ----------------------------------------------------------------
+
+
+def _coverage(variant: VariantReport) -> dict[tuple[str, str], int]:
+    """Injected-event counts per (phase, kind) cell, sorted keys."""
+    cells: dict[tuple[str, str], int] = {}
+    for trial in variant.trials:
+        for ev in trial.events:
+            key = (ev.phase, ev.kind)
+            cells[key] = cells.get(key, 0) + 1
+    return {k: cells[k] for k in sorted(cells)}
+
+
+def _fault_count_histogram(variant: VariantReport) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for trial in variant.trials:
+        n = len(trial.events)
+        counts[n] = counts.get(n, 0) + 1
+    return {k: counts[k] for k in sorted(counts)}
+
+
+# -- text --------------------------------------------------------------------
+
+
+def _format_failure(failure: FailureReport, indent: str = "  ") -> list[str]:
+    lines = [
+        f"{indent}trial {failure.trial_index}: {failure.verdict}"
+        + (f" ({failure.error})" if failure.error else ""),
+        f"{indent}  schedule ({len(failure.events)} events):",
+    ]
+    for ev in failure.events:
+        lines.append(f"{indent}    {_event_text(ev)}")
+    lines.append(
+        f"{indent}  minimized to {len(failure.minimized)} event(s) "
+        f"in {failure.minimize_probes} probe(s)"
+        + (" [budget exhausted]" if failure.minimize_exhausted else "")
+        + ":"
+    )
+    for ev in failure.minimized:
+        lines.append(f"{indent}    {_event_text(ev)}")
+    if failure.forensics:
+        lines.append(f"{indent}  forensics:")
+        for line in failure.forensics:
+            lines.append(f"{indent}    {line}")
+    lines.append(f"{indent}  repro:")
+    for line in failure.snippet.splitlines():
+        lines.append(f"{indent}    {line}")
+    return lines
+
+
+def render_text(result: CampaignResult) -> str:
+    cfg = result.config
+    lines = [
+        "fault campaign",
+        f"  seed={cfg.seed} trials={cfg.trials} bits={cfg.bits} "
+        f"word_bits={cfg.word_bits} p={cfg.p} k={cfg.k} f={cfg.f}",
+        "",
+        "verdicts per variant",
+    ]
+    for variant in result.variants:
+        if variant.probe_error is not None:
+            lines.append(f"  {variant.name:<14} PROBE FAILED: {variant.probe_error}")
+            continue
+        counts = variant.verdict_counts
+        summary = "  ".join(f"{k}={v}" for k, v in counts.items())
+        flag = " DEFECTS" if variant.defects else ""
+        lines.append(f"  {variant.name:<14} {summary}{flag}")
+    lines += ["", "coverage (injected events per phase x kind; trials per fault count)"]
+    for variant in result.variants:
+        if variant.probe_error is not None:
+            continue
+        lines.append(f"  {variant.name} ({variant.cells} cells)")
+        cov = _coverage(variant)
+        if cov:
+            for (phase, kind), n in cov.items():
+                lines.append(f"    {phase:<16} {kind:<6} {n}")
+        else:
+            lines.append("    (no events injected)")
+        hist = _fault_count_histogram(variant)
+        hist_txt = "  ".join(f"{k} faults: {v}" for k, v in hist.items())
+        lines.append(f"    trials by fault count: {hist_txt}")
+    failures = [f for v in result.variants for f in v.failures]
+    if failures:
+        lines += ["", "failures"]
+        for variant in result.variants:
+            for failure in variant.failures:
+                lines.append(f"  [{variant.name}]")
+                lines.extend(_format_failure(failure, indent="  "))
+    lines += [
+        "",
+        f"result: {'OK' if result.ok else 'DEFECTS FOUND'} "
+        f"({result.defects} defect(s) across "
+        f"{sum(len(v.trials) for v in result.variants)} trials)",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+# -- json --------------------------------------------------------------------
+
+
+def _variant_dict(variant: VariantReport) -> dict:
+    if variant.probe_error is not None:
+        return {
+            "name": variant.name,
+            "description": variant.description,
+            "probe_error": variant.probe_error,
+        }
+    return {
+        "name": variant.name,
+        "description": variant.description,
+        "cells": variant.cells,
+        "phases": list(variant.phases),
+        "verdicts": variant.verdict_counts,
+        "defects": variant.defects,
+        "coverage": [
+            {"phase": phase, "kind": kind, "events": n}
+            for (phase, kind), n in _coverage(variant).items()
+        ],
+        "fault_count_histogram": {
+            str(k): v for k, v in _fault_count_histogram(variant).items()
+        },
+        "trials": [
+            {
+                "index": t.index,
+                "shape": t.shape,
+                "budget": t.budget,
+                "verdict": t.verdict,
+                "fired": t.fired,
+                "events": [_event_dict(ev) for ev in t.events],
+            }
+            for t in variant.trials
+        ],
+        "failures": [
+            {
+                "trial_index": f.trial_index,
+                "verdict": f.verdict,
+                "error": f.error,
+                "events": [_event_dict(ev) for ev in f.events],
+                "minimized": [_event_dict(ev) for ev in f.minimized],
+                "minimize_probes": f.minimize_probes,
+                "minimize_exhausted": f.minimize_exhausted,
+                "forensics": list(f.forensics),
+                "snippet": f.snippet,
+            }
+            for f in variant.failures
+        ],
+    }
+
+
+def to_json(result: CampaignResult) -> str:
+    cfg = result.config
+    doc = {
+        "config": {
+            "seed": cfg.seed,
+            "trials": cfg.trials,
+            "bits": cfg.bits,
+            "word_bits": cfg.word_bits,
+            "p": cfg.p,
+            "k": cfg.k,
+            "f": cfg.f,
+            "timeout": cfg.timeout,
+        },
+        "variants": [_variant_dict(v) for v in result.variants],
+        "defects": result.defects,
+        "defect_verdicts": sorted(DEFECT_VERDICTS),
+        "ok": result.ok,
+        "metrics": result.metrics.as_dict(),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

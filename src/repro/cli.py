@@ -11,6 +11,8 @@
     python -m repro demo
     python -m repro lint src --format json
     python -m repro lint --list-rules
+    python -m repro campaign --seed 1 --trials 25
+    python -m repro campaign --variants ft_toomcook,soft_faults --json
 
 Numbers accept decimal, ``0x...`` hex, or ``0b...`` binary, plus the
 shorthand ``0x1pN`` for ``2**N``.
@@ -168,6 +170,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+
+    camp = sub.add_parser(
+        "campaign",
+        help="randomized fault-injection campaign (see docs/FAULT_CAMPAIGNS.md)",
+    )
+    camp.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    camp.add_argument(
+        "--trials", type=int, default=25, help="trials per variant (default 25)"
+    )
+    camp.add_argument(
+        "--variants", default=None, metavar="NAMES",
+        help="comma-separated variant names (default: all registered)",
+    )
+    camp.add_argument(
+        "--list-variants", action="store_true",
+        help="print the variant registry and exit",
+    )
+    camp.add_argument("--bits", type=int, default=600, help="operand bits (default 600)")
+    camp.add_argument(
+        "--word-bits", type=int, default=16, help="machine word width (default 16)"
+    )
+    camp.add_argument(
+        "--timeout", type=float, default=15.0,
+        help="per-receive deadlock timeout in seconds (default 15)",
+    )
+    camp.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip delta-debugging of failing schedules",
+    )
+    camp.add_argument(
+        "--json", action="store_true", help="print the JSON report instead of text"
+    )
+    camp.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="also write the JSON report to PATH",
     )
     return parser
 
@@ -348,6 +386,37 @@ def _cmd_lint(args) -> int:
     return code
 
 
+def _cmd_campaign(args) -> int:
+    from repro.campaign import registered_variants
+    from repro.campaign.report import render_text, to_json
+    from repro.campaign.runner import CampaignConfig, run_campaign
+
+    if args.list_variants:
+        for spec in registered_variants():
+            print(f"{spec.name:<14} {spec.description}")
+        return 0
+    variants = (
+        tuple(name for name in args.variants.split(",") if name)
+        if args.variants
+        else None
+    )
+    cfg = CampaignConfig(
+        seed=args.seed,
+        trials=args.trials,
+        variants=variants,
+        bits=args.bits,
+        word_bits=args.word_bits,
+        timeout=args.timeout,
+        minimize=not args.no_minimize,
+    )
+    result = run_campaign(cfg)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(to_json(result))
+    print(to_json(result) if args.json else render_text(result), end="")
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -357,6 +426,7 @@ def main(argv: list[str] | None = None) -> int:
         "predict": _cmd_predict,
         "demo": _cmd_demo,
         "lint": _cmd_lint,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

@@ -411,6 +411,22 @@ class PolynomialCodedToomCook(ParallelToomCook):
         if fatal and raise_on_error:
             rank, exc = sorted(fatal.items())[0]
             raise MachineError(f"rank {rank} failed fatally: {exc!r}") from exc
+        if outcome.run.errors and not fatal:
+            # Every error is a tolerated hard fault, but the base class
+            # skipped assembly (it only assembles clean runs).  The
+            # product is still owed: assemble from the standard slices,
+            # surfacing FaultToleranceExceeded when one is missing — never
+            # return a silent zero for a run the code claims to cover.
+            try:
+                product = self._assemble(outcome.run.results)
+            except MachineError:
+                if raise_on_error:
+                    raise
+            else:
+                sign = -1 if (a < 0) != (b < 0) else 1
+                outcome = MultiplyOutcome(
+                    product=sign * product, run=outcome.run, plan=outcome.plan
+                )
         return outcome
 
     def _is_tolerated(self, rank: int, exc: BaseException) -> bool:

@@ -117,7 +117,16 @@ class SoftTolerantToomCook(PolynomialCodedToomCook):
                     f"only {len(collected)} columns alive; {q} needed"
                 )
             live = sorted(collected)
-            threshold = len(live) - self.correctable
+            # Erasure-aware capability: hard faults consumed part of the
+            # redundancy, so only ``live - q`` spare evaluations remain to
+            # spend on silent corruptions.  The acceptance threshold must
+            # stay above ``q - 1 + correctable`` — a wrong subset agrees
+            # with its own q members automatically (interpolation passes
+            # through them), plus at most ``correctable`` corrupted
+            # columns — or erased runs would accept corrupted subsets.
+            spare = len(live) - q
+            correctable = spare // 2
+            threshold = len(live) - correctable
             best = None
             for subset in combinations(live, q):
                 try:
@@ -134,9 +143,10 @@ class SoftTolerantToomCook(PolynomialCodedToomCook):
             if best is None:
                 raise SoftFaultDetected(
                     f"no {q}-subset of column results is consistent with "
-                    f">= {threshold} columns: more than "
-                    f"floor(f/2)={self.correctable} corruptions (or exactly "
-                    "detectable-but-uncorrectable corruption)"
+                    f">= {threshold} of {len(live)} live columns: more than "
+                    f"floor(spare/2)={correctable} corruptions are present "
+                    f"(spare={spare} after erasures; detectable but not "
+                    "correctable)"
                 )
             coeffs, agree, subset = best
             if agree < len(live):

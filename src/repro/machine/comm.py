@@ -66,6 +66,12 @@ class _SharedState:
         self.timeout = timeout
         self.lock = threading.Lock()
         self.alive = [True] * size  # guarded-by: lock
+        # Ranks whose program has returned (or raised): a finished rank
+        # will never send again, so a receiver still blocked on it can
+        # fail over immediately instead of waiting out the deadlock
+        # detector.  Pending messages still win — the engine sets this
+        # only after the rank's last send has been posted.
+        self.finished = [False] * size  # guarded-by: lock
         # Logical withdrawal markers: a rank that abandons the current task
         # (polynomial-code column halt, Section 4.2) records the task index
         # here so peers stop waiting for its messages.  -1 = participating.
@@ -432,27 +438,43 @@ class Communicator:
         state = self._state
         limit = state.timeout if timeout is None else timeout
         waited = 0.0
+        finish = self.absorb
         while True:
             try:
-                msg = state.router.collect(
-                    self.rank, source, tag, timeout=_POLL_INTERVAL
+                return finish(
+                    state.router.collect(
+                        self.rank, source, tag, timeout=_POLL_INTERVAL
+                    )
                 )
-                break
             except DeadlockError:
                 waited += _POLL_INTERVAL
                 with state.lock:
-                    source_gone = not state.alive[source] or (
-                        abort_check is not None
-                        and state.aborted_task[source] == abort_check
+                    source_gone = (
+                        not state.alive[source]
+                        or state.finished[source]
+                        or (
+                            abort_check is not None
+                            and state.aborted_task[source] == abort_check
+                        )
                     )
                 if source_gone:
-                    raise PeerDead(source) from None
+                    # The source can post no further messages, but its
+                    # final send may have landed between our failed poll
+                    # and the flag check (sends happen-before the flags
+                    # are set): drain once more before failing over.
+                    try:
+                        return finish(
+                            state.router.collect(
+                                self.rank, source, tag, timeout=0.0
+                            )
+                        )
+                    except DeadlockError:
+                        raise PeerDead(source) from None
                 if waited >= limit:
                     raise DeadlockError(
                         f"rank {self.rank}: no message from {source} tag {tag} "
                         f"after {limit:.1f}s"
                     ) from None
-        return self.absorb(msg)
 
     def recv_raw(
         self,
@@ -476,20 +498,41 @@ class Communicator:
         state = self._state
         limit = state.timeout if timeout is None else timeout
         waited = 0.0
+
+        def finish(msg: Message) -> Message:
+            return msg
+
         while True:
             try:
-                return state.router.collect(
-                    self.rank, source, tag, timeout=_POLL_INTERVAL
+                return finish(
+                    state.router.collect(
+                        self.rank, source, tag, timeout=_POLL_INTERVAL
+                    )
                 )
             except DeadlockError:
                 waited += _POLL_INTERVAL
                 with state.lock:
-                    source_gone = not state.alive[source] or (
-                        abort_check is not None
-                        and state.aborted_task[source] == abort_check
+                    source_gone = (
+                        not state.alive[source]
+                        or state.finished[source]
+                        or (
+                            abort_check is not None
+                            and state.aborted_task[source] == abort_check
+                        )
                     )
                 if source_gone:
-                    raise PeerDead(source) from None
+                    # The source can post no further messages, but its
+                    # final send may have landed between our failed poll
+                    # and the flag check (sends happen-before the flags
+                    # are set): drain once more before failing over.
+                    try:
+                        return finish(
+                            state.router.collect(
+                                self.rank, source, tag, timeout=0.0
+                            )
+                        )
+                    except DeadlockError:
+                        raise PeerDead(source) from None
                 if waited >= limit:
                     raise DeadlockError(
                         f"rank {self.rank}: no message from {source} tag {tag} "

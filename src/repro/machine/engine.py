@@ -167,6 +167,13 @@ class Machine:
                 # everyone: flip the liveness flag so peers unblock fast.
                 with state.lock:
                     state.alive[rank] = False
+            finally:
+                # Finished (returned or raised) means no further sends will
+                # ever be posted: receivers still blocked on this rank fail
+                # over to PeerDead instead of waiting out the deadlock
+                # detector.
+                with state.lock:
+                    state.finished[rank] = True
 
         threads = [
             threading.Thread(target=runner, args=(r,), name=f"rank-{r}", daemon=True)

@@ -10,18 +10,28 @@ machine operation (send, receive, charged arithmetic), so a schedule entry
 pins the failure to a reproducible spot in the execution.
 
 :class:`RandomFaultModel` draws schedules from an exponential
-mean-time-between-failures model for randomized fault campaigns.
+mean-time-between-failures model for randomized fault campaigns, and
+:class:`ProbingFaultSchedule` is the campaign subsystem's dry-run probe:
+it records every fault point a run visits (without ever firing) so random
+op indices can be sampled from the *measured* per-phase op space instead
+of a guessed constant (see :mod:`repro.campaign`).
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
 from repro.util.rng import DeterministicRNG
 
-__all__ = ["FaultEvent", "FaultSchedule", "RandomFaultModel", "FaultLog"]
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "ProbingFaultSchedule",
+    "RandomFaultModel",
+    "FaultLog",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +60,14 @@ class FaultEvent:
     factor: float = 8.0
 
     def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative, got {self.rank}")
+        if self.op_index < 0:
+            raise ValueError(f"op_index must be non-negative, got {self.op_index}")
+        if self.incarnation < 0:
+            raise ValueError(
+                f"incarnation must be non-negative, got {self.incarnation}"
+            )
         if self.kind not in ("hard", "soft", "delay"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.kind == "delay" and self.factor <= 1:
@@ -116,6 +134,56 @@ class FaultSchedule:
         with self._lock:
             return len(self._events)
 
+    def __bool__(self) -> bool:
+        """Always truthy: a schedule with no pending events is still a
+        schedule (callers use ``schedule or FaultSchedule()`` for the
+        None default, and a drained — or probing — schedule must not be
+        silently swapped out by that idiom)."""
+        return True
+
+
+class ProbingFaultSchedule(FaultSchedule):
+    """A schedule that never fires but records every fault point visited.
+
+    Installed for a *dry probe run*, it measures the op-index space a rank
+    program actually exposes: for every ``(rank, phase)`` it accumulates
+    the set of op indices at which a fault event *could* have matched.
+    Hard and delay events share the machine-op counter
+    (:meth:`Communicator.fault_point` checks both at every op), so both
+    are recorded under the ``"machine"`` domain; soft checks run on their
+    own counter and land under ``"soft"``.
+
+    :meth:`observed` returns the measured space in a deterministic order;
+    :mod:`repro.campaign.probe` turns it into an :class:`~repro.campaign.probe.OpSpace`
+    for guaranteed-to-land schedule sampling.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        # (rank, phase, domain) -> op indices seen at that fault point.
+        self._observed: dict[tuple[int, str, str], set[int]] = {}  # guarded-by: _lock
+
+    def take(
+        self,
+        rank: int,
+        phase: str,
+        op_index: int,
+        incarnation: int,
+        kind: str = "hard",
+    ) -> FaultEvent | None:
+        domain = "soft" if kind == "soft" else "machine"
+        with self._lock:
+            self._observed.setdefault((rank, phase, domain), set()).add(op_index)
+        return None
+
+    def observed(self) -> dict[tuple[int, str, str], tuple[int, ...]]:
+        """Measured op space: ``(rank, phase, domain) -> sorted op tuple``."""
+        with self._lock:
+            return {
+                key: tuple(sorted(ops))
+                for key, ops in sorted(self._observed.items())
+            }
+
 
 class RandomFaultModel:
     """Draws fault schedules from an exponential MTBF model.
@@ -124,46 +192,97 @@ class RandomFaultModel:
     exponentially distributed threshold with mean ``mtbf_ops`` — the
     discrete analogue of a Poisson failure process over machine operations.
     ``max_faults`` caps the total number of injected faults (the paper's
-    ``f``).
+    ``f``).  ``default_phase_ops`` is the assumed op count per phase when
+    :meth:`draw_schedule` is not given measured counts.
     """
 
-    def __init__(self, mtbf_ops: float, rng: DeterministicRNG, max_faults: int = 1):
+    def __init__(
+        self,
+        mtbf_ops: float,
+        rng: DeterministicRNG,
+        max_faults: int = 1,
+        default_phase_ops: int = 8,
+    ):
         if mtbf_ops <= 0:
             raise ValueError("mtbf_ops must be positive")
         if max_faults < 0:
             raise ValueError("max_faults must be non-negative")
+        if default_phase_ops <= 0:
+            raise ValueError("default_phase_ops must be positive")
         self.mtbf_ops = mtbf_ops
         self.max_faults = max_faults
+        self.default_phase_ops = default_phase_ops
         self._rng = rng
 
-    def draw_schedule(self, ranks: list[int], phases: list[str]) -> FaultSchedule:
+    def _phase_ops(
+        self, phases: Sequence[str], op_counts: Mapping[str, int] | int | None
+    ) -> list[int]:
+        if op_counts is None:
+            return [self.default_phase_ops] * len(phases)
+        if isinstance(op_counts, int):
+            if op_counts <= 0:
+                raise ValueError("op_counts must be positive")
+            return [op_counts] * len(phases)
+        counts = []
+        for phase in phases:
+            count = op_counts.get(phase, self.default_phase_ops)
+            if count <= 0:
+                raise ValueError(f"op count for phase {phase!r} must be positive")
+            counts.append(count)
+        return counts
+
+    def draw_schedule(
+        self,
+        ranks: list[int],
+        phases: list[str],
+        op_counts: Mapping[str, int] | int | None = None,
+    ) -> FaultSchedule:
         """Sample a schedule hitting at most ``max_faults`` distinct ranks.
 
-        Each sampled event picks a victim uniformly, a phase uniformly and
-        an op index from the exponential threshold (truncated to a small
-        range so the event actually lands inside the phase).
+        Each candidate victim draws an exponential failure threshold
+        ``T ~ Exp(mtbf_ops)`` — the machine-op count at which it dies —
+        and the op is located by walking ``phases`` in order against their
+        op counts (``op_counts``: a per-phase mapping, one count for all
+        phases, or None for ``default_phase_ops``).  A threshold beyond
+        the total op budget means the victim survives the run (the tail of
+        the exponential), so fewer than ``max_faults`` events may be
+        returned; the distribution of op indices is the exponential
+        restricted to the run, not a wrapped-around artefact.
         """
         if not ranks or not phases:
             raise ValueError("ranks and phases must be non-empty")
+        counts = self._phase_ops(phases, op_counts)
+        total = sum(counts)
         events: list[FaultEvent] = []
         victims: set[int] = set()
         while len(events) < self.max_faults and len(victims) < len(ranks):
             victim = self._rng.choice([r for r in ranks if r not in victims])
             victims.add(victim)
-            phase = self._rng.choice(phases)
-            op = int(self._rng.exponential(self.mtbf_ops)) % 8
-            events.append(FaultEvent(rank=victim, phase=phase, op_index=op))
+            threshold = int(self._rng.exponential(self.mtbf_ops))
+            if threshold >= total:
+                continue  # this rank outlives the run
+            cumulative = 0
+            for phase, count in zip(phases, counts):
+                if threshold < cumulative + count:
+                    events.append(
+                        FaultEvent(
+                            rank=victim, phase=phase, op_index=threshold - cumulative
+                        )
+                    )
+                    break
+                cumulative += count
         return FaultSchedule(events)
 
 
-@dataclass
 class FaultLog:
     """Record of faults that actually occurred during a run.
 
     ``on_record`` is an optional observer called with each new entry from
     the faulting rank's own thread — the engine wires it to the tracer so
     every injected fault (hard, soft or delay) lands in the event stream
-    at exactly one choke point.
+    at exactly one choke point.  Ranks record concurrently, so the entry
+    list is lock-guarded; ``on_record`` itself is invoked outside the lock
+    (the tracer takes its own) and must be set before the run starts.
     """
 
     @dataclass(frozen=True)
@@ -174,8 +293,15 @@ class FaultLog:
         incarnation: int
         kind: str = "hard"
 
-    entries: list["FaultLog.Entry"] = field(default_factory=list)
-    on_record: Any = None
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list[FaultLog.Entry] = []  # guarded-by: _lock
+        self.on_record: Any = None
+
+    @property
+    def entries(self) -> list["FaultLog.Entry"]:
+        with self._lock:
+            return list(self._entries)
 
     def record(
         self,
@@ -186,15 +312,19 @@ class FaultLog:
         kind: str = "hard",
     ) -> None:
         entry = FaultLog.Entry(rank, phase, op_index, incarnation, kind)
-        self.entries.append(entry)
+        with self._lock:
+            self._entries.append(entry)
         if self.on_record is not None:
             self.on_record(entry)
 
     def ranks(self) -> set[int]:
-        return {e.rank for e in self.entries}
+        with self._lock:
+            return {e.rank for e in self._entries}
 
     def by_kind(self, kind: str) -> list["FaultLog.Entry"]:
-        return [e for e in self.entries if e.kind == kind]
+        with self._lock:
+            return [e for e in self._entries if e.kind == kind]
 
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self._entries)

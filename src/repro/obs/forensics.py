@@ -1,0 +1,46 @@
+"""Fault forensics: a human-readable fault timeline from a trace.
+
+The campaign's failure reports re-run a minimized fault schedule under a
+:class:`~repro.obs.tracer.RecordingTracer` and render just the
+fault-relevant slice of the event stream — injected faults, replacement
+processors coming up, and column aborts — as one line per event in
+deterministic virtual-time order.  This is the quickest answer to "what
+actually happened" for a defect without replaying the full timeline in a
+trace viewer (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EV_ABORT, EV_FAULT, EV_REPLACEMENT, TraceEvent
+
+__all__ = ["FAULT_EVENT_KINDS", "fault_events", "fault_timeline"]
+
+FAULT_EVENT_KINDS = (EV_FAULT, EV_REPLACEMENT, EV_ABORT)
+
+
+def fault_events(events: list[TraceEvent]) -> list[TraceEvent]:
+    """The fault-relevant slice of an event stream, original order kept
+    (pass :meth:`RecordingTracer.events` output for global vt order)."""
+    return [ev for ev in events if ev.kind in FAULT_EVENT_KINDS]
+
+
+def _describe(ev: TraceEvent) -> str:
+    if ev.kind == EV_FAULT:
+        fault_kind = ev.attrs.get("fault_kind", "hard")
+        op = ev.attrs.get("op_index", "?")
+        return f"{fault_kind} fault at op {op}"
+    if ev.kind == EV_REPLACEMENT:
+        return "replacement comes up"
+    if ev.kind == EV_ABORT:
+        return f"aborts task {ev.attrs.get('task', '?')}"
+    return ev.kind  # pragma: no cover - filtered out by fault_events
+
+
+def fault_timeline(events: list[TraceEvent]) -> list[str]:
+    """One formatted line per fault/replacement/abort event, e.g.
+    ``vt=41.0 rank 3/inc 0 [multiplication]: hard fault at op 7``."""
+    return [
+        f"vt={ev.vt:g} rank {ev.rank}/inc {ev.incarnation} "
+        f"[{ev.phase}]: {_describe(ev)}"
+        for ev in fault_events(events)
+    ]

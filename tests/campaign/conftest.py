@@ -1,0 +1,59 @@
+"""Shared fixtures for the fault-campaign tests.
+
+``broken_variant`` registers a deliberately defective test-only variant:
+a tiny pure-Python "machine" whose rank 1 silently corrupts the result
+when any fault fires on it.  The campaign must catch it as a
+wrong-product defect, and the minimizer must shrink any failing schedule
+down to the single rank-1 event.
+"""
+
+import pytest
+
+from repro.campaign.registry import (
+    Execution,
+    VariantSpec,
+    register_variant,
+    unregister_variant,
+)
+
+BROKEN_NAME = "test_broken"
+BROKEN_RANKS = 3
+BROKEN_OPS = 4
+
+
+def _broken_execute(workload, schedule, cfg, trace=None):
+    # A miniature fault-point loop: every (rank, op) consults the schedule
+    # exactly like Communicator.fault_point does, so both the probing
+    # schedule and real injection work against it.
+    corrupted = 0
+    for rank in range(BROKEN_RANKS):
+        for op in range(BROKEN_OPS):
+            ev = schedule.take(rank, "work", op, 0)
+            if ev is not None and rank == 1:
+                # The planted defect: rank 1 swallows the fault and
+                # silently corrupts the result instead of failing loudly.
+                corrupted += 1
+    return Execution(
+        actual=workload + corrupted,
+        expected=workload,
+        error=None,
+        fired=tuple(schedule.fired),
+    )
+
+
+@pytest.fixture
+def broken_variant():
+    spec = VariantSpec(
+        name=BROKEN_NAME,
+        description="test-only: rank 1 silently corrupts on any fault",
+        kinds=("hard",),
+        budgets={"hard": 1},
+        make_workload=lambda rng, cfg: rng.integer_bits(16),
+        execute=_broken_execute,
+        tolerates=lambda ev, cfg: ev.kind == "hard",
+    )
+    register_variant(spec)
+    try:
+        yield spec
+    finally:
+        unregister_variant(BROKEN_NAME)

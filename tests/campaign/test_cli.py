@@ -1,0 +1,88 @@
+"""Tests for the ``repro campaign`` CLI subcommand."""
+
+import json
+
+from repro.cli import main
+
+from tests.campaign.conftest import BROKEN_NAME
+
+
+class TestCampaignCli:
+    def test_list_variants(self, capsys):
+        assert main(["campaign", "--list-variants"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "parallel",
+            "ft_linear",
+            "ft_polynomial",
+            "ft_toomcook",
+            "soft_faults",
+            "checkpoint",
+            "replication",
+            "multistep",
+        ):
+            assert name in out
+
+    def test_json_output_and_exit_zero(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--seed",
+                "3",
+                "--trials",
+                "2",
+                "--variants",
+                "parallel",
+                "--bits",
+                "300",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["config"]["seed"] == 3
+        assert [v["name"] for v in payload["variants"]] == ["parallel"]
+
+    def test_text_report_and_json_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "campaign.json"
+        code = main(
+            [
+                "campaign",
+                "--seed",
+                "3",
+                "--trials",
+                "2",
+                "--variants",
+                "ft_linear",
+                "--bits",
+                "300",
+                "--json-out",
+                str(artifact),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "ft_linear" in text
+        payload = json.loads(artifact.read_text())
+        assert payload["ok"] is True
+
+    def test_defects_exit_nonzero(self, capsys, broken_variant):
+        code = main(
+            [
+                "campaign",
+                "--seed",
+                "1",
+                "--trials",
+                "8",
+                "--variants",
+                BROKEN_NAME,
+                "--bits",
+                "300",
+                "--json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["defects"] > 0

@@ -1,0 +1,71 @@
+"""Tests for delta-debugging failure minimization."""
+
+from repro.campaign.minimize import minimize_schedule
+from repro.machine.fault import FaultEvent
+
+
+def ev(rank, op=0, phase="work", incarnation=0):
+    return FaultEvent(rank=rank, phase=phase, op_index=op, incarnation=incarnation)
+
+
+class TestMinimizeSchedule:
+    def test_shrinks_to_single_culprit(self):
+        events = [ev(0, 1), ev(1, 2), ev(2, 3), ev(3, 1), ev(4, 2)]
+
+        def is_failing(candidate):
+            return any(e.rank == 2 for e in candidate)
+
+        result = minimize_schedule(events, is_failing)
+        assert [e.rank for e in result.events] == [2]
+        assert not result.exhausted
+
+    def test_shrinks_attribute_toward_zero(self):
+        # Failure only depends on the rank, so the op index shrinks to 0.
+        def is_failing(candidate):
+            return any(e.rank == 1 for e in candidate)
+
+        result = minimize_schedule([ev(1, op=7)], is_failing)
+        assert result.events == [ev(1, op=0)]
+
+    def test_keeps_correlated_pair(self):
+        events = [ev(0), ev(1), ev(2), ev(3)]
+
+        def is_failing(candidate):
+            ranks = {e.rank for e in candidate}
+            return {1, 3} <= ranks
+
+        result = minimize_schedule(events, is_failing)
+        assert sorted(e.rank for e in result.events) == [1, 3]
+
+    def test_original_failure_never_rerun(self):
+        calls = []
+
+        def is_failing(candidate):
+            calls.append(list(candidate))
+            return any(e.rank == 0 for e in candidate)
+
+        original = [ev(0, 5), ev(1, 1)]
+        minimize_schedule(original, is_failing)
+        assert original not in calls
+
+    def test_probe_budget_marks_exhausted(self):
+        def is_failing(candidate):
+            return len(candidate) >= 4
+
+        events = [ev(r) for r in range(8)]
+        result = minimize_schedule(events, is_failing, max_probes=2)
+        assert result.exhausted
+        assert result.probes <= 2
+        # Whatever was found still reproduces the failure.
+        assert is_failing(result.events)
+
+    def test_deterministic(self):
+        events = [ev(r, op=r) for r in range(6)]
+
+        def is_failing(candidate):
+            return sum(e.rank for e in candidate) >= 7
+
+        a = minimize_schedule(events, is_failing)
+        b = minimize_schedule(events, is_failing)
+        assert a.events == b.events
+        assert a.probes == b.probes

@@ -1,0 +1,82 @@
+"""Unit tests for the campaign oracle's verdict classification."""
+
+import pytest
+
+from repro.campaign.oracle import (
+    DEFECT_VERDICTS,
+    VERDICT_CRASH,
+    VERDICT_EXACT,
+    VERDICT_HANG,
+    VERDICT_LOUD,
+    VERDICT_LOUD_WITHIN_BUDGET,
+    VERDICT_TOLERATED,
+    VERDICT_WRONG_PRODUCT,
+    classify,
+)
+from repro.campaign.registry import Execution
+from repro.machine.errors import DeadlockError, MachineError
+
+
+def execution(actual=6, expected=6, error=None):
+    return Execution(actual=actual, expected=expected, error=error, fired=())
+
+
+class TestClassify:
+    def test_exact_within_budget(self):
+        assert classify(execution(), "must") == VERDICT_EXACT
+
+    def test_exact_beyond_budget_is_tolerated(self):
+        assert classify(execution(), "may") == VERDICT_TOLERATED
+
+    def test_wrong_product_regardless_of_budget(self):
+        assert classify(execution(actual=7), "must") == VERDICT_WRONG_PRODUCT
+        assert classify(execution(actual=7), "may") == VERDICT_WRONG_PRODUCT
+
+    def test_loud_failure_beyond_budget_passes(self):
+        ex = execution(actual=None, error=MachineError("rank 3 died"))
+        assert classify(ex, "may") == VERDICT_LOUD
+
+    def test_loud_failure_within_budget_is_defect(self):
+        ex = execution(actual=None, error=MachineError("rank 3 died"))
+        assert classify(ex, "must") == VERDICT_LOUD_WITHIN_BUDGET
+
+    def test_deadlock_is_hang_even_beyond_budget(self):
+        ex = execution(actual=None, error=DeadlockError("no message"))
+        assert classify(ex, "may") == VERDICT_HANG
+        assert classify(ex, "must") == VERDICT_HANG
+
+    def test_join_timeout_is_hang(self):
+        ex = execution(
+            actual=None,
+            error=MachineError("rank-4 failed to terminate (deadlock?)"),
+        )
+        assert classify(ex, "may") == VERDICT_HANG
+
+    def test_wrapped_deadlock_is_hang(self):
+        ex = execution(
+            actual=None,
+            error=MachineError(
+                "rank 0 failed fatally: DeadlockError('no message from 3')"
+            ),
+        )
+        assert classify(ex, "may") == VERDICT_HANG
+
+    def test_non_machine_error_is_crash(self):
+        ex = execution(actual=None, error=ValueError("bad k"))
+        assert classify(ex, "must") == VERDICT_CRASH
+        assert classify(ex, "may") == VERDICT_CRASH
+
+    def test_rejects_unknown_budget(self):
+        with pytest.raises(ValueError):
+            classify(execution(), "maybe")
+
+    def test_defect_set(self):
+        assert DEFECT_VERDICTS == {
+            VERDICT_WRONG_PRODUCT,
+            VERDICT_LOUD_WITHIN_BUDGET,
+            VERDICT_HANG,
+            VERDICT_CRASH,
+        }
+        assert VERDICT_EXACT not in DEFECT_VERDICTS
+        assert VERDICT_TOLERATED not in DEFECT_VERDICTS
+        assert VERDICT_LOUD not in DEFECT_VERDICTS

@@ -1,0 +1,96 @@
+"""Tests for the dry probe run and the measured op space."""
+
+import pytest
+
+from repro.campaign.probe import OpSpace, ProbeFailure, probe_variant
+from repro.campaign.registry import get_variant
+from repro.campaign.runner import CampaignConfig, _workload_rng
+from repro.machine.fault import ProbingFaultSchedule
+
+
+def small_cfg(**kw):
+    kw.setdefault("bits", 300)
+    kw.setdefault("timeout", 10.0)
+    return CampaignConfig(seed=1, **kw)
+
+
+class TestOpSpace:
+    def test_from_observed_dict(self):
+        space = OpSpace(
+            {
+                (0, "work", "machine"): (0, 1, 2),
+                (1, "work", "machine"): (0, 1),
+                (0, "check", "soft"): (0,),
+            }
+        )
+        assert len(space) == 3
+        assert not space.is_empty()
+        assert space.phases("machine") == ["work"]
+        assert space.ranks("machine") == [0, 1]
+        assert space.ops(0, "work") == (0, 1, 2)
+        assert space.phases("soft") == ["check"]
+
+    def test_phase_op_counts_take_max_over_ranks(self):
+        space = OpSpace(
+            {
+                (0, "work", "machine"): (0, 1, 5),
+                (1, "work", "machine"): (0,),
+            }
+        )
+        assert space.phase_op_counts()["work"] == 3
+
+    def test_from_probe_round_trip(self):
+        probing = ProbingFaultSchedule()
+        probing.should_fail(2, "work", 3, 0)
+        space = OpSpace.from_probe(probing)
+        assert space.ops(2, "work") == (3,)
+
+
+class TestProbeVariant:
+    def test_parallel_probe_measures_traversal_phases(self):
+        spec = get_variant("parallel")
+        cfg = small_cfg()
+        wl = spec.make_workload(_workload_rng(cfg.seed, spec.name), cfg)
+        space, execution = probe_variant(spec, wl, cfg)
+        assert execution.error is None
+        assert execution.actual == execution.expected
+        assert set(space.phases()) == {
+            "evaluation",
+            "multiplication",
+            "interpolation",
+        }
+        # One machine-domain cell per (rank, phase) on the 9-rank grid.
+        assert space.ranks() == list(range(9))
+        for cell in space.cells("machine"):
+            assert cell.ops, f"cell {cell} measured no op indices"
+
+    def test_probe_never_fires_events(self):
+        spec = get_variant("parallel")
+        cfg = small_cfg()
+        wl = spec.make_workload(_workload_rng(cfg.seed, spec.name), cfg)
+        _, execution = probe_variant(spec, wl, cfg)
+        assert execution.fired == ()
+
+    def test_ft_linear_probe_sees_protocol_phases(self):
+        spec = get_variant("ft_linear")
+        cfg = small_cfg()
+        wl = spec.make_workload(_workload_rng(cfg.seed, spec.name), cfg)
+        space, _ = probe_variant(spec, wl, cfg)
+        assert "code-creation" in space.phases()
+        assert "work" in space.phases()
+
+    def test_probe_failure_on_broken_workload(self, broken_variant):
+        # A variant whose clean run is not exact must be rejected before
+        # any trials run.
+        from dataclasses import replace
+
+        from repro.campaign.registry import Execution
+
+        def bad_execute(workload, schedule, cfg, trace=None):
+            return Execution(
+                actual=workload + 1, expected=workload, error=None, fired=()
+            )
+
+        bad = replace(broken_variant, execute=bad_execute)
+        with pytest.raises(ProbeFailure):
+            probe_variant(bad, 5, small_cfg())

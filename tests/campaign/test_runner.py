@@ -1,0 +1,138 @@
+"""End-to-end campaign runner tests: fuzzing, oracle verdicts, defect
+minimization, replay, and byte-identical determinism."""
+
+from repro.campaign.oracle import DEFECT_VERDICTS, VERDICT_EXACT
+from repro.campaign.report import render_text, to_json
+from repro.campaign.runner import (
+    CampaignConfig,
+    run_campaign,
+    run_trial,
+)
+from repro.machine.fault import FaultEvent
+
+from tests.campaign.conftest import BROKEN_NAME
+
+
+def small_cfg(**kw):
+    kw.setdefault("bits", 300)
+    kw.setdefault("timeout", 10.0)
+    kw.setdefault("trials", 4)
+    return CampaignConfig(**kw)
+
+
+class TestRunCampaign:
+    def test_healthy_variants_have_no_defects(self):
+        cfg = small_cfg(seed=3, variants=("parallel", "ft_linear"))
+        result = run_campaign(cfg)
+        assert result.ok
+        assert result.defects == 0
+        for variant in result.variants:
+            assert variant.probe_error is None
+            assert variant.cells > 0
+            assert len(variant.trials) == cfg.trials
+            for trial in variant.trials:
+                assert trial.verdict not in DEFECT_VERDICTS
+
+    def test_variant_selection_and_order(self):
+        cfg = small_cfg(seed=1, trials=2, variants=("ft_linear", "parallel"))
+        result = run_campaign(cfg)
+        assert [v.name for v in result.variants] == ["ft_linear", "parallel"]
+
+    def test_metrics_are_populated(self):
+        cfg = small_cfg(seed=2, trials=3, variants=("parallel",))
+        result = run_campaign(cfg)
+        metrics = result.metrics.as_dict()
+        counters = metrics["counters"]
+        trial_keys = [k for k in counters if k.startswith("campaign_trials_total")]
+        assert sum(counters[k] for k in trial_keys) == 3
+        assert any(
+            k.startswith("campaign_op_cells") for k in metrics["gauges"]
+        )
+
+    def test_byte_identical_given_seed(self):
+        cfg = small_cfg(seed=5, trials=3, variants=("parallel", "ft_linear"))
+        first = to_json(run_campaign(cfg))
+        second = to_json(run_campaign(cfg))
+        assert first == second
+        assert render_text(run_campaign(cfg)) == render_text(run_campaign(cfg))
+
+    def test_unknown_variant_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            run_campaign(small_cfg(variants=("no_such_variant",)))
+
+
+class TestBrokenVariantCampaign:
+    """The planted-defect variant: the campaign must find the silent
+    corruption and the minimizer must shrink the failing schedule."""
+
+    def test_defect_found_and_minimized(self, broken_variant):
+        cfg = small_cfg(seed=1, trials=10, variants=(BROKEN_NAME,))
+        result = run_campaign(cfg)
+        assert not result.ok
+        (variant,) = result.variants
+        assert variant.defects > 0
+        assert variant.failures, "defects found but no failure report"
+        failure = variant.failures[0]
+        assert failure.verdict == "wrong-product"
+        # The known-bad schedule shrinks to the single rank-1 culprit.
+        assert len(failure.minimized) <= 2
+        assert all(ev.rank == 1 for ev in failure.minimized)
+        assert len(failure.minimized) <= len(failure.events)
+
+    def test_failure_snippet_replays(self, broken_variant):
+        cfg = small_cfg(seed=1, trials=10, variants=(BROKEN_NAME,))
+        result = run_campaign(cfg)
+        failure = result.variants[0].failures[0]
+        assert "run_trial(" in failure.snippet
+        assert BROKEN_NAME in failure.snippet
+        # The snippet is executable as-is and its assertion holds.
+        namespace: dict = {}
+        exec(failure.snippet, namespace)  # noqa: S102 - our own rendering
+        assert namespace["out"].verdict == failure.verdict
+
+
+class TestRunTrial:
+    def test_empty_schedule_is_exact(self):
+        out = run_trial("parallel", seed=4, events=(), bits=300, timeout=10.0)
+        assert out.verdict == VERDICT_EXACT
+        assert out.budget == "must"
+        assert out.execution.error is None
+
+    def test_tolerated_fault_replay(self):
+        out = run_trial(
+            "ft_polynomial",
+            seed=4,
+            events=[FaultEvent(rank=4, phase="multiplication", op_index=0)],
+            bits=300,
+            timeout=10.0,
+        )
+        assert out.budget == "must"
+        assert out.verdict == VERDICT_EXACT
+
+    def test_untolerated_fault_fails_loudly(self):
+        out = run_trial(
+            "parallel",
+            seed=4,
+            events=[FaultEvent(rank=2, phase="multiplication", op_index=0)],
+            bits=300,
+            timeout=10.0,
+        )
+        assert out.budget == "may"
+        assert out.verdict == "loud-beyond-budget"
+
+    def test_trial_matches_campaign_workload(self, broken_variant):
+        # run_trial derives the same per-variant workload stream as the
+        # campaign, so a reported schedule reproduces the same verdict.
+        cfg = small_cfg(seed=1, trials=10, variants=(BROKEN_NAME,))
+        result = run_campaign(cfg)
+        failure = result.variants[0].failures[0]
+        out = run_trial(
+            BROKEN_NAME,
+            seed=cfg.seed,
+            events=failure.minimized,
+            bits=cfg.bits,
+            timeout=cfg.timeout,
+        )
+        assert out.verdict == failure.verdict

@@ -1,0 +1,104 @@
+"""Correlated multi-fault scenarios (ISSUE satellite: coverage beyond
+single faults).
+
+Each case pins a scenario the randomized campaign can draw — hard+delay
+on one rank, a second fault landing during another rank's recovery, a
+kill of a replacement incarnation, and combined erasure+corruption on
+the soft-decoding variant — and asserts the oracle verdict observed on
+the calibrated implementation.  The one invariant every case shares:
+no silent corruption and no hang, whatever the budget says.
+"""
+
+from repro.campaign.oracle import DEFECT_VERDICTS
+from repro.campaign.runner import run_trial
+from repro.machine.fault import FaultEvent
+
+
+def ev(rank, phase, op, kind="hard", incarnation=0, factor=0.0):
+    return FaultEvent(
+        rank=rank,
+        phase=phase,
+        op_index=op,
+        kind=kind,
+        incarnation=incarnation,
+        factor=factor,
+    )
+
+
+def trial(variant, events):
+    return run_trial(variant, seed=4, events=events, bits=400, timeout=10.0)
+
+
+class TestHardPlusDelaySameRank:
+    def test_toomcook_recovers_exactly(self):
+        out = trial(
+            "ft_toomcook",
+            [
+                ev(2, "traversal", 0),
+                ev(2, "traversal", 1, kind="delay", factor=3.0),
+            ],
+        )
+        assert out.verdict == "exact-beyond-budget"
+        assert out.verdict not in DEFECT_VERDICTS
+
+
+class TestFaultDuringRecovery:
+    def test_second_rank_dies_while_first_recovers(self):
+        # Rank 1 dies at traversal op 0; rank 2 dies one op later, while
+        # the tree is still rewiring around the first loss.
+        out = trial("ft_toomcook", [ev(1, "traversal", 0), ev(2, "traversal", 1)])
+        assert out.budget == "may"
+        assert out.verdict == "exact-beyond-budget"
+
+
+class TestReplacementKilled:
+    def test_killing_the_replacement_is_never_silent(self):
+        # The same cell fires for incarnation 0 and again for the
+        # replacement (incarnation 1) spawned by begin_replacement.
+        out = trial(
+            "ft_polynomial",
+            [
+                ev(4, "multiplication", 0),
+                ev(4, "multiplication", 0, incarnation=1),
+            ],
+        )
+        assert out.budget == "may"
+        assert out.verdict not in DEFECT_VERDICTS
+
+
+class TestSoftDecoderUnderErasure:
+    """The MDS decoder's capability shrinks when hard faults consume
+    redundancy: s erasures + e corruptions are only correctable when
+    s + 2e <= f.  With f = 2, one erasure plus one corruption is
+    detectable but NOT correctable — the run must fail loudly instead
+    of letting a corrupted interpolation subset win the agreement vote
+    (the regression this file guards: a q-subset trivially agrees with
+    its own q members, so an erasure-blind threshold accepts garbage).
+    """
+
+    def test_two_erasures_still_exact(self):
+        out = trial(
+            "soft_faults",
+            [ev(0, "multiplication", 0), ev(4, "multiplication", 0)],
+        )
+        assert out.budget == "must"
+        assert out.verdict == "exact"
+
+    def test_single_corruption_corrected(self):
+        out = trial("soft_faults", [ev(7, "multiplication", 0, kind="soft")])
+        assert out.budget == "must"
+        assert out.verdict == "exact"
+
+    def test_erasure_plus_corruption_fails_loudly(self):
+        out = trial(
+            "soft_faults",
+            [
+                ev(0, "multiplication", 0),
+                ev(7, "multiplication", 0, kind="soft"),
+            ],
+        )
+        assert out.budget == "may"
+        assert out.verdict == "loud-beyond-budget"
+        # The engine wraps the worker's exception; the detection must
+        # still be attributable from the failure message.
+        assert "SoftFaultDetected" in str(out.execution.error)

@@ -87,11 +87,37 @@ class TestPointToPoint:
 
     def test_recv_timeout_is_deadlock(self):
         def program(comm):
-            if comm.rank == 1:
+            if comm.rank == 0:
+                # Stay busy (blocked on our own recv) so rank 1 hits a
+                # genuine timeout, not the finished-peer fast path.
+                try:
+                    comm.recv(1, timeout=0.4)
+                except MachineError:
+                    return None
+            else:
                 return comm.recv(0, timeout=0.1)
 
         with pytest.raises(MachineError, match="no message"):
             run(2, program, timeout=0.5)
+
+    def test_recv_from_finished_rank_is_peer_dead(self):
+        def program(comm):
+            if comm.rank == 0:
+                return None  # finishes without ever sending
+            with pytest.raises(PeerDead):
+                comm.recv(0)  # fails over promptly, no timeout needed
+            return "failed over"
+
+        assert run(2, program, timeout=30).results[1] == "failed over"
+
+    def test_finished_ranks_last_send_still_received(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "parting gift")
+                return None
+            return comm.recv(0)
+
+        assert run(2, program).results[1] == "parting gift"
 
     def test_sendrecv_exchange(self):
         def program(comm):

@@ -1,0 +1,174 @@
+"""Tests for the fault model's campaign-facing surface.
+
+Covers :class:`FaultEvent` construction-time validation, thread safety of
+:class:`FaultLog`, the measured-op-count forms of
+:meth:`RandomFaultModel.draw_schedule`, and the dry-run
+:class:`ProbingFaultSchedule` used by the campaign probe.
+"""
+
+import threading
+
+import pytest
+
+from repro.machine.fault import (
+    FaultEvent,
+    FaultLog,
+    FaultSchedule,
+    ProbingFaultSchedule,
+    RandomFaultModel,
+)
+from repro.util.rng import DeterministicRNG
+
+
+class TestFaultEventValidation:
+    def test_negative_rank(self):
+        with pytest.raises(ValueError, match="rank must be non-negative, got -1"):
+            FaultEvent(rank=-1, phase="work")
+
+    def test_negative_op_index(self):
+        with pytest.raises(ValueError, match="op_index must be non-negative, got -3"):
+            FaultEvent(rank=0, phase="work", op_index=-3)
+
+    def test_negative_incarnation(self):
+        with pytest.raises(
+            ValueError, match="incarnation must be non-negative, got -2"
+        ):
+            FaultEvent(rank=0, phase="work", op_index=0, incarnation=-2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind 'cosmic'"):
+            FaultEvent(rank=0, phase="work", kind="cosmic")
+
+    def test_delay_factor_must_exceed_one(self):
+        with pytest.raises(ValueError, match="delay factor must exceed 1"):
+            FaultEvent(rank=0, phase="work", kind="delay", factor=1.0)
+
+    def test_valid_events_construct(self):
+        FaultEvent(rank=0, phase="*")
+        FaultEvent(rank=3, phase="work", op_index=7, incarnation=2, kind="soft")
+        FaultEvent(rank=1, phase="work", kind="delay", factor=4.0)
+
+
+class TestFaultScheduleTruthiness:
+    def test_empty_schedule_is_truthy(self):
+        # `schedule or FaultSchedule()` is the None-default idiom; a drained
+        # (or probing) schedule must not be silently swapped out by it.
+        assert bool(FaultSchedule())
+        assert bool(ProbingFaultSchedule())
+
+    def test_drained_schedule_stays_truthy(self):
+        sched = FaultSchedule([FaultEvent(0, "*", 0)])
+        assert sched.should_fail(0, "p", 0, 0)
+        assert len(sched) == 0
+        assert bool(sched)
+
+
+class TestFaultLogThreadSafety:
+    def test_concurrent_records_all_land(self):
+        log = FaultLog()
+        n_threads, per_thread = 8, 200
+
+        def record(rank):
+            for i in range(per_thread):
+                log.record(rank, "work", i, 0, kind="soft" if i % 3 else "hard")
+
+        threads = [threading.Thread(target=record, args=(r,)) for r in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == n_threads * per_thread
+        assert log.ranks() == set(range(n_threads))
+        by_rank = [e for e in log.entries if e.rank == 0]
+        assert sorted(e.op_index for e in by_rank) == list(range(per_thread))
+
+    def test_entries_returns_snapshot(self):
+        log = FaultLog()
+        log.record(1, "work", 0, 0)
+        snapshot = log.entries
+        log.record(2, "work", 1, 0)
+        assert len(snapshot) == 1
+        assert snapshot[0].rank == 1
+
+    def test_on_record_observer_sees_each_entry(self):
+        log = FaultLog()
+        seen = []
+        log.on_record = seen.append
+        log.record(4, "mul", 2, 1, kind="delay")
+        assert seen == [FaultLog.Entry(4, "mul", 2, 1, "delay")]
+
+
+class TestRandomFaultModelOpCounts:
+    def test_mapping_op_counts_bound_indices(self):
+        # With measured per-phase counts, every drawn op index must fall
+        # inside its phase's measured space — not a hardcoded constant.
+        counts = {"evaluation": 3, "multiplication": 40}
+        model = RandomFaultModel(20.0, DeterministicRNG(7), max_faults=20)
+        sched = model.draw_schedule(
+            ranks=list(range(20)),
+            phases=["evaluation", "multiplication"],
+            op_counts=counts,
+        )
+        assert len(sched.events) > 0
+        for ev in sched.events:
+            assert 0 <= ev.op_index < counts[ev.phase]
+
+    def test_int_op_counts_apply_to_all_phases(self):
+        model = RandomFaultModel(5.0, DeterministicRNG(3), max_faults=10)
+        sched = model.draw_schedule(list(range(10)), ["a", "b"], op_counts=4)
+        for ev in sched.events:
+            assert 0 <= ev.op_index < 4
+
+    def test_large_threshold_means_survival(self):
+        # A tiny op space with a huge MTBF: most thresholds land beyond the
+        # run, so some candidates survive (no wrap-around artefacts).
+        model = RandomFaultModel(10_000.0, DeterministicRNG(11), max_faults=50)
+        sched = model.draw_schedule(list(range(50)), ["p"], op_counts=2)
+        assert len(sched.events) < 50
+        for ev in sched.events:
+            assert ev.op_index in (0, 1)
+
+    def test_rejects_bad_op_counts(self):
+        model = RandomFaultModel(5.0, DeterministicRNG(1))
+        with pytest.raises(ValueError, match="op_counts must be positive"):
+            model.draw_schedule([0], ["a"], op_counts=0)
+        with pytest.raises(ValueError, match="op count for phase 'a'"):
+            model.draw_schedule([0], ["a"], op_counts={"a": -1})
+
+    def test_deterministic_with_op_counts(self):
+        def draw(seed):
+            m = RandomFaultModel(8.0, DeterministicRNG(seed), max_faults=3)
+            sched = m.draw_schedule(
+                list(range(9)), ["x", "y"], op_counts={"x": 5, "y": 17}
+            )
+            return [(e.rank, e.phase, e.op_index) for e in sched.events]
+
+        assert draw(42) == draw(42)
+        assert draw(42) != draw(43)
+
+
+class TestProbingFaultSchedule:
+    def test_never_fires_but_records(self):
+        probe = ProbingFaultSchedule()
+        assert not probe.should_fail(2, "work", 0, 0)
+        assert not probe.should_fail(2, "work", 1, 0)
+        assert not probe.should_fail(3, "work", 0, 0, kind="soft")
+        assert probe.observed() == {
+            (2, "work", "machine"): (0, 1),
+            (3, "work", "soft"): (0,),
+        }
+
+    def test_delay_shares_machine_domain(self):
+        probe = ProbingFaultSchedule()
+        probe.should_fail(0, "p", 5, 0, kind="delay")
+        probe.should_fail(0, "p", 5, 0, kind="hard")
+        assert probe.observed() == {(0, "p", "machine"): (5,)}
+
+    def test_observed_is_deterministically_ordered(self):
+        probe = ProbingFaultSchedule()
+        for rank in (4, 1, 3):
+            for op in (7, 0, 2):
+                probe.should_fail(rank, "z", op, 0)
+        keys = list(probe.observed().keys())
+        assert keys == sorted(keys)
+        assert probe.observed()[(1, "z", "machine")] == (0, 2, 7)
