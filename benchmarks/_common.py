@@ -43,3 +43,29 @@ def run_registry(out):
     from repro.obs.metrics import publish_run_metrics
 
     return publish_run_metrics(out.run)
+
+
+def comm_envelope_line(variant, out, n_words, p, k, f):
+    """Hold a run's measured (BW, L) — summed from its ``phase_cost``
+    gauges — to the commcheck certifier's envelope for ``variant``.
+
+    Returns ``(passed, line)`` where ``line`` is the one-line PASS/FAIL
+    verdict the envelope benchmark prints per variant.
+    """
+    from repro.commcheck.certify import cost_envelope
+    from repro.obs.metrics import phase_cost
+
+    registry = run_registry(out)
+    bw = l = 0.0
+    for phase in out.run.phase_costs:
+        costs = phase_cost(registry, phase)
+        bw += costs.bw
+        l += costs.l
+    bound_bw, bound_l = cost_envelope(variant, n_words, p, k, f)
+    passed = bw <= bound_bw and l <= bound_l
+    status = "PASS" if passed else "FAIL"
+    line = (
+        f"[{status}] {variant:<14} BW {bw:8.0f} <= {bound_bw:9.1f}   "
+        f"L {l:6.0f} <= {bound_l:7.1f}"
+    )
+    return passed, line

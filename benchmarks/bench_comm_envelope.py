@@ -1,0 +1,82 @@
+"""Communication envelope — measured BW/L vs. the commcheck certifier.
+
+Runs every core algorithm variant once, reads its measured bandwidth and
+latency back from the published ``phase_cost`` gauges (the same series
+the traced view consumes), and holds the totals to the *same* per-variant
+tolerance envelope the ``python -m repro commcheck`` CI gate enforces.
+One PASS/FAIL line per variant: if a change pushes any variant's
+communication volume past its certified envelope, this benchmark and the
+commcheck gate fail together.
+"""
+
+from _common import WORD_BITS, comm_envelope_line, emit, once, operands, plan_for
+
+from repro.core.api import (
+    multiply_checkpointed,
+    multiply_fault_tolerant,
+    multiply_multistep,
+    multiply_parallel,
+    multiply_replicated,
+    multiply_soft_tolerant,
+)
+from repro.core.ft_polynomial import PolynomialCodedToomCook
+
+N_BITS = 1200
+P, K, F = 9, 2, 1
+
+
+def _ft_polynomial(a, b):
+    return PolynomialCodedToomCook(plan_for(N_BITS, P, K), f=F).multiply(a, b)
+
+
+VARIANTS = [
+    ("parallel", lambda a, b: multiply_parallel(a, b, p=P, k=K, word_bits=WORD_BITS)),
+    ("ft_polynomial", _ft_polynomial),
+    (
+        "ft_toomcook",
+        lambda a, b: multiply_fault_tolerant(
+            a, b, p=P, k=K, f=F, word_bits=WORD_BITS
+        ),
+    ),
+    (
+        "replication",
+        lambda a, b: multiply_replicated(a, b, p=P, k=K, f=F, word_bits=WORD_BITS),
+    ),
+    (
+        "checkpoint",
+        lambda a, b: multiply_checkpointed(a, b, p=P, k=K, f=F, word_bits=WORD_BITS),
+    ),
+    (
+        "multistep",
+        lambda a, b: multiply_multistep(a, b, p=P, k=K, f=F, word_bits=WORD_BITS),
+    ),
+    (
+        "soft_faults",
+        lambda a, b: multiply_soft_tolerant(
+            a, b, p=P, k=K, f=F, word_bits=WORD_BITS
+        ),
+    ),
+]
+
+
+def test_measured_costs_within_certifier_envelope(benchmark):
+    a, b = operands(N_BITS, seed=21)
+    n_words = plan_for(N_BITS, P, K).n_words
+
+    def run():
+        rows = []
+        for name, fn in VARIANTS:
+            out = fn(a, b)
+            assert out.product == a * b
+            rows.append(comm_envelope_line(name, out, n_words, P, K, F))
+        return rows
+
+    rows = once(benchmark, run)
+    lines = [line for _passed, line in rows]
+    emit(
+        "comm_envelope",
+        "Communication envelope (commcheck certifier bounds, "
+        f"n={N_BITS} bits, P={P}, k={K}, f={F})\n" + "\n".join(lines),
+    )
+    failed = [line for passed, line in rows if not passed]
+    assert not failed, "measured communication exceeded the certified envelope:\n" + "\n".join(failed)

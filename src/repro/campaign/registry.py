@@ -69,9 +69,13 @@ class VariantSpec:
     they only stretch virtual time).  ``budget_rule`` optionally replaces
     the default counting rule (the soft variant's MDS constraint).
 
-    ``execute(workload, schedule, cfg, trace=None)`` runs one trial; the
-    optional ``trace`` is a :class:`~repro.obs.tracer.Tracer` the forensic
-    re-run of a minimized failure passes in.
+    ``execute(workload, schedule, cfg, trace=None, recorder=None)`` runs
+    one trial; the optional ``trace`` is a
+    :class:`~repro.obs.tracer.Tracer` the forensic re-run of a minimized
+    failure passes in, and ``recorder`` a
+    :class:`~repro.machine.record.ScheduleRecorder` the ``commcheck``
+    extractor uses to capture the communication graph (built-in variants
+    support it; custom variants may omit the parameter).
     """
 
     name: str
@@ -168,7 +172,11 @@ def _multiply_variant(
     budget_rule: Callable[[Sequence[FaultEvent], Any], str] | None = None,
 ) -> VariantSpec:
     def execute(
-        workload: Any, schedule: FaultSchedule, cfg: Any, trace: Any = None
+        workload: Any,
+        schedule: FaultSchedule,
+        cfg: Any,
+        trace: Any = None,
+        recorder: Any = None,
     ) -> Execution:
         a, b = workload
         try:
@@ -177,6 +185,8 @@ def _multiply_variant(
             return Execution(actual=None, expected=a * b, error=exc, fired=())
         if trace is not None:
             algo.trace = trace
+        if recorder is not None:
+            algo.recorder = recorder
         return _multiply_execution(algo, a, b, schedule)
 
     return register_variant(
@@ -361,7 +371,11 @@ def _ft_linear_spec() -> VariantSpec:
         )
 
     def execute(
-        workload: Any, schedule: FaultSchedule, cfg: Any, trace: Any = None
+        workload: Any,
+        schedule: FaultSchedule,
+        cfg: Any,
+        trace: Any = None,
+        recorder: Any = None,
     ) -> Execution:
         from repro.bigint.limbs import LimbVector
         from repro.core.ft_linear import ColumnCode
@@ -435,6 +449,7 @@ def _ft_linear_spec() -> VariantSpec:
             fault_schedule=schedule,
             timeout=cfg.timeout,
             trace=trace,
+            recorder=recorder,
         )
         rank_args = [(w,) for w in workload] + [(None,)] * f
         try:

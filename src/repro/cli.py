@@ -13,6 +13,8 @@
     python -m repro lint --list-rules
     python -m repro campaign --seed 1 --trials 25
     python -m repro campaign --variants ft_toomcook,soft_faults --json
+    python -m repro commcheck --all-variants
+    python -m repro commcheck --variants ft_polynomial --phase interpolation
 
 Numbers accept decimal, ``0x...`` hex, or ``0b...`` binary, plus the
 shorthand ``0x1pN`` for ``2**N``.
@@ -206,6 +208,50 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--json-out", metavar="PATH", default=None,
         help="also write the JSON report to PATH",
+    )
+
+    cc = sub.add_parser(
+        "commcheck",
+        help="static communication-protocol analysis (see docs/STATIC_ANALYSIS.md)",
+    )
+    cc.add_argument(
+        "--all-variants", action="store_true",
+        help="check every registered variant (the CI gate)",
+    )
+    cc.add_argument(
+        "--variants", default=None, metavar="NAMES",
+        help="comma-separated variant names (default: all)",
+    )
+    cc.add_argument(
+        "--list-variants", action="store_true",
+        help="print the checkable variants and exit",
+    )
+    cc.add_argument("--p", type=int, default=9, help="processor count (default 9)")
+    cc.add_argument("--k", type=int, default=2, help="Toom-Cook split factor")
+    cc.add_argument("--f", type=int, default=1, help="fault budget (default 1)")
+    cc.add_argument("--bits", type=int, default=600, help="operand bits (default 600)")
+    cc.add_argument(
+        "--word-bits", type=int, default=16, help="machine word width (default 16)"
+    )
+    cc.add_argument(
+        "--timeout", type=float, default=15.0,
+        help="per-receive deadlock timeout in seconds (default 15)",
+    )
+    cc.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    cc.add_argument(
+        "--phase", default=None, metavar="NAME",
+        help="restrict reported findings to one phase (triage)",
+    )
+    cc.add_argument(
+        "--tolerance-scale", type=float, default=1.0,
+        help="multiply every certifier tolerance by this factor",
+    )
+    cc.add_argument(
+        "--json", action="store_true", help="print the JSON report instead of text"
+    )
+    cc.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="write the JSON report (with comm graphs) to PATH",
     )
     return parser
 
@@ -417,6 +463,46 @@ def _cmd_campaign(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_commcheck(args) -> int:
+    from repro.commcheck import (
+        COMMCHECK_VARIANTS,
+        make_config,
+        render_text,
+        run_commcheck,
+        to_json,
+    )
+
+    if args.list_variants:
+        for name in COMMCHECK_VARIANTS:
+            print(name)
+        return 0
+    variants = (
+        [name for name in args.variants.split(",") if name]
+        if args.variants and not args.all_variants
+        else None
+    )
+    cfg = make_config(
+        p=args.p,
+        k=args.k,
+        f=args.f,
+        bits=args.bits,
+        word_bits=args.word_bits,
+        timeout=args.timeout,
+        seed=args.seed,
+    )
+    result = run_commcheck(
+        variants, cfg, phase=args.phase, tolerance_scale=args.tolerance_scale
+    )
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(to_json(result), fh)
+    if args.json:
+        print(json.dumps(to_json(result, include_graphs=False)))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -427,6 +513,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "lint": _cmd_lint,
         "campaign": _cmd_campaign,
+        "commcheck": _cmd_commcheck,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,47 @@
+"""Static communication-protocol analysis (``python -m repro commcheck``).
+
+Three layers, run as a CI hard gate next to the lint gate:
+
+1. **Extraction** (:mod:`repro.commcheck.extract`): obtain the per-phase,
+   per-rank communication graph of every algorithm variant for a given
+   ``(P, k, f)`` via a :class:`~repro.machine.record.ScheduleRecorder`
+   shadowing the live :class:`~repro.machine.comm.Communicator`.
+2. **Checking** (:mod:`repro.commcheck.checker`): send/recv matching
+   (orphan sends, unmatched receives, tag collisions), wait-for-cycle
+   deadlock detection, phase-discipline violations, and fault-recovery
+   reachability over that graph.
+3. **Certification** (:mod:`repro.commcheck.certify`): fold the graph's
+   word/message counts and compare them against the closed-form
+   Theorem 5.1–5.3 predictions of :mod:`repro.analysis.formulas` with
+   per-variant ``(1+o(1))``-style tolerances, failing loudly on
+   regression.
+
+See docs/STATIC_ANALYSIS.md ("Communication verification").
+"""
+
+from repro.commcheck.certify import Certification, certify
+from repro.commcheck.checker import Finding, check_graph
+from repro.commcheck.extract import (
+    COMMCHECK_VARIANTS,
+    ExtractionError,
+    extract_variant,
+    make_config,
+)
+from repro.commcheck.graph import CommGraph
+from repro.commcheck.runner import CommCheckResult, render_text, run_commcheck, to_json
+
+__all__ = [
+    "CommGraph",
+    "Finding",
+    "check_graph",
+    "Certification",
+    "certify",
+    "COMMCHECK_VARIANTS",
+    "ExtractionError",
+    "extract_variant",
+    "make_config",
+    "CommCheckResult",
+    "run_commcheck",
+    "render_text",
+    "to_json",
+]

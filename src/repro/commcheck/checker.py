@@ -1,0 +1,378 @@
+"""Structural checks over an extracted communication graph.
+
+Checks (finding ``check`` ids):
+
+``orphan-send``
+    A posted message no rank ever collected.  Redundant coded-ascent
+    messages are *expected* orphans — the polynomial code's in-order
+    interpolation discards the ``f`` spare column results by design
+    (Section 4.2) — so an orphan whose source is a code rank and whose
+    tag is in the ``bfs_up`` family is reported as ``info``
+    (``orphan-send-redundant``); every other orphan is an error.
+``unmatched-recv``
+    A recorded receive with no matching send (graph-level; a live run
+    would hang instead, which is why negative tests seed this).
+``tag-collision``
+    A matched send/recv pair whose word counts disagree (two messages
+    cross-matched on one tag), or a channel whose messages span multiple
+    phases (tag reuse that could cross-match under reordering — warning).
+``wait-cycle``
+    A cycle in the wait-for graph (program order + message + gate
+    dependencies): the schedule can deadlock.
+``phase-crossing``
+    A message sent in one ``phase()`` scope and received in another —
+    phase accounting and fault matching both assume messages stay inside
+    their phase.
+``gate-reachability``
+    A rank listed as a gate participant that never registers at that
+    gate and is not covered by an ``agree_dead`` snapshot: the gate
+    would wait forever on a healthy-but-absent rank.
+``collective-mismatch``
+    Members of one collective group disagree on how many times the
+    group's collective ran — a rank would block in a collective its
+    peers never entered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.commcheck.graph import CommGraph
+from repro.machine.tags import tag_family
+
+__all__ = ["Finding", "check_graph"]
+
+Node = tuple[int, int]  # (rank, op index)
+
+
+@dataclass(frozen=True)
+class Finding:
+    check: str
+    severity: str  # "error" | "warning" | "info"
+    message: str
+    rank: int | None = None
+    phase: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+            "rank": self.rank,
+            "phase": self.phase,
+        }
+
+
+def _channels(
+    graph: CommGraph,
+) -> dict[tuple[int, int, int], dict[str, list[tuple[int, int, dict]]]]:
+    """Group sends/recvs by channel ``(src, dst, tag)`` in program order."""
+    channels: dict[tuple[int, int, int], dict[str, list]] = {}
+    for rank, index, op in graph.all_ops():
+        kind = op.get("op")
+        if kind == "send":
+            key = (rank, op["peer"], op["tag"])
+        elif kind == "recv":
+            key = (op["peer"], rank, op["tag"])
+        else:
+            continue
+        side = channels.setdefault(key, {"sends": [], "recvs": []})
+        side["sends" if kind == "send" else "recvs"].append((rank, index, op))
+    return channels
+
+
+def _benign_orphan(graph: CommGraph, op: dict, src: int) -> bool:
+    """Redundant coded-ascent sends are discarded by design."""
+    code_ranks = set(graph.meta.get("code_ranks", []))
+    return src in code_ranks and tag_family(op["tag"]) == "bfs_up"
+
+
+def _check_matching(graph: CommGraph, channels: dict) -> tuple[list[Finding], dict[Node, Node]]:
+    """FIFO-pair sends with recvs per channel; report orphans, unmatched
+    receives and collisions.  Returns the recv-node -> send-node map used
+    by the wait-for cycle detector."""
+    findings: list[Finding] = []
+    matched: dict[Node, Node] = {}
+    for (src, dst, tag), side in sorted(channels.items()):
+        sends, recvs = side["sends"], side["recvs"]
+        for (s_rank, s_idx, s_op), (r_rank, r_idx, r_op) in zip(sends, recvs):
+            matched[(r_rank, r_idx)] = (s_rank, s_idx)
+            if s_op["words"] != r_op["words"]:
+                findings.append(
+                    Finding(
+                        check="tag-collision",
+                        severity="error",
+                        message=(
+                            f"channel {src}->{dst} tag {tag} "
+                            f"({tag_family(tag)}): matched send of "
+                            f"{s_op['words']} words against recv of "
+                            f"{r_op['words']} words — messages cross-matched"
+                        ),
+                        rank=dst,
+                        phase=r_op.get("phase"),
+                    )
+                )
+        for s_rank, _s_idx, s_op in sends[len(recvs):]:
+            if _benign_orphan(graph, s_op, s_rank):
+                findings.append(
+                    Finding(
+                        check="orphan-send-redundant",
+                        severity="info",
+                        message=(
+                            f"redundant coded-ascent send {src}->{dst} tag "
+                            f"{tag} discarded by in-order interpolation "
+                            "(expected, Section 4.2)"
+                        ),
+                        rank=src,
+                        phase=s_op.get("phase"),
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        check="orphan-send",
+                        severity="error",
+                        message=(
+                            f"send {src}->{dst} tag {tag} "
+                            f"({tag_family(tag)}, {s_op['words']} words) is "
+                            "never received"
+                        ),
+                        rank=src,
+                        phase=s_op.get("phase"),
+                    )
+                )
+        for r_rank, _r_idx, r_op in recvs[len(sends):]:
+            findings.append(
+                Finding(
+                    check="unmatched-recv",
+                    severity="error",
+                    message=(
+                        f"recv at rank {dst} from {src} tag {tag} "
+                        f"({tag_family(tag)}) has no matching send"
+                    ),
+                    rank=dst,
+                    phase=r_op.get("phase"),
+                )
+            )
+        send_phases = {s_op.get("phase") for _r, _i, s_op in sends}
+        if len(send_phases) > 1:
+            findings.append(
+                Finding(
+                    check="tag-collision",
+                    severity="warning",
+                    message=(
+                        f"channel {src}->{dst} tag {tag} "
+                        f"({tag_family(tag)}) carries messages from "
+                        f"multiple phases {sorted(str(p) for p in send_phases)}"
+                        " — tag reuse could cross-match under reordering"
+                    ),
+                    rank=src,
+                ),
+            )
+    return findings, matched
+
+
+def _check_phase_discipline(
+    graph: CommGraph, channels: dict
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for (src, dst, tag), side in sorted(channels.items()):
+        for (_sr, _si, s_op), (_rr, _ri, r_op) in zip(
+            side["sends"], side["recvs"]
+        ):
+            if s_op.get("phase") != r_op.get("phase"):
+                findings.append(
+                    Finding(
+                        check="phase-crossing",
+                        severity="error",
+                        message=(
+                            f"message {src}->{dst} tag {tag} "
+                            f"({tag_family(tag)}) sent in phase "
+                            f"{s_op.get('phase')!r} but received in phase "
+                            f"{r_op.get('phase')!r}"
+                        ),
+                        rank=dst,
+                        phase=r_op.get("phase"),
+                    )
+                )
+    return findings
+
+
+def _gate_occurrences(graph: CommGraph) -> dict[str, dict[int, list[tuple[int, dict]]]]:
+    """key -> rank -> [(op index, op), ...] in program order."""
+    gates: dict[str, dict[int, list[tuple[int, dict]]]] = {}
+    for rank, index, op in graph.all_ops():
+        if op.get("op") == "gate":
+            gates.setdefault(op["key"], {}).setdefault(rank, []).append(
+                (index, op)
+            )
+    return gates
+
+
+def _agreed_dead(graph: CommGraph) -> set[int]:
+    dead: set[int] = set()
+    for _rank, _index, op in graph.all_ops():
+        if op.get("op") == "agree_dead":
+            dead.update(op.get("dead", []))
+    return dead
+
+
+def _check_gates(graph: CommGraph) -> list[Finding]:
+    """Recovery reachability: every rank a gate waits on either registers
+    at the gate or is covered by an agreed failure snapshot."""
+    findings: list[Finding] = []
+    covered_dead = _agreed_dead(graph)
+    for key, by_rank in sorted(_gate_occurrences(graph).items()):
+        participants: set[int] = set()
+        for occurrences in by_rank.values():
+            for _index, op in occurrences:
+                participants.update(op.get("participants", []))
+        arrived = set(by_rank)
+        for missing in sorted(participants - arrived - covered_dead):
+            findings.append(
+                Finding(
+                    check="gate-reachability",
+                    severity="error",
+                    message=(
+                        f"gate {key} waits on rank {missing}, which never "
+                        "registers and is not covered by any agree_dead "
+                        "snapshot"
+                    ),
+                    rank=missing,
+                )
+            )
+    return findings
+
+
+def _check_collectives(graph: CommGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    counts: dict[tuple[str, tuple[int, ...]], dict[int, int]] = {}
+    for rank, _index, op in graph.all_ops():
+        if op.get("op") == "collective":
+            key = (op["name"], tuple(op["group"]))
+            counts.setdefault(key, {})[rank] = (
+                counts.setdefault(key, {}).get(rank, 0) + 1
+            )
+    for (name, group), by_rank in sorted(counts.items()):
+        expected = max(by_rank.values())
+        for member in group:
+            if by_rank.get(member, 0) != expected:
+                findings.append(
+                    Finding(
+                        check="collective-mismatch",
+                        severity="error",
+                        message=(
+                            f"collective {name} over group {list(group)}: "
+                            f"rank {member} participated "
+                            f"{by_rank.get(member, 0)} time(s), peers "
+                            f"{expected}"
+                        ),
+                        rank=member,
+                    )
+                )
+    return findings
+
+
+def _check_cycles(
+    graph: CommGraph, matched: dict[Node, Node]
+) -> list[Finding]:
+    """Wait-for-cycle detection: program order + matched-message + gate
+    dependency edges; any cycle means the schedule can deadlock."""
+    edges: dict[Node, list[Node]] = {}
+
+    def add_edge(frm: Node, to: Node) -> None:
+        edges.setdefault(frm, []).append(to)
+
+    for rank in sorted(graph.ranks):
+        ops = graph.ranks[rank]
+        for index in range(len(ops) - 1):
+            add_edge((rank, index), (rank, index + 1))
+    for recv_node, send_node in matched.items():
+        add_edge(send_node, recv_node)
+    gates = _gate_occurrences(graph)
+    for _key, by_rank in sorted(gates.items()):
+        for rank, occurrences in by_rank.items():
+            for occ_i, (index, op) in enumerate(occurrences):
+                for peer in op.get("participants", []):
+                    if peer == rank:
+                        continue
+                    peer_occ = by_rank.get(peer, [])
+                    if occ_i < len(peer_occ):
+                        # A gate completes once every participant *arrives*,
+                        # i.e. finishes the op preceding its own gate — the
+                        # gate ops themselves wait mutually, which is a
+                        # barrier, not a deadlock.
+                        peer_idx = peer_occ[occ_i][0]
+                        if peer_idx > 0:
+                            add_edge((peer, peer_idx - 1), (rank, index))
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[Node, int] = {}
+    findings: list[Finding] = []
+    all_nodes = [
+        (rank, index)
+        for rank in sorted(graph.ranks)
+        for index in range(len(graph.ranks[rank]))
+    ]
+    for start in all_nodes:
+        if color.get(start, WHITE) != WHITE:
+            continue
+        stack: list[tuple[Node, int]] = [(start, 0)]
+        path: list[Node] = []
+        while stack:
+            node, child_i = stack.pop()
+            if child_i == 0:
+                color[node] = GREY
+                path.append(node)
+            children = edges.get(node, [])
+            advanced = False
+            for i in range(child_i, len(children)):
+                child = children[i]
+                state = color.get(child, WHITE)
+                if state == GREY:
+                    # Back edge: reconstruct the cycle through the path.
+                    cycle = path[path.index(child):] + [child]
+                    ops_desc = ", ".join(
+                        f"rank {r} op {i} "
+                        f"({graph.ranks[r][i].get('op')}"
+                        f"@{graph.ranks[r][i].get('phase')})"
+                        for r, i in cycle[:-1]
+                    )
+                    findings.append(
+                        Finding(
+                            check="wait-cycle",
+                            severity="error",
+                            message=f"wait-for cycle: {ops_desc}",
+                            rank=child[0],
+                            phase=graph.ranks[child[0]][child[1]].get("phase"),
+                        )
+                    )
+                    return findings  # one cycle report is enough to fail
+                if state == WHITE:
+                    stack.append((node, i + 1))
+                    stack.append((child, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+    return findings
+
+
+def check_graph(graph: CommGraph, phase: str | None = None) -> list[Finding]:
+    """Run every structural check; optionally filter findings to one
+    phase (``commcheck --phase`` triage)."""
+    channels = _channels(graph)
+    findings, matched = _check_matching(graph, channels)
+    findings.extend(_check_phase_discipline(graph, channels))
+    findings.extend(_check_gates(graph))
+    findings.extend(_check_collectives(graph))
+    findings.extend(_check_cycles(graph, matched))
+    if phase is not None:
+        findings = [f for f in findings if f.phase == phase]
+    order = {"error": 0, "warning": 1, "info": 2}
+    return sorted(
+        findings,
+        key=lambda f: (order.get(f.severity, 3), f.check, f.rank or 0, f.message),
+    )

@@ -1,0 +1,72 @@
+"""The extracted communication graph and its canonical JSON form.
+
+A :class:`CommGraph` is the per-rank, program-ordered list of
+communication operations recorded by a
+:class:`~repro.machine.record.ScheduleRecorder`, plus extraction
+metadata (variant, machine geometry, parameters).  The JSON form is
+canonical — sorted keys, no whitespace, no timestamps — so the same
+``(P, k, f)`` always serializes to byte-identical text, which CI diffs
+across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+__all__ = ["CommGraph"]
+
+
+class CommGraph:
+    """Immutable-by-convention communication graph.
+
+    ``meta`` carries the extraction parameters and machine geometry;
+    ``ranks`` maps global rank -> that rank's operations in program
+    order (see :class:`~repro.machine.record.ScheduleRecorder` for the
+    operation schema).
+    """
+
+    def __init__(self, meta: dict[str, Any], ranks: dict[int, list[dict[str, Any]]]):
+        self.meta = meta
+        self.ranks = {int(r): ops for r, ops in ranks.items()}
+
+    # -- iteration helpers --------------------------------------------------
+    def all_ops(self) -> Iterator[tuple[int, int, dict[str, Any]]]:
+        """Yield ``(rank, index, op)`` over every rank in rank order."""
+        for rank in sorted(self.ranks):
+            for index, op in enumerate(self.ranks[rank]):
+                yield rank, index, op
+
+    def phases(self) -> list[str]:
+        """All phase names appearing in the graph, in sorted order."""
+        seen = set()
+        for _rank, _index, op in self.all_ops():
+            phase = op.get("phase")
+            if phase is not None:
+                seen.add(phase)
+        return sorted(seen)
+
+    def op_count(self) -> int:
+        return sum(len(ops) for ops in self.ranks.values())
+
+    def message_count(self) -> int:
+        return sum(
+            1 for _r, _i, op in self.all_ops() if op.get("op") == "send"
+        )
+
+    # -- serialization ------------------------------------------------------
+    def canonical_json(self) -> str:
+        """Deterministic serialization: identical graphs -> identical bytes."""
+        payload = {
+            "meta": self.meta,
+            "ranks": {str(r): self.ranks[r] for r in sorted(self.ranks)},
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "CommGraph":
+        payload = json.loads(text)
+        return cls(
+            meta=payload["meta"],
+            ranks={int(r): ops for r, ops in payload["ranks"].items()},
+        )

@@ -29,8 +29,8 @@ from repro.machine.fault import FaultSchedule
 
 __all__ = ["CheckpointedToomCook"]
 
-TAG_CKPT = 400_000
-TAG_CKPT_RESTORE = 410_000
+# Re-exported from the tag registry for existing importers.
+from repro.machine.tags import TAG_CKPT, TAG_CKPT_RESTORE  # noqa: E402
 
 MAX_RESTARTS = 16
 
@@ -140,7 +140,15 @@ class CheckpointedToomCook(ParallelToomCook):
                 if comm.rank == sender:
                     comm.send(d, held[d], tag=TAG_CKPT_RESTORE + attempt)
                 if comm.rank == d:
-                    va, vb = comm.recv(sender, tag=TAG_CKPT_RESTORE + attempt)
+                    # Bounded wait (COMM003): the sender may die before its
+                    # restore send, so the replacement must not block past
+                    # the deadlock budget waiting for a checkpoint that
+                    # will never arrive.
+                    va, vb = comm.recv(
+                        sender,
+                        tag=TAG_CKPT_RESTORE + attempt,
+                        timeout=self.timeout,
+                    )
         return va, vb, held
 
     def _assemble(self, results: list[Any]) -> int:

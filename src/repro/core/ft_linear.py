@@ -30,9 +30,12 @@ from repro.machine.errors import MachineError
 
 __all__ = ["LinearCodedState", "ColumnCode"]
 
-TAG_ENCODE = 5000
-TAG_RECOVER = 5600
-TAG_STATE_META = 5900
+# Re-exported from the tag registry for existing importers.
+from repro.machine.tags import (  # noqa: E402
+    TAG_ENCODE,
+    TAG_RECOVER,
+    TAG_STATE_META,
+)
 
 
 @dataclass(frozen=True)

@@ -47,7 +47,8 @@ from repro.machine.fault import FaultSchedule
 
 __all__ = ["FaultTolerantToomCook", "TAG_RESEND"]
 
-TAG_RESEND = 300_000
+# Re-exported from the tag registry for existing importers.
+from repro.machine.tags import TAG_RESEND  # noqa: E402
 
 
 class FaultTolerantToomCook(PolynomialCodedToomCook):

@@ -39,12 +39,13 @@ from repro.core.plan import ExecutionPlan
 from repro.machine.engine import Machine, RunResult
 from repro.machine.fault import FaultSchedule
 from repro.machine.grid import ProcessorGrid
+
+# Re-exported from the tag registry: the traversal subclasses
+# (ft_polynomial, ft_toomcook, soft_faults, multistep) import them here.
+from repro.machine.tags import TAG_BFS_DOWN, TAG_BFS_UP
 from repro.util.words import int_to_digits
 
 __all__ = ["ParallelToomCook", "MultiplyOutcome", "TAG_BFS_DOWN", "TAG_BFS_UP"]
-
-TAG_BFS_DOWN = 100_000
-TAG_BFS_UP = 200_000
 
 
 @dataclass
@@ -78,6 +79,10 @@ class ParallelToomCook:
     #: Default for subclasses whose __init__ predates the trace parameter;
     #: callers can also set ``algo.trace = tracer`` after construction.
     trace = None
+    #: Schedule-extraction mode (commcheck): set ``algo.recorder`` to a
+    #: :class:`~repro.machine.record.ScheduleRecorder` before ``multiply``
+    #: and the run's communication graph is captured without altering it.
+    recorder = None
 
     def __init__(
         self,
@@ -115,6 +120,7 @@ class ParallelToomCook:
             timeout=self.timeout,
             topology=self.topology,
             trace=self.trace,
+            recorder=self.recorder,
         )
 
     # -- public ---------------------------------------------------------------

@@ -3,6 +3,11 @@
 from __future__ import annotations
 
 from repro.lint.engine import ENGINE_DIAGNOSTICS, Rule
+from repro.lint.rules.comm import (
+    RawTagRule,
+    UnboundedRecoveryRecvRule,
+    WordsOverrideRule,
+)
 from repro.lint.rules.determinism import (
     DictViewIterationRule,
     RandomnessRule,
@@ -28,6 +33,9 @@ def default_rules() -> list[Rule]:
         TrueDivisionRule(),
         MathFloatRule(),
         PhaseAccountingRule(),
+        WordsOverrideRule(),
+        RawTagRule(),
+        UnboundedRecoveryRecvRule(),
     ]
 
 

@@ -1,0 +1,188 @@
+"""Communication-protocol rules (COMM001-COMM003).
+
+These back the ``repro commcheck`` dynamic analysis with source-level
+checks that catch protocol hazards before a schedule is ever extracted:
+
+``COMM001``
+    An explicit ``words=`` override on a ``send``/``sendrecv`` call in
+    ``core/`` bypasses automatic payload sizing, so the cost certifier's
+    per-message word counts would silently diverge from the real payload.
+    Overrides must be suppressed with a rationale.
+
+``COMM002``
+    Message tags must come from the :mod:`repro.machine.tags` registry
+    (or be derived from registry constants); a bare integer literal tag
+    can silently collide with another protocol's tag band, cross-matching
+    messages.  Applies to ``tag=``/``send_tag=``/``recv_tag=`` arguments
+    and to literal non-zero defaults of parameters with those names.
+
+``COMM003``
+    Inside a ``with comm.phase("recovery")`` block, a ``recv`` without a
+    ``timeout=`` (or ``abort_check=``) waits forever on a peer that may
+    be the very rank whose death triggered recovery — recovery paths must
+    bound every wait.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Rule, SourceFile, Violation
+
+__all__ = ["WordsOverrideRule", "RawTagRule", "UnboundedRecoveryRecvRule"]
+
+_TAG_KWARGS = frozenset({"tag", "send_tag", "recv_tag"})
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _is_recovery_phase(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "phase"
+        and bool(expr.args)
+        and isinstance(expr.args[0], ast.Constant)
+        and expr.args[0].value == "recovery"
+    )
+
+
+def _pure_literal(node: ast.expr) -> bool:
+    """True when the expression references no name at all — literal
+    arithmetic like ``100_000 + 7`` counts, ``TAG_BFS_UP + step`` does
+    not."""
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            return False
+    return True
+
+
+class WordsOverrideRule(Rule):
+    id = "COMM001"
+    name = "comm-words-override"
+    description = (
+        "explicit words= on send/sendrecv in core/ bypasses automatic "
+        "payload sizing and desynchronizes the cost certifier; suppress "
+        "with a rationale if the override is intentional"
+    )
+    scopes = ("core/",)
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in ("send", "sendrecv"):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "words" and not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is None
+                ):
+                    yield self.violation(
+                        sf,
+                        node,
+                        f"{node.func.attr}(...) overrides words=; the charged "
+                        "message size no longer tracks the payload",
+                    )
+
+
+class RawTagRule(Rule):
+    id = "COMM002"
+    name = "comm-raw-tag"
+    description = (
+        "message tags must come from the repro.machine.tags registry; a "
+        "bare literal tag can collide with another protocol's tag band"
+    )
+    scopes = ("core/", "machine/collectives.py")
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg in _TAG_KWARGS and _pure_literal(kw.value):
+                        yield self.violation(
+                            sf,
+                            kw.value,
+                            f"literal {kw.arg}= outside the tag registry; use "
+                            "a repro.machine.tags constant (or derive from one)",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(sf, node)
+
+    def _check_defaults(
+        self, sf: SourceFile, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        args = func.args
+        pairs = list(
+            zip(args.args[len(args.args) - len(args.defaults):], args.defaults)
+        ) + [
+            (a, d)
+            for a, d in zip(args.kwonlyargs, args.kw_defaults)
+            if d is not None
+        ]
+        for arg, default in pairs:
+            # tag=0 is the machine's untagged channel, not a protocol tag.
+            if (
+                arg.arg in _TAG_KWARGS
+                and isinstance(default, ast.Constant)
+                and isinstance(default.value, int)
+                and default.value != 0
+            ):
+                yield self.violation(
+                    sf,
+                    default,
+                    f"parameter {arg.arg}= defaults to a bare literal tag; "
+                    "use a repro.machine.tags constant",
+                )
+
+
+class UnboundedRecoveryRecvRule(Rule):
+    id = "COMM003"
+    name = "comm-unbounded-recovery-recv"
+    description = (
+        "recv inside 'with comm.phase(\"recovery\")' must pass timeout= or "
+        "abort_check=; the awaited peer may be the rank whose death "
+        "triggered recovery"
+    )
+    scopes = ("core/",)
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        out: list[Violation] = []
+        self._visit(sf.tree, False, sf, out)
+        return iter(out)
+
+    def _visit(
+        self, node: ast.AST, in_recovery: bool, sf: SourceFile, out: list[Violation]
+    ) -> None:
+        if isinstance(node, _SCOPE_NODES) and in_recovery:
+            # A nested def is not executed where it is defined; its own
+            # call sites decide whether a bound is needed.
+            in_recovery = False
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            entered = in_recovery or any(
+                _is_recovery_phase(item) for item in node.items
+            )
+            for item in node.items:
+                self._visit(item.context_expr, in_recovery, sf, out)
+            for stmt in node.body:
+                self._visit(stmt, entered, sf, out)
+            return
+        if (
+            in_recovery
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("recv", "recv_raw")
+        ):
+            kwargs = {kw.arg for kw in node.keywords}
+            if not ({"timeout", "abort_check"} & kwargs):
+                out.append(
+                    self.violation(
+                        sf,
+                        node,
+                        f"{node.func.attr}(...) in a recovery phase without "
+                        "timeout= or abort_check=; a dead peer would hang "
+                        "recovery forever",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, in_recovery, sf, out)

@@ -32,6 +32,18 @@ from typing import Any, Callable, Sequence
 
 from repro.machine.errors import CommError
 from repro.machine.sizes import payload_words
+from repro.machine.tags import (
+    TAG_ALLGATHER,
+    TAG_ALLREDUCE,
+    TAG_ALLTOALL,
+    TAG_BARRIER,
+    TAG_BROADCAST,
+    TAG_GATHER,
+    TAG_REDUCE,
+    TAG_SCATTER,
+    TAG_T_BROADCAST,
+    TAG_T_REDUCE,
+)
 
 __all__ = [
     "broadcast",
@@ -95,7 +107,7 @@ def _prank(vrank: int, root: int, size: int) -> int:
     return (vrank + root) % size
 
 
-def broadcast(comm: Any, value: Any, root: int = 0, tag: int = 100) -> Any:
+def broadcast(comm: Any, value: Any, root: int = 0, tag: int = TAG_BROADCAST) -> Any:
     """Binomial-tree broadcast; returns the value at every rank."""
     size = comm.size
     if not (0 <= root < size):
@@ -127,7 +139,7 @@ def reduce(
     value: Any,
     op: Callable[[Any, Any], Any] = _ADD,
     root: int = 0,
-    tag: int = 101,
+    tag: int = TAG_REDUCE,
 ) -> Any:
     """Binomial-tree reduction; the result is returned at ``root``
     (other ranks get ``None``)."""
@@ -151,14 +163,14 @@ def reduce(
 
 
 def allreduce(
-    comm: Any, value: Any, op: Callable[[Any, Any], Any] = _ADD, tag: int = 102
+    comm: Any, value: Any, op: Callable[[Any, Any], Any] = _ADD, tag: int = TAG_ALLREDUCE
 ) -> Any:
     """Reduce-to-0 then broadcast (every rank gets the result)."""
     acc = reduce(comm, value, op=op, root=0, tag=tag)
     return broadcast(comm, acc, root=0, tag=tag + 1)
 
 
-def gather(comm: Any, value: Any, root: int = 0, tag: int = 103) -> list | None:
+def gather(comm: Any, value: Any, root: int = 0, tag: int = TAG_GATHER) -> list | None:
     """Gather one value per rank at ``root`` (group order)."""
     size = comm.size
     if not (0 <= root < size):
@@ -176,14 +188,16 @@ def gather(comm: Any, value: Any, root: int = 0, tag: int = 103) -> list | None:
     return None
 
 
-def allgather(comm: Any, value: Any, tag: int = 104) -> list:
+def allgather(comm: Any, value: Any, tag: int = TAG_ALLGATHER) -> list:
     """Gather at 0, broadcast the list (ring/doubling costs don't matter
     for the constant-size groups this project uses)."""
     collected = gather(comm, value, root=0, tag=tag)
     return broadcast(comm, collected, root=0, tag=tag + 1)
 
 
-def scatter(comm: Any, values: Sequence[Any] | None, root: int = 0, tag: int = 105) -> Any:
+def scatter(
+    comm: Any, values: Sequence[Any] | None, root: int = 0, tag: int = TAG_SCATTER
+) -> Any:
     """Scatter ``values[i]`` to rank ``i`` from ``root``."""
     size = comm.size
     if not (0 <= root < size):
@@ -200,7 +214,7 @@ def scatter(comm: Any, values: Sequence[Any] | None, root: int = 0, tag: int = 1
     return comm.recv(root, tag=tag)
 
 
-def alltoall(comm: Any, send_blocks: Sequence[Any], tag: int = 106) -> list:
+def alltoall(comm: Any, send_blocks: Sequence[Any], tag: int = TAG_ALLTOALL) -> list:
     """Direct-exchange all-to-all: rank ``i`` receives ``send_blocks[i]``
     from every rank.  Cost per rank: ``size-1`` messages each way."""
     size = comm.size
@@ -219,7 +233,7 @@ def alltoall(comm: Any, send_blocks: Sequence[Any], tag: int = 106) -> list:
     return out
 
 
-def barrier(comm: Any, tag: int = 107) -> None:
+def barrier(comm: Any, tag: int = TAG_BARRIER) -> None:
     """Dissemination barrier (log-round synchronization)."""
     size = comm.size
     rounds = max(1, math.ceil(math.log2(size))) if size > 1 else 0
@@ -236,7 +250,9 @@ def barrier(comm: Any, tag: int = 107) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _charge_lemma25(comm: Any, t: int, total_words: int, with_flops: bool) -> None:
+def _charge_lemma25(
+    comm: Any, t: int, total_words: int, with_flops: bool, name: str = "lemma25"
+) -> None:
     """Charge one rank the Lemma 2.5 critical-path costs."""
     logp = max(1, math.ceil(math.log2(max(2, comm.size))))
     comm.clock.charge_flops(total_words if with_flops else 0)
@@ -245,6 +261,18 @@ def _charge_lemma25(comm: Any, t: int, total_words: int, with_flops: bool) -> No
     comm.ledger.charge(
         f=total_words if with_flops else 0, bw=total_words, l=logp + t
     )
+    base = _base_comm(comm)
+    recorder = base._state.recorder
+    if recorder is not None:
+        group = (
+            list(comm.ranks)
+            if hasattr(comm, "ranks")
+            else list(range(comm.size))
+        )
+        recorder.on_collective(
+            base.rank, base.current_phase, name, group,
+            total_words, logp + t, base.incarnation,
+        )
 
 
 def _uncharged_send(comm: Any, dest: int, payload: Any, tag: int) -> None:
@@ -261,6 +289,12 @@ def _uncharged_send(comm: Any, dest: int, payload: Any, tag: int) -> None:
     base.fault_point()
     from repro.machine.network import Message
 
+    recorder = base._state.recorder
+    if recorder is not None:
+        recorder.on_send(
+            base.rank, base.current_phase, gdest, tag, 0, 0,
+            base.incarnation, modeled=True,
+        )
     base._state.router.post(
         Message(
             source=base.rank,
@@ -296,6 +330,12 @@ def _uncharged_recv(comm: Any, source: int, tag: int) -> Any:
                 raise PeerDead(gsource) from None
             if waited >= state.timeout:
                 raise
+    recorder = state.recorder
+    if recorder is not None:
+        recorder.on_recv(
+            base.rank, base.current_phase, msg.source, msg.tag, msg.words, 0,
+            base.incarnation, modeled=True,
+        )
     base.clock.merge(msg.clock)
     return msg.payload
 
@@ -304,7 +344,7 @@ def t_reduce(
     comm: Any,
     contributions: dict[int, Any],
     op: Callable[[Any, Any], Any] = _ADD,
-    tag: int = 120,
+    tag: int = TAG_T_REDUCE,
     modeled: bool = True,
 ) -> Any:
     """``t`` simultaneous reductions (Lemma 2.5).
@@ -336,7 +376,7 @@ def t_reduce(
     total_words = sum(
         payload_words(contributions[r], comm.word_bits) for r in roots
     )
-    _charge_lemma25(comm, t, total_words, with_flops=True)
+    _charge_lemma25(comm, t, total_words, with_flops=True, name="t_reduce")
     _trace_collective(
         comm,
         "t_reduce",
@@ -367,7 +407,7 @@ def t_reduce(
 def t_broadcast(
     comm: Any,
     values: dict[int, Any],
-    tag: int = 140,
+    tag: int = TAG_T_BROADCAST,
     modeled: bool = True,
 ) -> dict[int, Any]:
     """``t`` simultaneous broadcasts (Corollary 2.6).
@@ -401,7 +441,7 @@ def t_broadcast(
         else:
             out[root] = _uncharged_recv(comm, root, mytag)
             total_words += payload_words(out[root], comm.word_bits)
-    _charge_lemma25(comm, 0, total_words, with_flops=False)
+    _charge_lemma25(comm, 0, total_words, with_flops=False, name="t_broadcast")
     _trace_collective(
         comm,
         "t_broadcast",

@@ -28,6 +28,7 @@ from repro.machine.errors import CommError, DeadlockError, HardFault, PeerDead
 from repro.machine.fault import FaultLog, FaultSchedule
 from repro.machine.memory import LocalMemory
 from repro.machine.network import Message, Router
+from repro.machine.record import ScheduleRecorder
 from repro.machine.sizes import payload_words
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -50,6 +51,7 @@ class _SharedState:
         timeout: float,
         topology: Any = None,
         tracer: Tracer | None = None,
+        recorder: ScheduleRecorder | None = None,
     ):
         from repro.machine.topology import FullyConnected
 
@@ -57,6 +59,9 @@ class _SharedState:
         # Explicit None-check: an empty RecordingTracer has len() == 0 and
         # would be falsy under ``tracer or NULL_TRACER``.
         self.tracer = NULL_TRACER if tracer is None else tracer
+        #: Communication-schedule recorder (commcheck extraction); None
+        #: outside extraction runs, and purely observational when set.
+        self.recorder = recorder
         self.topology = topology or FullyConnected(size)
         self.router = router
         self.word_bits = word_bits
@@ -159,7 +164,14 @@ class Communicator:
                 state.agreed_dead[key] = frozenset(
                     r for r in candidates if not state.alive[r]
                 )
-            return state.agreed_dead[key]
+            dead = state.agreed_dead[key]
+        recorder = state.recorder
+        if recorder is not None:
+            recorder.on_agree_dead(
+                self.rank, self.current_phase, key, candidates, dead,
+                self.incarnation,
+            )
+        return dead
 
     def vote(self, key: Any, value: bool) -> None:
         """Record a boolean flag under ``key`` (read after the matching
@@ -168,6 +180,11 @@ class Communicator:
         state = self._state
         with state.lock:
             state.votes.setdefault(key, {})[self.rank] = value
+        recorder = state.recorder
+        if recorder is not None:
+            recorder.on_vote(
+                self.rank, self.current_phase, key, value, self.incarnation
+            )
 
     def poll_votes(self, key: Any) -> dict[int, bool]:
         """All votes recorded under ``key`` so far (vote before the gate,
@@ -194,6 +211,12 @@ class Communicator:
         state = self._state
         with state.lock:
             state.gates.setdefault(key, set()).add(self.rank)
+        recorder = state.recorder
+        if recorder is not None:
+            recorder.on_gate(
+                self.rank, self.current_phase, key, participants,
+                self.incarnation,
+            )
         limit = state.timeout if timeout is None else timeout
         # The gate's timeout is a *hang detector* for the real threads
         # backing the simulation, not part of the simulated machine: a
@@ -229,6 +252,11 @@ class Communicator:
         that task."""
         with self._state.lock:
             self._state.aborted_task[self.rank] = task
+        recorder = self._state.recorder
+        if recorder is not None:
+            recorder.on_abort(
+                self.rank, self.current_phase, task, self.incarnation
+            )
         tracer = self._state.tracer
         if tracer.enabled:
             tracer.on_abort(
@@ -365,6 +393,11 @@ class Communicator:
             # The abort marker is deliberately left untouched: recovery
             # protocols decide when the replacement rejoins a task.
         self._phase_ops = 0
+        recorder = state.recorder
+        if recorder is not None:
+            recorder.on_replacement(
+                self.rank, self.current_phase, purge, self.incarnation
+            )
         tracer = state.tracer
         if tracer.enabled:
             tracer.on_replacement(
@@ -400,6 +433,12 @@ class Communicator:
         self.clock.bw += nwords
         self.clock.l += hops
         self.ledger.charge(bw=nwords, l=hops)
+        recorder = self._state.recorder
+        if recorder is not None:
+            recorder.on_send(
+                self.rank, self.current_phase, dest, tag, nwords, hops,
+                self.incarnation,
+            )
         tracer = self._state.tracer
         if tracer.enabled:
             tracer.on_send(
@@ -432,49 +471,10 @@ class Communicator:
         or earlier — and no matching message is queued;
         :class:`DeadlockError` on timeout.
         """
-        if source == self.rank:
-            raise CommError(f"rank {self.rank} attempted a self-receive")
         self.fault_point()
-        state = self._state
-        limit = state.timeout if timeout is None else timeout
-        waited = 0.0
-        finish = self.absorb
-        while True:
-            try:
-                return finish(
-                    state.router.collect(
-                        self.rank, source, tag, timeout=_POLL_INTERVAL
-                    )
-                )
-            except DeadlockError:
-                waited += _POLL_INTERVAL
-                with state.lock:
-                    source_gone = (
-                        not state.alive[source]
-                        or state.finished[source]
-                        or (
-                            abort_check is not None
-                            and state.aborted_task[source] == abort_check
-                        )
-                    )
-                if source_gone:
-                    # The source can post no further messages, but its
-                    # final send may have landed between our failed poll
-                    # and the flag check (sends happen-before the flags
-                    # are set): drain once more before failing over.
-                    try:
-                        return finish(
-                            state.router.collect(
-                                self.rank, source, tag, timeout=0.0
-                            )
-                        )
-                    except DeadlockError:
-                        raise PeerDead(source) from None
-                if waited >= limit:
-                    raise DeadlockError(
-                        f"rank {self.rank}: no message from {source} tag {tag} "
-                        f"after {limit:.1f}s"
-                    ) from None
+        return self.absorb(
+            self._collect_matched(source, tag, timeout, abort_check)
+        )
 
     def recv_raw(
         self,
@@ -492,22 +492,34 @@ class Communicator:
         inspect the attached clock, and only absorb (i.e. "wait for")
         the ones actually used.
         """
+        self.fault_point()
+        return self._collect_matched(source, tag, timeout, abort_check, raw=True)
+
+    def _collect_matched(
+        self,
+        source: int,
+        tag: int,
+        timeout: float | None,
+        abort_check: int | None,
+        raw: bool = False,
+        modeled: bool = False,
+    ) -> Message:
+        """Shared physical-delivery loop behind :meth:`recv`,
+        :meth:`recv_raw` and the modeled collective transports: poll the
+        router for a match, failing over to :class:`PeerDead` when the
+        source can post no further messages.  Every delivered message
+        passes through here exactly once, which is where the schedule
+        recorder observes receives."""
         if source == self.rank:
             raise CommError(f"rank {self.rank} attempted a self-receive")
-        self.fault_point()
         state = self._state
         limit = state.timeout if timeout is None else timeout
         waited = 0.0
-
-        def finish(msg: Message) -> Message:
-            return msg
-
-        while True:
+        msg: Message | None = None
+        while msg is None:
             try:
-                return finish(
-                    state.router.collect(
-                        self.rank, source, tag, timeout=_POLL_INTERVAL
-                    )
+                msg = state.router.collect(
+                    self.rank, source, tag, timeout=_POLL_INTERVAL
                 )
             except DeadlockError:
                 waited += _POLL_INTERVAL
@@ -526,18 +538,24 @@ class Communicator:
                     # and the flag check (sends happen-before the flags
                     # are set): drain once more before failing over.
                     try:
-                        return finish(
-                            state.router.collect(
-                                self.rank, source, tag, timeout=0.0
-                            )
+                        msg = state.router.collect(
+                            self.rank, source, tag, timeout=0.0
                         )
                     except DeadlockError:
                         raise PeerDead(source) from None
-                if waited >= limit:
+                elif waited >= limit:
                     raise DeadlockError(
                         f"rank {self.rank}: no message from {source} tag {tag} "
                         f"after {limit:.1f}s"
                     ) from None
+        recorder = state.recorder
+        if recorder is not None:
+            recorder.on_recv(
+                self.rank, self.current_phase, msg.source, msg.tag, msg.words,
+                state.topology.hops(msg.source, self.rank), self.incarnation,
+                modeled=modeled, raw=raw,
+            )
+        return msg
 
     def absorb(self, msg: Message) -> Any:
         """Account for a message obtained via :meth:`recv_raw`: merge its
@@ -593,6 +611,11 @@ class SubCommunicator:
         self.parent = parent
         self.ranks = ranks
         self.rank = ranks.index(parent.rank)
+        recorder = parent._state.recorder
+        if recorder is not None:
+            recorder.on_sub(
+                parent.rank, parent.current_phase, ranks, parent.incarnation
+            )
 
     @property
     def size(self) -> int:

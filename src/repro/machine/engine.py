@@ -85,6 +85,11 @@ class Machine:
         :class:`~repro.obs.tracer.Tracer` instance.  Tracing never
         charges costs: ``RunResult.critical_path`` is identical with and
         without it.
+    recorder:
+        Optional :class:`~repro.machine.record.ScheduleRecorder`
+        (``commcheck`` schedule extraction).  Purely observational — it
+        records the communication structure and never alters costs,
+        matching, or control flow.
     """
 
     def __init__(
@@ -96,6 +101,7 @@ class Machine:
         timeout: float = 60.0,
         topology: Any = None,
         trace: Any = None,
+        recorder: Any = None,
     ):
         if size <= 0:
             raise ValueError("size must be positive")
@@ -112,6 +118,7 @@ class Machine:
         self.timeout = timeout
         self.topology = topology
         self.tracer = make_tracer(trace)
+        self.recorder = recorder
 
     def run(
         self,
@@ -146,6 +153,7 @@ class Machine:
             timeout=self.timeout,
             topology=self.topology,
             tracer=tracer,
+            recorder=self.recorder,
         )
         if tracer.enabled:
             self._wire_tracer(state, memories)

@@ -1,0 +1,225 @@
+"""Communication-schedule recording (the ``commcheck`` extraction layer).
+
+A :class:`ScheduleRecorder` shadows the :class:`~repro.machine.comm.Communicator`:
+when one is installed on a :class:`~repro.machine.engine.Machine`, every
+communication operation — point-to-point sends/receives, Lemma 2.5
+collective transport and charges, ``gate`` / ``agree_dead`` / ``vote``
+synchronization, sub-communicator creation, aborts and replacements — is
+appended to a per-rank operation list in **program order**.
+
+Program order per rank is deterministic for a fault-free run (the
+algorithms draw no entropy and the thread interleaving never reorders a
+single rank's own calls), so the recorded schedule for a given
+``(P, k, f)`` is byte-for-byte reproducible even though the run itself is
+multi-threaded.  No global interleaving order and no virtual-clock values
+are recorded — only the structure the communication checker needs.
+
+The recorder observes; it never alters costs, matching, or control flow.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Iterable
+
+__all__ = ["ScheduleRecorder"]
+
+
+def _key_repr(key: Hashable) -> str:
+    """Canonical string form for gate/vote keys (tuples of str/int)."""
+    return repr(key)
+
+
+class ScheduleRecorder:
+    """Thread-safe per-rank recorder of communication operations.
+
+    Each operation is a plain dict (JSON-ready) with at least ``op``,
+    ``phase`` and ``inc`` (the acting rank's incarnation number); the
+    remaining keys depend on the operation kind:
+
+    ``send`` / ``recv``
+        ``peer``, ``tag``, ``words``, ``hops``; transport legs of modeled
+        collectives carry ``modeled: True`` (their words are charged via a
+        ``collective`` op instead), raw physical deliveries that are
+        absorbed later carry ``raw: True``.
+    ``collective``
+        ``name``, ``group``, ``bw``, ``l`` — a Lemma 2.5 cost charge
+        shared by every member of ``group``.
+    ``gate`` / ``agree_dead`` / ``vote``
+        ``key`` plus ``participants`` / ``candidates`` + ``dead`` /
+        ``value`` respectively.
+    ``sub``
+        ``ranks`` — global ranks of a created sub-communicator.
+    ``abort`` / ``replacement``
+        fault-path markers (``task`` / ``purge``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: rank -> ops in that rank's program order.
+        # guarded-by: _lock
+        self._ops: dict[int, list[dict[str, Any]]] = {}
+
+    # -- low-level append ---------------------------------------------------
+    def _append(self, rank: int, op: dict[str, Any]) -> None:
+        with self._lock:
+            self._ops.setdefault(rank, []).append(op)
+
+    # -- point-to-point -----------------------------------------------------
+    def on_send(
+        self,
+        rank: int,
+        phase: str | None,
+        dest: int,
+        tag: int,
+        words: int,
+        hops: int,
+        inc: int,
+        modeled: bool = False,
+    ) -> None:
+        op: dict[str, Any] = {
+            "op": "send",
+            "phase": phase,
+            "peer": dest,
+            "tag": tag,
+            "words": words,
+            "hops": hops,
+            "inc": inc,
+        }
+        if modeled:
+            op["modeled"] = True
+        self._append(rank, op)
+
+    def on_recv(
+        self,
+        rank: int,
+        phase: str | None,
+        source: int,
+        tag: int,
+        words: int,
+        hops: int,
+        inc: int,
+        modeled: bool = False,
+        raw: bool = False,
+    ) -> None:
+        op: dict[str, Any] = {
+            "op": "recv",
+            "phase": phase,
+            "peer": source,
+            "tag": tag,
+            "words": words,
+            "hops": hops,
+            "inc": inc,
+        }
+        if modeled:
+            op["modeled"] = True
+        if raw:
+            op["raw"] = True
+        self._append(rank, op)
+
+    # -- collectives --------------------------------------------------------
+    def on_collective(
+        self,
+        rank: int,
+        phase: str | None,
+        name: str,
+        group: Iterable[int],
+        bw: int,
+        l: int,
+        inc: int,
+    ) -> None:
+        self._append(
+            rank,
+            {
+                "op": "collective",
+                "phase": phase,
+                "name": name,
+                "group": sorted(group),
+                "bw": bw,
+                "l": l,
+                "inc": inc,
+            },
+        )
+
+    # -- synchronization ----------------------------------------------------
+    def on_gate(
+        self,
+        rank: int,
+        phase: str | None,
+        key: Hashable,
+        participants: Iterable[int],
+        inc: int,
+    ) -> None:
+        self._append(
+            rank,
+            {
+                "op": "gate",
+                "phase": phase,
+                "key": _key_repr(key),
+                "participants": sorted(participants),
+                "inc": inc,
+            },
+        )
+
+    def on_agree_dead(
+        self,
+        rank: int,
+        phase: str | None,
+        key: Hashable,
+        candidates: Iterable[int],
+        dead: Iterable[int],
+        inc: int,
+    ) -> None:
+        self._append(
+            rank,
+            {
+                "op": "agree_dead",
+                "phase": phase,
+                "key": _key_repr(key),
+                "candidates": sorted(candidates),
+                "dead": sorted(dead),
+                "inc": inc,
+            },
+        )
+
+    def on_vote(
+        self, rank: int, phase: str | None, key: Hashable, value: Any, inc: int
+    ) -> None:
+        self._append(
+            rank,
+            {
+                "op": "vote",
+                "phase": phase,
+                "key": _key_repr(key),
+                "value": repr(value),
+                "inc": inc,
+            },
+        )
+
+    # -- topology / fault path ---------------------------------------------
+    def on_sub(
+        self, rank: int, phase: str | None, ranks: Iterable[int], inc: int
+    ) -> None:
+        self._append(
+            rank,
+            {"op": "sub", "phase": phase, "ranks": list(ranks), "inc": inc},
+        )
+
+    def on_abort(self, rank: int, phase: str | None, task: int, inc: int) -> None:
+        self._append(
+            rank, {"op": "abort", "phase": phase, "task": task, "inc": inc}
+        )
+
+    def on_replacement(
+        self, rank: int, phase: str | None, purge: bool, inc: int
+    ) -> None:
+        self._append(
+            rank,
+            {"op": "replacement", "phase": phase, "purge": purge, "inc": inc},
+        )
+
+    # -- extraction ---------------------------------------------------------
+    def ops(self) -> dict[int, list[dict[str, Any]]]:
+        """Snapshot of all recorded operations, rank -> program order."""
+        with self._lock:
+            return {rank: [dict(op) for op in ops] for rank, ops in self._ops.items()}

@@ -1,0 +1,123 @@
+"""Registry of named message-tag constants (single source of truth).
+
+Every tag used on the simulated machine is derived from one of the base
+constants below, so a reader (or the ``commcheck`` analyzer) can map any
+wire tag back to the protocol family that produced it.  Lint rule
+``COMM002`` enforces that ``core/`` and ``machine/collectives.py`` call
+sites reference these names instead of bare integer literals.
+
+Tag-space layout
+----------------
+Families occupy disjoint bands; derived tags add small offsets within
+the band (per-round, per-root, per-epoch, per-task scope...):
+
+* ``100 .. 119`` — counted collectives (:mod:`repro.machine.collectives`):
+  one base per collective, ``barrier`` consumes one tag per round.
+* ``120 .. 139`` — :func:`~repro.machine.collectives.t_reduce`
+  (``base + 3 * root_index``).
+* ``140 .. 159`` — :func:`~repro.machine.collectives.t_broadcast`
+  (``base + 2 * root_index``).
+* ``5000 .. 5999`` — linear column code (:mod:`repro.core.ft_linear`):
+  state encode / recovery / metadata, offset by ``16 * (epoch % 32)``
+  and ``2 * dead_position``.
+* ``100_000 .. 299_999`` — BFS/DFS traversal exchanges
+  (:mod:`repro.core.parallel_toomcook`): ``base + step + 64 * scope``.
+* ``300_000 .. 399_999`` — boundary resends to replacement processors
+  (:mod:`repro.core.ft_toomcook`), same derivation as the traversal.
+* ``400_000 .. 419_999`` — checkpoint shipping / restore
+  (:mod:`repro.core.checkpoint`), restore offset by attempt number.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TAG_BROADCAST",
+    "TAG_REDUCE",
+    "TAG_ALLREDUCE",
+    "TAG_GATHER",
+    "TAG_ALLGATHER",
+    "TAG_SCATTER",
+    "TAG_ALLTOALL",
+    "TAG_BARRIER",
+    "TAG_T_REDUCE",
+    "TAG_T_BROADCAST",
+    "TAG_ENCODE",
+    "TAG_RECOVER",
+    "TAG_STATE_META",
+    "TAG_BFS_DOWN",
+    "TAG_BFS_UP",
+    "TAG_RESEND",
+    "TAG_CKPT",
+    "TAG_CKPT_RESTORE",
+    "TAG_FAMILIES",
+    "tag_family",
+]
+
+# -- counted collectives (machine/collectives.py) ---------------------------
+TAG_BROADCAST = 100
+TAG_REDUCE = 101
+TAG_ALLREDUCE = 102  # reduce stage; broadcast stage uses TAG_ALLREDUCE + 1
+TAG_GATHER = 103
+TAG_ALLGATHER = 104  # gather stage; broadcast stage uses TAG_ALLGATHER + 1
+TAG_SCATTER = 105
+TAG_ALLTOALL = 106
+TAG_BARRIER = 107  # round r of the dissemination barrier uses TAG_BARRIER + r
+
+# -- Lemma 2.5 collectives --------------------------------------------------
+TAG_T_REDUCE = 120  # root i's transport uses TAG_T_REDUCE + 3 * i
+TAG_T_BROADCAST = 140  # root i's transport uses TAG_T_BROADCAST + 2 * i
+
+# -- linear column code (core/ft_linear.py) ---------------------------------
+TAG_ENCODE = 5000  # + 16 * (epoch % 32)
+TAG_RECOVER = 5600  # + 16 * (epoch % 32) + 2 * dead_position
+TAG_STATE_META = 5900
+
+# -- BFS/DFS traversal (core/parallel_toomcook.py) --------------------------
+TAG_BFS_DOWN = 100_000  # + step + 64 * task_scope
+TAG_BFS_UP = 200_000  # + step + 64 * task_scope
+
+# -- boundary resends (core/ft_toomcook.py) ---------------------------------
+TAG_RESEND = 300_000  # + step + 64 * task_scope
+
+# -- checkpointing (core/checkpoint.py) -------------------------------------
+TAG_CKPT = 400_000
+TAG_CKPT_RESTORE = 410_000  # + restart attempt
+
+
+#: Family name -> half-open band ``[lo, hi)`` of the wire-tag space.  Used
+#: by :func:`tag_family` and by the ``commcheck`` reports to label edges.
+TAG_FAMILIES: dict[str, tuple[int, int]] = {
+    "broadcast": (TAG_BROADCAST, TAG_REDUCE),
+    "reduce": (TAG_REDUCE, TAG_ALLREDUCE),
+    "allreduce": (TAG_ALLREDUCE, TAG_GATHER),
+    "gather": (TAG_GATHER, TAG_ALLGATHER),
+    "allgather": (TAG_ALLGATHER, TAG_SCATTER),
+    "scatter": (TAG_SCATTER, TAG_ALLTOALL),
+    "alltoall": (TAG_ALLTOALL, TAG_BARRIER),
+    "barrier": (TAG_BARRIER, TAG_T_REDUCE),
+    "t_reduce": (TAG_T_REDUCE, TAG_T_BROADCAST),
+    "t_broadcast": (TAG_T_BROADCAST, 160),
+    "encode": (TAG_ENCODE, TAG_RECOVER),
+    "recover": (TAG_RECOVER, TAG_STATE_META),
+    "state_meta": (TAG_STATE_META, 6000),
+    "bfs_down": (TAG_BFS_DOWN, TAG_BFS_UP),
+    "bfs_up": (TAG_BFS_UP, TAG_RESEND),
+    "resend": (TAG_RESEND, TAG_CKPT),
+    "ckpt": (TAG_CKPT, TAG_CKPT_RESTORE),
+    "ckpt_restore": (TAG_CKPT_RESTORE, 420_000),
+}
+
+
+def tag_family(tag: int) -> str:
+    """Name of the tag family whose band contains ``tag``.
+
+    Returns ``"untagged"`` for the default tag 0 and ``"unknown"`` for
+    anything outside every registered band — ``commcheck`` surfaces the
+    latter, and ``COMM002`` keeps new bands flowing through this module.
+    """
+    if tag == 0:
+        return "untagged"
+    for name, (lo, hi) in TAG_FAMILIES.items():
+        if lo <= tag < hi:
+            return name
+    return "unknown"

@@ -1,0 +1,21 @@
+"""Shared commcheck fixtures.
+
+The live-tree extraction is the expensive part (one threaded run per
+variant), so it happens once per test session and every test reads the
+same result object.
+"""
+
+import pytest
+
+from repro.commcheck import make_config, run_commcheck
+
+
+@pytest.fixture(scope="session")
+def live_result():
+    """Full commcheck over every variant at the default configuration."""
+    return run_commcheck(None, make_config())
+
+
+@pytest.fixture(scope="session")
+def live_reports(live_result):
+    return {report.variant: report for report in live_result.reports}

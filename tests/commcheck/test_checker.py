@@ -1,0 +1,193 @@
+"""Checker unit tests over hand-seeded graphs, plus the live-tree gate."""
+
+from repro.commcheck import CommGraph, check_graph
+from repro.machine.tags import TAG_BFS_UP
+
+
+def mkgraph(ranks, meta=None):
+    base = {"variant": "seeded", "p": 2, "k": 2, "f": 0, "code_ranks": []}
+    base.update(meta or {})
+    return CommGraph(meta=base, ranks=ranks)
+
+
+def send(peer, tag=0, words=4, phase="work", **extra):
+    op = {
+        "op": "send", "phase": phase, "peer": peer, "tag": tag,
+        "words": words, "hops": 1, "inc": 0,
+    }
+    op.update(extra)
+    return op
+
+
+def recv(peer, tag=0, words=4, phase="work", **extra):
+    op = {
+        "op": "recv", "phase": phase, "peer": peer, "tag": tag,
+        "words": words, "hops": 1, "inc": 0,
+    }
+    op.update(extra)
+    return op
+
+
+def errors(findings):
+    return [f for f in findings if f.severity == "error"]
+
+
+class TestLiveTree:
+    def test_live_schedules_are_clean(self, live_reports):
+        for name, report in live_reports.items():
+            assert not errors(report.findings), (
+                name,
+                [f.message for f in errors(report.findings)],
+            )
+
+    def test_redundant_ascent_is_info_not_error(self, live_reports):
+        infos = [
+            f
+            for f in live_reports["ft_polynomial"].findings
+            if f.check == "orphan-send-redundant"
+        ]
+        assert infos, "expected the coded columns' discarded ascent sends"
+        assert all(f.severity == "info" for f in infos)
+
+    def test_soft_faults_has_no_orphans(self, live_reports):
+        checks = {f.check for f in live_reports["soft_faults"].findings}
+        assert "orphan-send" not in checks
+        assert "orphan-send-redundant" not in checks
+
+
+class TestMatching:
+    def test_clean_pair(self):
+        g = mkgraph({0: [send(1)], 1: [recv(0)]})
+        assert check_graph(g) == []
+
+    def test_seeded_orphan_send(self):
+        g = mkgraph({0: [send(1, tag=7)], 1: []})
+        found = errors(check_graph(g))
+        assert [f.check for f in found] == ["orphan-send"]
+        assert found[0].rank == 0
+
+    def test_redundant_coded_ascent_is_benign(self):
+        g = mkgraph(
+            {5: [send(1, tag=TAG_BFS_UP + 3)], 1: []},
+            meta={"code_ranks": [5]},
+        )
+        findings = check_graph(g)
+        assert not errors(findings)
+        assert [f.check for f in findings] == ["orphan-send-redundant"]
+
+    def test_code_rank_orphan_outside_ascent_band_is_error(self):
+        g = mkgraph({5: [send(1, tag=7)], 1: []}, meta={"code_ranks": [5]})
+        assert [f.check for f in errors(check_graph(g))] == ["orphan-send"]
+
+    def test_unmatched_recv(self):
+        g = mkgraph({0: [], 1: [recv(0, tag=9)]})
+        found = errors(check_graph(g))
+        assert [f.check for f in found] == ["unmatched-recv"]
+        assert found[0].rank == 1
+
+    def test_words_mismatch_is_tag_collision(self):
+        g = mkgraph({0: [send(1, words=4)], 1: [recv(0, words=8)]})
+        assert "tag-collision" in {f.check for f in errors(check_graph(g))}
+
+    def test_tag_reuse_across_phases_warns(self):
+        g = mkgraph(
+            {
+                0: [send(1, phase="a"), send(1, phase="b")],
+                1: [recv(0, phase="a"), recv(0, phase="b")],
+            }
+        )
+        findings = check_graph(g)
+        assert not errors(findings)
+        assert "tag-collision" in {
+            f.check for f in findings if f.severity == "warning"
+        }
+
+
+class TestPhaseDiscipline:
+    def test_phase_crossing(self):
+        g = mkgraph({0: [send(1, phase="eval")], 1: [recv(0, phase="interp")]})
+        assert "phase-crossing" in {f.check for f in errors(check_graph(g))}
+
+    def test_phase_filter(self):
+        g = mkgraph(
+            {
+                0: [send(1, tag=1, phase="a"), send(1, tag=2, phase="b")],
+                1: [],
+            }
+        )
+        all_findings = check_graph(g)
+        assert len(errors(all_findings)) == 2
+        only_a = check_graph(g, phase="a")
+        assert [f.phase for f in only_a] == ["a"]
+
+
+class TestDeadlock:
+    def test_seeded_wait_cycle(self):
+        # Both ranks recv before their send: a classic head-of-line
+        # deadlock even though every message is matched.
+        g = mkgraph(
+            {
+                0: [recv(1, tag=1), send(1, tag=2)],
+                1: [recv(0, tag=2), send(0, tag=1)],
+            }
+        )
+        assert "wait-cycle" in {f.check for f in errors(check_graph(g))}
+
+    def test_ordered_exchange_has_no_cycle(self):
+        g = mkgraph(
+            {
+                0: [send(1, tag=1), recv(1, tag=2)],
+                1: [recv(0, tag=1), send(0, tag=2)],
+            }
+        )
+        assert check_graph(g) == []
+
+    def test_mutual_gate_is_barrier_not_deadlock(self):
+        gate = {
+            "op": "gate", "phase": "sync", "key": "('x',)",
+            "participants": [0, 1], "inc": 0,
+        }
+        g = mkgraph({0: [dict(gate)], 1: [dict(gate)]})
+        assert check_graph(g) == []
+
+
+class TestGatesAndCollectives:
+    def test_gate_reachability_missing_rank(self):
+        gate = {
+            "op": "gate", "phase": "sync", "key": "('x',)",
+            "participants": [0, 1], "inc": 0,
+        }
+        g = mkgraph({0: [gate], 1: []})
+        found = errors(check_graph(g))
+        assert [f.check for f in found] == ["gate-reachability"]
+        assert found[0].rank == 1
+
+    def test_agree_dead_covers_missing_rank(self):
+        gate = {
+            "op": "gate", "phase": "sync", "key": "('x',)",
+            "participants": [0, 1], "inc": 0,
+        }
+        agreed = {
+            "op": "agree_dead", "phase": "sync", "key": "('d',)",
+            "candidates": [1], "dead": [1], "inc": 0,
+        }
+        g = mkgraph({0: [agreed, gate], 1: []})
+        assert check_graph(g) == []
+
+    def test_collective_mismatch(self):
+        coll = {
+            "op": "collective", "phase": "code-creation", "name": "t_reduce",
+            "group": [0, 1], "bw": 8, "l": 2, "inc": 0,
+        }
+        g = mkgraph({0: [dict(coll)], 1: []})
+        found = errors(check_graph(g))
+        assert [f.check for f in found] == ["collective-mismatch"]
+        assert found[0].rank == 1
+
+    def test_collective_agreement_is_clean(self):
+        coll = {
+            "op": "collective", "phase": "code-creation", "name": "t_reduce",
+            "group": [0, 1], "bw": 8, "l": 2, "inc": 0,
+        }
+        g = mkgraph({0: [dict(coll)], 1: [dict(coll)]})
+        assert check_graph(g) == []

@@ -1,0 +1,61 @@
+"""``python -m repro commcheck`` behavior: exit codes and artifacts."""
+
+import json
+
+from repro.cli import main
+
+
+class TestCommcheckCli:
+    def test_list_variants(self, capsys):
+        assert main(["commcheck", "--list-variants"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "parallel" in out and "ft_toomcook" in out and len(out) == 8
+
+    def test_single_variant_passes(self, capsys):
+        assert main(["commcheck", "--variants", "parallel"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] parallel" in out
+        assert "commcheck PASS" in out
+
+    def test_tiny_tolerance_exits_nonzero(self, capsys):
+        code = main(
+            ["commcheck", "--variants", "parallel", "--tolerance-scale", "0.001"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "cost [FAIL]" in out and "commcheck FAIL" in out
+
+    def test_json_out_artifact(self, tmp_path, capsys):
+        path = tmp_path / "comm-graphs.json"
+        assert (
+            main(["commcheck", "--variants", "ft_linear", "--json-out", str(path)])
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
+        (entry,) = payload["variants"]
+        assert entry["variant"] == "ft_linear"
+        assert entry["certification"]["passed"] is True
+        assert entry["graph"]["meta"]["machine_size"] == 4
+
+    def test_json_report_omits_graphs(self, capsys):
+        assert main(["commcheck", "--variants", "ft_linear", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert "graph" not in payload["variants"][0]
+
+    def test_phase_flag_filters_findings(self, capsys):
+        assert (
+            main(
+                [
+                    "commcheck",
+                    "--variants",
+                    "ft_polynomial",
+                    "--phase",
+                    "interpolation",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()

@@ -1,0 +1,69 @@
+"""Schedule extraction: structure, geometry, and determinism."""
+
+import pytest
+
+from repro.commcheck import (
+    COMMCHECK_VARIANTS,
+    CommGraph,
+    ExtractionError,
+    extract_variant,
+    make_config,
+)
+
+
+class TestExtraction:
+    def test_all_variants_extract(self, live_reports):
+        assert set(live_reports) == set(COMMCHECK_VARIANTS)
+        for name, report in live_reports.items():
+            assert report.error is None, f"{name}: {report.error}"
+            assert report.graph is not None
+
+    def test_parallel_structure(self, live_reports):
+        graph = live_reports["parallel"].graph
+        assert graph.meta["variant"] == "parallel"
+        assert graph.meta["machine_size"] == 9
+        assert len(graph.ranks) == 9
+        assert graph.message_count() > 0
+        # Every op carries the schema keys the checker relies on.
+        for _rank, _index, op in graph.all_ops():
+            assert "op" in op and "phase" in op and "inc" in op
+            if op["op"] in ("send", "recv"):
+                assert {"peer", "tag", "words", "hops"} <= set(op)
+
+    def test_ft_polynomial_geometry(self, live_reports):
+        meta = live_reports["ft_polynomial"].graph.meta
+        # P=9, q=3, f=1: one code rank per grid column (g2 = P/q = 3).
+        assert meta["code_ranks"] == [9, 10, 11]
+        assert meta["machine_size"] == 12
+
+    def test_replication_geometry(self, live_reports):
+        meta = live_reports["replication"].graph.meta
+        assert meta["machine_size"] == 18  # (f+1) * P
+
+    def test_phases_are_named(self, live_reports):
+        phases = live_reports["parallel"].graph.phases()
+        assert phases, "expected named phases in the parallel schedule"
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ExtractionError):
+            extract_variant("nonexistent")
+
+
+class TestDeterminism:
+    def test_extraction_is_byte_identical(self):
+        cfg = make_config()
+        first = extract_variant("ft_polynomial", cfg).canonical_json()
+        second = extract_variant("ft_polynomial", cfg).canonical_json()
+        assert first == second
+
+    def test_json_roundtrip(self, live_reports):
+        graph = live_reports["ft_linear"].graph
+        text = graph.canonical_json()
+        again = CommGraph.from_json(text)
+        assert again.canonical_json() == text
+        assert again.meta == graph.meta
+        assert again.ranks == graph.ranks
+
+    def test_canonical_json_has_no_whitespace(self, live_reports):
+        text = live_reports["parallel"].graph.canonical_json()
+        assert ": " not in text and ", " not in text

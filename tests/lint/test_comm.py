@@ -1,0 +1,251 @@
+"""COMM001-COMM003: communication-protocol source rules."""
+
+from __future__ import annotations
+
+from repro.lint.rules.comm import (
+    RawTagRule,
+    UnboundedRecoveryRecvRule,
+    WordsOverrideRule,
+)
+
+from .conftest import rule_ids
+
+
+class TestWordsOverride:
+    def test_words_override_flagged(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def step(comm, dest, payload):
+        with comm.phase("evaluation"):
+            comm.send(dest, payload, words=1)
+    """
+            },
+            rules=[WordsOverrideRule()],
+        )
+        assert rule_ids(result) == ["COMM001"]
+        assert "words=" in result.violations[0].message
+
+    def test_sendrecv_words_override_flagged(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def step(comm, dest, payload, n):
+        with comm.phase("evaluation"):
+            comm.sendrecv(dest, payload, dest, words=n)
+    """
+            },
+            rules=[WordsOverrideRule()],
+        )
+        assert rule_ids(result) == ["COMM001"]
+
+    def test_plain_send_allowed(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def step(comm, dest, payload, t):
+        with comm.phase("evaluation"):
+            comm.send(dest, payload, tag=t)
+    """
+            },
+            rules=[WordsOverrideRule()],
+        )
+        assert result.violations == []
+
+    def test_explicit_none_allowed(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def step(comm, dest, payload):
+        with comm.phase("evaluation"):
+            comm.send(dest, payload, words=None)
+    """
+            },
+            rules=[WordsOverrideRule()],
+        )
+        assert result.violations == []
+
+    def test_out_of_scope_not_flagged(self, lint):
+        result = lint(
+            {
+                "machine/helper.py": """\
+    def step(comm, dest, payload):
+        comm.send(dest, payload, words=3)
+    """
+            },
+            rules=[WordsOverrideRule()],
+        )
+        assert result.violations == []
+
+
+class TestRawTag:
+    def test_literal_tag_kwarg_flagged(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def step(comm, dest, payload):
+        comm.send(dest, payload, tag=12345)
+    """
+            },
+            rules=[RawTagRule()],
+        )
+        assert rule_ids(result) == ["COMM002"]
+
+    def test_literal_arithmetic_tag_flagged(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def step(comm, dest, payload):
+        comm.send(dest, payload, tag=100_000 + 7)
+    """
+            },
+            rules=[RawTagRule()],
+        )
+        assert rule_ids(result) == ["COMM002"]
+
+    def test_send_recv_tag_kwargs_flagged(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def step(comm, dest, payload, src):
+        comm.sendrecv(dest, payload, src, send_tag=7, recv_tag=8)
+    """
+            },
+            rules=[RawTagRule()],
+        )
+        assert rule_ids(result) == ["COMM002", "COMM002"]
+
+    def test_registry_constant_allowed(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    from repro.machine.tags import TAG_BFS_UP
+
+    def step(comm, dest, payload, step_i):
+        comm.send(dest, payload, tag=TAG_BFS_UP + step_i)
+    """
+            },
+            rules=[RawTagRule()],
+        )
+        assert result.violations == []
+
+    def test_literal_default_parameter_flagged(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def collect(comm, src, tag=777):
+        return comm.recv(src, tag=tag)
+    """
+            },
+            rules=[RawTagRule()],
+        )
+        assert rule_ids(result) == ["COMM002"]
+
+    def test_zero_default_is_untagged_channel(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def collect(comm, src, tag=0):
+        return comm.recv(src, tag=tag)
+    """
+            },
+            rules=[RawTagRule()],
+        )
+        assert result.violations == []
+
+    def test_collectives_module_in_scope(self, lint):
+        result = lint(
+            {
+                "machine/collectives.py": """\
+    def broadcast(comm, value, root=0, tag=999):
+        return value
+    """
+            },
+            rules=[RawTagRule()],
+        )
+        assert rule_ids(result) == ["COMM002"]
+
+
+class TestUnboundedRecoveryRecv:
+    def test_unbounded_recv_in_recovery_flagged(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def restore(comm, sender, tag):
+        with comm.phase("recovery"):
+            return comm.recv(sender, tag=tag)
+    """
+            },
+            rules=[UnboundedRecoveryRecvRule()],
+        )
+        assert rule_ids(result) == ["COMM003"]
+        assert "timeout" in result.violations[0].message
+
+    def test_timeout_bounds_the_wait(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def restore(comm, sender, tag, budget):
+        with comm.phase("recovery"):
+            return comm.recv(sender, tag=tag, timeout=budget)
+    """
+            },
+            rules=[UnboundedRecoveryRecvRule()],
+        )
+        assert result.violations == []
+
+    def test_abort_check_bounds_the_wait(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def restore(comm, sender, tag, task):
+        with comm.phase("recovery"):
+            return comm.recv_raw(sender, tag=tag, abort_check=task)
+    """
+            },
+            rules=[UnboundedRecoveryRecvRule()],
+        )
+        assert result.violations == []
+
+    def test_recv_outside_recovery_not_flagged(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def gather(comm, sender, tag):
+        with comm.phase("interpolation"):
+            return comm.recv(sender, tag=tag)
+    """
+            },
+            rules=[UnboundedRecoveryRecvRule()],
+        )
+        assert result.violations == []
+
+    def test_nested_with_keeps_recovery_context(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def restore(comm, sender, tag, log):
+        with comm.phase("recovery"):
+            with open(log) as fh:
+                fh.write("restoring")
+                return comm.recv(sender, tag=tag)
+    """
+            },
+            rules=[UnboundedRecoveryRecvRule()],
+        )
+        assert rule_ids(result) == ["COMM003"]
+
+    def test_nested_def_resets_context(self, lint):
+        result = lint(
+            {
+                "core/algo.py": """\
+    def restore(comm, sender, tag):
+        with comm.phase("recovery"):
+            def later():
+                return comm.recv(sender, tag=tag)
+            return later
+    """
+            },
+            rules=[UnboundedRecoveryRecvRule()],
+        )
+        assert result.violations == []

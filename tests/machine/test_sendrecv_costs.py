@@ -1,0 +1,58 @@
+"""sendrecv latency/cost audit (see docs/STATIC_ANALYSIS.md).
+
+``sendrecv`` is implemented as send-then-recv, and both primitives charge
+``bw = words`` and ``l = hops`` on *both* endpoints, so a combined
+exchange must cost exactly the same (F, BW, L) as the equivalent paired
+``send`` + ``recv`` — this pins that equivalence so a future "optimized"
+sendrecv cannot silently change the cost model.
+"""
+
+from repro.machine.engine import Machine
+from repro.machine.tags import TAG_ENCODE
+
+
+def _exchange_sendrecv(comm):
+    peer = 1 - comm.rank
+    return comm.sendrecv(
+        peer, ("payload", comm.rank, [0] * 16), peer, send_tag=TAG_ENCODE
+    )
+
+
+def _exchange_paired(comm):
+    peer = 1 - comm.rank
+    comm.send(peer, ("payload", comm.rank, [0] * 16), tag=TAG_ENCODE)
+    return comm.recv(peer, tag=TAG_ENCODE)
+
+
+class TestSendrecvCostParity:
+    def test_f_bw_l_match_paired_send_recv(self):
+        combined = Machine(2, word_bits=16).run(_exchange_sendrecv)
+        paired = Machine(2, word_bits=16).run(_exchange_paired)
+        assert combined.ok and paired.ok
+        assert combined.results == paired.results
+        for got, want in zip(combined.per_rank, paired.per_rank):
+            assert (got.f, got.bw, got.l) == (want.f, want.bw, want.l)
+        c, p = combined.critical_path, paired.critical_path
+        assert (c.f, c.bw, c.l) == (p.f, p.bw, p.l)
+
+    def test_both_endpoints_charged(self):
+        result = Machine(2, word_bits=16).run(_exchange_sendrecv)
+        a, b = result.per_rank
+        # The exchange is symmetric, so the two ranks' clocks agree.
+        assert (a.bw, a.l) == (b.bw, b.l)
+        assert a.bw > 0 and a.l > 0
+
+    def test_distinct_recv_tag(self):
+        def program(comm):
+            peer = 1 - comm.rank
+            return comm.sendrecv(
+                peer,
+                comm.rank,
+                peer,
+                send_tag=TAG_ENCODE + comm.rank,
+                recv_tag=TAG_ENCODE + peer,
+            )
+
+        result = Machine(2).run(program)
+        assert result.ok
+        assert result.results == [1, 0]
