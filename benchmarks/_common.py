@@ -7,6 +7,7 @@ import random
 from pathlib import Path
 
 from repro.core.plan import make_plan
+from repro.parallel import Task, WorkerPool
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -34,6 +35,30 @@ def emit(name: str, text: str) -> None:
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark and return its value."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def sweep(fn, param_tuples, jobs=None, keys=None):
+    """Run ``fn`` over a parameter sweep, optionally across CPU cores.
+
+    ``fn`` must be a module-level function (picklable) whose value
+    depends only on its arguments — every table/figure sweep here
+    qualifies, because operands derive from explicit seeds.  Results
+    come back in input order, so rendered tables are byte-identical for
+    any ``jobs``.  ``jobs=None`` reads ``REPRO_JOBS`` (default 1, the
+    exact serial loop); benchmarks therefore stay serial unless the
+    harness opts in, e.g. ``REPRO_JOBS=4 pytest benchmarks/``.
+    """
+    pool = WorkerPool(jobs=jobs)
+    return pool.run(
+        [
+            Task(
+                fn=fn,
+                args=tuple(args),
+                key=keys[i] if keys is not None else f"sweep-{i}",
+            )
+            for i, args in enumerate(param_tuples)
+        ]
+    )
 
 
 def run_registry(out):

@@ -10,7 +10,7 @@ Fits measured scaling exponents against the theorem:
 
 import math
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, sweep
 
 from repro.analysis.compare import fit_exponent
 from repro.analysis.formulas import toom_exponent
@@ -19,25 +19,30 @@ from repro.core.parallel_toomcook import ParallelToomCook
 
 
 def _measure(n_bits, p, k):
+    """One sweep cell: ``(n_words, F, BW, L)``.
+
+    Returns plain numbers (picklable) so the sweep can fan out across
+    cores via ``_common.sweep`` — operands derive from the explicit
+    ``n_bits + p`` seed, so any core computes the identical row.
+    """
     plan = plan_for(n_bits, p, k)
     a, b = operands(n_bits, seed=n_bits + p)
     out = ParallelToomCook(plan, timeout=120).multiply(a, b)
     assert out.product == a * b
-    return plan, out
+    c = out.run.critical_path
+    return plan.n_words, c.f, c.bw, c.l
 
 
 def test_arithmetic_scales_as_toom_exponent_in_n(benchmark):
     p, k = 9, 2
 
     def run():
-        rows = []
         # Sizes chosen so the leaf width doubles exactly each step: the
         # leaf solver pads to a power of k, and a constant padding ratio
         # keeps the fitted exponent clean.
-        for n_bits in (2304, 4608, 9216, 18432):
-            plan, out = _measure(n_bits, p, k)
-            rows.append((plan.n_words, out.run.critical_path.f))
-        return rows
+        sizes = (2304, 4608, 9216, 18432)
+        cells = sweep(_measure, [(n, p, k) for n in sizes])
+        return [(n_words, f) for n_words, f, _bw, _l in cells]
 
     rows = once(benchmark, run)
     ns = [r[0] for r in rows]
@@ -63,11 +68,9 @@ def test_arithmetic_strong_scales_in_p(benchmark):
     k, n_bits = 2, 6000
 
     def run():
-        rows = []
-        for p in (3, 9, 27):
-            _, out = _measure(n_bits, p, k)
-            rows.append((p, out.run.critical_path.f))
-        return rows
+        ps = (3, 9, 27)
+        cells = sweep(_measure, [(n_bits, p, k) for p in ps])
+        return [(p, f) for p, (_n, f, _bw, _l) in zip(ps, cells)]
 
     rows = once(benchmark, run)
     ps = [r[0] for r in rows]
@@ -93,11 +96,9 @@ def test_bandwidth_scales_linearly_in_n(benchmark):
     p, k = 9, 2
 
     def run():
-        rows = []
-        for n_bits in (2304, 4608, 9216, 18432):
-            plan, out = _measure(n_bits, p, k)
-            rows.append((plan.n_words, out.run.critical_path.bw))
-        return rows
+        sizes = (2304, 4608, 9216, 18432)
+        cells = sweep(_measure, [(n, p, k) for n in sizes])
+        return [(n_words, bw) for n_words, _f, bw, _l in cells]
 
     rows = once(benchmark, run)
     ns = [r[0] for r in rows]
@@ -119,11 +120,9 @@ def test_latency_scales_as_log_p(benchmark):
     k, n_bits = 2, 3000
 
     def run():
-        rows = []
-        for p in (3, 9, 27):
-            _, out = _measure(n_bits, p, k)
-            rows.append((p, out.run.critical_path.l))
-        return rows
+        ps = (3, 9, 27)
+        cells = sweep(_measure, [(n_bits, p, k) for p in ps])
+        return [(p, l) for p, (_n, _f, _bw, l) in zip(ps, cells)]
 
     rows = once(benchmark, run)
     ps = [r[0] for r in rows]

@@ -12,7 +12,7 @@ column.  The paper's claims checked here:
   ``Θ(P/(2k-1))`` more than FT.
 """
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, sweep
 
 from repro.analysis.report import render_table
 from repro.core.ft_toomcook import FaultTolerantToomCook
@@ -23,40 +23,62 @@ N_BITS = 1600
 F = 1
 
 
-def _row(name, outcome, extra_procs):
-    c = outcome.run.critical_path
-    return [name, c.f, c.bw, c.l, extra_procs]
+_CASE_ALGOS = ("base", "replication", "ft")
+_CASE_LABELS = {
+    "base": "Parallel Toom-Cook",
+    "replication": "Toom-Cook with Replication",
+    "ft": "Fault-Tolerant Toom-Cook",
+}
+
+
+def _case_cell(p, k, algo_name):
+    """One measured table cell: ``(F, BW, L, extra_procs)``.
+
+    Module-level and scalar-valued so the three algorithm runs of a case
+    fan out across cores via ``_common.sweep`` (operands derive from the
+    explicit ``p * 100 + k`` seed — any core computes the same cell).
+    """
+    plan = plan_for(N_BITS, p, k)
+    a, b = operands(N_BITS, seed=p * 100 + k)
+    if algo_name == "base":
+        algo = ParallelToomCook(plan, timeout=60)
+        extra = 0
+    elif algo_name == "replication":
+        algo = ReplicatedToomCook(plan, f=F, timeout=60)
+        extra = algo.machine_size() - p
+    else:
+        algo = FaultTolerantToomCook(plan, f=F, timeout=60)
+        extra = algo.machine_size() - p
+    out = algo.multiply(a, b)
+    assert out.product == a * b
+    c = out.run.critical_path
+    return c.f, c.bw, c.l, extra
 
 
 def _run_case(p, k):
-    plan = plan_for(N_BITS, p, k)
-    a, b = operands(N_BITS, seed=p * 100 + k)
+    """All three algorithms for one ``(p, k)`` case.
 
-    base_algo = ParallelToomCook(plan, timeout=60)
-    base = base_algo.multiply(a, b)
-    assert base.product == a * b
-
-    rep_algo = ReplicatedToomCook(plan, f=F, timeout=60)
-    rep = rep_algo.multiply(a, b)
-    assert rep.product == a * b
-
-    ft_algo = FaultTolerantToomCook(plan, f=F, timeout=60)
-    ft = ft_algo.multiply(a, b)
-    assert ft.product == a * b
-
+    Returns ``(cells, rows)``: ``cells`` maps algorithm name to its
+    ``(F, BW, L, extra_procs)`` tuple, ``rows`` is the rendered-table
+    form in the paper's row order.
+    """
+    measured = sweep(
+        _case_cell,
+        [(p, k, name) for name in _CASE_ALGOS],
+        keys=[f"table1-{name}-p{p}-k{k}" for name in _CASE_ALGOS],
+    )
+    cells = dict(zip(_CASE_ALGOS, measured))
     rows = [
-        _row("Parallel Toom-Cook", base, 0),
-        _row("Toom-Cook with Replication", rep, rep_algo.machine_size() - p),
-        _row("Fault-Tolerant Toom-Cook", ft, ft_algo.machine_size() - p),
+        [_CASE_LABELS[name], f, bw, l, extra]
+        for name, (f, bw, l, extra) in zip(_CASE_ALGOS, measured)
     ]
-    return base, rep, ft, rep_algo, ft_algo, rows
+    return cells, rows
 
 
 def test_table1_k2_p9(benchmark):
     p, k = 9, 2
-    base, rep, ft, rep_algo, ft_algo, rows = once(
-        benchmark, lambda: _run_case(p, k)
-    )
+    cells, rows = once(benchmark, lambda: _run_case(p, k))
+    base, rep, ft = cells["base"], cells["replication"], cells["ft"]
     emit(
         "table1_k2_p9",
         render_table(
@@ -66,21 +88,20 @@ def test_table1_k2_p9(benchmark):
         ),
     )
     # Replication: per-copy costs equal the base algorithm's (Thm 5.3).
-    assert rep.run.critical_path.f == base.run.critical_path.f
+    assert rep[0] == base[0]
     # FT: (1+o(1)) overhead — the coded first step explains it.
-    f_ratio = ft.run.critical_path.f / base.run.critical_path.f
-    bw_ratio = ft.run.critical_path.bw / base.run.critical_path.bw
+    f_ratio = ft[0] / base[0]
+    bw_ratio = ft[1] / base[1]
     assert 1.0 <= f_ratio < 1.8, f_ratio
     assert 1.0 <= bw_ratio < 2.6, bw_ratio
     # Extra processors: FT uses far fewer than replication.
-    assert ft_algo.machine_size() - p < rep_algo.machine_size() - p
+    assert ft[3] < rep[3]
 
 
 def test_table1_k3_p5(benchmark):
     p, k = 5, 3
-    base, rep, ft, rep_algo, ft_algo, rows = once(
-        benchmark, lambda: _run_case(p, k)
-    )
+    cells, rows = once(benchmark, lambda: _run_case(p, k))
+    base, rep, ft = cells["base"], cells["replication"], cells["ft"]
     emit(
         "table1_k3_p5",
         render_table(
@@ -89,8 +110,8 @@ def test_table1_k3_p5(benchmark):
             title=f"Table 1 (unlimited memory): k={k}, P={p}, f={F}, n={N_BITS} bits",
         ),
     )
-    assert rep.run.critical_path.f == base.run.critical_path.f
-    assert ft.run.critical_path.f / base.run.critical_path.f < 1.8
+    assert rep[0] == base[0]
+    assert ft[0] / base[0] < 1.8
 
 
 def test_table1_extra_processor_gap_grows_with_p(benchmark):

@@ -12,6 +12,17 @@ per-variant spawned :class:`~repro.util.rng.DeterministicRNG` streams
 another's draws), executions are virtual-time deterministic, and every
 aggregate goes through :class:`~repro.obs.metrics.MetricsRegistry`'s
 sorted read-out — two same-seed campaigns render byte-identical reports.
+
+Parallelism: because each variant's streams are independent, variants
+fan out across worker processes (``run_campaign(cfg, jobs=N)``, CLI
+``--jobs N``) with no effect on the report: every worker runs the same
+per-variant code against the same derived seeds, reports come back in
+registry order, and worker metrics are folded into the campaign registry
+variant by variant, so ``--jobs 4`` output is byte-identical to
+``--jobs 1``.  ``jobs=1`` does not construct a pool at all — it is the
+exact serial code path.  Pool-level host metrics (task durations,
+retries) are wall-clock and therefore deliberately kept out of the
+report; pass ``pool_metrics=`` to collect them.
 """
 
 from __future__ import annotations
@@ -310,18 +321,57 @@ def _run_variant(
     )
 
 
-def run_campaign(cfg: CampaignConfig) -> CampaignResult:
-    """Run the campaign over ``cfg.variants`` (default: all registered)."""
+def _run_variant_task(
+    name: str, cfg: CampaignConfig
+) -> tuple[VariantReport, MetricsRegistry]:
+    """Worker-side unit of the parallel campaign: one variant, its own
+    registry (module-level so the worker pool can pickle it)."""
+    metrics = MetricsRegistry()
+    report = _run_variant(get_variant(name), cfg, metrics)
+    return report, metrics
+
+
+def run_campaign(
+    cfg: CampaignConfig,
+    jobs: int = 1,
+    pool_metrics: MetricsRegistry | None = None,
+) -> CampaignResult:
+    """Run the campaign over ``cfg.variants`` (default: all registered).
+
+    ``jobs`` fans the variants out over that many worker processes
+    (``1`` = the exact serial path, no pool).  The report is
+    byte-identical either way; a worker crash or abandoned variant
+    surfaces as a loud :class:`~repro.parallel.WorkerPoolError`, never a
+    silently missing variant.  ``pool_metrics`` optionally receives the
+    pool's host-side series (task durations, retries) — kept out of the
+    returned result so its JSON stays deterministic.
+    """
     if cfg.trials < 1:
         raise ValueError("trials must be positive")
-    metrics = MetricsRegistry()
     names = (
         list(cfg.variants)
         if cfg.variants
         else [s.name for s in registered_variants()]
     )
-    reports = tuple(_run_variant(get_variant(n), cfg, metrics) for n in names)
-    return CampaignResult(config=cfg, variants=reports, metrics=metrics)
+    metrics = MetricsRegistry()
+    if jobs <= 1:
+        reports = tuple(_run_variant(get_variant(n), cfg, metrics) for n in names)
+        return CampaignResult(config=cfg, variants=reports, metrics=metrics)
+
+    from repro.parallel import Task, WorkerPool
+
+    pool = WorkerPool(jobs=jobs, metrics=pool_metrics)
+    outcomes = pool.run(
+        [Task(fn=_run_variant_task, args=(n, cfg), key=n) for n in names]
+    )
+    reports = []
+    for _name, (report, variant_metrics) in zip(names, outcomes):
+        reports.append(report)
+        # Per-variant series are disjoint (every series is labeled with
+        # the variant name), so folding in submission order reproduces
+        # the serial registry exactly.
+        metrics.merge(variant_metrics)
+    return CampaignResult(config=cfg, variants=tuple(reports), metrics=metrics)
 
 
 def run_trial(

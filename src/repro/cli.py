@@ -12,8 +12,10 @@
     python -m repro lint src --format json
     python -m repro lint --list-rules
     python -m repro campaign --seed 1 --trials 25
+    python -m repro campaign --jobs 4 --seed 1 --trials 100
     python -m repro campaign --variants ft_toomcook,soft_faults --json
     python -m repro commcheck --all-variants
+    python -m repro commcheck --all-variants --jobs 4
     python -m repro commcheck --variants ft_polynomial --phase interpolation
 
 Numbers accept decimal, ``0x...`` hex, or ``0b...`` binary, plus the
@@ -203,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip delta-debugging of failing schedules",
     )
     camp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan variants out over N worker processes (default 1 = serial; "
+        "the report is byte-identical either way, see docs/PARALLELISM.md)",
+    )
+    camp.add_argument(
         "--json", action="store_true", help="print the JSON report instead of text"
     )
     camp.add_argument(
@@ -245,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
     cc.add_argument(
         "--tolerance-scale", type=float, default=1.0,
         help="multiply every certifier tolerance by this factor",
+    )
+    cc.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="extract variants in N worker processes (default 1 = serial; "
+        "graphs are byte-identical either way)",
     )
     cc.add_argument(
         "--json", action="store_true", help="print the JSON report instead of text"
@@ -455,7 +467,7 @@ def _cmd_campaign(args) -> int:
         timeout=args.timeout,
         minimize=not args.no_minimize,
     )
-    result = run_campaign(cfg)
+    result = run_campaign(cfg, jobs=args.jobs)
     if args.json_out:
         with open(args.json_out, "w") as fh:
             fh.write(to_json(result))
@@ -491,7 +503,11 @@ def _cmd_commcheck(args) -> int:
         seed=args.seed,
     )
     result = run_commcheck(
-        variants, cfg, phase=args.phase, tolerance_scale=args.tolerance_scale
+        variants,
+        cfg,
+        phase=args.phase,
+        tolerance_scale=args.tolerance_scale,
+        jobs=args.jobs,
     )
     if args.json_out:
         with open(args.json_out, "w") as fh:

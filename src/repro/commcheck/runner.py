@@ -51,31 +51,58 @@ class CommCheckResult:
         return 0 if self.ok else 1
 
 
+def _extract_task(name: str, cfg: CampaignConfig) -> tuple[Any, str | None]:
+    """Worker-side unit of the parallel extractor: run one variant's
+    recorded fault-free execution.  Extraction failures travel back as
+    data — the gate reports them per variant instead of aborting the
+    sweep — while any *other* exception propagates and fails loudly.
+    """
+    try:
+        return extract_variant(name, cfg), None
+    except ExtractionError as exc:
+        return None, str(exc)
+
+
 def run_commcheck(
     variants: list[str] | tuple[str, ...] | None = None,
     cfg: CampaignConfig | None = None,
     phase: str | None = None,
     tolerance_scale: float = 1.0,
+    jobs: int = 1,
 ) -> CommCheckResult:
     """Extract, check, and certify each requested variant.
 
     An extraction failure is reported (and fails the gate) rather than
     raised, so one broken variant does not mask the others' reports.
+
+    ``jobs`` fans the per-variant extraction runs (the expensive part —
+    each is a full threaded-machine execution) across worker processes;
+    checking and certification stay in-process.  Extraction is
+    fault-free and deterministic, so the canonical graph JSON is
+    byte-identical for any ``jobs``; ``jobs=1`` is the exact serial
+    path.
     """
     cfg = cfg or make_config()
     names = list(variants) if variants else list(COMMCHECK_VARIANTS)
     result = CommCheckResult(config=cfg, phase=phase)
-    for name in names:
-        try:
-            graph = extract_variant(name, cfg)
-        except ExtractionError as exc:
+    if jobs <= 1:
+        extracted = [_extract_task(name, cfg) for name in names]
+    else:
+        from repro.parallel import Task, WorkerPool
+
+        pool = WorkerPool(jobs=jobs)
+        extracted = pool.run(
+            [Task(fn=_extract_task, args=(name, cfg), key=name) for name in names]
+        )
+    for name, (graph, error) in zip(names, extracted):
+        if error is not None:
             result.reports.append(
                 VariantReport(
                     variant=name,
                     graph=None,
                     findings=[],
                     certification=None,
-                    error=str(exc),
+                    error=error,
                 )
             )
             continue

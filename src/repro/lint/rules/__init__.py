@@ -16,6 +16,7 @@ from repro.lint.rules.determinism import (
 )
 from repro.lint.rules.exactness import FloatLiteralRule, MathFloatRule, TrueDivisionRule
 from repro.lint.rules.locks import LockDisciplineRule
+from repro.lint.rules.parallel import RawParallelismRule
 from repro.lint.rules.phases import PhaseAccountingRule
 
 __all__ = ["default_rules", "rule_catalog", "ENGINE_DIAGNOSTICS"]
@@ -36,6 +37,7 @@ def default_rules() -> list[Rule]:
         WordsOverrideRule(),
         RawTagRule(),
         UnboundedRecoveryRecvRule(),
+        RawParallelismRule(),
     ]
 
 

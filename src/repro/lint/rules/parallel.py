@@ -1,0 +1,82 @@
+"""Parallelism rule (PAR001).
+
+Host-level parallelism is centralised in :mod:`repro.parallel`: its
+:class:`~repro.parallel.WorkerPool` is the only component allowed to
+spawn processes, because it is the only one that guarantees the
+project's determinism contract (submission-order results, explicit
+seeds, loud crash/timeout handling).  Raw ``multiprocessing``,
+``concurrent.futures``, or ``os.fork`` use anywhere else would reopen
+every hazard the pool exists to close — nondeterministic completion
+order, silently dropped tasks, fork-with-locks corruption — so it is
+banned outside ``parallel/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Rule, SourceFile, Violation, dotted_name
+
+__all__ = ["RawParallelismRule"]
+
+#: Modules whose import (outside ``parallel/``) means hand-rolled
+#: process management.
+_BANNED_MODULES = ("multiprocessing", "concurrent.futures", "concurrent")
+
+#: Calls that fork the interpreter directly.
+_BANNED_CALLS = frozenset({"os.fork", "os.forkpty"})
+
+
+class RawParallelismRule(Rule):
+    id = "PAR001"
+    name = "raw-parallelism"
+    description = (
+        "importing multiprocessing/concurrent.futures or calling os.fork "
+        "outside repro.parallel is banned; fan out through "
+        "repro.parallel.WorkerPool"
+    )
+
+    def applies_to(self, sf: SourceFile) -> bool:
+        rel = sf.relpath
+        if rel is None:
+            return False
+        return not rel.startswith("parallel/")
+
+    @staticmethod
+    def _banned_module(module: str) -> bool:
+        return any(
+            module == banned or module.startswith(banned + ".")
+            for banned in _BANNED_MODULES
+        )
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._banned_module(alias.name):
+                        yield self.violation(
+                            sf,
+                            node,
+                            f"raw import of {alias.name!r}; use "
+                            "repro.parallel.WorkerPool for process fan-out",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and self._banned_module(
+                    node.module
+                ):
+                    yield self.violation(
+                        sf,
+                        node,
+                        f"raw import from {node.module!r}; use "
+                        "repro.parallel.WorkerPool for process fan-out",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func, sf.imports)
+                if name in _BANNED_CALLS:
+                    yield self.violation(
+                        sf,
+                        node,
+                        f"direct {name}() call; use repro.parallel.WorkerPool "
+                        "for process fan-out",
+                    )

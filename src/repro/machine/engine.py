@@ -26,6 +26,7 @@ from repro.machine.fault import FaultLog, FaultSchedule
 from repro.machine.memory import LocalMemory
 from repro.machine.network import Router
 from repro.obs.tracer import Tracer, make_tracer
+from repro.util.env import scaled_timeout
 
 __all__ = ["Machine", "RunResult"]
 
@@ -75,7 +76,12 @@ class Machine:
     fault_schedule:
         Hard-fault injection plan (empty by default).
     timeout:
-        Per-receive deadlock timeout in seconds.
+        Per-receive deadlock timeout in seconds.  The effective value is
+        ``timeout * REPRO_TIMEOUT_SCALE`` (default scale 1.0): the
+        watchdog is host-level wall-clock slack, not part of the modeled
+        execution, so loaded CI hosts stretch it via the environment
+        without touching any virtual-time quantity
+        (:func:`repro.util.env.timeout_scale`).
     trace:
         Observability switch (off by default — a no-op tracer that adds
         one branch per machine op and never snapshots a clock).  Pass
@@ -114,8 +120,10 @@ class Machine:
         self.size = size
         self.memory_words = memory_words
         self.word_bits = word_bits
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
         self.fault_schedule = fault_schedule or FaultSchedule()
-        self.timeout = timeout
+        self.timeout = scaled_timeout(timeout)
         self.topology = topology
         self.tracer = make_tracer(trace)
         self.recorder = recorder

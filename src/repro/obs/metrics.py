@@ -55,6 +55,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram."""
+        for exp in sorted(other.buckets):
+            self.buckets[exp] = self.buckets.get(exp, 0) + other.buckets[exp]
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            self.min = bound if self.min is None else min(self.min, bound)
+            self.max = bound if self.max is None else max(self.max, bound)
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -159,6 +171,48 @@ class MetricsRegistry:
     def is_empty(self) -> bool:
         with self._lock:
             return not (self._counters or self._gauges or self._histograms)
+
+    # -- transport ----------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle support (worker-pool transport): ship the series maps,
+        not the lock."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": dict(self._histograms),
+            }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._lock = threading.Lock()
+        with self._lock:
+            self._counters = state["counters"]
+            self._gauges = state["gauges"]
+            self._histograms = state["histograms"]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s series into this registry: counters add,
+        gauges overwrite (in merge order), histograms fold.
+
+        Intended for reassembling per-worker registries whose series are
+        disjoint (e.g. labeled per variant) or additive; merging two
+        registries that *set* the same gauge to different values keeps
+        the later merge's value, so such series must be disjoint for the
+        result to be order-independent.
+        """
+        snapshot = other.__getstate__()
+        with self._lock:
+            for key in sorted(snapshot["counters"], key=repr):
+                self._counters[key] = (
+                    self._counters.get(key, 0) + snapshot["counters"][key]
+                )
+            for key in sorted(snapshot["gauges"], key=repr):
+                self._gauges[key] = snapshot["gauges"][key]
+            for key in sorted(snapshot["histograms"], key=repr):
+                hist = self._histograms.get(key)
+                if hist is None:
+                    hist = self._histograms[key] = Histogram()
+                hist.merge(snapshot["histograms"][key])
 
 
 def publish_run_metrics(run: Any, registry: MetricsRegistry | None = None) -> MetricsRegistry:

@@ -1,0 +1,25 @@
+"""Deterministic multi-core fan-out (see ``docs/PARALLELISM.md``).
+
+All process-level parallelism in this project goes through
+:class:`~repro.parallel.pool.WorkerPool` — the lint rule ``PAR001``
+flags raw ``multiprocessing``/``concurrent.futures`` use anywhere else,
+so the determinism contract (explicit seeds in, submission-order results
+out, loud retry-then-fail on crashes and timeouts) is audited in exactly
+one place.
+"""
+
+from repro.parallel.pool import (
+    Task,
+    TaskFailure,
+    WorkerPool,
+    WorkerPoolError,
+    parallel_map,
+)
+
+__all__ = [
+    "Task",
+    "TaskFailure",
+    "WorkerPool",
+    "WorkerPoolError",
+    "parallel_map",
+]

@@ -1,0 +1,87 @@
+"""Host-environment knobs shared across subsystems.
+
+The simulator itself is virtual-time deterministic; the only environment
+the project reads is the handful of knobs below, all of which shape *how*
+a run executes (worker counts, watchdog slack) and never *what* it
+computes.  Centralizing the parsing keeps the reads auditable — the
+determinism lint rules stay clean because none of these touch the wall
+clock or entropy.
+
+``REPRO_TIMEOUT_SCALE``
+    Multiplies every per-receive deadlock timeout (and the worker-pool
+    task deadlines).  Loaded CI boxes run the same virtual-time schedule
+    but slower in wall-clock terms, so the watchdog — a host-level
+    safety net, not part of the modeled execution — must stretch with
+    the host.  Default ``1.0``.
+
+``REPRO_JOBS``
+    Default worker count for fan-out helpers that do not receive an
+    explicit ``--jobs`` (the benchmark sweeps).  Default ``1`` (serial).
+
+``REPRO_MP_START_METHOD``
+    Start method for pool workers (``spawn``/``fork``/``forkserver``).
+    Default ``spawn``: immune to fork-with-locks hazards and identical
+    across platforms; set ``fork`` to trade that safety for faster
+    worker start on Linux.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["timeout_scale", "scaled_timeout", "default_jobs", "start_method"]
+
+_SCALE_VAR = "REPRO_TIMEOUT_SCALE"
+_JOBS_VAR = "REPRO_JOBS"
+_START_VAR = "REPRO_MP_START_METHOD"
+
+
+def timeout_scale() -> float:
+    """The host timeout multiplier (``REPRO_TIMEOUT_SCALE``, default 1.0).
+
+    Invalid values raise :class:`ValueError` immediately rather than
+    silently running with an unscaled watchdog.
+    """
+    raw = os.environ.get(_SCALE_VAR)
+    if raw is None or not raw.strip():
+        return 1.0
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_SCALE_VAR} must be a number, got {raw!r}"
+        ) from None
+    if scale <= 0 or scale != scale or scale == float("inf"):
+        raise ValueError(f"{_SCALE_VAR} must be positive and finite, got {raw!r}")
+    return scale
+
+
+def scaled_timeout(timeout: float) -> float:
+    """``timeout`` stretched by the host scale factor."""
+    return timeout * timeout_scale()
+
+
+def default_jobs() -> int:
+    """Default fan-out width (``REPRO_JOBS``, default 1 = serial)."""
+    raw = os.environ.get(_JOBS_VAR)
+    if raw is None or not raw.strip():
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(f"{_JOBS_VAR} must be an integer, got {raw!r}") from None
+    if jobs < 1:
+        raise ValueError(f"{_JOBS_VAR} must be >= 1, got {raw!r}")
+    return jobs
+
+
+def start_method() -> str:
+    """Worker start method (``REPRO_MP_START_METHOD``, default ``spawn``)."""
+    raw = os.environ.get(_START_VAR, "").strip()
+    if not raw:
+        return "spawn"
+    if raw not in ("spawn", "fork", "forkserver"):
+        raise ValueError(
+            f"{_START_VAR} must be spawn, fork or forkserver, got {raw!r}"
+        )
+    return raw

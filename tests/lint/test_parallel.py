@@ -1,0 +1,121 @@
+"""PAR001: raw parallelism outside ``repro.parallel``."""
+
+from __future__ import annotations
+
+from repro.lint.rules.parallel import RawParallelismRule
+
+from .conftest import rule_ids
+
+
+class TestRawParallelism:
+    def test_multiprocessing_import_flagged(self, lint):
+        result = lint(
+            {
+                "campaign/fanout.py": """\
+    import multiprocessing
+
+
+    def spawn():
+        return multiprocessing.Process(target=print)
+    """
+            },
+            rules=[RawParallelismRule()],
+        )
+        assert rule_ids(result) == ["PAR001"]
+        assert "WorkerPool" in result.violations[0].message
+
+    def test_import_from_multiprocessing_flagged(self, lint):
+        result = lint(
+            {
+                "core/jobs.py": """\
+    from multiprocessing import Pool
+    """
+            },
+            rules=[RawParallelismRule()],
+        )
+        assert rule_ids(result) == ["PAR001"]
+
+    def test_concurrent_futures_flagged(self, lint):
+        result = lint(
+            {
+                "obs/collect.py": """\
+    from concurrent.futures import ProcessPoolExecutor
+    """,
+                "obs/collect2.py": """\
+    import concurrent.futures
+    """,
+                "obs/collect3.py": """\
+    from concurrent import futures
+    """,
+            },
+            rules=[RawParallelismRule()],
+        )
+        assert rule_ids(result) == ["PAR001", "PAR001", "PAR001"]
+
+    def test_os_fork_flagged(self, lint):
+        result = lint(
+            {
+                "util/daemonize.py": """\
+    import os
+
+
+    def split():
+        return os.fork()
+    """
+            },
+            rules=[RawParallelismRule()],
+        )
+        assert rule_ids(result) == ["PAR001"]
+        assert "os.fork" in result.violations[0].message
+
+    def test_parallel_package_exempt(self, lint):
+        result = lint(
+            {
+                "parallel/pool.py": """\
+    import multiprocessing
+    from multiprocessing.connection import wait
+    """
+            },
+            rules=[RawParallelismRule()],
+        )
+        assert rule_ids(result) == []
+
+    def test_submodule_of_banned_module_flagged(self, lint):
+        result = lint(
+            {
+                "machine/net.py": """\
+    import multiprocessing.connection
+    """
+            },
+            rules=[RawParallelismRule()],
+        )
+        assert rule_ids(result) == ["PAR001"]
+
+    def test_benign_names_not_flagged(self, lint):
+        # Names merely *containing* the banned prefixes must not fire.
+        result = lint(
+            {
+                "core/ok.py": """\
+    import multiprocessing_utils
+    from concurrently import gather
+    import os
+
+
+    def run():
+        return os.forknife()
+    """
+            },
+            rules=[RawParallelismRule()],
+        )
+        assert rule_ids(result) == []
+
+    def test_suppression_honoured(self, lint):
+        result = lint(
+            {
+                "campaign/escape.py": """\
+    import multiprocessing  # repro-lint: disable=PAR001 -- fixture only
+    """
+            },
+            rules=[RawParallelismRule()],
+        )
+        assert rule_ids(result) == []

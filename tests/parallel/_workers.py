@@ -1,0 +1,51 @@
+"""Picklable task functions for the worker-pool tests.
+
+They live in their own module (not the test files) so ``spawn`` workers
+can import them without re-importing any test module.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+
+def double(x: int) -> int:
+    return 2 * x
+
+
+def add(a: int, b: int) -> int:
+    return a + b
+
+
+def sleepy_identity(value: int, delay: float) -> int:
+    time.sleep(delay)
+    return value
+
+
+def raise_value_error(message: str) -> None:
+    raise ValueError(message)
+
+
+def crash_hard(code: int = 13) -> None:
+    """Die without raising: simulates a signal/OOM kill."""
+    os._exit(code)
+
+
+def crash_until_marker(marker_dir: str, crashes: int) -> str:
+    """Crash the first ``crashes`` attempts (counted via marker files in
+    ``marker_dir``), then succeed — exercises retry-on-fresh-worker."""
+    markers = sorted(Path(marker_dir).glob("crash-*"))
+    if len(markers) < crashes:
+        (Path(marker_dir) / f"crash-{len(markers)}").write_text("x")
+        os._exit(13)
+    return "recovered"
+
+
+def sleep_forever() -> None:
+    time.sleep(3600)
+
+
+def unpicklable_result() -> object:
+    return lambda: None  # noqa: E731 - deliberately unpicklable

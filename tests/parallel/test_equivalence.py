@@ -1,0 +1,77 @@
+"""Cross-backend equivalence: ``--jobs N`` must be byte-identical to serial.
+
+The campaign report JSON and the canonical comm-graph JSON are the two
+deterministic artifacts consumers diff and archive; a parallel run that
+perturbs either by a single byte is a determinism bug, not a formatting
+nit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.campaign.report import to_json as campaign_json
+from repro.commcheck.extract import make_config
+from repro.commcheck.runner import run_commcheck
+from repro.obs.metrics import MetricsRegistry
+
+PINNED_SEED = 20240607  # arbitrary but fixed: equivalence must hold per seed
+
+CFG = CampaignConfig(
+    variants=("parallel", "ft_linear"),
+    trials=2,
+    bits=192,
+    seed=PINNED_SEED,
+)
+
+
+def _report_bytes(result) -> bytes:
+    return json.dumps(campaign_json(result), sort_keys=True).encode()
+
+
+class TestCampaignEquivalence:
+    def test_report_bytes_identical(self):
+        serial = run_campaign(CFG, jobs=1)
+        fanned = run_campaign(CFG, jobs=2)
+        assert _report_bytes(serial) == _report_bytes(fanned)
+
+    def test_pool_metrics_stay_out_of_the_report(self):
+        # Host wall-clock series go to the side registry the caller
+        # provides, never into the deterministic report payload.
+        side = MetricsRegistry()
+        fanned = run_campaign(CFG, jobs=2, pool_metrics=side)
+        assert side.counter(
+            "pool_tasks_total", key="parallel", outcome="ok"
+        ) == 1
+        assert b"pool_task" not in _report_bytes(fanned)
+
+
+class TestCommcheckEquivalence:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        names = ["parallel", "ft_linear"]
+        cfg = make_config()
+        return (
+            run_commcheck(variants=names, cfg=cfg, jobs=1),
+            run_commcheck(variants=names, cfg=cfg, jobs=2),
+        )
+
+    def test_graph_bytes_identical(self, runs):
+        serial, fanned = runs
+        assert len(serial.reports) == len(fanned.reports) == 2
+        for a, b in zip(serial.reports, fanned.reports):
+            assert a.variant == b.variant
+            assert a.graph is not None and b.graph is not None
+            assert a.graph.canonical_json() == b.graph.canonical_json()
+
+    def test_verdicts_identical(self, runs):
+        serial, fanned = runs
+        assert serial.ok == fanned.ok
+        for a, b in zip(serial.reports, fanned.reports):
+            assert a.ok == b.ok
+            assert [f.as_dict() for f in a.findings] == [
+                f.as_dict() for f in b.findings
+            ]

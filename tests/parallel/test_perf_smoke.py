@@ -1,0 +1,45 @@
+"""Wall-clock speedup smoke test (acceptance: >= 2x on a 4-core host).
+
+Marked ``perf`` and skipped below 4 cores: single-core CI runners can
+assert equivalence (see ``test_equivalence.py``) but not speedup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.campaign.runner import CampaignConfig, run_campaign
+
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4, reason="speedup smoke test needs >= 4 cores"
+    ),
+]
+
+CFG = CampaignConfig(
+    variants=("parallel", "ft_linear", "replication", "ft_polynomial"),
+    trials=4,
+    seed=11,
+)
+
+
+def test_four_jobs_at_least_twice_as_fast():
+    start = time.monotonic()
+    serial = run_campaign(CFG, jobs=1)
+    serial_s = time.monotonic() - start
+
+    start = time.monotonic()
+    fanned = run_campaign(CFG, jobs=4)
+    fanned_s = time.monotonic() - start
+
+    from repro.campaign.report import to_json
+
+    assert to_json(serial) == to_json(fanned)
+    assert fanned_s * 2 <= serial_s, (
+        f"expected >= 2x speedup: serial {serial_s:.2f}s, "
+        f"4 jobs {fanned_s:.2f}s"
+    )

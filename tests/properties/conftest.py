@@ -1,0 +1,19 @@
+"""Hypothesis profiles for the property suite.
+
+``ci`` is fully derandomized: every run draws the same examples, so a CI
+failure reproduces locally with ``HYPOTHESIS_PROFILE=ci`` and no
+database or seed exchange.  ``dev`` (the default) explores fresh
+examples per run but still disables the wall-clock deadline — exact
+rational arithmetic has high per-example variance and this suite cares
+about correctness, not latency.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None, max_examples=25)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

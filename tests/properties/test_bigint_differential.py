@@ -1,0 +1,109 @@
+"""Differential properties for the exact multiplication engines.
+
+Every Toom-Cook variant must agree with the schoolbook reference (and
+native integer multiplication) on arbitrary operands, including the
+unbalanced split; the multivariate polynomial algebra must satisfy the
+homomorphism its evaluation matrices assume.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigint.multivariate import MultiPoly, monomials
+from repro.bigint.schoolbook import schoolbook_multiply
+from repro.bigint.toomcook import ToomCook
+from repro.bigint.unbalanced import UnbalancedToomCook
+
+operands = st.integers(min_value=-(1 << 600), max_value=1 << 600)
+small_coeff = st.integers(min_value=-(1 << 32), max_value=1 << 32)
+
+
+class TestToomCookDifferential:
+    @given(operands, operands, st.integers(min_value=2, max_value=5))
+    @settings(max_examples=40)
+    def test_toom_k_matches_schoolbook(self, a, b, k):
+        product, flops = ToomCook(k, threshold_bits=32).multiply(a, b)
+        reference, _ = schoolbook_multiply(a, b, word_bits=16)
+        assert product == reference == a * b
+        assert flops >= 0
+
+    @given(
+        operands,
+        operands,
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=40)
+    def test_unbalanced_matches_schoolbook(self, a, b, k1, k2):
+        if k1 < k2:
+            k1, k2 = k2, k1
+        product, _ = UnbalancedToomCook(k1, k2, threshold_bits=32).multiply(a, b)
+        assert product == schoolbook_multiply(a, b, word_bits=16)[0] == a * b
+
+    @given(operands, st.integers(min_value=2, max_value=5))
+    @settings(max_examples=20)
+    def test_squaring_agrees(self, a, k):
+        assert ToomCook(k, threshold_bits=32).multiply(a, a)[0] == a * a
+
+
+@st.composite
+def poly_pairs(draw):
+    """Two random dense polynomials over the same ``Poly_{r,l}`` basis."""
+    r = draw(st.integers(min_value=2, max_value=3))
+    l = draw(st.integers(min_value=1, max_value=3))
+    size = len(monomials(r, l))
+    va = draw(st.lists(small_coeff, min_size=size, max_size=size))
+    vb = draw(st.lists(small_coeff, min_size=size, max_size=size))
+    return r, l, MultiPoly.from_vector(va, r, l), MultiPoly.from_vector(vb, r, l)
+
+
+def convolve(a: MultiPoly, b: MultiPoly) -> dict:
+    """Independent reference product: explicit exponent-wise convolution."""
+    out: dict = {}
+    for ea, ca in a.coeffs.items():
+        for eb, cb in b.coeffs.items():
+            e = tuple(x + y for x, y in zip(ea, eb))
+            out[e] = out.get(e, Fraction(0)) + ca * cb
+    return {e: c for e, c in out.items() if c}
+
+
+class TestMultivariateDifferential:
+    @given(poly_pairs())
+    @settings(max_examples=40)
+    def test_product_matches_convolution(self, case):
+        _r, _l, a, b = case
+        assert (a * b).coeffs == convolve(a, b)
+
+    @given(poly_pairs())
+    @settings(max_examples=40)
+    def test_product_fits_doubled_degree(self, case):
+        r, _l, a, b = case
+        assert (a * b).fits(2 * r - 1)
+
+    @given(poly_pairs(), st.data())
+    @settings(max_examples=40)
+    def test_homogeneous_evaluation_is_multiplicative(self, case, data):
+        # The identity the per-level evaluation matrices rely on:
+        # evaluating homogenized to degree r-1 each, the product
+        # evaluates (homogenized to 2r-2) to the product of evaluations.
+        r, l, a, b = case
+        point = [
+            (
+                data.draw(st.integers(min_value=-5, max_value=5)),
+                data.draw(st.integers(min_value=1, max_value=5)),
+            )
+            for _ in range(l)
+        ]
+        lhs = (a * b).evaluate(point, 2 * r - 1)
+        rhs = a.evaluate(point, r) * b.evaluate(point, r)
+        assert lhs == rhs
+
+    @given(poly_pairs())
+    @settings(max_examples=20)
+    def test_vector_round_trip(self, case):
+        r, l, a, _b = case
+        assert MultiPoly.from_vector(a.to_vector(r), r, l) == a

@@ -1,0 +1,145 @@
+"""Property suite for the erasure-coding layer.
+
+Random ``(k, f)`` systematic codes under random erasure — and erasure
+plus corruption — patterns inside the decoding radius must round-trip
+the data exactly; patterns outside the radius must fail loudly.  The
+corruption cases use an independent subset-search reference decoder
+(try every ``k``-subset of survivors, re-encode, accept on the
+erasure-aware agreement threshold of :mod:`repro.core.soft_faults`:
+with ``s`` erasures the spare redundancy is ``f - s`` and at most
+``floor((f - s) / 2)`` corruptions are correctable).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigint.limbs import LimbVector
+from repro.coding.erasure import reconstruct_erasures
+from repro.coding.linear import SystematicCode
+
+WORD = st.integers(min_value=-(1 << 64), max_value=1 << 64)
+
+
+@st.composite
+def erasure_cases(draw):
+    """A code, data, and an erasure set within the code's distance."""
+    k = draw(st.integers(min_value=1, max_value=4))
+    f = draw(st.integers(min_value=1, max_value=4))
+    data = draw(st.lists(WORD, min_size=k, max_size=k))
+    n = k + f
+    s = draw(st.integers(min_value=1, max_value=f))
+    erased = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=s,
+            max_size=s,
+            unique=True,
+        )
+    )
+    return k, f, data, sorted(erased)
+
+
+@st.composite
+def corruption_cases(draw):
+    """A code, data, erasures, and corruptions with ``s + 2e <= f``."""
+    k = draw(st.integers(min_value=1, max_value=3))
+    f = draw(st.integers(min_value=2, max_value=4))
+    data = draw(st.lists(WORD, min_size=k, max_size=k))
+    n = k + f
+    s = draw(st.integers(min_value=0, max_value=f - 2))
+    max_e = (f - s) // 2
+    e = draw(st.integers(min_value=1, max_value=max_e))
+    positions = draw(st.permutations(range(n)))
+    erased = sorted(positions[:s])
+    corrupted = sorted(positions[s : s + e])
+    deltas = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=1 << 20), min_size=e, max_size=e
+        )
+    )
+    return k, f, data, erased, corrupted, deltas
+
+
+def reference_decode(code: SystematicCode, received: dict[int, int]) -> list:
+    """Subset-search decoder (exponential; test-sized codes only)."""
+    live = sorted(received)
+    spare = len(live) - code.k
+    correctable = spare // 2
+    threshold = len(live) - correctable
+    for subset in itertools.combinations(live, code.k):
+        known = {i: received[i] for i in subset}
+        lost = [i for i in range(code.k) if i not in known]
+        solved = reconstruct_erasures(code, known, lost)
+        data = [known[i] if i in known else solved[i] for i in range(code.k)]
+        word = code.codeword(data)
+        agree = sum(1 for i in live if word[i] == received[i])
+        if agree >= threshold:
+            return data
+    raise ValueError("no consistent subset: beyond the decoding radius")
+
+
+class TestErasureRoundTrip:
+    @given(erasure_cases())
+    @settings(max_examples=80)
+    def test_within_distance_reconstructs_exactly(self, case):
+        k, f, data, erased = case
+        code = SystematicCode(k, f)
+        word = code.codeword(data)
+        known = {i: word[i] for i in range(code.n) if i not in erased}
+        lost_data = [i for i in erased if i < k]
+        out = reconstruct_erasures(code, known, lost_data)
+        assert sorted(out) == lost_data
+        for i in lost_data:
+            assert out[i] == data[i]
+
+    @given(erasure_cases())
+    @settings(max_examples=40)
+    def test_block_data_reconstructs_exactly(self, case):
+        k, f, data, erased = case
+        blocks = [LimbVector([x, x + 1, -x], 16) for x in data]
+        code = SystematicCode(k, f)
+        word = code.codeword(blocks)
+        known = {i: word[i] for i in range(code.n) if i not in erased}
+        lost_data = [i for i in erased if i < k]
+        out = reconstruct_erasures(code, known, lost_data)
+        for i in lost_data:
+            assert out[i] == blocks[i]
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=16)
+    def test_beyond_distance_fails_loudly(self, k, f):
+        code = SystematicCode(k, f)
+        word = code.codeword(list(range(1, k + 1)))
+        # f + 1 erasures: fewer than k survivors remain.
+        known = {i: word[i] for i in range(code.n - (f + 1))}
+        with pytest.raises(ValueError, match="survivors"):
+            reconstruct_erasures(code, known, [0])
+
+
+class TestCorruptionDecoding:
+    @given(corruption_cases())
+    @settings(max_examples=40)
+    def test_within_radius_recovers_exactly(self, case):
+        k, f, data, erased, corrupted, deltas = case
+        code = SystematicCode(k, f)
+        word = code.codeword(data)
+        received = {
+            i: word[i] for i in range(code.n) if i not in erased
+        }
+        for i, delta in zip(corrupted, deltas):
+            received[i] = received[i] + delta
+        assert reference_decode(code, received) == data
+
+    @given(erasure_cases())
+    @settings(max_examples=30)
+    def test_clean_word_decodes_trivially(self, case):
+        k, f, data, erased = case
+        code = SystematicCode(k, f)
+        word = code.codeword(data)
+        received = {i: word[i] for i in range(code.n) if i not in erased}
+        assert reference_decode(code, received) == data

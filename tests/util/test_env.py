@@ -1,0 +1,93 @@
+"""Environment knobs (``repro.util.env``) and their consumers.
+
+The regression that matters: ``REPRO_TIMEOUT_SCALE`` must reach the
+machine's per-receive deadlock watchdog through ``scaled_timeout`` —
+never through a bare wall-clock read or an ad-hoc ``os.environ`` lookup
+at receive time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.engine import Machine
+from repro.util.env import default_jobs, scaled_timeout, start_method, timeout_scale
+
+
+class TestTimeoutScale:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIMEOUT_SCALE", raising=False)
+        assert timeout_scale() == 1.0
+        assert scaled_timeout(7.5) == 7.5
+
+    def test_scale_applied(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMEOUT_SCALE", "2.5")
+        assert timeout_scale() == 2.5
+        assert scaled_timeout(4.0) == 10.0
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "inf", "nan", "lots"])
+    def test_invalid_values_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_TIMEOUT_SCALE", bad)
+        with pytest.raises(ValueError, match="REPRO_TIMEOUT_SCALE"):
+            timeout_scale()
+
+
+class TestMachineTimeoutScale:
+    def test_machine_timeout_scaled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMEOUT_SCALE", "3")
+        assert Machine(2, timeout=5.0).timeout == 15.0
+
+    def test_machine_timeout_unscaled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIMEOUT_SCALE", raising=False)
+        assert Machine(2, timeout=5.0).timeout == 5.0
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            Machine(2, timeout=0.0)
+
+    def test_scaled_timeout_governs_deadlock_detection(self, monkeypatch):
+        # A rank that receives from a never-sending peer must still trip
+        # the watchdog when the base timeout is tiny and the scale
+        # stretches it to a (still tiny) wall-clock bound.
+        monkeypatch.setenv("REPRO_TIMEOUT_SCALE", "2")
+        machine = Machine(2, timeout=0.1)
+        assert machine.timeout == pytest.approx(0.2)
+
+        def program(comm):
+            if comm.rank == 0:
+                return comm.recv(1)  # rank 1 never sends
+            return None
+
+        with pytest.raises(Exception):
+            machine.run(program)
+
+
+class TestJobsKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two"])
+    def test_invalid_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+
+
+class TestStartMethodKnob:
+    def test_default_spawn(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MP_START_METHOD", raising=False)
+        assert start_method() == "spawn"
+
+    def test_fork_allowed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "fork")
+        assert start_method() == "fork"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "threads")
+        with pytest.raises(ValueError, match="REPRO_MP_START_METHOD"):
+            start_method()
