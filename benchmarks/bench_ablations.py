@@ -12,7 +12,7 @@
 
 import random
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, table_cells
 
 from repro.analysis.report import render_table
 from repro.bigint.toomcook import ToomCook
@@ -34,13 +34,15 @@ def test_toom_graph_interpolation_saves_arithmetic(benchmark):
         return rows
 
     rows = once(benchmark, run)
+    headers = ["k", "F (dense W^T)", "F (inversion sequence)", "saving %"]
     emit(
         "ablation_toomgraph",
         render_table(
-            ["k", "F (dense W^T)", "F (inversion sequence)", "saving %"],
+            headers,
             rows,
             title="Remark 4.1: Toom-Graph inversion sequences vs dense interpolation",
         ),
+        cells=table_cells(headers, rows),
     )
     for k, fd, fs, saving in rows:
         assert fs < fd  # the sequence always wins
@@ -82,6 +84,7 @@ def test_soft_fault_adaptation_overheads(benchmark):
             rows,
             title="Section 7 adaptation: soft-fault correction via the polynomial code",
         ),
+        cells=table_cells(["Run", "F", "BW"], rows),
     )
     # Correction costs only extra subset interpolations — a constant
     # factor on the (cheap) interpolation stage.
@@ -108,13 +111,15 @@ def test_evaluation_reuse_saves_arithmetic(benchmark):
         return rows
 
     rows = once(benchmark, run)
+    headers = ["k", "F (dense)", "F (reuse eval + sequence interp)", "saving %"]
     emit(
         "ablation_eval_reuse",
         render_table(
-            ["k", "F (dense)", "F (reuse eval + sequence interp)", "saving %"],
+            headers,
             rows,
             title="Section 1.1 optimizations stacked: evaluation reuse + Toom-Graph",
         ),
+        cells=table_cells(headers, rows),
     )
     for k, fd, ff, saving in rows:
         assert ff < fd
@@ -146,13 +151,15 @@ def test_unbalanced_split_on_unbalanced_operands(benchmark):
         return rows
 
     rows = once(benchmark, run)
+    headers = ["algorithm", "F (6000x4000-bit product)"]
     emit(
         "ablation_unbalanced",
         render_table(
-            ["algorithm", "F (6000x4000-bit product)"],
+            headers,
             rows,
             title="Unbalanced Toom-Cook-(3,2) on 3:2-sized operands",
         ),
+        cells=table_cells(headers, rows),
     )
     flops = {name: f for name, f in rows}
     assert flops["toom-(3,2) over toom-3"] < flops["toom-3"] < flops["toom-2"]
@@ -173,12 +180,14 @@ def test_evaluation_point_magnitude_matters(benchmark):
         return fs, fb
 
     fs, fb = once(benchmark, run)
+    rows = [["{0, 1, -1, 2, inf} (standard)", fs], ["{0, 3, -3, 5, inf}", fb]]
     emit(
         "ablation_points",
         render_table(
             ["Point set", "F"],
-            [["{0, 1, -1, 2, inf} (standard)", fs], ["{0, 3, -3, 5, inf}", fb]],
+            rows,
             title="Evaluation-point magnitude ablation (Toom-3, 4000-bit operands)",
         ),
+        cells=table_cells(["Point set", "F"], rows),
     )
     assert fs <= fb  # the standard small points never lose

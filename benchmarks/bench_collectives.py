@@ -7,7 +7,7 @@ for t-reduce; ``F = 0``, ``BW = t*W``, ``L = O(log P)`` for t-broadcast.
 
 import math
 
-from _common import emit, once
+from _common import emit, once, table_cells
 
 from repro.analysis.formulas import t_reduce_costs
 from repro.analysis.report import render_table
@@ -51,13 +51,18 @@ def test_t_reduce_matches_lemma(benchmark):
         assert f == t * w
         assert bw == t * w
         assert l == math.ceil(math.log2(p)) + t
+    headers = ["P", "t", "W", "F", "F pred", "BW", "BW pred", "L", "L pred"]
+    cells = table_cells(
+        headers, [[f"P{p}.t{t}.W{w}", *rest] for p, t, w, *rest in table]
+    )
     emit(
         "collectives_t_reduce",
         render_table(
-            ["P", "t", "W", "F", "F pred", "BW", "BW pred", "L", "L pred"],
+            headers,
             table,
             title="Lemma 2.5: t-reduce measured vs predicted",
         ),
+        cells=cells,
     )
 
 
@@ -74,13 +79,18 @@ def test_t_broadcast_matches_corollary(benchmark):
         assert f == 0
         assert bw == t * w
         assert l == math.ceil(math.log2(p))
+    headers = ["P", "t", "W", "F", "BW", "BW pred", "L", "L pred"]
+    cells = table_cells(
+        headers, [[f"P{p}.t{t}.W{w}", *rest] for p, t, w, *rest in table]
+    )
     emit(
         "collectives_t_broadcast",
         render_table(
-            ["P", "t", "W", "F", "BW", "BW pred", "L", "L pred"],
+            headers,
             table,
             title="Corollary 2.6: t-broadcast measured vs predicted",
         ),
+        cells=cells,
     )
 
 
@@ -110,11 +120,13 @@ def test_counted_tree_collectives_are_suboptimal_beyond_constant_groups(benchmar
         table.append([p, bw, w * logp, bound, l])
         assert bw <= bound  # within the log^2 envelope
         assert bw > w * logp or p <= 4  # ...but above the optimal W*log P
+    headers = ["P", "BW (counted reduce, W=32)", "optimal ~W*logP", "log^2 bound", "L"]
     emit(
         "collectives_counted_tree",
         render_table(
-            ["P", "BW (counted reduce, W=32)", "optimal ~W*logP", "log^2 bound", "L"],
+            headers,
             table,
             title="Counted binomial-tree reduce: O(W log^2 P), motivating Lemma 2.5",
         ),
+        cells=table_cells(headers, [[f"P{p}", *rest] for p, *rest in table]),
     )

@@ -77,6 +77,10 @@ def test_measured_costs_within_certifier_envelope(benchmark):
         "comm_envelope",
         "Communication envelope (commcheck certifier bounds, "
         f"n={N_BITS} bits, P={P}, k={K}, f={F})\n" + "\n".join(lines),
+        cells={
+            f"{name}/envelope_ok": int(passed)
+            for (name, _fn), (passed, _line) in zip(VARIANTS, rows)
+        },
     )
     failed = [line for passed, line in rows if not passed]
     assert not failed, "measured communication exceeded the certified envelope:\n" + "\n".join(failed)

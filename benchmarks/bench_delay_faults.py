@@ -9,7 +9,7 @@ classic latency benefit of coded computation, here falling out of the
 same code that handles hard faults.
 """
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, table_cells
 
 from repro.analysis.report import render_table
 from repro.core.ft_polynomial import PolynomialCodedToomCook
@@ -66,22 +66,24 @@ def test_straggler_contained_by_coded_collection(benchmark):
                 round(coded_f / coded_clean, 2),
             ]
         )
+    headers = [
+        "slowdown",
+        "plain: others' max F",
+        "coded eager: others' max F",
+        "plain impact",
+        "coded impact",
+    ]
     emit(
         "delay_straggler",
         render_table(
-            [
-                "slowdown",
-                "plain: others' max F",
-                "coded eager: others' max F",
-                "plain impact",
-                "coded impact",
-            ],
+            headers,
             table,
             title=(
                 "Delay fault on one processor (k=2, P=9, f=1): arithmetic on "
                 "the critical path of every processor outside the slow column"
             ),
         ),
+        cells=table_cells(headers, table),
     )
     for factor, base_f, coded_f in rows:
         assert base_f > 2 * base_clean  # plain run drags everyone down

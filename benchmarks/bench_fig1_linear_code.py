@@ -8,7 +8,15 @@ and (c) an end-to-end evaluation-phase fault survived through linear
 recovery.
 """
 
-from _common import WORD_BITS, emit, once, operands, plan_for, run_registry
+from _common import (
+    WORD_BITS,
+    emit,
+    once,
+    operands,
+    plan_for,
+    run_registry,
+    table_cells,
+)
 
 from repro.analysis.report import render_table
 from repro.core.ft_toomcook import FaultTolerantToomCook
@@ -61,6 +69,7 @@ def test_fig1_grid_and_code_costs(benchmark):
             rows,
             title=f"Code creation costs (k={k}, P={p}, f={f}, Lemma 2.5: O(f*M) per encode)",
         ),
+        cells=table_cells(["Quantity", "Value"], rows),
     )
     # Code creation is O(f*M) per boundary and a small fraction of total.
     assert cc.bw <= n_boundaries * f * 3 * state_words
@@ -97,6 +106,7 @@ def test_fig1_recovery_cost_is_one_reduce(benchmark):
             rows,
             title=f"Fault recovery via linear code (k={k}, P={p}, f={f})",
         ),
+        cells=table_cells(["Quantity", "Value"], rows),
     )
     assert rec.bw <= f * state_words_bound
     assert rec.bw < 0.5 * out.run.critical_path.bw

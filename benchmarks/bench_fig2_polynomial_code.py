@@ -8,7 +8,7 @@ arithmetic with and without a fault, and (c) the first-step overhead
 factor ``(2k-1+f)/(2k-1)``.
 """
 
-from _common import emit, once, operands, plan_for, run_registry
+from _common import emit, once, operands, plan_for, run_registry, series_cells, table_cells
 
 from repro.analysis.report import render_series, render_table
 from repro.core.ft_polynomial import PolynomialCodedToomCook
@@ -64,6 +64,7 @@ def test_fig2_no_recomputation_on_fault(benchmark):
             rows,
             title="Polynomial code: zero-recomputation recovery (k=2, P=9, f=1)",
         ),
+        cells=table_cells(["Run", "F", "BW"], rows),
     )
     # The faulted run must NOT redo multiplication work (contrast with
     # Birnbaum et al.'s recomputation and with checkpoint-restart).
@@ -94,17 +95,19 @@ def test_fig2_first_step_overhead_scales_with_f(benchmark):
         for f in fs
     ]
     predicted = [(plan.q + f) / plan.q for f in fs]
+    series = {
+        "measured eval-F ratio": [round(m, 3) for m in measured],
+        "predicted (2k-1+f)/(2k-1)": [round(x, 3) for x in predicted],
+    }
     emit(
         "fig2_overhead_vs_f",
         render_series(
             "f",
             fs,
-            {
-                "measured eval-F ratio": [round(m, 3) for m in measured],
-                "predicted (2k-1+f)/(2k-1)": [round(x, 3) for x in predicted],
-            },
+            series,
             title="First-step evaluation overhead vs f (k=2, P=9)",
         ),
+        cells=series_cells(fs, series),
     )
     for m, pr in zip(measured, predicted):
         assert m <= pr * 1.5 + 0.2
@@ -122,12 +125,16 @@ def test_fig2_code_processor_count(benchmark):
         return counts
 
     counts = once(benchmark, run)
+    headers = ["P", "f", "Measured extra", "f*P/(2k-1)"]
     emit(
         "fig2_code_processors",
         render_table(
-            ["P", "f", "Measured extra", "f*P/(2k-1)"],
+            headers,
             counts,
             title="Figure 2 code-processor count (k=2)",
+        ),
+        cells=table_cells(
+            headers, [[f"P{p}.f{f}", *rest] for p, f, *rest in counts]
         ),
     )
     for _, _, measured, predicted in counts:

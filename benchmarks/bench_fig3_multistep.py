@@ -8,7 +8,7 @@ and fault survival at full collapse (``l = log_(2k-1) P`` — only ``f``
 extra processors, the unlimited-memory optimum of Theorem 5.2).
 """
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, series_cells, table_cells
 
 from repro.analysis.report import render_series, render_table
 from repro.core.multistep import MultiStepToomCook
@@ -29,17 +29,19 @@ def test_fig3_code_processor_count_shrinks_with_l(benchmark):
 
     extras = once(benchmark, run)
     ls = sorted(extras)
+    series = {
+        "measured extra procs": [extras[l] for l in ls],
+        "f*P/(2k-1)^l": [f * p // (2 * k - 1) ** l for l in ls],
+    }
     emit(
         "fig3_multistep_extras",
         render_series(
             "l",
             ls,
-            {
-                "measured extra procs": [extras[l] for l in ls],
-                "f*P/(2k-1)^l": [f * p // (2 * k - 1) ** l for l in ls],
-            },
+            series,
             title=f"Figure 3: code processors vs combined steps (k={k}, P={p}, f={f})",
         ),
+        cells=series_cells(ls, series),
     )
     for l in ls:
         assert extras[l] == f * p // (2 * k - 1) ** l
@@ -68,13 +70,15 @@ def test_fig3_correct_and_fault_tolerant_at_each_l(benchmark):
     for l, (algo, out) in sorted(outs.items()):
         c = out.run.critical_path
         rows.append([l, algo.machine_size() - p, c.f, c.bw, len(out.run.fault_log)])
+    headers = ["l", "Extra procs", "F", "BW", "Faults survived"]
     emit(
         "fig3_multistep_faults",
         render_table(
-            ["l", "Extra procs", "F", "BW", "Faults survived"],
+            headers,
             rows,
             title=f"Multi-step FT under one multiplication-phase fault (k={k}, P={p})",
         ),
+        cells=table_cells(headers, [[f"l{l}", *rest] for l, *rest in rows]),
     )
     # Fewer code processors at l=2 without losing tolerance.
     assert rows[1][1] < rows[0][1]
@@ -99,6 +103,7 @@ def test_fig3_redundant_points_found_by_heuristic(benchmark):
             [[i, str(pt)] for i, pt in enumerate(points[9:], start=9)],
             title="Redundant multivariate evaluation points (k=2, l=2, f=2)",
         ),
+        cells={"redundant_points": len(points) - 9, "total_points": len(points)},
     )
     assert len(points) == 9 + 2
     assert is_general_position(points, 3, 2)

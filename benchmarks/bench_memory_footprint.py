@@ -12,7 +12,7 @@ Checks two claims from measured peak memory:
 
 import math
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, series_cells
 
 from repro.analysis.report import render_series
 from repro.core.parallel_toomcook import ParallelToomCook
@@ -38,17 +38,19 @@ def test_bfs_blowup_matches_lemma(benchmark):
     ps = [r[0] for r in rows]
     measured = [r[2] / r[1] for r in rows]
     predicted = [bfs_memory_blowup(p, k) for p in ps]
+    series = {
+        "measured peak / (n/P)": [round(m, 2) for m in measured],
+        "lemma P^(1-log_q k) (+const)": [round(x, 2) for x in predicted],
+    }
     emit(
         "memory_bfs_blowup",
         render_series(
             "P",
             ps,
-            {
-                "measured peak / (n/P)": [round(m, 2) for m in measured],
-                "lemma P^(1-log_q k) (+const)": [round(x, 2) for x in predicted],
-            },
+            series,
             title=f"Lemma 3.1 BFS memory blow-up, k={k}, n={N_BITS} bits",
         ),
+        cells=series_cells(ps, series),
     )
     # The measured blow-up grows with P with the lemma's *shape*: limb
     # growth and buffer constants scale the absolute level, so compare
@@ -75,14 +77,16 @@ def test_dfs_steps_shrink_footprint_geometrically(benchmark):
         return out
 
     rows = once(benchmark, run)
+    series = {"peak memory (words)": [r[1] for r in rows]}
     emit(
         "memory_dfs_shrink",
         render_series(
             "l_dfs",
             [r[0] for r in rows],
-            {"peak memory (words)": [r[1] for r in rows]},
+            series,
             title=f"DFS steps vs peak memory, k={k}, P={p}, n={N_BITS} bits",
         ),
+        cells=series_cells([r[0] for r in rows], series),
     )
     peaks = [r[1] for r in rows]
     assert peaks[0] > peaks[1] > peaks[2]
@@ -116,6 +120,9 @@ def test_planner_min_dfs_matches_lemma_formula(benchmark):
             f"n={n:>7} P={p:>3} M={m:>4}: l_dfs={got} (formula {want})"
             for n, p, m, got, want in cases
         ),
+        cells={
+            f"n{n}.P{p}.M{m}/l_dfs": got for n, p, m, got, _want in cases
+        },
     )
     for n, p, m, got, want in cases:
         assert got == want

@@ -12,7 +12,7 @@ Two views, swept over ``f``:
   a vanishing coded-step + recovery term.
 """
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, series_cells, table_cells
 
 from repro.analysis.formulas import extra_processors
 from repro.analysis.report import render_series, render_table
@@ -39,14 +39,16 @@ def test_extra_processor_overhead_vs_f(benchmark):
         return rows
 
     rows = once(benchmark, run)
+    headers = ["f", "replication (f*P)", "FT combined", "FT multistep (l=log_q P)",
+               "replication/FT"]
     emit(
         "overhead_extra_procs_vs_f",
         render_table(
-            ["f", "replication (f*P)", "FT combined", "FT multistep (l=log_q P)",
-             "replication/FT"],
+            headers,
             rows,
             title=f"Extra processors vs f (k={k}, P={p})",
         ),
+        cells=table_cells(headers, [[f"f{f}", *rest] for f, *rest in rows]),
     )
     for f, rep, ft, ms, ratio in rows:
         assert rep == f * p
@@ -94,13 +96,15 @@ def test_total_work_overhead_under_faults(benchmark):
         ["Replication", cp_ratio(rep), round(total_work(rep, 18) / w_base, 3)],
         ["Checkpoint-restart", cp_ratio(ck), round(total_work(ck, 9) / w_base, 3)],
     ]
+    headers = ["Scheme", "Critical-path F ratio", "Total work ratio"]
     emit(
         "overhead_total_work",
         render_table(
-            ["Scheme", "Critical-path F ratio", "Total work ratio"],
+            headers,
             rows,
             title=f"Work under 1 fault (k={k}, P={p}, n={N_BITS} bits)",
         ),
+        cells=table_cells(headers, rows),
     )
     ft_cp, ft_total = rows[1][1], rows[1][2]
     rep_total = rows[2][2]
@@ -138,18 +142,20 @@ def test_ft_overhead_stays_flat_as_p_grows(benchmark):
         return rows
 
     rows = once(benchmark, run)
+    series = {
+        "FT F-overhead factor": [r[1] for r in rows],
+        "replication extra procs": [r[2] for r in rows],
+        "FT extra procs": [r[3] for r in rows],
+    }
     emit(
         "overhead_vs_p",
         render_series(
             "P",
             [r[0] for r in rows],
-            {
-                "FT F-overhead factor": [r[1] for r in rows],
-                "replication extra procs": [r[2] for r in rows],
-                "FT extra procs": [r[3] for r in rows],
-            },
+            series,
             title=f"Overhead vs P (k={k}, f={f})",
         ),
+        cells=series_cells([r[0] for r in rows], series),
     )
     factors = [r[1] for r in rows]
     assert all(x < 1.6 for x in factors)

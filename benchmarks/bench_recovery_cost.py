@@ -4,7 +4,7 @@ the run the fault lands, and the polynomial code's multiplication-phase
 recovery is free (no recovery phase at all).
 """
 
-from _common import emit, once, operands, plan_for, run_registry
+from _common import emit, once, operands, plan_for, run_registry, table_cells
 
 from repro.analysis.report import render_table
 from repro.core.ft_toomcook import FaultTolerantToomCook
@@ -41,13 +41,15 @@ def test_recovery_cost_by_fault_phase(benchmark):
         return rows
 
     rows = once(benchmark, run)
+    headers = ["fault phase", "recovery BW", "recovery F", "M (operand words)"]
     emit(
         "recovery_by_phase",
         render_table(
-            ["fault phase", "recovery BW", "recovery F", "M (operand words)"],
+            headers,
             rows,
             title="Recovery cost by fault location (k=2, P=9, f=1, l_dfs=1)",
         ),
+        cells=table_cells(headers, rows),
     )
     for phase, bw, fl, local in rows:
         # One f-reduce over the flattened state: O(f * M) with a small
@@ -72,13 +74,15 @@ def test_recovery_scales_linearly_in_f(benchmark):
         return rows
 
     rows = once(benchmark, run)
+    headers = ["f", "code-creation BW", "recovery BW"]
     emit(
         "recovery_vs_f",
         render_table(
-            ["f", "code-creation BW", "recovery BW"],
+            headers,
             rows,
             title="Code creation and recovery bandwidth vs f (Lemma 2.5: both O(f*M))",
         ),
+        cells=table_cells(headers, [[f"f{f}", *rest] for f, *rest in rows]),
     )
     # Code creation scales with f (it is an f-reduce).
     assert rows[1][1] > rows[0][1]
@@ -104,6 +108,7 @@ def test_multiplication_fault_needs_no_recovery_reduce(benchmark):
         "recovery_free_mul",
         render_table(["Quantity", "Value"], rows,
                      title="Polynomial-code recovery is (nearly) free"),
+        cells=table_cells(["Quantity", "Value"], rows),
     )
     # The only recovery work is the dead slot's state restore at the
     # boundary — a single reduce, a small fraction of the run.

@@ -8,7 +8,7 @@ standard communication-bound scaling story, derived entirely from the
 simulator's counts and the paper's cost model.
 """
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, table_cells
 
 from repro.analysis.report import render_table
 from repro.core.parallel_toomcook import ParallelToomCook
@@ -48,13 +48,15 @@ def test_optimal_p_shifts_with_machine_balance(benchmark):
             + [round(runtimes[p]) for p in sorted(runtimes)]
             + [best]
         )
+    headers = ["machine profile", "C at P=3", "C at P=9", "C at P=27", "best P"]
     emit(
         "runtime_model",
         render_table(
-            ["machine profile", "C at P=3", "C at P=9", "C at P=27", "best P"],
+            headers,
             rows,
             title=f"Modeled runtime C = aL + bBW + gF (k={k}, n={N_BITS} bits)",
         ),
+        cells=table_cells(headers, rows),
     )
     # Compute-bound machines want all the processors; latency-bound ones
     # stop scaling earlier.
@@ -81,13 +83,15 @@ def test_speedup_curve_is_sublinear_but_real(benchmark):
     rows = [
         [p, round(c), round(series[0][1] / c, 2)] for p, c in series
     ]
+    headers = ["P", "modeled C", "speedup vs P=3"]
     emit(
         "runtime_speedup",
         render_table(
-            ["P", "modeled C", "speedup vs P=3"],
+            headers,
             rows,
             title=f"Speedup under a balanced model (k={k}, n={N_BITS} bits)",
         ),
+        cells=table_cells(headers, [[f"P{p}", *rest] for p, *rest in rows]),
     )
     speedups = [series[0][1] / c for _, c in series]
     assert speedups[1] > 1.5  # 3 -> 9 processors helps substantially

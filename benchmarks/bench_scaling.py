@@ -10,7 +10,7 @@ Fits measured scaling exponents against the theorem:
 
 import math
 
-from _common import emit, once, operands, plan_for, sweep
+from _common import emit, once, operands, plan_for, series_cells, sweep
 
 from repro.analysis.compare import fit_exponent
 from repro.analysis.formulas import toom_exponent
@@ -60,6 +60,7 @@ def test_arithmetic_scales_as_toom_exponent_in_n(benchmark):
                 f"(theorem: {expected:.3f})"
             ),
         ),
+        cells=series_cells(ns, {"F": fs}),
     )
     assert abs(alpha - expected) < 0.25, alpha
 
@@ -87,6 +88,7 @@ def test_arithmetic_strong_scales_in_p(benchmark):
                 f"{alpha:.3f} (theorem: -1; padding dampens the small-P end)"
             ),
         ),
+        cells=series_cells(ps, {"F": fs}),
     )
     # Strong scaling: F drops roughly as 1/P (padding adds noise).
     assert -1.35 < alpha < -0.6, alpha
@@ -112,6 +114,7 @@ def test_bandwidth_scales_linearly_in_n(benchmark):
             {"BW": bws},
             title=f"BW vs n at P={p}, k={k}: fitted exponent {alpha:.3f} (theorem: 1)",
         ),
+        cells=series_cells(ns, {"BW": bws}),
     )
     assert abs(alpha - 1.0) < 0.2, alpha
 
@@ -128,14 +131,16 @@ def test_latency_scales_as_log_p(benchmark):
     ps = [r[0] for r in rows]
     ls = [r[1] for r in rows]
     per_step = [l / math.log(p, 3) for p, l in rows]
+    series = {"L": ls, "L per BFS step": [round(x, 1) for x in per_step]}
     emit(
         "scaling_l_vs_p",
         render_series(
             "P",
             ps,
-            {"L": ls, "L per BFS step": [round(x, 1) for x in per_step]},
+            series,
             title=f"L vs P at n={n_bits} bits, k={k} (theorem: L = Θ(log P))",
         ),
+        cells=series_cells(ps, series),
     )
     # L per BFS step is constant: the hallmark of Θ(log P).
     assert max(per_step) / min(per_step) < 1.6

@@ -3,19 +3,24 @@ beats schoolbook beyond a crossover, higher ``k`` wins for larger ``n``,
 and each algorithm's arithmetic follows its ``Θ(n^(log_k(2k-1)))``.
 """
 
-from _common import emit, once, operands
+from _common import emit, once, operands, series_cells
 
 from repro.analysis.compare import fit_exponent
 from repro.analysis.formulas import toom_exponent
 from repro.analysis.report import render_series
 from repro.bigint.schoolbook import schoolbook_multiply
 from repro.bigint.toomcook import ToomCook
+from repro.obs.kernels import KernelCounters
+from repro.obs.metrics import MetricsRegistry
 
 SIZES = [512, 1024, 2048, 4096, 8192, 16384, 32768]
 WORD = 16
 
 
-def _flop_series():
+def _flop_series(registry=None):
+    """Per-size flop series; with ``registry``, also publishes each
+    kernel's limb-multiplication / recursion-depth / eval-cache counters
+    (the perf record picks them up as labeled cells)."""
     from repro.bigint.ntt import NttMultiplier
 
     series = {
@@ -25,21 +30,36 @@ def _flop_series():
         "toom-4": [],
         "ntt (fft)": [],
     }
-    algos = {f"toom-{k}": ToomCook(k, threshold_bits=WORD) for k in (2, 3, 4)}
-    algos["ntt (fft)"] = NttMultiplier(word_bits=WORD)
+    counters = {name: KernelCounters() for name in series} if registry else {}
+    school_counters = counters.get("schoolbook")
+    algos = {
+        f"toom-{k}": ToomCook(
+            k, threshold_bits=WORD, counters=counters.get(f"toom-{k}")
+        )
+        for k in (2, 3, 4)
+    }
+    algos["ntt (fft)"] = NttMultiplier(
+        word_bits=WORD, counters=counters.get("ntt (fft)")
+    )
     for n_bits in SIZES:
         a, b = operands(n_bits, seed=n_bits)
-        _, f_school = schoolbook_multiply(a, b, word_bits=WORD)
+        _, f_school = schoolbook_multiply(
+            a, b, word_bits=WORD, counters=school_counters
+        )
         series["schoolbook"].append(f_school)
         for name, algo in algos.items():
             product, flops = algo.multiply(a, b)
             assert product == a * b
             series[name].append(flops)
+    if registry is not None:
+        for name in sorted(counters):
+            counters[name].publish(registry, kernel=name.split(" ")[0])
     return series
 
 
 def test_crossover_toom_beats_schoolbook(benchmark):
-    series = once(benchmark, _flop_series)
+    registry = MetricsRegistry()
+    series = once(benchmark, lambda: _flop_series(registry))
     emit(
         "sequential_crossover",
         render_series(
@@ -48,6 +68,8 @@ def test_crossover_toom_beats_schoolbook(benchmark):
             series,
             title="Sequential arithmetic cost (flops): schoolbook vs Toom-Cook-k",
         ),
+        cells=series_cells(SIZES, series),
+        registry=registry,
     )
     # At the largest size Toom-3 and Toom-4 beat schoolbook; Toom-2's
     # crossover lies beyond the sweep (its evaluation/interpolation
@@ -96,6 +118,7 @@ def test_measured_exponents_match_theory(benchmark):
     emit(
         "sequential_exponents",
         "\n".join(f"{n}: fitted {a} (theory {e})" for n, a, e in rows),
+        cells={f"{name}/fitted_exponent": alpha for name, alpha, _e in rows},
     )
     for name, alpha, expected in rows:
         assert abs(alpha - expected) < 0.25, (name, alpha, expected)

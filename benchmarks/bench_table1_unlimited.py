@@ -12,7 +12,7 @@ column.  The paper's claims checked here:
   ``Θ(P/(2k-1))`` more than FT.
 """
 
-from _common import emit, once, operands, plan_for, sweep
+from _common import emit, once, operands, plan_for, sweep, table_cells
 
 from repro.analysis.report import render_table
 from repro.core.ft_toomcook import FaultTolerantToomCook
@@ -86,6 +86,7 @@ def test_table1_k2_p9(benchmark):
             rows,
             title=f"Table 1 (unlimited memory): k={k}, P={p}, f={F}, n={N_BITS} bits",
         ),
+        cells=table_cells(["Algorithm", "F", "BW", "L", "Extra procs"], rows),
     )
     # Replication: per-copy costs equal the base algorithm's (Thm 5.3).
     assert rep[0] == base[0]
@@ -109,6 +110,7 @@ def test_table1_k3_p5(benchmark):
             rows,
             title=f"Table 1 (unlimited memory): k={k}, P={p}, f={F}, n={N_BITS} bits",
         ),
+        cells=table_cells(["Algorithm", "F", "BW", "L", "Extra procs"], rows),
     )
     assert rep[0] == base[0]
     assert ft[0] / base[0] < 1.8
@@ -130,13 +132,15 @@ def test_table1_extra_processor_gap_grows_with_p(benchmark):
         return gaps
 
     gaps = once(benchmark, run)
+    headers = ["P", "Replication extra (f*P)", "FT extra (f*(2k-1)+f*P/(2k-1))"]
     emit(
         "table1_extra_procs",
         render_table(
-            ["P", "Replication extra (f*P)", "FT extra (f*(2k-1)+f*P/(2k-1))"],
+            headers,
             gaps,
             title="Table 1 extra-processor column, k=2, f=1",
         ),
+        cells=table_cells(headers, [[f"P{p}", *rest] for p, *rest in gaps]),
     )
     ratios = [rep / ft for _, rep, ft in gaps]
     assert ratios[-1] > ratios[0]  # the gap widens with P

@@ -8,7 +8,7 @@ even with the task loop (per-boundary code creation included), and the
 limited-memory run moves more words than the unlimited one.
 """
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, table_cells
 
 from repro.analysis.report import render_table
 from repro.core.ft_toomcook import FaultTolerantToomCook
@@ -53,6 +53,7 @@ def test_table2_k2_p9(benchmark):
                 f"k={k}, P={p}, f={F}, n={N_BITS} bits"
             ),
         ),
+        cells=table_cells(["Algorithm", "F", "BW", "L", "Extra procs"], rows),
     )
     assert rep.run.critical_path.f == base.run.critical_path.f
     f_ratio = ft.run.critical_path.f / base.run.critical_path.f
@@ -82,13 +83,15 @@ def test_table2_limited_memory_costs_more_bandwidth(benchmark):
         ["limited (2 DFS steps)", lim.run.critical_path.bw,
          lim.run.critical_path.l, lim.run.max_peak_memory()],
     ]
+    headers = ["Regime", "BW", "L", "Peak memory (words)"]
     emit(
         "table2_memory_tradeoff",
         render_table(
-            ["Regime", "BW", "L", "Peak memory (words)"],
+            headers,
             rows,
             title=f"Lemma 3.1 trade-off: k={k}, P={p}, n={N_BITS} bits",
         ),
+        cells=table_cells(headers, rows),
     )
     assert lim.run.critical_path.bw > unlim.run.critical_path.bw
     assert lim.run.critical_path.l > unlim.run.critical_path.l

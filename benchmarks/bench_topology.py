@@ -11,7 +11,7 @@ quantifying what the Section 2.1 peer-to-peer assumption is worth, and
 that a torus recovers it for free.
 """
 
-from _common import emit, once, operands, plan_for
+from _common import emit, once, operands, plan_for, table_cells
 
 from repro.analysis.report import render_table
 from repro.core.parallel_toomcook import ParallelToomCook
@@ -43,13 +43,15 @@ def test_latency_across_topologies(benchmark):
     rows = once(benchmark, run)
     base_l = rows[0][1]
     table = [row + [round(row[1] / base_l, 2)] for row in rows]
+    headers = ["topology", "L", "BW", "avg distance", "L inflation"]
     emit(
         "topology_latency",
         render_table(
-            ["topology", "L", "BW", "avg distance", "L inflation"],
+            headers,
             table,
             title=f"Parallel Toom-Cook latency vs topology (k={k}, P={p}, n={N_BITS} bits)",
         ),
+        cells=table_cells(headers, table),
     )
     ls = [row[1] for row in rows]
     bws = [row[2] for row in rows]

@@ -8,29 +8,50 @@ the same products through the generic bilinear-form machinery).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.kernels import KernelCounters
 
 __all__ = ["karatsuba_multiply"]
 
 
-def karatsuba_multiply(a: int, b: int, threshold_bits: int = 64) -> tuple[int, int]:
+def karatsuba_multiply(
+    a: int,
+    b: int,
+    threshold_bits: int = 64,
+    counters: "KernelCounters | None" = None,
+) -> tuple[int, int]:
     """Multiply ``a * b`` by recursive Karatsuba.
 
     Recursion bottoms out when either operand fits ``threshold_bits`` (the
     hardware's max single-operation size ``s`` of Algorithm 1).  Returns
     ``(product, flops)`` counting one flop per leaf word-multiply and per
-    word-wide addition/subtraction.
+    word-wide addition/subtraction.  ``counters`` (optional) accumulates
+    leaf limb-multiplications and the maximum recursion depth.
     """
     check_positive("threshold_bits", threshold_bits)
     sign = -1 if (a < 0) != (b < 0) else 1
-    product, flops = _karatsuba(abs(a), abs(b), threshold_bits)
+    product, flops = _karatsuba(abs(a), abs(b), threshold_bits, counters, 0)
     return sign * product, flops
 
 
-def _karatsuba(a: int, b: int, threshold: int) -> tuple[int, int]:
+def _karatsuba(
+    a: int,
+    b: int,
+    threshold: int,
+    counters: "KernelCounters | None",
+    depth: int,
+) -> tuple[int, int]:
     if a == 0 or b == 0:
         return 0, 0
+    if counters is not None:
+        counters.note_depth(depth)
     if a.bit_length() <= threshold and b.bit_length() <= threshold:
+        if counters is not None:
+            counters.add_limb_mults(1)
         return a * b, 1
     # Shared split base: both halves get ceil(bits/2) bits.
     bits = max(a.bit_length(), b.bit_length())
@@ -40,9 +61,9 @@ def _karatsuba(a: int, b: int, threshold: int) -> tuple[int, int]:
     b0, b1 = b & mask, b >> half
     words = -(-half // threshold)  # addition width in machine words
 
-    low, f_low = _karatsuba(a0, b0, threshold)
-    high, f_high = _karatsuba(a1, b1, threshold)
-    mid_ab, f_mid = _karatsuba(a0 + a1, b0 + b1, threshold)
+    low, f_low = _karatsuba(a0, b0, threshold, counters, depth + 1)
+    high, f_high = _karatsuba(a1, b1, threshold, counters, depth + 1)
+    mid_ab, f_mid = _karatsuba(a0 + a1, b0 + b1, threshold, counters, depth + 1)
     mid = mid_ab - low - high
 
     flops = f_low + f_high + f_mid

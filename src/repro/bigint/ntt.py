@@ -17,8 +17,13 @@ thousands of bits in this model, matching the paper's qualitative story.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.util.validation import check_positive
 from repro.util.words import digits_to_int, int_to_digits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.kernels import KernelCounters
 
 __all__ = ["NttMultiplier", "DEFAULT_PRIME", "ntt", "intt", "modular_op_costs"]
 
@@ -129,6 +134,7 @@ class NttMultiplier:
         prime: int = DEFAULT_PRIME,
         root: int = DEFAULT_ROOT,
         word_bits: int = 16,
+        counters: "KernelCounters | None" = None,
     ):
         check_positive("digit_bits", digit_bits)
         check_positive("word_bits", word_bits)
@@ -136,6 +142,7 @@ class NttMultiplier:
         self.prime = prime
         self.root = root
         self.word_bits = word_bits
+        self.counters = counters
 
     def max_coefficients(self) -> int:
         """Largest convolution length the modulus supports without
@@ -174,6 +181,17 @@ class NttMultiplier:
         flops += f3
         product = digits_to_int(c[:out_len], self.digit_bits)
         flops += out_len  # carry pass
+        if self.counters is not None:
+            # Limb multiplications: each modular multiply is an rw x rw
+            # schoolbook product (modular_op_costs).  The three transforms
+            # do 2 multiplies per butterfly ((n/2) log2 n butterflies
+            # each), the pointwise pass n, the inverse scaling n.
+            rw = -(-self.prime.bit_length() // self.word_bits)
+            stages = n.bit_length() - 1
+            mod_muls = 3 * 2 * (n // 2) * stages + 2 * n
+            self.counters.add_limb_mults(mod_muls * rw * rw)
+            # The FFT's divide-and-conquer depth: log2(n) stages.
+            self.counters.note_depth(stages)
         return sign * product, flops
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

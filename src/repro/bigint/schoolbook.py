@@ -8,18 +8,30 @@ the honest ``Θ(n²)`` (Python's builtin ``*`` is only used on single limbs).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.bigint.limbs import LimbVector
 from repro.util.validation import check_positive
 from repro.util.words import int_to_digits
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.kernels import KernelCounters
+
 __all__ = ["schoolbook_multiply", "schoolbook_cost"]
 
 
-def schoolbook_multiply(a: int, b: int, word_bits: int = 64) -> tuple[int, int]:
+def schoolbook_multiply(
+    a: int,
+    b: int,
+    word_bits: int = 64,
+    counters: "KernelCounters | None" = None,
+) -> tuple[int, int]:
     """Multiply ``a * b`` with limb-wise schoolbook convolution.
 
     Returns ``(product, flops)`` where ``flops`` counts single-word
-    multiply-accumulate operations.
+    multiply-accumulate operations.  ``counters`` (optional) records the
+    exact limb-multiplication count; schoolbook never recurses, so its
+    depth contribution is 0.
     """
     check_positive("word_bits", word_bits)
     sign = -1 if (a < 0) != (b < 0) else 1
@@ -32,6 +44,9 @@ def schoolbook_multiply(a: int, b: int, word_bits: int = 64) -> tuple[int, int]:
     vb = LimbVector(db, word_bits)
     product = va.convolve(vb)
     flops = 2 * len(da) * len(db)  # one mul + one add per limb pair
+    if counters is not None:
+        counters.add_limb_mults(len(da) * len(db))
+        counters.note_depth(0)
     return sign * product.to_int(), flops
 
 

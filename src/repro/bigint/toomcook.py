@@ -10,6 +10,7 @@ single-word operations so the measured cost can be compared against the
 from __future__ import annotations
 
 from fractions import Fraction
+from typing import TYPE_CHECKING
 
 from repro.bigint.evalpoints import EvalPoint, toom_points
 from repro.bigint.matrices import toom_operators
@@ -18,7 +19,40 @@ from repro.util.rational import mat_vec
 from repro.util.validation import check_positive
 from repro.util.words import bits_to_words
 
-__all__ = ["ToomCook", "toom_cost"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.kernels import KernelCounters
+
+__all__ = ["ToomCook", "toom_cost", "cached_toom_operators", "clear_operator_cache"]
+
+#: Evaluation/interpolation operator triples (U, V, W^T) keyed by
+#: ``(k, points)``.  Building them means assembling and inverting a
+#: (2k-1)x(2k-1) rational Vandermonde system, so instances sharing the
+#: same geometry (every benchmark loop, every simulated rank) reuse one
+#: triple.  Worst case under concurrent construction is a duplicate
+#: compute of an immutable value — never a wrong one.
+_OPERATOR_CACHE: dict[tuple, tuple] = {}
+
+
+def cached_toom_operators(
+    k: int,
+    points: list[EvalPoint],
+    counters: "KernelCounters | None" = None,
+):
+    """``toom_operators(k, points)`` through the process-wide cache,
+    recording the hit/miss into ``counters`` when given."""
+    key = (k, tuple(points))
+    ops = _OPERATOR_CACHE.get(key)
+    if counters is not None:
+        counters.note_eval_cache(hit=ops is not None)
+    if ops is None:
+        ops = toom_operators(k, points)
+        _OPERATOR_CACHE[key] = ops
+    return ops
+
+
+def clear_operator_cache() -> None:
+    """Drop every cached operator triple (test isolation hook)."""
+    _OPERATOR_CACHE.clear()
 
 
 class ToomCook:
@@ -34,6 +68,10 @@ class ToomCook:
         one flop.
     points:
         Optional custom evaluation points (``>= 2k-1``, pairwise distinct).
+    counters:
+        Optional :class:`~repro.obs.kernels.KernelCounters` accumulating
+        leaf limb-multiplications, maximum recursion depth and
+        evaluation-operator cache hits across this instance's calls.
     """
 
     def __init__(
@@ -43,6 +81,7 @@ class ToomCook:
         points: list[EvalPoint] | None = None,
         interpolation: str = "matrix",
         evaluation: str = "matrix",
+        counters: "KernelCounters | None" = None,
     ):
         if k < 2:
             raise ValueError("Toom-Cook requires k >= 2")
@@ -54,7 +93,8 @@ class ToomCook:
         self.k = k
         self.threshold_bits = threshold_bits
         self.points = list(points) if points is not None else toom_points(k)
-        self.U, self.V, self.W_T = toom_operators(k, self.points)
+        self.counters = counters
+        self.U, self.V, self.W_T = cached_toom_operators(k, self.points, counters)
         self.interpolation = interpolation
         if interpolation == "sequence":
             # Remark 4.1: interpolate by an inversion sequence of
@@ -92,16 +132,22 @@ class ToomCook:
         return sign * product, flops
 
     # -- recursion ---------------------------------------------------------
-    def _mul(self, a: int, b: int) -> tuple[int, int]:
+    def _mul(self, a: int, b: int, depth: int = 0) -> tuple[int, int]:
         if a == 0 or b == 0:
             return 0, 0
+        if self.counters is not None:
+            self.counters.note_depth(depth)
         bits = max(a.bit_length(), b.bit_length())
         if bits <= self.threshold_bits:
+            if self.counters is not None:
+                self.counters.add_limb_mults(1)
             return a * b, 1
         if bits <= self._direct_bits:
             # Too small to split profitably; schoolbook-equivalent cost.
             wa = bits_to_words(a.bit_length(), self.threshold_bits)
             wb = bits_to_words(b.bit_length(), self.threshold_bits)
+            if self.counters is not None:
+                self.counters.add_limb_mults(wa * wb)
             return a * b, 2 * wa * wb
 
         k = self.k
@@ -126,7 +172,7 @@ class ToomCook:
         for i in range(m):
             ai, bi = int(a_evals[i]), int(b_evals[i])
             sign = -1 if (ai < 0) != (bi < 0) else 1
-            p, fl = self._mul(abs(ai), abs(bi))
+            p, fl = self._mul(abs(ai), abs(bi), depth + 1)
             c_evals.append(sign * p)
             flops += fl
 

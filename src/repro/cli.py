@@ -17,6 +17,10 @@
     python -m repro commcheck --all-variants
     python -m repro commcheck --all-variants --jobs 4
     python -m repro commcheck --variants ft_polynomial --phase interpolation
+    python -m repro perf list
+    python -m repro perf compare --advisory-wall
+    python -m repro perf report --last 8
+    python -m repro perf bless --suite collectives
 
 Numbers accept decimal, ``0x...`` hex, or ``0b...`` binary, plus the
 shorthand ``0x1pN`` for ``2**N``.
@@ -265,6 +269,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out", metavar="PATH", default=None,
         help="write the JSON report (with comm graphs) to PATH",
     )
+
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark telemetry store: trajectories, regression gate, "
+        "trend dashboard (see docs/OBSERVABILITY.md)",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    def _perf_common(p):
+        p.add_argument(
+            "--dir", metavar="PATH", default=None,
+            help="trajectory directory holding BENCH_<suite>.json files "
+            "(default: REPRO_PERF_DIR, else the current directory)",
+        )
+        p.add_argument(
+            "--baseline", metavar="PATH", default=None,
+            help="pinned-baseline directory (default: REPRO_PERF_BASELINE, "
+            "else benchmarks/baselines)",
+        )
+        p.add_argument(
+            "--suite", action="append", default=[], metavar="NAME",
+            help="restrict to one suite (repeatable; default: all)",
+        )
+
+    perf_list = perf_sub.add_parser("list", help="suites and record counts")
+    _perf_common(perf_list)
+
+    perf_cmp = perf_sub.add_parser(
+        "compare",
+        help="diff each suite's newest record against its pinned baseline; "
+        "exact cells must match bit-for-bit, wall-clock gets a tolerance band",
+    )
+    _perf_common(perf_cmp)
+    perf_cmp.add_argument(
+        "--wall-tolerance", type=float, default=0.25, metavar="FRAC",
+        help="wall-clock tolerance band as a fraction of baseline (default 0.25)",
+    )
+    perf_cmp.add_argument(
+        "--advisory-wall", action="store_true",
+        help="report wall-clock drift without failing the gate (CI default)",
+    )
+    perf_cmp.add_argument(
+        "--json", action="store_true", help="machine-readable findings"
+    )
+
+    perf_rep = perf_sub.add_parser(
+        "report", help="ASCII trend dashboard (sparkline per cell)"
+    )
+    _perf_common(perf_rep)
+    perf_rep.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the newest N records per suite",
+    )
+
+    perf_bless = perf_sub.add_parser(
+        "bless",
+        help="pin each suite's newest trajectory record as its new baseline",
+    )
+    _perf_common(perf_bless)
     return parser
 
 
@@ -519,6 +582,18 @@ def _cmd_commcheck(args) -> int:
     return result.exit_code
 
 
+def _cmd_perf(args) -> int:
+    from repro.obs.perf.cli import cmd_bless, cmd_compare, cmd_list, cmd_report
+
+    handlers = {
+        "list": cmd_list,
+        "compare": cmd_compare,
+        "report": cmd_report,
+        "bless": cmd_bless,
+    }
+    return handlers[args.perf_command](args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -530,6 +605,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "campaign": _cmd_campaign,
         "commcheck": _cmd_commcheck,
+        "perf": _cmd_perf,
     }
     return handlers[args.command](args)
 

@@ -16,6 +16,7 @@ from repro.lint.rules.determinism import (
 )
 from repro.lint.rules.exactness import FloatLiteralRule, MathFloatRule, TrueDivisionRule
 from repro.lint.rules.locks import LockDisciplineRule
+from repro.lint.rules.obs import PerfFunnelRule
 from repro.lint.rules.parallel import RawParallelismRule
 from repro.lint.rules.phases import PhaseAccountingRule
 
@@ -38,6 +39,7 @@ def default_rules() -> list[Rule]:
         RawTagRule(),
         UnboundedRecoveryRecvRule(),
         RawParallelismRule(),
+        PerfFunnelRule(),
     ]
 
 

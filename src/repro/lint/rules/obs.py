@@ -1,0 +1,101 @@
+"""Observability rule (OBS001).
+
+Benchmark observability has a single write funnel: ``benchmarks/_common.emit``
+renders the ``.txt`` tables under ``benchmarks/results/`` and hands every
+measurement to :class:`repro.obs.perf.store.PerfStore`, the only writer of
+the ``BENCH_<suite>.json`` trajectory files.  A second writer would fork
+the history: records with divergent schemas, trajectory files that
+``repro perf compare`` cannot validate, ``.txt`` renderings that drift
+from the recorded cells.  Same spirit as PAR001 (one process-spawning
+funnel): any other code writing into ``benchmarks/results/`` or a
+``BENCH_*.json`` path is banned.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import Rule, SourceFile, Violation
+
+__all__ = ["PerfFunnelRule"]
+
+#: String literals that identify a funnel-owned destination.
+_TARGET_RE = re.compile(r"BENCH_[A-Za-z0-9_]+\.json|benchmarks/results")
+
+#: Callee names that (can) write or delete their path argument.
+_WRITE_CALLEES = frozenset(
+    {"write_text", "write_bytes", "open", "unlink", "remove", "rename", "replace"}
+)
+
+#: open()/Path.open() modes that mutate the file.
+_WRITE_MODE_RE = re.compile(r"[wax+]")
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _string_constants(node: ast.AST) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            yield sub.value
+
+
+def _opens_for_writing(node: ast.Call) -> bool:
+    """For ``open``-style calls: does a literal mode argument mutate?
+    A non-literal or absent mode defaults to read-only — not flagged."""
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return False
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(_WRITE_MODE_RE.search(mode.value))
+    return True  # computed mode: assume the worst
+
+
+class PerfFunnelRule(Rule):
+    id = "OBS001"
+    name = "perf-funnel"
+    description = (
+        "writing into benchmarks/results/ or BENCH_*.json outside the "
+        "benchmarks/_common.emit -> repro.obs.perf.store funnel is banned"
+    )
+
+    def applies_to(self, sf: SourceFile) -> bool:
+        rel = sf.relpath
+        if rel is not None and (rel == "obs/perf/store.py" or rel.startswith("lint/")):
+            return False
+        # The emit funnel itself lives outside the repro package.
+        parts = sf.path.parts
+        if sf.path.name == "_common.py" and "benchmarks" in parts:
+            return False
+        return True
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _callee_name(node.func)
+            if callee not in _WRITE_CALLEES:
+                continue
+            if not any(_TARGET_RE.search(s) for s in _string_constants(node)):
+                continue
+            if callee == "open" and not _opens_for_writing(node):
+                continue
+            yield self.violation(
+                sf,
+                node,
+                f"{callee}() targets a perf-funnel path (benchmarks/results/ "
+                "or BENCH_*.json); route it through benchmarks/_common.emit "
+                "or repro.obs.perf.PerfStore",
+            )

@@ -47,6 +47,7 @@ from repro.obs.export import (
     to_jsonl_lines,
     write_trace,
 )
+from repro.obs.kernels import KernelCounters
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer, make_tracer
 
@@ -67,6 +68,7 @@ __all__ = [
     "make_tracer",
     "MetricsRegistry",
     "Histogram",
+    "KernelCounters",
     "to_chrome_trace",
     "to_jsonl_lines",
     "dump_chrome_trace",

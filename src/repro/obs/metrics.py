@@ -55,6 +55,30 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-th percentile estimate, or ``None`` when empty.
+
+        Buckets hold ranges, so the estimate is the upper bound of the
+        bucket containing the rank-``ceil(q/100 * count)`` observation,
+        clamped into ``[min, max]``.  The power-of-two bucketing bounds
+        the error: the estimate never exceeds twice the true value, and
+        edge percentiles are exact (a 1-sample histogram returns the
+        sample; ``percentile(100)`` always returns ``max``).
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+        if self.count == 0:
+            return None
+        assert self.min is not None and self.max is not None
+        rank = max(1, -(-int(q * self.count) // 100))  # ceil(q/100 * count)
+        cumulative = 0
+        for exp in sorted(self.buckets):
+            cumulative += self.buckets[exp]
+            if cumulative >= rank:
+                upper = float(2**exp) if exp > 0 else 1.0
+                return min(max(upper, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
     def merge(self, other: "Histogram") -> None:
         """Fold ``other``'s observations into this histogram."""
         for exp in sorted(other.buckets):
@@ -167,6 +191,39 @@ class MetricsRegistry:
                     for k in sorted(self._histograms)
                 },
             }
+
+    def labeled_snapshot(self) -> dict[str, float]:
+        """Flat, deterministic ``{"name{k=v,...}": number}`` view of every
+        series — the shape perf records store as cells
+        (:mod:`repro.obs.perf`).  Counters and gauges map directly;
+        histograms expand to their exact ``count``/``total``/``min``/
+        ``max`` summary fields so the snapshot stays exactly comparable
+        across runs (percentiles are estimates and are left out).
+        """
+
+        def fmt(key: tuple) -> str:
+            name, labels = key
+            if not labels:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            return f"{name}{{{inner}}}"
+
+        out: dict[str, float] = {}
+        with self._lock:
+            for key in sorted(self._counters, key=repr):
+                out[fmt(key)] = self._counters[key]
+            for key in sorted(self._gauges, key=repr):
+                out[fmt(key)] = self._gauges[key]
+            for key in sorted(self._histograms, key=repr):
+                hist = self._histograms[key]
+                base = fmt(key)
+                out[f"{base}/count"] = hist.count
+                out[f"{base}/total"] = hist.total
+                if hist.min is not None:
+                    out[f"{base}/min"] = hist.min
+                if hist.max is not None:
+                    out[f"{base}/max"] = hist.max
+        return out
 
     def is_empty(self) -> bool:
         with self._lock:

@@ -1,0 +1,67 @@
+"""Perf observatory: persistent benchmark telemetry and regression gates.
+
+The benchmark harness regenerates the paper's tables from *measured*
+simulator counts, but a rendered ``.txt`` table is a dead end: no run is
+comparable to any previous run.  This subpackage gives every benchmark
+run a durable, schema-versioned JSON record — a run manifest (git sha,
+host, Python version, seeds, ``REPRO_*`` configuration) plus flat metric
+cells pulled from :class:`~repro.obs.metrics.MetricsRegistry` snapshots
+and the benchmarks' own table data — appended to a per-suite
+*trajectory file* (``BENCH_<suite>.json``).
+
+- :mod:`repro.obs.perf.store` — the trajectory store: load/validate/
+  append records, byte-deterministic serialization.
+- :mod:`repro.obs.perf.record` — record construction: the run manifest
+  and cell/wall accumulation helpers.
+- :mod:`repro.obs.perf.compare` — diff the newest record against a
+  pinned baseline.  Deterministic model costs (F/BW/L counts, processor
+  counts, exponent fits) are compared **exactly** — any drift is a
+  correctness signal, not noise — while wall-clock cells get a
+  percentage tolerance band.
+- :mod:`repro.obs.perf.report` — the ASCII/markdown trend dashboard
+  (sparkline deltas per suite per metric).
+
+Front end: ``python -m repro perf {list,compare,report,bless}`` (see
+docs/OBSERVABILITY.md, "Perf observatory").  The only writers of
+trajectory files are :class:`PerfStore` and the ``benchmarks/_common.emit``
+funnel — enforced by lint rule ``OBS001``.
+"""
+
+from repro.obs.perf.compare import (
+    CompareResult,
+    Finding,
+    compare_latest,
+    compare_records,
+    render_compare,
+)
+from repro.obs.perf.record import (
+    add_cells,
+    add_wall,
+    new_record,
+    run_manifest,
+)
+from repro.obs.perf.report import render_dashboard, render_trend
+from repro.obs.perf.store import (
+    SCHEMA_VERSION,
+    PerfStore,
+    SchemaError,
+    validate_record,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PerfStore",
+    "SchemaError",
+    "validate_record",
+    "run_manifest",
+    "new_record",
+    "add_cells",
+    "add_wall",
+    "Finding",
+    "CompareResult",
+    "compare_records",
+    "compare_latest",
+    "render_compare",
+    "render_trend",
+    "render_dashboard",
+]

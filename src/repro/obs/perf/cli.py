@@ -1,0 +1,133 @@
+"""Handlers behind ``python -m repro perf``.
+
+Subcommands (argument parsing lives in :mod:`repro.cli`):
+
+- ``perf list`` — suites and record counts in the trajectory store.
+- ``perf compare`` — newest record per suite vs the pinned baseline;
+  exits nonzero on any non-advisory regression (the CI gate).
+- ``perf report`` — the trend dashboard.
+- ``perf bless`` — pin a suite's newest record as its new baseline.
+
+Directory resolution: ``--dir`` > ``REPRO_PERF_DIR`` > cwd for the
+trajectory store; ``--baseline`` > ``REPRO_PERF_BASELINE`` >
+``benchmarks/baselines`` for the pinned baselines.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.perf.compare import compare_latest, render_compare
+from repro.obs.perf.report import render_dashboard
+from repro.obs.perf.store import PerfStore, SchemaError
+
+__all__ = [
+    "DEFAULT_BASELINE_DIR",
+    "resolve_stores",
+    "cmd_list",
+    "cmd_compare",
+    "cmd_report",
+    "cmd_bless",
+]
+
+#: Committed baselines live here unless overridden.
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
+
+
+def resolve_stores(args) -> tuple[PerfStore, PerfStore]:
+    """(trajectory store, baseline store) from CLI args + environment."""
+    from repro.util.env import perf_baseline
+
+    store = PerfStore(args.dir)  # None -> REPRO_PERF_DIR -> cwd
+    baseline_root = args.baseline or perf_baseline() or DEFAULT_BASELINE_DIR
+    return store, PerfStore(baseline_root)
+
+
+def _suites(args, store: PerfStore) -> list[str] | None:
+    if args.suite:
+        return list(args.suite)
+    return None
+
+
+def cmd_list(args) -> int:
+    store, baseline = resolve_stores(args)
+    suites = store.suites()
+    if not suites:
+        print(f"(no trajectory files under {store.root})")
+        return 0
+    for suite in suites:
+        records = store.load(suite)
+        pinned = "pinned" if baseline.latest(suite) is not None else "no baseline"
+        newest = records[-1]
+        print(
+            f"{suite:<20} {len(records):>3} record(s)  "
+            f"{len(newest['cells']):>4} cell(s)  "
+            f"sha {newest['manifest'].get('git_sha', 'unknown')[:10]}  [{pinned}]"
+        )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    store, baseline = resolve_stores(args)
+    try:
+        result = compare_latest(
+            store,
+            baseline,
+            suites=_suites(args, baseline),
+            wall_tolerance=args.wall_tolerance,
+            wall_advisory=args.advisory_wall,
+        )
+    except SchemaError as exc:
+        print(f"perf compare: schema error: {exc}")
+        return 2
+    if args.json:
+        payload = {
+            "suites_checked": result.suites_checked,
+            "cells_checked": result.cells_checked,
+            "exit_code": result.exit_code,
+            "findings": [
+                {
+                    "suite": f.suite,
+                    "kind": f.kind,
+                    "cell": f.cell,
+                    "baseline": f.baseline,
+                    "current": f.current,
+                    "advisory": f.advisory,
+                    "message": f.message,
+                }
+                for f in result.findings
+            ],
+        }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(render_compare(result))
+    return result.exit_code
+
+
+def cmd_report(args) -> int:
+    store, _ = resolve_stores(args)
+    try:
+        print(render_dashboard(store, suites=_suites(args, store), last=args.last))
+    except SchemaError as exc:
+        print(f"perf report: schema error: {exc}")
+        return 2
+    return 0
+
+
+def cmd_bless(args) -> int:
+    store, baseline = resolve_stores(args)
+    suites = args.suite or store.suites()
+    if not suites:
+        print(f"(no trajectory files under {store.root}; nothing to bless)")
+        return 1
+    for suite in sorted(suites):
+        record = store.latest(suite)
+        if record is None:
+            print(f"bless: no record for suite {suite!r} under {store.root}")
+            return 1
+        baseline.save(suite, [record])
+        print(
+            f"blessed {suite}: run_key={record['run_key']} "
+            f"({len(record['cells'])} cell(s)) -> {baseline.path(suite)}"
+        )
+    return 0

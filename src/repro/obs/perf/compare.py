@@ -1,0 +1,238 @@
+"""Regression comparison: newest record vs a pinned baseline.
+
+The project's benchmark measurements split into two classes with very
+different failure semantics:
+
+- **Deterministic model cells** (F/BW/L counts, processor counts,
+  exponent fits).  The simulator is virtual-time deterministic, so two
+  runs of the same seed must agree *exactly*; any drift means the
+  algorithms changed behaviour — a correctness signal that hard-fails.
+- **Wall-clock seconds**.  Host noise is expected; they get a
+  percentage tolerance band and can be demoted to advisory (CI runs on
+  shared boxes, so the workflow gate passes ``--advisory-wall``).
+
+A comparison never trusts the *current* side's extra cells: cells
+present in the baseline but missing from the new record hard-fail (a
+silently dropped measurement reads as "covered" otherwise), while new
+cells are reported as advisory so a freshly added table does not break
+the gate before the baseline is re-blessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.perf.store import PerfStore
+
+__all__ = [
+    "Finding",
+    "CompareResult",
+    "compare_records",
+    "compare_latest",
+    "render_compare",
+]
+
+#: Default wall-clock tolerance band (fraction of the baseline value).
+DEFAULT_WALL_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison divergence, anchored to ``suite`` / ``cell``."""
+
+    suite: str
+    kind: str  # cell-drift | cell-missing | cell-new | wall-drift | suite-missing
+    cell: str
+    baseline: float | None
+    current: float | None
+    message: str
+    advisory: bool = False
+
+
+@dataclass
+class CompareResult:
+    findings: list[Finding] = field(default_factory=list)
+    suites_checked: list[str] = field(default_factory=list)
+    cells_checked: int = 0
+
+    @property
+    def regressions(self) -> list[Finding]:
+        return [f for f in self.findings if not f.advisory]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def _drift(baseline: float, current: float) -> str:
+    if baseline == 0:
+        return "from 0"
+    return f"{100.0 * (current - baseline) / baseline:+.1f}%"
+
+
+def compare_records(
+    baseline: dict,
+    current: dict,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    wall_advisory: bool = False,
+) -> list[Finding]:
+    """All divergences between one baseline record and one current record.
+
+    Exact-equality for every baseline cell; ``wall_tolerance`` band for
+    wall seconds.  Deterministic: findings come out in sorted cell order.
+    """
+    if wall_tolerance < 0:
+        raise ValueError("wall_tolerance must be non-negative")
+    suite = baseline["suite"]
+    findings: list[Finding] = []
+    base_cells, cur_cells = baseline["cells"], current["cells"]
+    for cell in sorted(base_cells):
+        want = base_cells[cell]
+        if cell not in cur_cells:
+            findings.append(
+                Finding(
+                    suite=suite,
+                    kind="cell-missing",
+                    cell=cell,
+                    baseline=want,
+                    current=None,
+                    message=f"cell {cell!r} present in baseline but not measured",
+                )
+            )
+            continue
+        got = cur_cells[cell]
+        if got != want:
+            findings.append(
+                Finding(
+                    suite=suite,
+                    kind="cell-drift",
+                    cell=cell,
+                    baseline=want,
+                    current=got,
+                    message=(
+                        f"exact cell {cell!r} drifted: {_fmt(want)} -> "
+                        f"{_fmt(got)} ({_drift(want, got)}); deterministic "
+                        "model costs changing means behaviour changed"
+                    ),
+                )
+            )
+    for cell in sorted(cur_cells):
+        if cell not in base_cells:
+            findings.append(
+                Finding(
+                    suite=suite,
+                    kind="cell-new",
+                    cell=cell,
+                    baseline=None,
+                    current=cur_cells[cell],
+                    message=(
+                        f"cell {cell!r} is new (not in baseline); bless to pin it"
+                    ),
+                    advisory=True,
+                )
+            )
+    base_wall, cur_wall = baseline.get("wall", {}), current.get("wall", {})
+    for table in sorted(base_wall):
+        if table not in cur_wall:
+            continue  # wall cells are best-effort; absence is not a signal
+        want, got = base_wall[table], cur_wall[table]
+        if got > want * (1.0 + wall_tolerance):
+            findings.append(
+                Finding(
+                    suite=suite,
+                    kind="wall-drift",
+                    cell=table,
+                    baseline=want,
+                    current=got,
+                    message=(
+                        f"wall-clock of {table!r} regressed beyond the "
+                        f"{100 * wall_tolerance:.0f}% band: {want:.3f}s -> "
+                        f"{got:.3f}s ({_drift(want, got)})"
+                    ),
+                    advisory=wall_advisory,
+                )
+            )
+    return findings
+
+
+def compare_latest(
+    store: PerfStore,
+    baseline: PerfStore,
+    suites: list[str] | None = None,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    wall_advisory: bool = False,
+) -> CompareResult:
+    """Compare each suite's newest record against its pinned baseline.
+
+    ``suites`` defaults to every suite the *baseline* store pins — the
+    committed baseline set is the gate's contract, so a trajectory that
+    stopped being produced fails loudly rather than shrinking coverage.
+    """
+    result = CompareResult()
+    if suites is None:
+        suites = baseline.suites()
+    for suite in sorted(suites):
+        base_rec = baseline.latest(suite)
+        cur_rec = store.latest(suite)
+        result.suites_checked.append(suite)
+        if base_rec is None:
+            result.findings.append(
+                Finding(
+                    suite=suite,
+                    kind="suite-missing",
+                    cell="",
+                    baseline=None,
+                    current=None,
+                    message=f"no baseline record for suite {suite!r} "
+                    f"under {baseline.root}",
+                )
+            )
+            continue
+        if cur_rec is None:
+            result.findings.append(
+                Finding(
+                    suite=suite,
+                    kind="suite-missing",
+                    cell="",
+                    baseline=None,
+                    current=None,
+                    message=f"no current record for suite {suite!r} under "
+                    f"{store.root} (did the benchmark run?)",
+                )
+            )
+            continue
+        result.cells_checked += len(base_rec["cells"])
+        result.findings.extend(
+            compare_records(
+                base_rec,
+                cur_rec,
+                wall_tolerance=wall_tolerance,
+                wall_advisory=wall_advisory,
+            )
+        )
+    return result
+
+
+def render_compare(result: CompareResult) -> str:
+    """Deterministic text report: one line per finding plus a verdict."""
+    lines = []
+    for f in result.findings:
+        tag = "advisory" if f.advisory else "FAIL"
+        lines.append(f"[{tag}] {f.suite}: {f.message}")
+    regressions = len(result.regressions)
+    advisories = len(result.findings) - regressions
+    verdict = "PASS" if regressions == 0 else "FAIL"
+    lines.append(
+        f"perf compare: {verdict} — {len(result.suites_checked)} suite(s), "
+        f"{result.cells_checked} exact cell(s) checked, "
+        f"{regressions} regression(s), {advisories} advisory"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Record construction: run manifests and cell accumulation.
+
+A record's *manifest* answers "what produced these numbers" — git sha,
+host, Python version, platform, the ``REPRO_*`` environment and the
+benchmark seeds — while its *cells* carry the measurements themselves,
+flat-keyed ``<table>/<cell>`` so two records diff cell-by-cell without
+any schema knowledge.  Manifests never feed comparisons (two hosts may
+legitimately produce byte-identical cells); they exist for forensics.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Mapping
+
+from repro.obs.perf.store import SCHEMA_VERSION, validate_record
+
+__all__ = ["git_sha", "run_manifest", "new_record", "add_cells", "add_wall"]
+
+#: Environment prefix captured into the manifest.
+_ENV_PREFIX = "REPRO_"
+
+
+def git_sha(cwd: str | None = None) -> str:
+    """The checkout's HEAD sha, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_manifest(
+    seeds: Mapping[str, Any] | None = None, cwd: str | None = None
+) -> dict:
+    """Build the manifest for one benchmark process."""
+    env = {
+        key: os.environ[key]
+        for key in sorted(os.environ)
+        if key.startswith(_ENV_PREFIX)
+    }
+    return {
+        "git_sha": git_sha(cwd),
+        "hostname": platform.node() or "unknown",
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "env": env,
+        "seeds": dict(seeds or {}),
+    }
+
+
+def new_record(suite: str, run_key: str, manifest: Mapping[str, Any]) -> dict:
+    """A fresh, empty (but schema-valid) record."""
+    record = {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "run_key": run_key,
+        "manifest": dict(manifest),
+        "cells": {},
+        "wall": {},
+    }
+    validate_record(record)
+    return record
+
+
+def add_cells(record: dict, table: str, cells: Mapping[str, Any]) -> None:
+    """Fold one table's cells into ``record`` under ``<table>/<cell>``.
+
+    Non-numeric values (status strings, labels) are skipped: cells carry
+    measurements only.  Re-adding a table overwrites its cells — emits
+    are idempotent per run.
+    """
+    for name in sorted(cells, key=repr):
+        value = cells[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        record["cells"][f"{table}/{name}"] = value
+
+
+def add_wall(record: dict, table: str, seconds: float) -> None:
+    """Record one table's host wall-clock seconds."""
+    if seconds < 0:
+        raise ValueError(f"wall seconds must be non-negative, got {seconds!r}")
+    record["wall"][table] = seconds

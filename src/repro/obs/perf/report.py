@@ -1,0 +1,124 @@
+"""Trend dashboard: how each metric moved across a suite's trajectory.
+
+``render_trend`` turns one suite's record list into a fixed-width table
+with a sparkline per cell — enough to spot "F cost stepped up three
+commits ago" without loading the JSON into anything.  ``render_dashboard``
+stacks every suite in a store.  Output is deterministic: records are
+taken in trajectory (append) order and cells in sorted order.
+"""
+
+from __future__ import annotations
+
+from repro.obs.perf.store import PerfStore
+
+__all__ = ["sparkline", "render_trend", "render_dashboard"]
+
+#: Eight-level block glyphs, lowest to highest.
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Map ``values`` onto block glyphs (min..max -> lowest..highest).
+
+    A constant series renders as a flat mid-level line, so "nothing
+    moved" is visually distinct from "something moved".
+    """
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_GLYPHS[3] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_GLYPHS) - 1))
+        out.append(_SPARK_GLYPHS[idx])
+    return "".join(out)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def _delta(first: float, last: float) -> str:
+    if last == first:
+        return "="
+    if first == 0:
+        return "new"
+    return f"{100.0 * (last - first) / first:+.1f}%"
+
+
+def render_trend(
+    suite: str, records: list[dict], last: int | None = None
+) -> str:
+    """One suite's trend table over its newest ``last`` records."""
+    if last is not None:
+        if last < 1:
+            raise ValueError("last must be >= 1")
+        records = records[-last:]
+    header = f"## {suite} ({len(records)} record(s))"
+    if not records:
+        return header + "\n(no records)"
+    newest = records[-1]
+    manifest = newest.get("manifest", {})
+    header += (
+        f"\nnewest: run_key={newest['run_key']} "
+        f"sha={manifest.get('git_sha', 'unknown')[:10]} "
+        f"python={manifest.get('python', '?')}"
+    )
+    names = sorted({name for rec in records for name in rec["cells"]})
+    wall_names = sorted({name for rec in records for name in rec.get("wall", {})})
+    rows = []
+    for name in names:
+        series = [rec["cells"][name] for rec in records if name in rec["cells"]]
+        rows.append(
+            (
+                name,
+                _fmt(series[0]),
+                _fmt(series[-1]),
+                _delta(series[0], series[-1]),
+                sparkline(series),
+            )
+        )
+    for name in wall_names:
+        series = [
+            rec["wall"][name] for rec in records if name in rec.get("wall", {})
+        ]
+        rows.append(
+            (
+                f"wall/{name}",
+                f"{series[0]:.3f}s",
+                f"{series[-1]:.3f}s",
+                _delta(series[0], series[-1]),
+                sparkline(series),
+            )
+        )
+    cols = ("cell", "first", "last", "delta", "trend")
+    widths = [
+        max(len(cols[i]), *(len(r[i]) for r in rows)) if rows else len(cols[i])
+        for i in range(len(cols))
+    ]
+    lines = [header]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_dashboard(
+    store: PerfStore,
+    suites: list[str] | None = None,
+    last: int | None = None,
+) -> str:
+    """Every suite's trend, stacked — the ``repro perf report`` payload."""
+    if suites is None:
+        suites = store.suites()
+    if not suites:
+        return f"(no trajectory files under {store.root})"
+    sections = [f"# Perf observatory — {len(suites)} suite(s) under {store.root}"]
+    for suite in sorted(suites):
+        sections.append(render_trend(suite, store.load(suite), last=last))
+    return "\n\n".join(sections)

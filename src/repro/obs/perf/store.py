@@ -1,0 +1,211 @@
+"""The trajectory store: schema-versioned perf records on disk.
+
+One *suite* (a benchmark module, ``bench_scaling`` -> suite ``scaling``)
+owns one trajectory file ``BENCH_<suite>.json`` holding a JSON array of
+records, oldest first.  A record is::
+
+    {
+      "schema": 1,
+      "suite": "scaling",
+      "run_key": "4000a06b2c.1234",
+      "manifest": {"git_sha": ..., "hostname": ..., "python": ...,
+                   "platform": ..., "env": {"REPRO_JOBS": "4", ...},
+                   "seeds": {...}},
+      "cells": {"<table>/<cell>": <number>, ...},
+      "wall": {"<table>": <seconds>, ...}
+    }
+
+``cells`` hold the deterministic model measurements (F/BW/L counts,
+processor counts, fitted exponents); ``wall`` holds host wall-clock
+seconds, kept apart because only cells are compared exactly.
+
+Serialization is byte-deterministic (sorted keys, fixed separators,
+trailing newline): identical record lists produce identical files, so a
+clean re-run of the same seed round-trips byte-identically.  The store
+never reads the wall clock or entropy — manifests are built by the
+caller (:mod:`repro.obs.perf.record`).
+
+This module and ``benchmarks/_common.emit`` are the only components
+allowed to write trajectory files or ``benchmarks/results/`` renderings;
+lint rule ``OBS001`` bans writes anywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TRAJECTORY_PREFIX",
+    "SchemaError",
+    "validate_record",
+    "trajectory_filename",
+    "PerfStore",
+]
+
+#: Bump when the record shape changes; readers reject unknown versions.
+SCHEMA_VERSION = 1
+
+#: Trajectory files are ``BENCH_<suite>.json``.
+TRAJECTORY_PREFIX = "BENCH_"
+
+_SUITE_RE = re.compile(r"^[a-z0-9][a-z0-9_]*$")
+
+#: Manifest keys every record must carry (all strings).
+_MANIFEST_KEYS = ("git_sha", "hostname", "python", "platform")
+
+
+class SchemaError(ValueError):
+    """A record (or trajectory file) does not match the schema."""
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise SchemaError(message)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_record(record: Any) -> None:
+    """Raise :class:`SchemaError` unless ``record`` is a valid v1 record."""
+    _check(isinstance(record, dict), "record must be an object")
+    _check(
+        record.get("schema") == SCHEMA_VERSION,
+        f"unsupported schema version {record.get('schema')!r} "
+        f"(expected {SCHEMA_VERSION})",
+    )
+    suite = record.get("suite")
+    _check(
+        isinstance(suite, str) and bool(_SUITE_RE.match(suite)),
+        f"suite must match {_SUITE_RE.pattern}, got {suite!r}",
+    )
+    _check(
+        isinstance(record.get("run_key"), str) and record["run_key"] != "",
+        "run_key must be a non-empty string",
+    )
+    manifest = record.get("manifest")
+    _check(isinstance(manifest, dict), "manifest must be an object")
+    for key in _MANIFEST_KEYS:
+        _check(
+            isinstance(manifest.get(key), str),
+            f"manifest.{key} must be a string",
+        )
+    env = manifest.get("env", {})
+    _check(isinstance(env, dict), "manifest.env must be an object")
+    for key in sorted(env, key=repr):
+        _check(
+            isinstance(key, str) and isinstance(env[key], str),
+            "manifest.env must map strings to strings",
+        )
+    seeds = manifest.get("seeds", {})
+    _check(isinstance(seeds, dict), "manifest.seeds must be an object")
+    cells = record.get("cells")
+    _check(isinstance(cells, dict), "cells must be an object")
+    for key in sorted(cells, key=repr):
+        _check(isinstance(key, str), "cell names must be strings")
+        _check(
+            _is_number(cells[key]),
+            f"cell {key!r} must be a number, got {cells[key]!r}",
+        )
+    wall = record.get("wall", {})
+    _check(isinstance(wall, dict), "wall must be an object")
+    for key in sorted(wall, key=repr):
+        _check(isinstance(key, str), "wall table names must be strings")
+        _check(
+            _is_number(wall[key]) and wall[key] >= 0,
+            f"wall {key!r} must be a non-negative number",
+        )
+
+
+def trajectory_filename(suite: str) -> str:
+    """``scaling`` -> ``BENCH_scaling.json``."""
+    if not _SUITE_RE.match(suite):
+        raise SchemaError(f"suite must match {_SUITE_RE.pattern}, got {suite!r}")
+    return f"{TRAJECTORY_PREFIX}{suite}.json"
+
+
+class PerfStore:
+    """Load, validate and append per-suite trajectory files under ``root``.
+
+    ``root`` defaults to ``REPRO_PERF_DIR`` (see :mod:`repro.util.env`) or,
+    failing that, the current working directory — which is the repository
+    root both in CI and for a checkout-local ``python -m repro perf``.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        if root is None:
+            from repro.util.env import perf_dir
+
+            root = perf_dir() or "."
+        self.root = Path(root)
+
+    def path(self, suite: str) -> Path:
+        return self.root / trajectory_filename(suite)
+
+    def suites(self) -> list[str]:
+        """Suites that have a trajectory file under ``root``, sorted."""
+        if not self.root.is_dir():
+            return []
+        names = []
+        for p in sorted(self.root.glob(f"{TRAJECTORY_PREFIX}*.json")):
+            suite = p.name[len(TRAJECTORY_PREFIX) : -len(".json")]
+            if _SUITE_RE.match(suite):
+                names.append(suite)
+        return names
+
+    def load(self, suite: str) -> list[dict]:
+        """All records for ``suite``, oldest first ([] when absent)."""
+        path = self.path(suite)
+        if not path.exists():
+            return []
+        try:
+            records = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path} is not valid JSON: {exc}") from exc
+        _check(isinstance(records, list), f"{path} must hold a JSON array")
+        for record in records:
+            validate_record(record)
+            _check(
+                record["suite"] == suite,
+                f"{path} holds a record for suite {record['suite']!r}",
+            )
+        return records
+
+    def save(self, suite: str, records: list[dict]) -> Path:
+        """Validate and write the full trajectory (byte-deterministic)."""
+        for record in records:
+            validate_record(record)
+        path = self.path(suite)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(records, sort_keys=True, indent=1, separators=(",", ": "))
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    def append(self, suite: str, record: dict) -> Path:
+        """Append one record to the suite's trajectory."""
+        records = self.load(suite)
+        records.append(record)
+        return self.save(suite, records)
+
+    def upsert(self, suite: str, record: dict) -> Path:
+        """Replace the existing record with the same ``run_key`` (one
+        record per benchmark process: successive ``emit()`` calls fold
+        into it), or append when the key is new."""
+        records = self.load(suite)
+        for i in range(len(records) - 1, -1, -1):
+            if records[i]["run_key"] == record["run_key"]:
+                records[i] = record
+                break
+        else:
+            records.append(record)
+        return self.save(suite, records)
+
+    def latest(self, suite: str) -> dict | None:
+        """The newest record, or ``None`` for an empty/missing trajectory."""
+        records = self.load(suite)
+        return records[-1] if records else None

@@ -23,17 +23,40 @@ clock or entropy.
     Default ``spawn``: immune to fork-with-locks hazards and identical
     across platforms; set ``fork`` to trade that safety for faster
     worker start on Linux.
+
+``REPRO_PERF_DIR``
+    Directory holding the benchmark trajectory files
+    (``BENCH_<suite>.json``, see docs/OBSERVABILITY.md "Perf
+    observatory").  Unset means the caller's default: the repository
+    root for ``benchmarks/_common.emit``, the current directory for
+    ``python -m repro perf``.
+
+``REPRO_PERF_BASELINE``
+    Directory holding the pinned baseline records ``repro perf compare``
+    gates against.  Default ``benchmarks/baselines``.
+
+The full user-facing table of these variables lives in README.md
+("Environment variables"); keep the two in sync.
 """
 
 from __future__ import annotations
 
 import os
 
-__all__ = ["timeout_scale", "scaled_timeout", "default_jobs", "start_method"]
+__all__ = [
+    "timeout_scale",
+    "scaled_timeout",
+    "default_jobs",
+    "start_method",
+    "perf_dir",
+    "perf_baseline",
+]
 
 _SCALE_VAR = "REPRO_TIMEOUT_SCALE"
 _JOBS_VAR = "REPRO_JOBS"
 _START_VAR = "REPRO_MP_START_METHOD"
+_PERF_DIR_VAR = "REPRO_PERF_DIR"
+_PERF_BASELINE_VAR = "REPRO_PERF_BASELINE"
 
 
 def timeout_scale() -> float:
@@ -73,6 +96,23 @@ def default_jobs() -> int:
     if jobs < 1:
         raise ValueError(f"{_JOBS_VAR} must be >= 1, got {raw!r}")
     return jobs
+
+
+def _path_var(name: str) -> str | None:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    return raw.strip()
+
+
+def perf_dir() -> str | None:
+    """Trajectory directory override (``REPRO_PERF_DIR``), or ``None``."""
+    return _path_var(_PERF_DIR_VAR)
+
+
+def perf_baseline() -> str | None:
+    """Baseline directory override (``REPRO_PERF_BASELINE``), or ``None``."""
+    return _path_var(_PERF_BASELINE_VAR)
 
 
 def start_method() -> str:

@@ -1,0 +1,147 @@
+"""OBS001: writes into the perf funnel's destinations from anywhere else."""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintRunner, SourceFile
+from repro.lint.rules.obs import PerfFunnelRule
+
+from .conftest import rule_ids
+
+
+class TestPerfFunnel:
+    def test_write_text_into_results_flagged(self, lint):
+        result = lint(
+            {
+                "analysis/dump.py": """\
+    from pathlib import Path
+
+
+    def save(name, text):
+        (Path("benchmarks/results") / f"{name}.txt").write_text(text)
+    """
+            },
+            rules=[PerfFunnelRule()],
+        )
+        assert rule_ids(result) == ["OBS001"]
+        assert "funnel" in result.violations[0].message
+
+    def test_open_trajectory_for_append_flagged(self, lint):
+        result = lint(
+            {
+                "obs/perf/sneaky.py": """\
+    def leak(record):
+        with open("BENCH_scaling.json", "a") as fh:
+            fh.write(str(record))
+    """
+            },
+            rules=[PerfFunnelRule()],
+        )
+        assert rule_ids(result) == ["OBS001"]
+
+    def test_reading_a_trajectory_is_fine(self, lint):
+        result = lint(
+            {
+                "analysis/trends.py": """\
+    import json
+
+
+    def load():
+        with open("BENCH_scaling.json") as fh:
+            return json.load(fh)
+    """
+            },
+            rules=[PerfFunnelRule()],
+        )
+        assert rule_ids(result) == []
+
+    def test_unlink_of_trajectory_flagged(self, lint):
+        result = lint(
+            {
+                "campaign/cleanup.py": """\
+    from pathlib import Path
+
+
+    def reset():
+        Path("BENCH_topology.json").unlink()
+    """
+            },
+            rules=[PerfFunnelRule()],
+        )
+        assert rule_ids(result) == ["OBS001"]
+
+    def test_store_module_is_exempt(self, lint):
+        result = lint(
+            {
+                "obs/perf/store.py": """\
+    def save(path, payload):
+        with open("BENCH_demo.json", "w") as fh:
+            fh.write(payload)
+    """
+            },
+            rules=[PerfFunnelRule()],
+        )
+        assert rule_ids(result) == []
+
+    def test_docstring_mention_not_flagged(self, lint):
+        result = lint(
+            {
+                "obs/perf/report.py": '''\
+    """Renders trends from BENCH_scaling.json and benchmarks/results."""
+
+
+    def render():
+        return "BENCH_scaling.json"
+    '''
+            },
+            rules=[PerfFunnelRule()],
+        )
+        assert rule_ids(result) == []
+
+    def test_unrelated_write_not_flagged(self, lint):
+        result = lint(
+            {
+                "obs/export.py": """\
+    from pathlib import Path
+
+
+    def dump(path, text):
+        Path(path).write_text(text)
+    """
+            },
+            rules=[PerfFunnelRule()],
+        )
+        assert rule_ids(result) == []
+
+    def test_benchmarks_common_is_exempt(self, tmp_path):
+        funnel = tmp_path / "benchmarks" / "_common.py"
+        funnel.parent.mkdir(parents=True)
+        funnel.write_text(
+            "from pathlib import Path\n\n\n"
+            "def emit(name, text):\n"
+            '    (Path("benchmarks/results") / f"{name}.txt").write_text(text)\n'
+        )
+        result = LintRunner([PerfFunnelRule()]).run([funnel])
+        assert rule_ids(result) == []
+
+    def test_other_benchmark_module_not_exempt(self, tmp_path):
+        rogue = tmp_path / "benchmarks" / "bench_rogue.py"
+        rogue.parent.mkdir(parents=True)
+        rogue.write_text(
+            "from pathlib import Path\n\n\n"
+            "def emit_mine(text):\n"
+            '    Path("benchmarks/results/mine.txt").write_text(text)\n'
+        )
+        result = LintRunner([PerfFunnelRule()]).run([rogue])
+        assert rule_ids(result) == ["OBS001"]
+
+    def test_registered_in_default_rules(self):
+        from repro.lint.rules import default_rules
+
+        assert any(r.id == "OBS001" for r in default_rules())
+
+    def test_real_funnel_and_store_pass(self):
+        sf_store = SourceFile("src/repro/obs/perf/store.py")
+        sf_common = SourceFile("benchmarks/_common.py")
+        rule = PerfFunnelRule()
+        assert not rule.applies_to(sf_store)
+        assert not rule.applies_to(sf_common)

@@ -1,0 +1,124 @@
+"""Kernel-level op counters across the four bigint multipliers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bigint.karatsuba import karatsuba_multiply
+from repro.bigint.ntt import NttMultiplier
+from repro.bigint.schoolbook import schoolbook_multiply
+from repro.bigint.toomcook import ToomCook, clear_operator_cache
+from repro.obs.kernels import KernelCounters
+from repro.obs.metrics import MetricsRegistry
+
+A, B = 0xDEADBEEF_CAFEBABE_12345678_9ABCDEF0, 0x0F1E2D3C_4B5A6978_87A9CBED
+
+
+class TestKernelCounters:
+    def test_defaults_and_merge(self):
+        c = KernelCounters()
+        assert c.as_dict() == {
+            "limb_mults": 0,
+            "recursion_depth": 0,
+            "eval_cache_hits": 0,
+            "eval_cache_misses": 0,
+        }
+        c.add_limb_mults(3)
+        c.note_depth(2)
+        c.note_eval_cache(hit=True)
+        other = KernelCounters()
+        other.add_limb_mults(4)
+        other.note_depth(5)
+        other.note_eval_cache(hit=False)
+        c.merge(other)
+        assert c.limb_mults == 7
+        assert c.recursion_depth == 5  # max, not sum
+        assert (c.eval_cache_hits, c.eval_cache_misses) == (1, 1)
+
+    def test_publish_labels_series_by_kernel(self):
+        registry = MetricsRegistry()
+        c = KernelCounters()
+        c.add_limb_mults(9)
+        c.note_depth(3)
+        c.note_eval_cache(hit=True)
+        c.note_eval_cache(hit=False)
+        c.publish(registry, kernel="toom-3")
+        snap = registry.labeled_snapshot()
+        assert snap["kernel_limb_mults_total{kernel=toom-3}"] == 9
+        assert snap["kernel_recursion_depth{kernel=toom-3}"] == 3
+        assert snap["kernel_eval_cache_hits_total{kernel=toom-3}"] == 1
+        assert snap["kernel_eval_cache_misses_total{kernel=toom-3}"] == 1
+
+
+class TestInstrumentedKernels:
+    def test_schoolbook_counts_every_limb_pair(self):
+        c = KernelCounters()
+        product, _ = schoolbook_multiply(A, B, word_bits=16, counters=c)
+        assert product == A * B
+        da = -(-A.bit_length() // 16)
+        db = -(-B.bit_length() // 16)
+        assert c.limb_mults == da * db
+        assert c.recursion_depth == 0
+
+    def test_karatsuba_counts_leaves_and_depth(self):
+        c = KernelCounters()
+        product, flops = karatsuba_multiply(A, B, threshold_bits=16, counters=c)
+        assert product == A * B
+        assert c.limb_mults > 0
+        assert c.recursion_depth >= 2
+        # Counters must not change the arithmetic.
+        assert karatsuba_multiply(A, B, threshold_bits=16)[1] == flops
+
+    def test_toomcook_counts_and_operator_cache(self):
+        clear_operator_cache()
+        c1 = KernelCounters()
+        algo1 = ToomCook(3, threshold_bits=16, counters=c1)
+        product, flops = algo1.multiply(A, B)
+        assert product == A * B
+        assert c1.limb_mults > 0
+        assert c1.recursion_depth >= 1
+        assert c1.eval_cache_misses >= 1  # cold cache
+
+        c2 = KernelCounters()
+        algo2 = ToomCook(3, threshold_bits=16, counters=c2)
+        assert algo2.multiply(A, B) == (product, flops)
+        assert c2.eval_cache_misses == 0  # warm cache
+        assert c2.eval_cache_hits >= 1
+
+    def test_toomcook_flops_unchanged_by_counters(self):
+        plain = ToomCook(3, threshold_bits=16).multiply(A, B)
+        counted = ToomCook(3, threshold_bits=16, counters=KernelCounters()).multiply(
+            A, B
+        )
+        assert plain == counted
+
+    def test_ntt_counts_modular_multiplies(self):
+        c = KernelCounters()
+        product, _ = NttMultiplier(word_bits=16, counters=c).multiply(A, B)
+        assert product == A * B
+        assert c.limb_mults > 0
+        assert c.recursion_depth >= 1  # log2 of the transform length
+
+    def test_counters_optional_everywhere(self):
+        assert schoolbook_multiply(A, B, word_bits=16)[0] == A * B
+        assert karatsuba_multiply(A, B)[0] == A * B
+        assert ToomCook(2, threshold_bits=16).multiply(A, B)[0] == A * B
+        assert NttMultiplier(word_bits=16).multiply(A, B)[0] == A * B
+
+    def test_counter_totals_scale_with_input(self):
+        small, large = KernelCounters(), KernelCounters()
+        import random
+
+        rng = random.Random(5)
+        a_small, b_small = rng.getrandbits(500), rng.getrandbits(500)
+        a_large, b_large = rng.getrandbits(4000), rng.getrandbits(4000)
+        ToomCook(2, threshold_bits=16, counters=small).multiply(a_small, b_small)
+        ToomCook(2, threshold_bits=16, counters=large).multiply(a_large, b_large)
+        assert large.limb_mults > small.limb_mults
+        assert large.recursion_depth > small.recursion_depth
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    yield
+    clear_operator_cache()

@@ -1,0 +1,142 @@
+"""Histogram percentile/merge edge cases and run-metric publication on a
+run that triggers replacement ranks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.ft_toomcook import FaultTolerantToomCook
+from repro.core.plan import make_plan
+from repro.machine.fault import FaultEvent, FaultSchedule
+from repro.obs.metrics import Histogram, MetricsRegistry, phase_cost, publish_run_metrics
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_has_no_percentiles(self):
+        assert Histogram().percentile(50) is None
+
+    def test_out_of_range_rejected(self):
+        h = Histogram()
+        h.observe(1)
+        for q in (-1, 100.5):
+            with pytest.raises(ValueError):
+                h.percentile(q)
+
+    def test_one_sample_every_percentile_is_the_sample(self):
+        h = Histogram()
+        h.observe(37)
+        for q in (0, 50, 99, 100):
+            assert h.percentile(q) == 37
+
+    def test_two_samples_p50_and_p99(self):
+        h = Histogram()
+        h.observe(2)
+        h.observe(1000)
+        # rank(ceil(0.5*2)) = 1 -> first bucket; clamped to min..max.
+        assert h.percentile(50) == 2
+        # rank(ceil(0.99*2)) = 2 -> the large observation's bucket,
+        # clamped down to the exact max.
+        assert h.percentile(99) == 1000
+        assert h.percentile(100) == 1000
+
+    def test_percentile_never_exceeds_twice_true_value(self):
+        h = Histogram()
+        values = [3, 5, 9, 17, 33, 65, 129]
+        for v in values:
+            h.observe(v)
+        for q in (10, 25, 50, 75, 90, 99):
+            est = h.percentile(q)
+            rank = max(1, math.ceil(q / 100 * len(values)))
+            true = sorted(values)[rank - 1]
+            assert true <= est <= 2 * true, (q, est, true)
+
+
+class TestHistogramMerge:
+    def test_merge_with_empty_is_identity(self):
+        h = Histogram()
+        for v in (1, 5, 9):
+            h.observe(v)
+        before = h.as_dict()
+        h.merge(Histogram())
+        assert h.as_dict() == before
+
+    def test_merge_into_empty_copies(self):
+        src = Histogram()
+        for v in (4, 8):
+            src.observe(v)
+        dst = Histogram()
+        dst.merge(src)
+        assert dst.as_dict() == src.as_dict()
+
+    def test_merge_is_associative(self):
+        def build(values):
+            h = Histogram()
+            for v in values:
+                h.observe(v)
+            return h
+
+        a, b, c = [7, 2], [100], [3, 3, 900]
+        left = build(a)
+        left.merge(build(b))
+        left.merge(build(c))
+        inner = build(b)
+        inner.merge(build(c))
+        right = build(a)
+        right.merge(inner)
+        assert left.as_dict() == right.as_dict()
+        assert left.percentile(50) == right.percentile(50)
+
+    def test_merge_tracks_min_max_and_totals(self):
+        a, b = Histogram(), Histogram()
+        a.observe(10)
+        b.observe(2)
+        b.observe(300)
+        a.merge(b)
+        assert (a.count, a.total, a.min, a.max) == (3, 312, 2, 300)
+
+
+class TestPublishRunMetricsWithReplacements:
+    @pytest.fixture(scope="class")
+    def faulted_run(self):
+        plan = make_plan(600, p=9, k=2, word_bits=16, extra_dfs=1)
+        import random
+
+        rng = random.Random(3)
+        a, b = rng.getrandbits(600), rng.getrandbits(592)
+        sched = FaultSchedule([FaultEvent(4, "evaluation", 2)])
+        out = FaultTolerantToomCook(
+            plan, f=1, fault_schedule=sched, timeout=60
+        ).multiply(a, b)
+        assert out.product == a * b
+        return out.run
+
+    def test_replacement_run_phases_attributed(self, faulted_run):
+        registry = publish_run_metrics(faulted_run, MetricsRegistry())
+        assert len(faulted_run.fault_log) == 1
+        assert registry.gauge("faults_fired") == 1
+        # The recovery phase (the replacement's reconstruction) is
+        # published like any other phase and reads back exactly.
+        recovery = phase_cost(registry, "recovery")
+        assert recovery is not None and recovery.bw > 0
+        for phase, counts in faulted_run.phase_costs.items():
+            got = phase_cost(registry, phase)
+            assert (got.f, got.bw, got.l) == (counts.f, counts.bw, counts.l)
+
+    def test_replacement_ranks_have_peak_memory_gauges(self, faulted_run):
+        registry = publish_run_metrics(faulted_run, MetricsRegistry())
+        # Code/replacement ranks beyond the 9 standard ones are gauged too.
+        assert len(faulted_run.peak_memory) > 9
+        for rank in range(len(faulted_run.peak_memory)):
+            assert registry.gauge("peak_memory_words", rank=rank) is not None
+
+    def test_republish_is_idempotent_not_double_counted(self, faulted_run):
+        registry = MetricsRegistry()
+        publish_run_metrics(faulted_run, registry)
+        once = registry.as_dict()
+        publish_run_metrics(faulted_run, registry)
+        assert registry.as_dict() == once
+
+    def test_phase_cost_missing_phase_is_none(self):
+        assert phase_cost(MetricsRegistry(), "never-published") is None

@@ -1,0 +1,105 @@
+"""End-to-end ``python -m repro perf`` flows."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.obs.perf.record import add_cells, add_wall, new_record
+from repro.obs.perf.store import PerfStore
+
+MANIFEST = {
+    "git_sha": "deadbeef1234",
+    "hostname": "box",
+    "python": "3.11.7",
+    "platform": "linux",
+    "env": {},
+    "seeds": {},
+}
+
+
+def rec(run_key="a.1", f_cost=100):
+    r = new_record("scaling", run_key, MANIFEST)
+    add_cells(r, "t", {"F": f_cost})
+    add_wall(r, "t", 0.1)
+    return r
+
+
+def setup_stores(tmp_path):
+    run_dir = tmp_path / "runs"
+    base_dir = tmp_path / "baselines"
+    PerfStore(run_dir).save("scaling", [rec()])
+    PerfStore(base_dir).save("scaling", [rec()])
+    return str(run_dir), str(base_dir)
+
+
+class TestPerfCli:
+    def test_list(self, tmp_path, capsys):
+        run_dir, base_dir = setup_stores(tmp_path)
+        rc = main(["perf", "list", "--dir", run_dir, "--baseline", base_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scaling" in out and "[pinned]" in out
+
+    def test_list_empty(self, tmp_path, capsys):
+        rc = main(["perf", "list", "--dir", str(tmp_path)])
+        assert rc == 0
+        assert "no trajectory files" in capsys.readouterr().out
+
+    def test_compare_pass_and_fail(self, tmp_path, capsys):
+        run_dir, base_dir = setup_stores(tmp_path)
+        rc = main(["perf", "compare", "--dir", run_dir, "--baseline", base_dir])
+        assert rc == 0
+        assert "perf compare: PASS" in capsys.readouterr().out
+
+        PerfStore(run_dir).save("scaling", [rec(run_key="b.2", f_cost=120)])
+        rc = main(["perf", "compare", "--dir", run_dir, "--baseline", base_dir])
+        assert rc == 1
+        assert "perf compare: FAIL" in capsys.readouterr().out
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        run_dir, base_dir = setup_stores(tmp_path)
+        PerfStore(run_dir).save("scaling", [rec(run_key="b.2", f_cost=120)])
+        rc = main(
+            ["perf", "compare", "--dir", run_dir, "--baseline", base_dir, "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["kind"] == "cell-drift"
+
+    def test_compare_schema_error_exits_2(self, tmp_path, capsys):
+        run_dir, base_dir = setup_stores(tmp_path)
+        (tmp_path / "runs" / "BENCH_scaling.json").write_text("[{}]")
+        rc = main(["perf", "compare", "--dir", run_dir, "--baseline", base_dir])
+        assert rc == 2
+        assert "schema error" in capsys.readouterr().out
+
+    def test_compare_env_baseline(self, tmp_path, capsys, monkeypatch):
+        run_dir, base_dir = setup_stores(tmp_path)
+        monkeypatch.setenv("REPRO_PERF_BASELINE", base_dir)
+        rc = main(["perf", "compare", "--dir", run_dir])
+        assert rc == 0
+
+    def test_report(self, tmp_path, capsys):
+        run_dir, _ = setup_stores(tmp_path)
+        rc = main(["perf", "report", "--dir", run_dir, "--last", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Perf observatory" in out and "## scaling" in out
+
+    def test_bless_pins_newest(self, tmp_path, capsys):
+        run_dir, base_dir = setup_stores(tmp_path)
+        store = PerfStore(run_dir)
+        store.append("scaling", rec(run_key="b.2", f_cost=120))
+        rc = main(["perf", "bless", "--dir", run_dir, "--baseline", base_dir])
+        assert rc == 0
+        assert "blessed scaling" in capsys.readouterr().out
+        pinned = PerfStore(base_dir).load("scaling")
+        assert [r["run_key"] for r in pinned] == ["b.2"]
+        # And the gate passes against the fresh baseline.
+        assert main(["perf", "compare", "--dir", run_dir, "--baseline", base_dir]) == 0
+
+    def test_bless_empty_store_fails(self, tmp_path, capsys):
+        rc = main(["perf", "bless", "--dir", str(tmp_path)])
+        assert rc == 1

@@ -1,0 +1,144 @@
+"""Regression gate semantics: exact cells hard-fail, wall gets a band.
+
+Includes the acceptance fixture for the whole observatory: a seeded >=10%
+F-cost regression must exit nonzero, while a clean re-run of the same
+seed round-trips byte-identically and passes.
+"""
+
+from __future__ import annotations
+
+from repro.obs.perf.compare import (
+    CompareResult,
+    compare_latest,
+    compare_records,
+    render_compare,
+)
+from repro.obs.perf.record import add_cells, add_wall, new_record
+from repro.obs.perf.store import PerfStore
+
+MANIFEST = {
+    "git_sha": "deadbeef",
+    "hostname": "box",
+    "python": "3.11.7",
+    "platform": "linux",
+    "env": {},
+    "seeds": {"seed": 7},
+}
+
+
+def seeded_record(suite="scaling", run_key="base.1", f_cost=52300, wall=0.100):
+    """A deterministic benchmark record derived from a fixed seed."""
+    rec = new_record(suite, run_key, MANIFEST)
+    add_cells(rec, "table", {"F": f_cost, "BW": 9120, "L": 44})
+    add_wall(rec, "table", wall)
+    return rec
+
+
+class TestCompareRecords:
+    def test_identical_records_have_no_findings(self):
+        assert compare_records(seeded_record(), seeded_record()) == []
+
+    def test_seeded_f_cost_regression_fails(self, tmp_path):
+        """Acceptance criterion: a >=10% seeded F-cost regression exits
+        nonzero; a byte-identical clean re-run passes."""
+        baseline = PerfStore(tmp_path / "baselines")
+        store = PerfStore(tmp_path / "runs")
+        baseline.save("scaling", [seeded_record()])
+
+        # Clean re-run of the same seed: byte-identical trajectory, PASS.
+        clean_path = store.save("scaling", [seeded_record(run_key="rerun.2")])
+        again = store.save("scaling", [seeded_record(run_key="rerun.2")])
+        assert clean_path.read_bytes() == again.read_bytes()
+        result = compare_latest(store, baseline)
+        assert result.exit_code == 0
+        assert result.cells_checked == 3
+
+        # Seeded regression: F cost inflated by >= 10 percent.
+        regressed = seeded_record(run_key="bad.3", f_cost=int(52300 * 1.10))
+        store.save("scaling", [regressed])
+        result = compare_latest(store, baseline)
+        assert result.exit_code == 1
+        (finding,) = result.regressions
+        assert finding.kind == "cell-drift"
+        assert finding.cell == "table/F"
+        assert "+10.0%" in finding.message
+
+    def test_any_exact_drift_fails_even_tiny(self):
+        findings = compare_records(seeded_record(), seeded_record(f_cost=52301))
+        assert [f.kind for f in findings] == ["cell-drift"]
+        assert not findings[0].advisory
+
+    def test_missing_cell_hard_fails(self):
+        current = seeded_record()
+        del current["cells"]["table/BW"]
+        findings = compare_records(seeded_record(), current)
+        assert [f.kind for f in findings] == ["cell-missing"]
+        assert not findings[0].advisory
+
+    def test_new_cell_is_advisory(self):
+        current = seeded_record()
+        add_cells(current, "table", {"new_metric": 5})
+        findings = compare_records(seeded_record(), current)
+        assert [f.kind for f in findings] == ["cell-new"]
+        assert findings[0].advisory
+
+    def test_wall_within_band_passes(self):
+        current = seeded_record(run_key="x.2", wall=0.120)  # +20% < 25% band
+        assert compare_records(seeded_record(), current) == []
+
+    def test_wall_beyond_band_fails_unless_advisory(self):
+        current = seeded_record(run_key="x.2", wall=0.200)
+        findings = compare_records(seeded_record(), current)
+        assert [f.kind for f in findings] == ["wall-drift"]
+        assert not findings[0].advisory
+        advisory = compare_records(seeded_record(), current, wall_advisory=True)
+        assert advisory[0].advisory
+        result = CompareResult(findings=advisory, suites_checked=["scaling"])
+        assert result.exit_code == 0
+
+    def test_faster_wall_never_fails(self):
+        current = seeded_record(run_key="x.2", wall=0.010)
+        assert compare_records(seeded_record(), current) == []
+
+
+class TestCompareLatest:
+    def test_suites_default_to_baseline_set(self, tmp_path):
+        baseline = PerfStore(tmp_path / "baselines")
+        store = PerfStore(tmp_path / "runs")
+        baseline.save("scaling", [seeded_record()])
+        # Suite pinned in the baseline but never produced: loud failure.
+        result = compare_latest(store, baseline)
+        assert result.suites_checked == ["scaling"]
+        assert [f.kind for f in result.findings] == ["suite-missing"]
+        assert result.exit_code == 1
+
+    def test_missing_baseline_fails(self, tmp_path):
+        baseline = PerfStore(tmp_path / "baselines")
+        store = PerfStore(tmp_path / "runs")
+        store.save("scaling", [seeded_record()])
+        result = compare_latest(store, baseline, suites=["scaling"])
+        assert [f.kind for f in result.findings] == ["suite-missing"]
+        assert result.exit_code == 1
+
+    def test_compares_newest_record_only(self, tmp_path):
+        baseline = PerfStore(tmp_path / "baselines")
+        store = PerfStore(tmp_path / "runs")
+        baseline.save("scaling", [seeded_record()])
+        store.append("scaling", seeded_record(run_key="old.1", f_cost=999))
+        store.append("scaling", seeded_record(run_key="new.2"))
+        assert compare_latest(store, baseline).exit_code == 0
+
+
+class TestRenderCompare:
+    def test_verdict_lines(self, tmp_path):
+        baseline = PerfStore(tmp_path / "baselines")
+        store = PerfStore(tmp_path / "runs")
+        baseline.save("scaling", [seeded_record()])
+        store.save("scaling", [seeded_record(run_key="r.2")])
+        text = render_compare(compare_latest(store, baseline))
+        assert "perf compare: PASS" in text
+        store.save("scaling", [seeded_record(run_key="r.3", f_cost=1)])
+        text = render_compare(compare_latest(store, baseline))
+        assert "perf compare: FAIL" in text
+        assert "[FAIL] scaling" in text
+        assert "behaviour changed" in text

@@ -1,0 +1,81 @@
+"""Trend dashboard rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.perf.record import add_cells, add_wall, new_record
+from repro.obs.perf.report import render_dashboard, render_trend, sparkline
+from repro.obs.perf.store import PerfStore
+
+MANIFEST = {
+    "git_sha": "deadbeef1234",
+    "hostname": "box",
+    "python": "3.11.7",
+    "platform": "linux",
+    "env": {},
+    "seeds": {},
+}
+
+
+def rec(run_key, f_cost, wall=None):
+    r = new_record("scaling", run_key, MANIFEST)
+    add_cells(r, "t", {"F": f_cost})
+    if wall is not None:
+        add_wall(r, "t", wall)
+    return r
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat_midline(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_monotone_series_spans_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_deterministic(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        assert sparkline(values) == sparkline(values)
+
+
+class TestRenderTrend:
+    def test_includes_delta_and_sparkline(self):
+        records = [rec("a.1", 100, wall=0.1), rec("b.2", 150, wall=0.1)]
+        text = render_trend("scaling", records)
+        assert "## scaling (2 record(s))" in text
+        assert "newest: run_key=b.2 sha=deadbeef12" in text
+        assert "+50.0%" in text
+        assert "wall/t" in text
+
+    def test_unchanged_cell_shows_equals(self):
+        text = render_trend("scaling", [rec("a.1", 100), rec("b.2", 100)])
+        assert "=" in text
+
+    def test_last_window(self):
+        records = [rec(f"k.{i}", 100 + i) for i in range(5)]
+        text = render_trend("scaling", records, last=2)
+        assert "(2 record(s))" in text
+        with pytest.raises(ValueError):
+            render_trend("scaling", records, last=0)
+
+    def test_empty_suite(self):
+        assert "(no records)" in render_trend("scaling", [])
+
+
+class TestRenderDashboard:
+    def test_stacks_all_suites_sorted(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.save("scaling", [rec("a.1", 100)])
+        other = new_record("ablations", "a.1", MANIFEST)
+        add_cells(other, "t", {"F": 7})
+        store.save("ablations", [other])
+        text = render_dashboard(store)
+        assert "2 suite(s)" in text
+        assert text.index("## ablations") < text.index("## scaling")
+
+    def test_empty_store(self, tmp_path):
+        assert "(no trajectory files" in render_dashboard(PerfStore(tmp_path))

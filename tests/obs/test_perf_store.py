@@ -1,0 +1,162 @@
+"""Schema validation and trajectory-store round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.perf.record import add_cells, add_wall, new_record, run_manifest
+from repro.obs.perf.store import (
+    SCHEMA_VERSION,
+    PerfStore,
+    SchemaError,
+    trajectory_filename,
+    validate_record,
+)
+
+MANIFEST = {
+    "git_sha": "deadbeef",
+    "hostname": "box",
+    "python": "3.11.7",
+    "platform": "linux",
+    "env": {"REPRO_JOBS": "1"},
+    "seeds": {"word_bits": 16},
+}
+
+
+def record(suite="demo", run_key="deadbeef.1", cells=None, wall=None):
+    rec = new_record(suite, run_key, MANIFEST)
+    rec["cells"] = dict(cells) if cells is not None else {"t/F": 100}
+    rec["wall"] = dict(wall or {})
+    return rec
+
+
+class TestValidateRecord:
+    def test_valid_record_passes(self):
+        validate_record(record())
+
+    def test_wrong_schema_version_rejected(self):
+        bad = record()
+        bad["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="schema version"):
+            validate_record(bad)
+
+    def test_bad_suite_name_rejected(self):
+        for suite in ("", "Has-Caps", "has space", "-leading"):
+            bad = record()
+            bad["suite"] = suite
+            with pytest.raises(SchemaError, match="suite"):
+                validate_record(bad)
+
+    def test_missing_manifest_key_rejected(self):
+        bad = record()
+        del bad["manifest"]["git_sha"]
+        with pytest.raises(SchemaError, match="git_sha"):
+            validate_record(bad)
+
+    def test_non_numeric_cell_rejected(self):
+        with pytest.raises(SchemaError, match="must be a number"):
+            validate_record(record(cells={"t/status": "PASS"}))
+
+    def test_bool_cell_rejected(self):
+        with pytest.raises(SchemaError, match="must be a number"):
+            validate_record(record(cells={"t/ok": True}))
+
+    def test_negative_wall_rejected(self):
+        with pytest.raises(SchemaError, match="non-negative"):
+            validate_record(record(wall={"t": -0.5}))
+
+    def test_trajectory_filename(self):
+        assert trajectory_filename("scaling") == "BENCH_scaling.json"
+        with pytest.raises(SchemaError):
+            trajectory_filename("NotASuite")
+
+
+class TestRecordBuilding:
+    def test_run_manifest_captures_repro_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("UNRELATED", "x")
+        manifest = run_manifest(seeds={"s": 1})
+        assert manifest["env"]["REPRO_JOBS"] == "4"
+        assert "UNRELATED" not in manifest["env"]
+        assert manifest["seeds"] == {"s": 1}
+        validate_record(new_record("demo", "k.1", manifest))
+
+    def test_add_cells_prefixes_and_skips_non_numeric(self):
+        rec = record(cells={})
+        add_cells(rec, "table1", {"F": 10, "label": "x", "ok": True, "bw": 2.5})
+        assert rec["cells"] == {"table1/F": 10, "table1/bw": 2.5}
+
+    def test_add_cells_is_idempotent_per_table(self):
+        rec = record(cells={})
+        add_cells(rec, "t", {"F": 10})
+        add_cells(rec, "t", {"F": 12})
+        assert rec["cells"] == {"t/F": 12}
+
+    def test_add_wall_rejects_negative(self):
+        rec = record()
+        add_wall(rec, "t", 0.25)
+        assert rec["wall"] == {"t": 0.25}
+        with pytest.raises(ValueError):
+            add_wall(rec, "t", -1.0)
+
+
+class TestPerfStore:
+    def test_round_trip_and_byte_determinism(self, tmp_path):
+        store = PerfStore(tmp_path)
+        rec = record()
+        path = store.save("demo", [rec])
+        first = path.read_bytes()
+        assert store.load("demo") == [rec]
+        store.save("demo", store.load("demo"))
+        assert path.read_bytes() == first  # clean re-save is byte-identical
+        assert first.endswith(b"\n")
+
+    def test_append_preserves_order(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.append("demo", record(run_key="a.1"))
+        store.append("demo", record(run_key="b.2"))
+        assert [r["run_key"] for r in store.load("demo")] == ["a.1", "b.2"]
+        assert store.latest("demo")["run_key"] == "b.2"
+
+    def test_upsert_replaces_same_run_key(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.append("demo", record(run_key="a.1", cells={"t/F": 1}))
+        store.upsert("demo", record(run_key="a.1", cells={"t/F": 2, "t/BW": 3}))
+        records = store.load("demo")
+        assert len(records) == 1
+        assert records[0]["cells"] == {"t/F": 2, "t/BW": 3}
+        store.upsert("demo", record(run_key="b.2"))
+        assert len(store.load("demo")) == 2
+
+    def test_suites_sorted(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.save("zeta", [record(suite="zeta")])
+        store.save("alpha", [record(suite="alpha")])
+        assert store.suites() == ["alpha", "zeta"]
+        assert PerfStore(tmp_path / "nope").suites() == []
+
+    def test_load_rejects_suite_mismatch(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.path("other").write_text(
+            json.dumps([record(suite="demo")]), encoding="utf-8"
+        )
+        with pytest.raises(SchemaError, match="suite"):
+            store.load("other")
+
+    def test_load_rejects_corrupt_json(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.path("demo").write_text("{not json", encoding="utf-8")
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            store.load("demo")
+
+    def test_missing_trajectory_is_empty(self, tmp_path):
+        store = PerfStore(tmp_path)
+        assert store.load("demo") == []
+        assert store.latest("demo") is None
+
+    def test_root_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_DIR", str(tmp_path / "envroot"))
+        store = PerfStore()
+        assert store.root == tmp_path / "envroot"

@@ -11,7 +11,14 @@ from __future__ import annotations
 import pytest
 
 from repro.machine.engine import Machine
-from repro.util.env import default_jobs, scaled_timeout, start_method, timeout_scale
+from repro.util.env import (
+    default_jobs,
+    perf_baseline,
+    perf_dir,
+    scaled_timeout,
+    start_method,
+    timeout_scale,
+)
 
 
 class TestTimeoutScale:
@@ -91,3 +98,21 @@ class TestStartMethodKnob:
         monkeypatch.setenv("REPRO_MP_START_METHOD", "threads")
         with pytest.raises(ValueError, match="REPRO_MP_START_METHOD"):
             start_method()
+
+
+class TestPerfKnobs:
+    def test_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF_DIR", raising=False)
+        monkeypatch.delenv("REPRO_PERF_BASELINE", raising=False)
+        assert perf_dir() is None
+        assert perf_baseline() is None
+
+    def test_blank_means_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_DIR", "  ")
+        assert perf_dir() is None
+
+    def test_values_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_DIR", " /tmp/perf ")
+        monkeypatch.setenv("REPRO_PERF_BASELINE", "benchmarks/baselines")
+        assert perf_dir() == "/tmp/perf"
+        assert perf_baseline() == "benchmarks/baselines"
