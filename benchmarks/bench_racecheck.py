@@ -1,0 +1,83 @@
+"""Sanitizer overhead: wall-clock of a sanitized run as an advisory series.
+
+Runs the same parallel multiplication twice — detector off, detector on —
+and emits both into the ``racecheck`` suite.  The deterministic F/BW/L
+cells must be *identical* across the two modes (the sanitizer observes,
+never charges; the benchmark asserts it), so the only thing this suite
+trends is the host wall-clock cost of instrumentation.  The suite is
+deliberately not pinned under ``benchmarks/baselines/``: wall time is
+noisy and advisory, there is nothing exact here that the collectives and
+topology suites do not already gate.
+"""
+
+# Wall-clock and environment toggling live here, outside the linted
+# simulator tree: benchmarks are host measurements.
+import os
+import time
+
+from _common import emit, once, operands, table_cells
+
+from repro.analysis.report import render_table
+from repro.core.api import multiply_parallel
+
+BITS = 4000
+
+
+def _timed_run():
+    a, b = operands(BITS)
+    start = time.perf_counter()
+    out = multiply_parallel(a, b, p=9, k=2, word_bits=16)
+    wall = time.perf_counter() - start
+    assert out.product == a * b
+    c = out.run.critical_path
+    return {
+        "F": c.f,
+        "BW": c.bw,
+        "L": c.l,
+        "races": len(out.run.races),
+        "wall": wall,
+    }
+
+
+def _run_mode(sanitized: bool) -> dict:
+    old = os.environ.pop("REPRO_RACECHECK", None)
+    if sanitized:
+        os.environ["REPRO_RACECHECK"] = "1"
+    try:
+        return _timed_run()
+    finally:
+        os.environ.pop("REPRO_RACECHECK", None)
+        if old is not None:
+            os.environ["REPRO_RACECHECK"] = old
+
+
+def test_sanitizer_overhead(benchmark):
+    def run():
+        return {"plain": _run_mode(False), "sanitized": _run_mode(True)}
+
+    modes = once(benchmark, run)
+    plain, sanitized = modes["plain"], modes["sanitized"]
+    # The detector never charges costs or changes matching: the modeled
+    # run must be indistinguishable.
+    for cell in ("F", "BW", "L"):
+        assert sanitized[cell] == plain[cell], cell
+    assert plain["races"] == sanitized["races"] == 0
+
+    # Wall-clock stays out of the rendered table (committed .txt files
+    # are byte-identical re-renderings); it rides on the perf record's
+    # advisory ``wall`` field instead.
+    headers = ["mode", "F", "BW", "L", "races"]
+    rows = [
+        [mode, m["F"], m["BW"], m["L"], m["races"]]
+        for mode, m in (("plain", plain), ("sanitized", sanitized))
+    ]
+    emit(
+        "racecheck_overhead",
+        render_table(
+            headers,
+            rows,
+            title=f"sanitizer overhead ({BITS}-bit multiply, P=9)",
+        ),
+        cells=table_cells(headers, rows),
+        wall=sanitized["wall"],
+    )

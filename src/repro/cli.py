@@ -17,6 +17,9 @@
     python -m repro commcheck --all-variants
     python -m repro commcheck --all-variants --jobs 4
     python -m repro commcheck --variants ft_polynomial --phase interpolation
+    python -m repro racecheck
+    python -m repro racecheck --variants ft_toomcook,replication --no-smoke
+    python -m repro racecheck --json-out /tmp/races.json
     python -m repro perf list
     python -m repro perf compare --advisory-wall
     python -m repro perf report --last 8
@@ -270,6 +273,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report (with comm graphs) to PATH",
     )
 
+    rc = sub.add_parser(
+        "racecheck",
+        help="happens-before race detection gate (see docs/STATIC_ANALYSIS.md)",
+    )
+    rc.add_argument(
+        "--variants", default=None, metavar="NAMES",
+        help="comma-separated variant names (default: all)",
+    )
+    rc.add_argument(
+        "--list-variants", action="store_true",
+        help="print the checkable variants and exit",
+    )
+    rc.add_argument("--bits", type=int, default=600, help="operand bits (default 600)")
+    rc.add_argument(
+        "--word-bits", type=int, default=16, help="machine word width (default 16)"
+    )
+    rc.add_argument(
+        "--timeout", type=float, default=15.0,
+        help="per-receive deadlock timeout in seconds (default 15)",
+    )
+    rc.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    rc.add_argument(
+        "--smoke-seed", type=int, default=1,
+        help="campaign-smoke seed (default 1)",
+    )
+    rc.add_argument(
+        "--smoke-trials", type=int, default=2,
+        help="fault-injection trials per variant in the smoke (default 2)",
+    )
+    rc.add_argument(
+        "--no-smoke", action="store_true",
+        help="skip the sanitized fault-injection campaign smoke",
+    )
+    rc.add_argument(
+        "--json", action="store_true", help="print the JSON report instead of text"
+    )
+    rc.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="also write the JSON report to PATH",
+    )
+
     perf = sub.add_parser(
         "perf",
         help="benchmark telemetry store: trajectories, regression gate, "
@@ -331,6 +375,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _warn_races(run) -> None:
+    """Surface sanitizer findings from an ad-hoc run on stderr.
+
+    ``REPRO_RACECHECK=1`` installs the detector on every machine; outside
+    a ``collect_races`` scope (the ``racecheck`` gate) nothing else would
+    show the reports.  Advisory only — exit codes are the gate's job.
+    """
+    races = getattr(run, "races", None)
+    if not races:
+        return
+    print(
+        f"racecheck: {len(races)} race report(s) detected "
+        "(run `python -m repro racecheck` for the full gate):",
+        file=sys.stderr,
+    )
+    for report in races:
+        print(f"  {report.kind}: {report.field}", file=sys.stderr)
+
+
 def _cmd_multiply(args) -> int:
     from repro.core.api import multiply, multiply_fault_tolerant, multiply_parallel
     from repro.machine.fault import FaultSchedule
@@ -366,6 +429,7 @@ def _cmd_multiply(args) -> int:
         fmt = write_trace(out.run.trace, args.trace_out)
         if not args.json:
             print(f"trace   : {len(out.run.trace)} events -> {args.trace_out} ({fmt})")
+    _warn_races(out.run)
     c = out.run.critical_path
     payload = {
         "product": str(out.product),
@@ -412,6 +476,7 @@ def _cmd_trace(args) -> int:
         )
     exact = out.product == args.a * args.b
     run = out.run
+    _warn_races(run)
     print(render_gantt(run.trace, width=args.width, title="virtual-time Gantt"))
     print()
     print(
@@ -582,6 +647,42 @@ def _cmd_commcheck(args) -> int:
     return result.exit_code
 
 
+def _cmd_racecheck(args) -> int:
+    from repro.commcheck.extract import COMMCHECK_VARIANTS, make_config
+    from repro.racecheck.runner import render_text, run_racecheck, to_json
+
+    if args.list_variants:
+        for name in COMMCHECK_VARIANTS:
+            print(name)
+        return 0
+    variants = (
+        [name for name in args.variants.split(",") if name]
+        if args.variants
+        else None
+    )
+    cfg = make_config(
+        bits=args.bits,
+        word_bits=args.word_bits,
+        timeout=args.timeout,
+        seed=args.seed,
+    )
+    result = run_racecheck(
+        variants,
+        cfg,
+        smoke_seed=args.smoke_seed,
+        smoke_trials=args.smoke_trials,
+        run_smoke=not args.no_smoke,
+    )
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(to_json(result), fh)
+    if args.json:
+        print(json.dumps(to_json(result)))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
 def _cmd_perf(args) -> int:
     from repro.obs.perf.cli import cmd_bless, cmd_compare, cmd_list, cmd_report
 
@@ -605,6 +706,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "campaign": _cmd_campaign,
         "commcheck": _cmd_commcheck,
+        "racecheck": _cmd_racecheck,
         "perf": _cmd_perf,
     }
     return handlers[args.command](args)

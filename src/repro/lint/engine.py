@@ -12,8 +12,12 @@ Comment conventions understood here (and documented in
 
 ``# repro-lint: disable=RULE1,RULE2``
     Suppress the listed rules on this line.  On a line of its own the
-    comment applies to the next code line.  Suppressions that never fire
-    are themselves reported (``LINT001``); unknown rule ids are reported
+    comment applies to the next code line.  When that line is a ``def``
+    header, the suppression covers the whole function body — for
+    functions whose every statement is exempt by design (e.g. pre-thread
+    instrumentation that touches guarded fields), one annotated header
+    beats a wall of per-line comments.  Suppressions that never fire are
+    themselves reported (``LINT001``); unknown rule ids are reported
     (``LINT002``).  A rationale may follow after `` -- ``.
 
 ``# repro-lint: in-phase``
@@ -318,11 +322,29 @@ class LintRunner:
     def _apply_suppressions(
         self, sf: SourceFile, raw: list[Violation]
     ) -> list[Violation]:
+        # Suppressions on a `def` header extend over the function body.
+        func_spans: list[tuple[int, int]] = [
+            (f.lineno, f.end_lineno or f.lineno)
+            for f in iter_functions(sf.tree)
+            if f.lineno in sf.suppressions
+        ]
         used: set[tuple[int, str]] = set()
         kept: list[Violation] = []
         for v in raw:
             if v.rule in sf.suppressions.get(v.line, ()):
                 used.add((v.line, v.rule))
+                continue
+            span = next(
+                (
+                    (start, end)
+                    for start, end in func_spans
+                    if start <= v.line <= end
+                    and v.rule in sf.suppressions.get(start, ())
+                ),
+                None,
+            )
+            if span is not None:
+                used.add((span[0], v.rule))
             else:
                 kept.append(v)
         for line in sorted(sf.suppressions):

@@ -16,6 +16,11 @@ from repro.lint.rules.determinism import (
 )
 from repro.lint.rules.exactness import FloatLiteralRule, MathFloatRule, TrueDivisionRule
 from repro.lint.rules.locks import LockDisciplineRule
+from repro.lint.rules.lockverify import (
+    GuardedScopeRule,
+    MissingGuardRule,
+    StaleGuardRule,
+)
 from repro.lint.rules.obs import PerfFunnelRule
 from repro.lint.rules.parallel import RawParallelismRule
 from repro.lint.rules.phases import PhaseAccountingRule
@@ -40,6 +45,9 @@ def default_rules() -> list[Rule]:
         UnboundedRecoveryRecvRule(),
         RawParallelismRule(),
         PerfFunnelRule(),
+        GuardedScopeRule(),
+        MissingGuardRule(),
+        StaleGuardRule(),
     ]
 
 

@@ -62,6 +62,12 @@ class _SharedState:
         #: Communication-schedule recorder (commcheck extraction); None
         #: outside extraction runs, and purely observational when set.
         self.recorder = recorder
+        #: Happens-before race detector
+        #: (:class:`~repro.racecheck.sanitizer.RaceSanitizer`); installed
+        #: by the engine when sanitizing, None otherwise.  Every hook
+        #: below is guarded by a None-check, so an unsanitized run pays
+        #: one attribute load per synchronization point and nothing else.
+        self.sanitizer: Any = None
         self.topology = topology or FullyConnected(size)
         self.router = router
         self.word_bits = word_bits
@@ -165,6 +171,9 @@ class Communicator:
                     r for r in candidates if not state.alive[r]
                 )
             dead = state.agreed_dead[key]
+        sanitizer = state.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_agree_dead(key)
         recorder = state.recorder
         if recorder is not None:
             recorder.on_agree_dead(
@@ -180,6 +189,9 @@ class Communicator:
         state = self._state
         with state.lock:
             state.votes.setdefault(key, {})[self.rank] = value
+        sanitizer = state.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_vote(key)
         recorder = state.recorder
         if recorder is not None:
             recorder.on_vote(
@@ -193,6 +205,9 @@ class Communicator:
         Named ``poll_votes`` (not ``votes``) so the accessor is not
         mistaken for the guarded ``_SharedState.votes`` field itself."""
         state = self._state
+        sanitizer = state.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_poll_votes(key)
         with state.lock:
             return dict(state.votes.get(key, {}))
 
@@ -211,6 +226,9 @@ class Communicator:
         state = self._state
         with state.lock:
             state.gates.setdefault(key, set()).add(self.rank)
+        sanitizer = state.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_gate_arrive(key)
         recorder = state.recorder
         if recorder is not None:
             recorder.on_gate(
@@ -232,6 +250,8 @@ class Communicator:
                     (p in arrived) or not state.alive[p] for p in participants
                 )
             if ready:
+                if sanitizer is not None:
+                    sanitizer.on_gate_pass(key)
                 return
             if time.monotonic() > deadline:  # repro-lint: disable=DET001
                 raise DeadlockError(
@@ -445,17 +465,21 @@ class Communicator:
                 self.rank, self.current_phase, self.clock.snapshot(),
                 self.incarnation, dest, tag, nwords, hops,
             )
-        self._state.router.post(
-            Message(
-                source=self.rank,
-                dest=dest,
-                tag=tag,
-                payload=payload,
-                words=nwords,
-                clock=self.clock.snapshot(),
-                incarnation=self.incarnation,
-            )
+        msg = Message(
+            source=self.rank,
+            dest=dest,
+            tag=tag,
+            payload=payload,
+            words=nwords,
+            clock=self.clock.snapshot(),
+            incarnation=self.incarnation,
         )
+        sanitizer = self._state.sanitizer
+        if sanitizer is not None:
+            # Registered before the post: once the message is in the
+            # router the receiver may match it at any moment.
+            sanitizer.on_send(msg)
+        self._state.router.post(msg)
 
     def recv(
         self,
@@ -548,6 +572,11 @@ class Communicator:
                         f"rank {self.rank}: no message from {source} tag {tag} "
                         f"after {limit:.1f}s"
                     ) from None
+        sanitizer = state.sanitizer
+        if sanitizer is not None:
+            # The send -> matched-recv happens-before edge, at the single
+            # point every delivered message passes through exactly once.
+            sanitizer.on_recv_message(msg)
         recorder = state.recorder
         if recorder is not None:
             recorder.on_recv(

@@ -26,7 +26,7 @@ from repro.machine.fault import FaultLog, FaultSchedule
 from repro.machine.memory import LocalMemory
 from repro.machine.network import Router
 from repro.obs.tracer import Tracer, make_tracer
-from repro.util.env import scaled_timeout
+from repro.util.env import racecheck_enabled, scaled_timeout
 
 __all__ = ["Machine", "RunResult"]
 
@@ -46,6 +46,10 @@ class RunResult:
     trace: Tracer | None = None
     #: The tracer's aggregate metrics (None when tracing was off).
     metrics: Any = None
+    #: Race reports from the happens-before sanitizer
+    #: (:class:`~repro.racecheck.sanitizer.RaceReport`); always empty when
+    #: the run was not sanitized.
+    races: list[Any] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -96,6 +100,18 @@ class Machine:
         (``commcheck`` schedule extraction).  Purely observational — it
         records the communication structure and never alters costs,
         matching, or control flow.
+    sanitize:
+        Happens-before race detection switch (see
+        docs/STATIC_ANALYSIS.md "Race detection").  ``None`` (default)
+        defers to the ``REPRO_RACECHECK`` environment variable; ``True``
+        runs under a fresh
+        :class:`~repro.racecheck.sanitizer.RaceSanitizer`; ``False``
+        forces the detector off regardless of the environment; a
+        :class:`~repro.racecheck.sanitizer.RaceSanitizer` instance is
+        used directly (tests inspect it afterwards).  Race reports land
+        in ``RunResult.races``.  With the detector off nothing is
+        instrumented and the run is byte-identical to one on a build
+        without the sanitizer.
     """
 
     def __init__(
@@ -108,6 +124,7 @@ class Machine:
         topology: Any = None,
         trace: Any = None,
         recorder: Any = None,
+        sanitize: Any = None,
     ):
         if size <= 0:
             raise ValueError("size must be positive")
@@ -127,6 +144,7 @@ class Machine:
         self.topology = topology
         self.tracer = make_tracer(trace)
         self.recorder = recorder
+        self.sanitize = sanitize
 
     def run(
         self,
@@ -165,11 +183,16 @@ class Machine:
         )
         if tracer.enabled:
             self._wire_tracer(state, memories)
+        sanitizer = self._resolve_sanitizer()
+        if sanitizer is not None:
+            sanitizer.instrument(state)
         results: list[Any] = [None] * self.size
         errors: dict[int, BaseException] = {}
         lock = threading.Lock()
 
         def runner(rank: int) -> None:
+            if sanitizer is not None:
+                sanitizer.on_thread_begin(f"rank-{rank}")
             comm = Communicator(state, rank)
             try:
                 a = rank_args[rank] if rank_args is not None else args
@@ -196,11 +219,17 @@ class Machine:
             for r in range(self.size)
         ]
         for t in threads:
+            if sanitizer is not None:
+                # Spawn edge: the child inherits the parent's clock.
+                sanitizer.on_thread_create(t.name)
             t.start()
         for t in threads:
             t.join(timeout=self.timeout * 4)
             if t.is_alive():
                 raise MachineError(f"{t.name} failed to terminate (deadlock?)")
+            if sanitizer is not None:
+                # Join edge: the parent folds the child's final clock back.
+                sanitizer.on_thread_join(t.name)
 
         # Joining every runner is a happens-before edge, but take the same
         # lock the runners write under anyway: the snapshot must be safe
@@ -231,6 +260,13 @@ class Machine:
             trace=tracer if tracer.enabled else None,
             metrics=getattr(tracer, "metrics", None) if tracer.enabled else None,
         )
+        if sanitizer is not None:
+            from repro.racecheck.collector import publish_races
+
+            result.races = sanitizer.finish()
+            # Callers that cannot reach this RunResult (variants build
+            # their machines internally) drain reports via the collector.
+            publish_races(result.races)
         if errors and raise_on_error:
             failed = sorted(errors.items())
             rank, exc = failed[0]
@@ -239,6 +275,26 @@ class Machine:
             detail = "; ".join(f"rank {r}: {e!r}" for r, e in failed)
             raise MachineError(f"{len(errors)} rank(s) failed: {detail}") from exc
         return result
+
+    def _resolve_sanitizer(self) -> Any:
+        """The sanitizer for this run, or None (the common case).
+
+        Resolution happens per run — not in ``__init__`` — so variant
+        factories that build machines internally pick up
+        ``REPRO_RACECHECK`` scoped by the racecheck runner around
+        ``spec.execute``."""
+        sanitize = self.sanitize
+        if sanitize is None:
+            if not racecheck_enabled():
+                return None
+            sanitize = True
+        if sanitize is False:
+            return None
+        from repro.racecheck.sanitizer import RaceSanitizer
+
+        if isinstance(sanitize, RaceSanitizer):
+            return sanitize
+        return RaceSanitizer()
 
     def _wire_tracer(self, state: _SharedState, memories: list[LocalMemory]) -> None:
         """Attach the fault-log and memory high-water observers.

@@ -1,0 +1,41 @@
+"""Happens-before race detection for the rank engine.
+
+Two-sided subsystem (see docs/STATIC_ANALYSIS.md "Race detection"):
+
+- the **dynamic side** (:mod:`repro.racecheck.sanitizer`) is a pure-Python
+  ThreadSanitizer-style detector — per-rank-thread vector clocks, lock
+  acquire/release shims and access hooks on the shared-state containers —
+  opt-in via ``Machine(sanitize=...)`` / ``REPRO_RACECHECK=1`` and
+  zero-cost when off;
+- the **static side** lives in :mod:`repro.lint.rules.lockverify`
+  (``LOCK010``–``LOCK012``): it *verifies* ``# guarded-by:`` annotations
+  instead of trusting them.
+
+``python -m repro racecheck`` (:mod:`repro.racecheck.runner`) runs the
+detector self-test (three seeded known races must be flagged), then all
+eight algorithm variants fault-free plus a seeded fault-campaign smoke
+under the detector, and fails loudly on any report.
+"""
+
+from repro.racecheck.collector import collect_races, publish_races
+from repro.racecheck.sanitizer import (
+    STRUCT,
+    AccessSite,
+    RaceReport,
+    RaceSanitizer,
+    SanitizedLock,
+    TrackedDict,
+    TrackedList,
+)
+
+__all__ = [
+    "STRUCT",
+    "AccessSite",
+    "RaceReport",
+    "RaceSanitizer",
+    "SanitizedLock",
+    "TrackedDict",
+    "TrackedList",
+    "collect_races",
+    "publish_races",
+]

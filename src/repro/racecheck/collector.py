@@ -1,0 +1,52 @@
+"""Run-scoped race-report collection.
+
+Algorithm variants construct their :class:`~repro.machine.engine.Machine`
+internally, so a caller that enables the detector via ``REPRO_RACECHECK=1``
+never holds the :class:`~repro.machine.engine.RunResult` of the machines
+buried inside (``spec.execute``, ``run_campaign``).  The engine therefore
+publishes every finished sanitizer's reports here; :func:`collect_races`
+scopes a sink around an arbitrary call tree and drains whatever the
+machines inside it found.
+
+The sink is process-local (the racecheck runner executes everything
+in-process with ``jobs=1``) and re-entrant: nested ``collect_races``
+blocks shadow the outer sink, exactly like the machine nesting they
+mirror.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["collect_races", "publish_races"]
+
+_mu = threading.Lock()
+_sink: list[Any] | None = None  # guarded-by: _mu
+
+
+@contextmanager
+def collect_races() -> Iterator[list[Any]]:
+    """Collect every race report published by machines run inside the
+    block into the yielded list."""
+    global _sink
+    bucket: list[Any] = []
+    with _mu:
+        outer = _sink
+        _sink = bucket
+    try:
+        yield bucket
+    finally:
+        with _mu:
+            _sink = outer
+
+
+def publish_races(reports: list[Any]) -> None:
+    """Deliver one finished run's reports to the active sink (no-op when
+    no :func:`collect_races` block is active)."""
+    if not reports:
+        return
+    with _mu:
+        if _sink is not None:
+            _sink.extend(reports)

@@ -1,0 +1,262 @@
+"""The ``repro racecheck`` gate: selftest, then prove the tree race-clean.
+
+Three stages, in order:
+
+1. **Selftest** — the seeded known-race fixtures
+   (:mod:`repro.racecheck.selftest`).  A detector that misses a seeded
+   bug disqualifies every "clean" verdict below, so this runs first and
+   failing it fails the gate.
+2. **Variants** — every :data:`~repro.commcheck.extract.COMMCHECK_VARIANTS`
+   algorithm, run fault-free through its real ``spec.execute`` path with
+   ``REPRO_RACECHECK=1`` scoped around the call.  The variant factories
+   build their machines internally, so reports are drained through
+   :func:`~repro.racecheck.collector.collect_races`.
+3. **Campaign smoke** — a short seeded fault-injection campaign
+   (``jobs=1``, in-process), sanitized the same way: respawn/recovery
+   paths only exist under faults, so a fault-free sweep alone would
+   leave the most delicate locking unexercised.
+
+Everything is virtual-time deterministic, so the text and JSON reports
+are byte-stable for a given tree — CI diffs them like any other gate.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, Sequence
+
+from repro.racecheck.collector import collect_races
+from repro.racecheck.sanitizer import RaceReport
+from repro.racecheck.selftest import FixtureOutcome, run_selftest
+from repro.util.env import _RACECHECK_VAR
+
+__all__ = [
+    "RacecheckResult",
+    "SmokeCheck",
+    "VariantCheck",
+    "render_text",
+    "run_racecheck",
+    "to_json",
+]
+
+
+@contextmanager
+def _sanitized_env() -> Iterator[None]:
+    """Scope ``REPRO_RACECHECK=1`` around a call tree.
+
+    The engine resolves the variable per ``run()``, so machines built
+    arbitrarily deep inside the block come up sanitized; the previous
+    value is restored on exit so the runner never leaks detector mode
+    into the caller's process."""
+    old = os.environ.get(_RACECHECK_VAR)
+    os.environ[_RACECHECK_VAR] = "1"
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(_RACECHECK_VAR, None)
+        else:
+            os.environ[_RACECHECK_VAR] = old
+
+
+@dataclass(frozen=True)
+class VariantCheck:
+    """One variant's sanitized fault-free run."""
+
+    name: str
+    ok: bool
+    error: str | None
+    races: tuple[RaceReport, ...]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "error": self.error,
+            "races": [r.as_dict() for r in self.races],
+        }
+
+
+@dataclass(frozen=True)
+class SmokeCheck:
+    """The sanitized fault-injection campaign smoke."""
+
+    seed: int
+    trials: int
+    ok: bool
+    error: str | None
+    races: tuple[RaceReport, ...]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "trials": self.trials,
+            "ok": self.ok,
+            "error": self.error,
+            "races": [r.as_dict() for r in self.races],
+        }
+
+
+@dataclass
+class RacecheckResult:
+    selftest: list[FixtureOutcome]
+    variants: list[VariantCheck]
+    smoke: SmokeCheck | None
+
+    @property
+    def selftest_ok(self) -> bool:
+        return all(o.passed for o in self.selftest)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.selftest_ok
+            and all(v.ok and not v.races for v in self.variants)
+            and (self.smoke is None or (self.smoke.ok and not self.smoke.races))
+        )
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _check_variant(name: str, cfg: Any) -> VariantCheck:
+    from repro.campaign.registry import get_variant
+    from repro.campaign.runner import _workload_rng
+    from repro.machine.fault import FaultSchedule
+
+    spec = get_variant(name)
+    workload = spec.make_workload(_workload_rng(cfg.seed, name), cfg)
+    with collect_races() as races:
+        execution = spec.execute(workload, FaultSchedule(), replace(cfg))
+    error: str | None = None
+    if execution.error is not None:
+        error = repr(execution.error)
+    elif execution.actual != execution.expected:
+        error = "wrong product on the fault-free run"
+    return VariantCheck(
+        name=name, ok=error is None, error=error, races=tuple(races)
+    )
+
+
+def _check_smoke(seed: int, trials: int, timeout: float) -> SmokeCheck:
+    from repro.campaign.runner import CampaignConfig, run_campaign
+
+    cfg = CampaignConfig(
+        seed=seed, trials=trials, timeout=timeout, minimize=False
+    )
+    error: str | None = None
+    ok = False
+    with collect_races() as races:
+        try:
+            report = run_campaign(cfg, jobs=1)
+            ok = report.ok
+            if not ok:
+                error = "campaign trials failed under the sanitizer"
+        except Exception as exc:  # noqa: BLE001 - gate reports, never crashes
+            error = repr(exc)
+    return SmokeCheck(
+        seed=seed,
+        trials=trials,
+        ok=ok,
+        error=error,
+        races=tuple(races),
+    )
+
+
+def run_racecheck(
+    variants: Sequence[str] | None = None,
+    cfg: Any = None,
+    smoke_seed: int = 1,
+    smoke_trials: int = 2,
+    run_smoke: bool = True,
+) -> RacecheckResult:
+    """Run the full gate; see the module docstring for the stages.
+
+    ``cfg`` is a :class:`~repro.campaign.runner.CampaignConfig` shaping
+    the variant runs (default :func:`repro.commcheck.extract.make_config`,
+    the same geometry the commcheck gate extracts under).
+    """
+    from repro.commcheck.extract import COMMCHECK_VARIANTS, make_config
+
+    if cfg is None:
+        cfg = make_config()
+    names = list(variants) if variants is not None else list(COMMCHECK_VARIANTS)
+    unknown = [n for n in names if n not in COMMCHECK_VARIANTS]
+    if unknown:
+        raise ValueError(f"unknown variant(s): {', '.join(sorted(unknown))}")
+    with _sanitized_env():
+        selftest = run_selftest(timeout=cfg.timeout)
+        checks = [_check_variant(name, cfg) for name in names]
+        smoke = (
+            _check_smoke(smoke_seed, smoke_trials, cfg.timeout)
+            if run_smoke
+            else None
+        )
+    return RacecheckResult(selftest=selftest, variants=checks, smoke=smoke)
+
+
+# -- reporting -------------------------------------------------------------
+
+
+def render_text(result: RacecheckResult) -> str:
+    lines = ["racecheck: happens-before race detection gate", ""]
+    lines.append("selftest (seeded known-race fixtures):")
+    for o in result.selftest:
+        verdict = "pass" if o.passed else "FAIL"
+        expect = o.expect_kind if o.expect_kind is not None else "silence"
+        lines.append(
+            f"  {o.name:<24} {verdict}  "
+            f"(expected {expect}, {len(o.reports)} report(s))"
+        )
+        if not o.passed:
+            for r in o.reports:
+                lines.append(_indent(r.render_text(), 4))
+    lines.append("")
+    lines.append("variants (sanitized fault-free runs):")
+    for v in result.variants:
+        if v.ok and not v.races:
+            status = "clean"
+        elif v.races:
+            status = f"{len(v.races)} RACE(S)"
+        else:
+            status = "ERROR"
+        lines.append(f"  {v.name:<14} {status}")
+        if v.error is not None:
+            lines.append(f"    error: {v.error}")
+        for r in v.races:
+            lines.append(_indent(r.render_text(), 4))
+    lines.append("")
+    if result.smoke is not None:
+        s = result.smoke
+        status = "clean" if s.ok and not s.races else (
+            f"{len(s.races)} RACE(S)" if s.races else "ERROR"
+        )
+        lines.append(
+            f"campaign smoke (seed={s.seed}, trials={s.trials}): {status}"
+        )
+        if s.error is not None:
+            lines.append(f"  error: {s.error}")
+        for r in s.races:
+            lines.append(_indent(r.render_text(), 2))
+    else:
+        lines.append("campaign smoke: skipped")
+    lines.append("")
+    lines.append(f"verdict: {'PASS' if result.ok else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def _indent(text: str, by: int) -> str:
+    pad = " " * by
+    return "\n".join(pad + line for line in text.splitlines())
+
+
+def to_json(result: RacecheckResult) -> dict[str, Any]:
+    return {
+        "ok": result.ok,
+        "selftest": [o.as_dict() for o in result.selftest],
+        "variants": [v.as_dict() for v in result.variants],
+        "smoke": result.smoke.as_dict() if result.smoke is not None else None,
+    }

@@ -1,0 +1,775 @@
+"""Vector-clock happens-before race detector (the dynamic side).
+
+The model is FastTrack-flavoured ThreadSanitizer, specialized to the rank
+engine's synchronization vocabulary.  Every real thread backing a rank
+gets a vector clock ``C_t``; happens-before edges come from exactly the
+synchronization the engine actually performs:
+
+- **lock release -> acquire** — every instrumented ``threading.Lock``
+  (``_SharedState.lock``, ``FaultSchedule._lock``, ``FaultLog._lock``,
+  ``ScheduleRecorder._lock``, ``MetricsRegistry._lock``) is replaced by a
+  :class:`SanitizedLock` shim carrying a lock clock ``L_m``: acquire joins
+  ``C_t |= L_m``, release stores ``L_m := C_t`` and bumps the thread's
+  epoch,
+- **message delivery** — a send registers the sender's clock against the
+  message object *before* it is posted; the matched receive (the
+  ``_collect_matched`` single delivery point) joins it,
+- **gate / vote / agree_dead** — each key carries a sync clock: arrivals
+  release into it, completions acquire from it,
+- **thread start / join** — the engine's spawn inherits the parent clock;
+  a join folds the child's final clock back.
+
+Shared containers are replaced by :class:`TrackedList` / :class:`TrackedDict`
+subclasses whose accesses are checked at *element* granularity (index or
+key), with a ``<struct>`` pseudo-element for whole-container operations —
+so the engine's deliberate lock-free read of a rank's own
+``incarnations[rank]`` slot stays clean while cross-rank unordered
+accesses to the same slot are flagged.
+
+Two accesses conflict when they touch the same ``(field, element)``, at
+least one is a write, and neither happens-before the other.  Reports
+carry the field, the element, and both access sites (thread, rank,
+incarnation, stack).  On top of the happens-before engine, acquisitions
+maintain a lock-order graph; a cycle is reported as a ``lock-inversion``
+with both acquisition stacks.
+
+All detector state is serialized behind one internal lock (``_mu``) that
+is itself outside the modeled happens-before relation.  The detector is
+opt-in (``Machine(sanitize=...)`` / ``REPRO_RACECHECK=1``); when off,
+none of these classes is ever constructed and the engine's behaviour is
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "STRUCT",
+    "AccessSite",
+    "RaceReport",
+    "RaceSanitizer",
+    "SanitizedLock",
+    "TrackedDict",
+    "TrackedList",
+]
+
+#: Pseudo-element for whole-container (structural) accesses: append,
+#: resize, iteration, membership over keys, ``len``.
+STRUCT = "<struct>"
+
+#: Frames kept per captured access stack.
+_STACK_DEPTH = 8
+
+_MAX_REPORTS = 100
+
+
+def _short_path(path: str) -> str:
+    """Repo-relative tail of a frame's filename, for deterministic stacks."""
+    norm = path.replace("\\", "/")
+    for marker in ("/repro/", "/tests/", "/benchmarks/"):
+        idx = norm.rfind(marker)
+        if idx >= 0:
+            return norm[idx + 1 :]
+    return norm.rsplit("/", 1)[-1]
+
+
+def _capture_stack() -> tuple[str, ...]:
+    """Lightweight access stack: ``file:line in func`` tuples, innermost
+    first, with detector-internal frames filtered out."""
+    frames: list[str] = []
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - interpreter without frames
+        return ()
+    while frame is not None and len(frames) < _STACK_DEPTH:
+        code = frame.f_code
+        filename = code.co_filename
+        if "racecheck/sanitizer" not in filename.replace("\\", "/"):
+            frames.append(
+                f"{_short_path(filename)}:{frame.f_lineno} in {code.co_name}"
+            )
+        frame = frame.f_back
+    return tuple(frames)
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One side of a conflicting pair."""
+
+    thread: str
+    rank: int
+    incarnation: int
+    op: str  #: ``read`` / ``write`` / ``acquire``
+    stack: tuple[str, ...]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "thread": self.thread,
+            "rank": self.rank,
+            "incarnation": self.incarnation,
+            "op": self.op,
+            "stack": list(self.stack),
+        }
+
+    def render(self, indent: str = "    ") -> str:
+        head = (
+            f"{indent}{self.op} by {self.thread} "
+            f"(rank {self.rank}, incarnation {self.incarnation})"
+        )
+        body = "".join(f"\n{indent}  at {frame}" for frame in self.stack)
+        return head + (body or f"\n{indent}  at <no frames>")
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One unordered conflicting pair (or lock-order cycle)."""
+
+    kind: str  #: ``write-write`` / ``read-write`` / ``lock-inversion``
+    field: str  #: e.g. ``_SharedState.votes``; ``lockA <-> lockB`` for inversions
+    element: str  #: element key, or :data:`STRUCT`
+    a: AccessSite
+    b: AccessSite
+
+    def sort_key(self) -> tuple:
+        return (
+            self.kind,
+            self.field,
+            self.element,
+            self.a.stack,
+            self.b.stack,
+            self.a.thread,
+            self.b.thread,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "field": self.field,
+            "element": self.element,
+            "a": self.a.as_dict(),
+            "b": self.b.as_dict(),
+        }
+
+    def render_text(self) -> str:
+        lines = [f"{self.kind} on {self.field}[{self.element}]"]
+        lines.append(self.a.render())
+        lines.append(self.b.render())
+        return "\n".join(lines)
+
+
+class SanitizedLock:
+    """Duck-typed ``threading.Lock`` shim feeding the detector.
+
+    Wraps the real lock; acquire/release report to the sanitizer, which
+    maintains the lock's clock and the per-thread held set (for
+    release->acquire edges and lock-order-inversion detection).
+    """
+
+    __slots__ = ("inner", "name", "_san", "clock")
+
+    def __init__(self, inner: Any, san: "RaceSanitizer", name: str):
+        self.inner = inner
+        self.name = name
+        self._san = san
+        #: The lock's vector clock (slot -> epoch); owned by the
+        #: sanitizer, mutated only under its internal ``_mu``.
+        self.clock: dict[int, int] = {}
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self.inner.acquire(blocking, timeout)
+        if got:
+            self._san.on_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._san.on_release(self)
+        self.inner.release()
+
+    def locked(self) -> bool:
+        return bool(self.inner.locked())
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class TrackedList(list):
+    """A ``list`` whose accesses are reported at element granularity."""
+
+    def __init__(self, data: Iterable[Any], san: "RaceSanitizer", name: str):
+        super().__init__(data)
+        self._san = san
+        self._name = name
+
+    # -- element access ----------------------------------------------------
+    def __getitem__(self, index: Any) -> Any:
+        self._san.on_access(
+            self._name, STRUCT if isinstance(index, slice) else index, "read"
+        )
+        return list.__getitem__(self, index)
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._san.on_access(
+            self._name, STRUCT if isinstance(index, slice) else index, "write"
+        )
+        list.__setitem__(self, index, value)
+
+    # -- structural access -------------------------------------------------
+    def append(self, value: Any) -> None:
+        self._san.on_access(self._name, STRUCT, "write")
+        list.append(self, value)
+
+    def extend(self, values: Iterable[Any]) -> None:
+        self._san.on_access(self._name, STRUCT, "write")
+        list.extend(self, values)
+
+    def insert(self, index: int, value: Any) -> None:
+        self._san.on_access(self._name, STRUCT, "write")
+        list.insert(self, index, value)
+
+    def remove(self, value: Any) -> None:
+        self._san.on_access(self._name, STRUCT, "write")
+        list.remove(self, value)
+
+    def pop(self, index: int = -1) -> Any:
+        self._san.on_access(self._name, STRUCT, "write")
+        return list.pop(self, index)
+
+    def clear(self) -> None:
+        self._san.on_access(self._name, STRUCT, "write")
+        list.clear(self)
+
+    def __iter__(self) -> Iterator[Any]:
+        self._san.on_access(self._name, STRUCT, "read")
+        return list.__iter__(self)
+
+    def __len__(self) -> int:
+        self._san.on_access(self._name, STRUCT, "read")
+        return list.__len__(self)
+
+    def __contains__(self, value: Any) -> bool:
+        self._san.on_access(self._name, STRUCT, "read")
+        return list.__contains__(self, value)
+
+
+class TrackedDict(dict):
+    """A ``dict`` whose accesses are reported at key granularity."""
+
+    def __init__(self, data: dict, san: "RaceSanitizer", name: str):
+        super().__init__(data)
+        self._san = san
+        self._name = name
+
+    @staticmethod
+    def _key(key: Any) -> str:
+        return repr(key)
+
+    # -- key access --------------------------------------------------------
+    def __getitem__(self, key: Any) -> Any:
+        self._san.on_access(self._name, self._key(key), "read")
+        return dict.__getitem__(self, key)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._san.on_access(self._name, self._key(key), "read")
+        return dict.get(self, key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        self._san.on_access(self._name, self._key(key), "read")
+        return dict.__contains__(self, key)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._san.on_access(self._name, self._key(key), "write")
+        self._san.on_access(self._name, STRUCT, "write")
+        dict.__setitem__(self, key, value)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        self._san.on_access(self._name, self._key(key), "write")
+        self._san.on_access(self._name, STRUCT, "write")
+        return dict.setdefault(self, key, default)
+
+    def pop(self, key: Any, *default: Any) -> Any:
+        self._san.on_access(self._name, self._key(key), "write")
+        self._san.on_access(self._name, STRUCT, "write")
+        return dict.pop(self, key, *default)
+
+    def __delitem__(self, key: Any) -> None:
+        self._san.on_access(self._name, self._key(key), "write")
+        self._san.on_access(self._name, STRUCT, "write")
+        dict.__delitem__(self, key)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._san.on_access(self._name, STRUCT, "write")
+        dict.update(self, *args, **kwargs)
+
+    def clear(self) -> None:
+        self._san.on_access(self._name, STRUCT, "write")
+        dict.clear(self)
+
+    # -- structural access -------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        self._san.on_access(self._name, STRUCT, "read")
+        return dict.__iter__(self)
+
+    def __len__(self) -> int:
+        self._san.on_access(self._name, STRUCT, "read")
+        return dict.__len__(self)
+
+    def keys(self) -> Any:
+        self._san.on_access(self._name, STRUCT, "read")
+        return dict.keys(self)
+
+    def values(self) -> Any:
+        self._san.on_access(self._name, STRUCT, "read")
+        return dict.values(self)
+
+    def items(self) -> Any:
+        self._san.on_access(self._name, STRUCT, "read")
+        return dict.items(self)
+
+
+class _VarState:
+    """Per-``(field, element)`` access history: last read/write epoch and
+    site per thread slot."""
+
+    __slots__ = ("writes", "reads")
+
+    def __init__(self) -> None:
+        #: slot -> (epoch, AccessSite)
+        self.writes: dict[int, tuple[int, AccessSite]] = {}
+        self.reads: dict[int, tuple[int, AccessSite]] = {}
+
+
+class RaceSanitizer:
+    """The happens-before engine.  One instance covers one machine run.
+
+    All hooks are thread-safe; every mutation of detector state happens
+    under the internal ``_mu`` lock, which is deliberately a plain
+    ``threading.Lock`` outside the modeled happens-before relation.
+    """
+
+    def __init__(self, max_reports: int = _MAX_REPORTS):
+        self._mu = threading.Lock()
+        self.max_reports = max_reports
+        self._closed = False  # guarded-by: _mu
+        #: thread ident -> dense slot index
+        self._slots: dict[int, int] = {}  # guarded-by: _mu
+        #: slot -> thread name
+        self._slot_names: list[str] = []  # guarded-by: _mu
+        #: slot -> vector clock (list indexed by slot)
+        self._vcs: list[list[int]] = []  # guarded-by: _mu
+        #: thread name -> clock inherited from the spawning thread
+        self._pending_vc: dict[str, list[int]] = {}  # guarded-by: _mu
+        #: thread name -> slot (for join edges)
+        self._name_slots: dict[str, int] = {}  # guarded-by: _mu
+        #: slot -> stack of currently held SanitizedLocks
+        self._held: dict[int, list[SanitizedLock]] = {}  # guarded-by: _mu
+        #: sync-object clocks (gate / vote / agree_dead keys)
+        self._sync_vc: dict[str, list[int]] = {}  # guarded-by: _mu
+        #: id(message) -> sender clock snapshot
+        self._msg_vc: dict[int, list[int]] = {}  # guarded-by: _mu
+        #: (field, element) -> access history
+        self._var_state: dict[tuple[str, Any], _VarState] = {}  # guarded-by: _mu
+        #: lock-order graph: lock name -> set of locks acquired while held
+        self._order_edges: dict[str, set[str]] = {}  # guarded-by: _mu
+        #: (outer, inner) -> acquisition site that created the edge
+        self._edge_sites: dict[tuple[str, str], AccessSite] = {}  # guarded-by: _mu
+        #: dedup keys of reported races
+        self._seen_races: set[tuple] = set()  # guarded-by: _mu
+        self._race_reports: list[RaceReport] = []  # guarded-by: _mu
+        self.truncated = 0  # guarded-by: _mu
+        #: raw view of ``state.incarnations`` for report labeling
+        self._inc_source: list | None = None
+
+    # -- instrumentation ---------------------------------------------------
+
+    @staticmethod
+    def _unwrap_lock(lock: Any) -> Any:
+        return lock.inner if isinstance(lock, SanitizedLock) else lock
+
+    def _wrap_lock(self, lock: Any, name: str) -> SanitizedLock:
+        return SanitizedLock(self._unwrap_lock(lock), self, name)
+
+    def _wrap_list(self, data: Iterable[Any], name: str) -> TrackedList:
+        return TrackedList(list(data), self, name)
+
+    def _wrap_dict(self, data: dict, name: str) -> TrackedDict:
+        return TrackedDict(dict(data), self, name)
+
+    # repro-lint: disable=LOCK010 -- pre-run instrumentation: the rank
+    # threads do not exist yet, so these cross-object rebinding writes
+    # cannot race with anything.
+    def instrument(self, state: Any) -> None:
+        """Instrument a machine's ``_SharedState`` and its satellites
+        (fault schedule, fault log, recorder, tracer metrics) in place.
+
+        Re-instrumenting an object wrapped by an earlier (finished)
+        sanitizer rebinds it to this one — fault schedules are caller-owned
+        and outlive individual runs.
+        """
+        state.sanitizer = self
+        state.lock = self._wrap_lock(state.lock, "_SharedState.lock")
+        for field_name in ("alive", "finished", "aborted_task", "incarnations"):
+            setattr(
+                state,
+                field_name,
+                self._wrap_list(
+                    getattr(state, field_name), f"_SharedState.{field_name}"
+                ),
+            )
+        for field_name in ("agreed_dead", "gates", "votes"):
+            setattr(
+                state,
+                field_name,
+                self._wrap_dict(
+                    getattr(state, field_name), f"_SharedState.{field_name}"
+                ),
+            )
+        self._inc_source = state.incarnations
+        schedule = state.fault_schedule
+        cls = type(schedule).__name__
+        schedule._lock = self._wrap_lock(schedule._lock, f"{cls}._lock")
+        schedule._events = self._wrap_list(schedule._events, f"{cls}._events")
+        schedule._fired = self._wrap_list(schedule._fired, f"{cls}._fired")
+        if hasattr(schedule, "_observed"):
+            schedule._observed = self._wrap_dict(
+                schedule._observed, f"{cls}._observed"
+            )
+        log = state.fault_log
+        log._lock = self._wrap_lock(log._lock, "FaultLog._lock")
+        log._entries = self._wrap_list(log._entries, "FaultLog._entries")
+        recorder = state.recorder
+        if recorder is not None and hasattr(recorder, "_ops"):
+            recorder._lock = self._wrap_lock(
+                recorder._lock, "ScheduleRecorder._lock"
+            )
+            recorder._ops = self._wrap_dict(recorder._ops, "ScheduleRecorder._ops")
+        metrics = getattr(state.tracer, "metrics", None)
+        if getattr(state.tracer, "enabled", False) and hasattr(
+            metrics, "_counters"
+        ):
+            metrics._lock = self._wrap_lock(metrics._lock, "MetricsRegistry._lock")
+            metrics._counters = self._wrap_dict(
+                metrics._counters, "MetricsRegistry._counters"
+            )
+            metrics._gauges = self._wrap_dict(
+                metrics._gauges, "MetricsRegistry._gauges"
+            )
+            metrics._histograms = self._wrap_dict(
+                metrics._histograms, "MetricsRegistry._histograms"
+            )
+
+    # -- thread registry ---------------------------------------------------
+
+    def _slot_of_current(self) -> int:
+        """Slot for the calling thread, registering it on first sight.
+        Callers hold ``_mu``."""
+        ident = threading.get_ident()
+        slot = self._slots.get(ident)
+        if slot is None:
+            slot = self._bind_fresh(ident, threading.current_thread().name)
+        return slot
+
+    def _bind_fresh(self, ident: int, name: str) -> int:
+        """Bind ``ident`` to a brand-new slot.  Callers hold ``_mu``."""
+        slot = len(self._slot_names)
+        self._slots[ident] = slot
+        self._slot_names.append(name)
+        self._name_slots[name] = slot
+        vc = [0] * (slot + 1)
+        vc[slot] = 1
+        self._vcs.append(vc)
+        inherited = self._pending_vc.pop(name, None)
+        if inherited is not None:
+            self._join(vc, inherited)
+        return slot
+
+    @staticmethod
+    def _join(vc: list[int], other: list[int]) -> None:
+        if len(other) > len(vc):
+            vc.extend([0] * (len(other) - len(vc)))
+        for i, value in enumerate(other):
+            if value > vc[i]:
+                vc[i] = value
+
+    def _epoch_of(self, vc: list[int], slot: int) -> int:
+        if slot >= len(vc):
+            vc.extend([0] * (slot + 1 - len(vc)))
+        return vc[slot]
+
+    def _actor(self, slot: int, op: str, stack: tuple[str, ...]) -> AccessSite:
+        """Access-site record for ``slot``.  Callers hold ``_mu``."""
+        name = self._slot_names[slot]
+        rank = -1
+        if name.startswith("rank-"):
+            try:
+                rank = int(name[5:])
+            except ValueError:
+                rank = -1
+        incarnation = 0
+        source = self._inc_source
+        if rank >= 0 and source is not None and rank < list.__len__(source):
+            incarnation = int(list.__getitem__(source, rank))
+        return AccessSite(
+            thread=name, rank=rank, incarnation=incarnation, op=op, stack=stack
+        )
+
+    # -- race recording ----------------------------------------------------
+
+    def _report(
+        self, kind: str, field_name: str, element: Any, a: AccessSite, b: AccessSite
+    ) -> None:
+        """Record one conflicting pair (deduplicated by code-site pair).
+        Callers hold ``_mu``."""
+        if kind == "write-write" or a.op == b.op:
+            # Symmetric pair: canonicalize so report order is independent
+            # of which access physically happened first.
+            a, b = sorted((a, b), key=lambda s: (s.stack, s.thread))
+        elif a.op == "write" and b.op == "read":
+            # Mixed pair: the read side always renders first, so the same
+            # race produces the same report under either interleaving.
+            a, b = b, a
+        site_a = a.stack[0] if a.stack else a.thread
+        site_b = b.stack[0] if b.stack else b.thread
+        dedup = (kind, field_name, repr(element), site_a, site_b)
+        if dedup in self._seen_races:
+            return
+        self._seen_races.add(dedup)
+        if len(self._race_reports) >= self.max_reports:
+            self.truncated += 1
+            return
+        self._race_reports.append(
+            RaceReport(
+                kind=kind,
+                field=field_name,
+                element=element if isinstance(element, str) else repr(element),
+                a=a,
+                b=b,
+            )
+        )
+
+    def on_access(self, field_name: str, element: Any, op: str) -> None:
+        """Check one element access by the calling thread against the
+        access history, then record it."""
+        stack = _capture_stack()
+        with self._mu:
+            if self._closed:
+                return
+            slot = self._slot_of_current()
+            vc = self._vcs[slot]
+            var = self._var_state.get((field_name, element))
+            if var is None:
+                var = self._var_state[(field_name, element)] = _VarState()
+            site = self._actor(slot, op, stack)
+            if op == "write":
+                for other, (epoch, prev) in var.writes.items():
+                    if other != slot and epoch > self._epoch_of(vc, other):
+                        self._report(
+                            "write-write", field_name, element, prev, site
+                        )
+                for other, (epoch, prev) in var.reads.items():
+                    if other != slot and epoch > self._epoch_of(vc, other):
+                        self._report("read-write", field_name, element, prev, site)
+                var.writes[slot] = (vc[slot], site)
+            else:
+                for other, (epoch, prev) in var.writes.items():
+                    if other != slot and epoch > self._epoch_of(vc, other):
+                        self._report("read-write", field_name, element, prev, site)
+                var.reads[slot] = (vc[slot], site)
+
+    # -- lock edges --------------------------------------------------------
+
+    def _find_path(self, start: str, goal: str) -> bool:
+        """Reachability in the lock-order graph.  Callers hold ``_mu``."""
+        frontier = [start]
+        visited = {start}
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            for nxt in self._order_edges.get(node, ()):
+                if nxt not in visited:
+                    visited.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def on_acquire(self, lock: SanitizedLock) -> None:
+        stack = _capture_stack()
+        with self._mu:
+            if self._closed:
+                return
+            slot = self._slot_of_current()
+            vc = self._vcs[slot]
+            held = self._held.setdefault(slot, [])
+            site = self._actor(slot, "acquire", stack)
+            for outer in held:
+                if outer.name == lock.name:
+                    continue
+                edge = (outer.name, lock.name)
+                if edge not in self._edge_sites:
+                    self._edge_sites[edge] = site
+                    self._order_edges.setdefault(outer.name, set()).add(lock.name)
+                    if self._find_path(lock.name, outer.name):
+                        reverse = self._edge_sites.get((lock.name, outer.name))
+                        self._report(
+                            "lock-inversion",
+                            f"{min(outer.name, lock.name)} <-> "
+                            f"{max(outer.name, lock.name)}",
+                            STRUCT,
+                            reverse if reverse is not None else site,
+                            site,
+                        )
+            held.append(lock)
+            # release -> acquire edge: join the lock's clock.
+            for other, epoch in lock.clock.items():
+                if epoch > self._epoch_of(vc, other):
+                    vc[other] = epoch
+        return
+
+    def on_release(self, lock: SanitizedLock) -> None:
+        with self._mu:
+            if self._closed:
+                return
+            slot = self._slot_of_current()
+            vc = self._vcs[slot]
+            for i, value in enumerate(vc):
+                if value > lock.clock.get(i, 0):
+                    lock.clock[i] = value
+            vc[slot] += 1
+            held = self._held.get(slot)
+            if held is not None and lock in held:
+                held.remove(lock)
+
+    # -- message edges -----------------------------------------------------
+
+    def on_send(self, message: Any) -> None:
+        """Register the sender's clock against ``message`` (called before
+        the router post, so the receiver can never miss it)."""
+        with self._mu:
+            if self._closed:
+                return
+            slot = self._slot_of_current()
+            vc = self._vcs[slot]
+            self._msg_vc[id(message)] = list(vc)
+            vc[slot] += 1
+
+    def on_recv_message(self, message: Any) -> None:
+        """Join the matched sender clock at the single delivery point."""
+        with self._mu:
+            if self._closed:
+                return
+            slot = self._slot_of_current()
+            sent = self._msg_vc.pop(id(message), None)
+            if sent is not None:
+                self._join(self._vcs[slot], sent)
+
+    # -- sync-object edges (gate / vote / agree_dead) ----------------------
+
+    def _sync_release(self, key: str) -> None:
+        """Release the calling thread's clock into sync object ``key``.
+        Callers hold ``_mu``."""
+        slot = self._slot_of_current()
+        vc = self._vcs[slot]
+        sync = self._sync_vc.get(key)
+        if sync is None:
+            self._sync_vc[key] = list(vc)
+        else:
+            self._join(sync, vc)
+        vc[slot] += 1
+
+    def _sync_acquire(self, key: str) -> None:
+        """Join sync object ``key``'s clock into the calling thread.
+        Callers hold ``_mu``."""
+        slot = self._slot_of_current()
+        sync = self._sync_vc.get(key)
+        if sync is not None:
+            self._join(self._vcs[slot], sync)
+
+    def on_gate_arrive(self, key: Any) -> None:
+        with self._mu:
+            if self._closed:
+                return
+            self._sync_release(f"gate:{key!r}")
+
+    def on_gate_pass(self, key: Any) -> None:
+        with self._mu:
+            if self._closed:
+                return
+            self._sync_acquire(f"gate:{key!r}")
+
+    def on_vote(self, key: Any) -> None:
+        with self._mu:
+            if self._closed:
+                return
+            self._sync_release(f"vote:{key!r}")
+
+    def on_poll_votes(self, key: Any) -> None:
+        with self._mu:
+            if self._closed:
+                return
+            self._sync_acquire(f"vote:{key!r}")
+
+    def on_agree_dead(self, key: Any) -> None:
+        """agree_dead is acquire *and* release: every caller both reads
+        and (potentially) writes the shared snapshot."""
+        with self._mu:
+            if self._closed:
+                return
+            self._sync_acquire(f"agree:{key!r}")
+            self._sync_release(f"agree:{key!r}")
+
+    # -- thread lifecycle --------------------------------------------------
+
+    def on_thread_create(self, name: str) -> None:
+        """Called on the spawning thread before ``Thread.start``."""
+        with self._mu:
+            if self._closed:
+                return
+            slot = self._slot_of_current()
+            vc = self._vcs[slot]
+            self._pending_vc[name] = list(vc)
+            vc[slot] += 1
+
+    def on_thread_begin(self, name: str) -> None:
+        """Called first thing on the spawned thread.
+
+        Always binds a *fresh* slot: the OS reuses the idents of finished
+        threads, and a spawned thread that inherited a dead thread's slot
+        would alias two distinct threads — mis-attributed reports and,
+        worse, phantom program-order edges hiding real races."""
+        with self._mu:
+            if self._closed:
+                return
+            self._bind_fresh(threading.get_ident(), name)
+
+    def on_thread_join(self, name: str) -> None:
+        """Called on the joining thread after ``Thread.join`` returns."""
+        with self._mu:
+            if self._closed:
+                return
+            slot = self._slot_of_current()
+            child = self._name_slots.get(name)
+            if child is not None:
+                self._join(self._vcs[slot], self._vcs[child])
+
+    # -- results -----------------------------------------------------------
+
+    def reports(self) -> list[RaceReport]:
+        """Race reports so far, deterministically ordered."""
+        with self._mu:
+            found = list(self._race_reports)
+        return sorted(found, key=RaceReport.sort_key)
+
+    def finish(self) -> list[RaceReport]:
+        """Close the detector (hooks become no-ops) and return the final
+        deterministically-ordered report list."""
+        with self._mu:
+            self._closed = True
+            found = list(self._race_reports)
+        return sorted(found, key=RaceReport.sort_key)

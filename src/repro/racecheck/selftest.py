@@ -1,0 +1,180 @@
+"""Seeded known-race fixtures: the detector's power test.
+
+A race detector that never fires is indistinguishable from one that
+cannot fire.  Each fixture here runs a tiny real :class:`Machine` whose
+rank program commits one deliberate, well-understood concurrency bug;
+:func:`run_selftest` asserts the sanitizer flags every one (and that the
+clean companion of the message fixture stays silent, proving the
+send->recv edge actually orders things rather than the detector being
+blind).  The ``racecheck`` CLI runs this before trusting any
+"race-clean" verdict, and CI gates on it.
+
+The fixtures access ``comm._state`` directly — they *are* the bug, so
+the guarded-by rules are suppressed per function, with the suppression
+itself exercising the def-header span convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.machine.engine import Machine
+from repro.racecheck.sanitizer import RaceReport, RaceSanitizer
+
+__all__ = ["FixtureOutcome", "SELFTEST_FIXTURES", "run_selftest"]
+
+
+# repro-lint: disable=LOCK010 -- deliberately racy fixture: two ranks
+# write the same key with no lock.
+def _write_write_program(comm: Any) -> None:
+    comm._state.agreed_dead["boom"] = comm.rank
+
+
+# Deliberately inverted lock order, sequenced by a message so the
+# inversion never actually deadlocks (no guarded *field* is touched, so
+# no LOCK010 suppression is needed — only the order edges matter).
+def _lock_inversion_program(comm: Any) -> None:
+    state = comm._state
+    log_lock = state.fault_log._lock
+    if comm.rank == 0:
+        with state.lock:
+            with log_lock:
+                pass
+        comm.send(1, "token")
+    else:
+        comm.recv(0)
+        with log_lock:
+            with state.lock:
+                pass
+
+
+# repro-lint: disable=LOCK010 -- deliberately reads before the receive
+# that would order it after the writer.
+def _recv_before_delivery_program(comm: Any) -> Any:
+    state = comm._state
+    if comm.rank == 1:
+        state.votes["data"] = comm.rank
+        comm.send(0, "ready")
+        return None
+    peeked = state.votes.get("data")
+    comm.recv(1)
+    return peeked
+
+
+# repro-lint: disable=LOCK010 -- clean companion of the fixture above:
+# the same unlocked read, but *after* the receive, so the send->recv
+# edge orders it.  Must stay silent.
+def _recv_then_read_program(comm: Any) -> Any:
+    state = comm._state
+    if comm.rank == 1:
+        state.votes["data"] = comm.rank
+        comm.send(0, "ready")
+        return None
+    comm.recv(1)
+    return state.votes.get("data")
+
+
+@dataclass(frozen=True)
+class _Fixture:
+    name: str
+    description: str
+    program: Callable[[Any], Any]
+    #: Report kind the fixture must produce (None = must stay silent).
+    expect_kind: str | None
+    #: Substring every matching report's field must contain.
+    expect_field: str
+
+
+SELFTEST_FIXTURES: tuple[_Fixture, ...] = (
+    _Fixture(
+        name="unguarded-write-write",
+        description="two ranks write _SharedState.agreed_dead['boom'] lockless",
+        program=_write_write_program,
+        expect_kind="write-write",
+        expect_field="_SharedState.agreed_dead",
+    ),
+    _Fixture(
+        name="lock-inversion",
+        description="rank 0 nests lock->fault-log, rank 1 nests the reverse",
+        program=_lock_inversion_program,
+        expect_kind="lock-inversion",
+        expect_field="FaultLog._lock <-> _SharedState.lock",
+    ),
+    _Fixture(
+        name="recv-before-delivery",
+        description="rank 0 reads _SharedState.votes before its recv",
+        program=_recv_before_delivery_program,
+        expect_kind="read-write",
+        expect_field="_SharedState.votes",
+    ),
+    _Fixture(
+        name="clean-read-after-recv",
+        description="same read, after the recv: the message edge orders it",
+        program=_recv_then_read_program,
+        expect_kind=None,
+        expect_field="_SharedState.votes",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class FixtureOutcome:
+    """One fixture's verdict: did the detector behave as seeded?"""
+
+    name: str
+    description: str
+    expect_kind: str | None
+    passed: bool
+    reports: tuple[RaceReport, ...]
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.reports)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "expect_kind": self.expect_kind,
+            "passed": self.passed,
+            "reports": [r.as_dict() for r in self.reports],
+        }
+
+
+def _run_fixture(fixture: _Fixture, timeout: float) -> FixtureOutcome:
+    sanitizer = RaceSanitizer()
+    machine = Machine(2, word_bits=16, timeout=timeout, sanitize=sanitizer)
+    result = machine.run(fixture.program)
+    matching = tuple(
+        r
+        for r in result.races
+        if (fixture.expect_kind is None or r.kind == fixture.expect_kind)
+        and fixture.expect_field in r.field
+    )
+    if fixture.expect_kind is None:
+        passed = not result.races
+        matching = tuple(result.races)
+    else:
+        # The seeded bug must be flagged with *both* sides attributed:
+        # a report whose two stacks both resolve into this module.
+        passed = any(
+            "selftest" in r.a.stack[0] and "selftest" in r.b.stack[0]
+            for r in matching
+        )
+    return FixtureOutcome(
+        name=fixture.name,
+        description=fixture.description,
+        expect_kind=fixture.expect_kind,
+        passed=passed,
+        reports=matching,
+    )
+
+
+def run_selftest(timeout: float = 15.0) -> list[FixtureOutcome]:
+    """Run every seeded fixture on a real 2-rank machine.
+
+    Returns one :class:`FixtureOutcome` per fixture, in declaration
+    order; the selftest as a whole passes iff every outcome did.
+    """
+    return [_run_fixture(f, timeout) for f in SELFTEST_FIXTURES]

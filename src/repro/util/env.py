@@ -35,6 +35,15 @@ clock or entropy.
     Directory holding the pinned baseline records ``repro perf compare``
     gates against.  Default ``benchmarks/baselines``.
 
+``REPRO_RACECHECK``
+    Happens-before race detection (``1``/``true`` = on, default off): every
+    :class:`~repro.machine.engine.Machine` without an explicit
+    ``sanitize=`` argument runs under the
+    :class:`~repro.racecheck.sanitizer.RaceSanitizer`.  Purely diagnostic —
+    it never changes what a run computes — but it does slow runs down,
+    which is why it is opt-in (see docs/STATIC_ANALYSIS.md "Race
+    detection").
+
 The full user-facing table of these variables lives in README.md
 ("Environment variables"); keep the two in sync.
 """
@@ -50,9 +59,11 @@ __all__ = [
     "start_method",
     "perf_dir",
     "perf_baseline",
+    "racecheck_enabled",
 ]
 
 _SCALE_VAR = "REPRO_TIMEOUT_SCALE"
+_RACECHECK_VAR = "REPRO_RACECHECK"
 _JOBS_VAR = "REPRO_JOBS"
 _START_VAR = "REPRO_MP_START_METHOD"
 _PERF_DIR_VAR = "REPRO_PERF_DIR"
@@ -113,6 +124,23 @@ def perf_dir() -> str | None:
 def perf_baseline() -> str | None:
     """Baseline directory override (``REPRO_PERF_BASELINE``), or ``None``."""
     return _path_var(_PERF_BASELINE_VAR)
+
+
+def racecheck_enabled() -> bool:
+    """Whether the race detector is on by default (``REPRO_RACECHECK``).
+
+    Accepts the usual boolean spellings; anything else raises
+    :class:`ValueError` rather than silently running unsanitized.
+    """
+    raw = os.environ.get(_RACECHECK_VAR)
+    if raw is None or not raw.strip():
+        return False
+    value = raw.strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"{_RACECHECK_VAR} must be a boolean flag, got {raw!r}")
 
 
 def start_method() -> str:

@@ -1,0 +1,148 @@
+"""The ``repro racecheck`` gate: runner semantics and CLI plumbing."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.commcheck.extract import COMMCHECK_VARIANTS, make_config
+from repro.racecheck.runner import (
+    RacecheckResult,
+    _sanitized_env,
+    render_text,
+    run_racecheck,
+    to_json,
+)
+
+
+@pytest.fixture
+def quick_result():
+    # One variant, no smoke: the cheap configuration every test can share.
+    return run_racecheck(["parallel"], make_config(), run_smoke=False)
+
+
+def test_gate_passes_on_clean_tree(quick_result):
+    assert quick_result.selftest_ok
+    assert quick_result.ok
+    assert quick_result.exit_code == 0
+    assert [v.name for v in quick_result.variants] == ["parallel"]
+    assert quick_result.smoke is None
+
+
+def test_selftest_failure_fails_the_gate(quick_result):
+    broken = RacecheckResult(
+        selftest=[
+            type(quick_result.selftest[0])(
+                name="unguarded-write-write",
+                description="d",
+                expect_kind="write-write",
+                passed=False,
+                reports=(),
+            )
+        ],
+        variants=quick_result.variants,
+        smoke=None,
+    )
+    assert not broken.ok
+    assert broken.exit_code == 1
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError, match="nosuch"):
+        run_racecheck(["nosuch"], make_config(), run_smoke=False)
+
+
+def test_env_scoping_restores_previous_value(monkeypatch):
+    monkeypatch.setenv("REPRO_RACECHECK", "0")
+    with _sanitized_env():
+        assert os.environ["REPRO_RACECHECK"] == "1"
+    assert os.environ["REPRO_RACECHECK"] == "0"
+    monkeypatch.delenv("REPRO_RACECHECK")
+    with _sanitized_env():
+        assert os.environ["REPRO_RACECHECK"] == "1"
+    assert "REPRO_RACECHECK" not in os.environ
+
+
+def test_render_text_shape(quick_result):
+    text = render_text(quick_result)
+    assert "selftest (seeded known-race fixtures):" in text
+    assert "unguarded-write-write" in text
+    assert "parallel       clean" in text
+    assert "campaign smoke: skipped" in text
+    assert text.rstrip().endswith("verdict: PASS")
+
+
+def test_to_json_shape(quick_result):
+    payload = to_json(quick_result)
+    assert payload["ok"] is True
+    assert payload["smoke"] is None
+    assert [v["name"] for v in payload["variants"]] == ["parallel"]
+    names = [o["name"] for o in payload["selftest"]]
+    assert "lock-inversion" in names
+    # Every seeded (non-silence) fixture carries its reports, with both
+    # sides of each race attributed.
+    for outcome in payload["selftest"]:
+        if outcome["expect_kind"] is not None:
+            assert outcome["reports"], outcome["name"]
+            for report in outcome["reports"]:
+                assert report["a"]["stack"] and report["b"]["stack"]
+    # The payload is plain data end to end.
+    json.dumps(payload)
+
+
+def test_cli_list_variants(capsys):
+    assert main(["racecheck", "--list-variants"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == list(COMMCHECK_VARIANTS)
+
+
+def test_cli_single_variant_json(tmp_path, capsys):
+    out_path = tmp_path / "races.json"
+    code = main(
+        [
+            "racecheck",
+            "--variants",
+            "parallel",
+            "--no-smoke",
+            "--json",
+            "--json-out",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    printed = json.loads(capsys.readouterr().out)
+    written = json.loads(out_path.read_text())
+    assert printed == written
+    assert printed["ok"] is True
+
+
+def test_cli_text_report(capsys):
+    code = main(["racecheck", "--variants", "parallel", "--no-smoke"])
+    assert code == 0
+    assert "verdict: PASS" in capsys.readouterr().out
+
+
+def test_cli_multiply_warns_on_detected_races(capsys):
+    # Ad-hoc CLI runs have no collect_races scope; detected races must
+    # still reach the user.  Feed _warn_races a run carrying reports.
+    from repro.cli import _warn_races
+    from repro.racecheck.selftest import run_selftest
+
+    seeded = next(o for o in run_selftest() if o.name == "unguarded-write-write")
+
+    class _Run:
+        races = list(seeded.reports)
+
+    _warn_races(_Run())
+    err = capsys.readouterr().err
+    assert "race report(s) detected" in err
+    assert "_SharedState.agreed_dead" in err
+
+    class _Clean:
+        races = []
+
+    _warn_races(_Clean())
+    assert capsys.readouterr().err == ""

@@ -1,0 +1,238 @@
+"""The happens-before sanitizer: detection power, silence, and identity.
+
+The seeded fixtures in :mod:`repro.racecheck.selftest` are the power
+tests (a detector that cannot fire proves nothing); the silence tests
+pin that instrumented clean runs stay clean; the identity tests pin the
+acceptance property that with the detector off nothing changes — and
+that even with it *on*, what a run computes is untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.machine.engine import Machine
+from repro.racecheck.collector import collect_races, publish_races
+from repro.racecheck.sanitizer import STRUCT, RaceSanitizer
+from repro.racecheck.selftest import SELFTEST_FIXTURES, run_selftest
+from repro.util.env import racecheck_enabled
+
+
+def _outcome(name):
+    outcomes = {o.name: o for o in run_selftest()}
+    return outcomes[name]
+
+
+# -- seeded fixtures (detection power) -------------------------------------
+
+
+def test_selftest_flags_all_seeded_fixtures():
+    outcomes = run_selftest()
+    assert [o.name for o in outcomes] == [f.name for f in SELFTEST_FIXTURES]
+    assert all(o.passed for o in outcomes), [
+        (o.name, o.passed) for o in outcomes
+    ]
+
+
+def test_write_write_fixture_reports_both_stacks():
+    outcome = _outcome("unguarded-write-write")
+    report = outcome.reports[0]
+    assert report.kind == "write-write"
+    assert report.field == "_SharedState.agreed_dead"
+    # Both sides resolve into the fixture, on distinct rank threads.
+    assert "selftest.py" in report.a.stack[0]
+    assert "selftest.py" in report.b.stack[0]
+    assert {report.a.thread, report.b.thread} == {"rank-0", "rank-1"}
+    assert report.a.op == report.b.op == "write"
+
+
+def test_lock_inversion_fixture_names_both_locks():
+    outcome = _outcome("lock-inversion")
+    report = outcome.reports[0]
+    assert report.kind == "lock-inversion"
+    assert "FaultLog._lock" in report.field
+    assert "_SharedState.lock" in report.field
+    assert {report.a.thread, report.b.thread} == {"rank-0", "rank-1"}
+
+
+def test_recv_before_delivery_is_read_write():
+    outcome = _outcome("recv-before-delivery")
+    report = outcome.reports[0]
+    assert report.kind == "read-write"
+    # Mixed pairs are canonicalized read-side first.
+    assert report.a.op == "read"
+    assert report.b.op == "write"
+    assert report.element == "'data'"
+
+
+def test_clean_companion_stays_silent():
+    assert _outcome("clean-read-after-recv").reports == ()
+
+
+def test_selftest_reports_are_deterministic():
+    first = [
+        [r.as_dict() for r in o.reports] for o in run_selftest()
+    ]
+    second = [
+        [r.as_dict() for r in o.reports] for o in run_selftest()
+    ]
+    assert first == second
+
+
+# -- silence on clean programs ---------------------------------------------
+
+
+def _pingpong(comm):
+    if comm.rank == 0:
+        comm.send(1, [1, 2, 3])
+        return comm.recv(1)
+    comm.send(0, comm.recv(0))
+    return None
+
+
+def test_clean_message_passing_program_is_silent():
+    result = Machine(2, word_bits=16, timeout=15.0, sanitize=True).run(_pingpong)
+    assert result.races == []
+    assert result.results[0] == [1, 2, 3]
+
+
+def test_sanitized_variant_run_is_race_clean(monkeypatch):
+    from repro.commcheck.extract import extract_variant, make_config
+
+    monkeypatch.setenv("REPRO_RACECHECK", "1")
+    with collect_races() as races:
+        graph = extract_variant("ft_toomcook", make_config())
+    assert races == []
+    assert graph.op_count() > 0
+
+
+# -- identity: detector off changes nothing, on changes no output ----------
+
+
+def test_detector_off_resolves_to_none(monkeypatch):
+    monkeypatch.delenv("REPRO_RACECHECK", raising=False)
+    machine = Machine(2, word_bits=16)
+    assert machine._resolve_sanitizer() is None
+    assert Machine(2, word_bits=16, sanitize=False)._resolve_sanitizer() is None
+
+
+def test_env_enables_detector(monkeypatch):
+    monkeypatch.setenv("REPRO_RACECHECK", "1")
+    machine = Machine(2, word_bits=16)
+    assert isinstance(machine._resolve_sanitizer(), RaceSanitizer)
+    # Explicit sanitize=False wins over the environment.
+    assert Machine(2, word_bits=16, sanitize=False)._resolve_sanitizer() is None
+
+
+def test_racecheck_env_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_RACECHECK", raising=False)
+    assert racecheck_enabled() is False
+    for raw, expected in (
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("false", False), ("No", False), ("off", False),
+        ("  ", False),
+    ):
+        monkeypatch.setenv("REPRO_RACECHECK", raw)
+        assert racecheck_enabled() is expected, raw
+    monkeypatch.setenv("REPRO_RACECHECK", "maybe")
+    with pytest.raises(ValueError):
+        racecheck_enabled()
+
+
+def test_sanitizer_does_not_change_recorded_schedule(monkeypatch):
+    from repro.commcheck.extract import extract_variant, make_config
+
+    monkeypatch.delenv("REPRO_RACECHECK", raising=False)
+    plain = extract_variant("parallel", make_config()).canonical_json()
+    monkeypatch.setenv("REPRO_RACECHECK", "1")
+    with collect_races() as races:
+        sanitized = extract_variant("parallel", make_config()).canonical_json()
+    assert races == []
+    assert sanitized == plain
+
+
+def test_sanitizer_does_not_change_campaign_json(monkeypatch):
+    from repro.campaign.report import to_json
+    from repro.campaign.runner import CampaignConfig, run_campaign
+
+    cfg = CampaignConfig(
+        seed=3, trials=1, variants=("parallel",), minimize=False
+    )
+    monkeypatch.delenv("REPRO_RACECHECK", raising=False)
+    plain = to_json(run_campaign(cfg, jobs=1))
+    monkeypatch.setenv("REPRO_RACECHECK", "1")
+    sanitized = to_json(run_campaign(cfg, jobs=1))
+    assert sanitized == plain
+
+
+# -- detector internals -----------------------------------------------------
+
+
+def test_thread_ident_reuse_gets_fresh_slot():
+    # The OS reuses idents of finished threads: a spawned thread must
+    # never inherit a dead thread's slot, or two distinct logical threads
+    # alias and their races vanish.  Simulate the reuse directly: the
+    # same ident re-registers under a new logical thread name.
+    san = RaceSanitizer()
+    san.on_thread_begin("logical-1")
+    san.on_access("field", STRUCT, "write")
+    san.on_thread_begin("logical-2")
+    san.on_access("field", STRUCT, "write")
+    reports = san.finish()
+    assert [r.kind for r in reports] == ["write-write"]
+    assert {reports[0].a.thread, reports[0].b.thread} == {
+        "logical-1",
+        "logical-2",
+    }
+
+
+def test_spawn_edge_orders_parent_and_child():
+    san = RaceSanitizer()
+    san.on_access("field", STRUCT, "write")
+
+    def child():
+        san.on_thread_begin("child")
+        san.on_access("field", STRUCT, "write")
+
+    san.on_thread_create("child")
+    t = threading.Thread(target=child, name="child")
+    t.start()
+    t.join()
+    san.on_thread_join("child")
+    # Parent write happens-before child write via the spawn edge.
+    assert san.finish() == []
+
+
+def test_hooks_are_noops_after_finish():
+    san = RaceSanitizer()
+    san.on_thread_begin("t1")
+    san.finish()
+    san.on_access("field", STRUCT, "write")
+    san.on_thread_begin("t2")
+    san.on_access("field", STRUCT, "write")
+    assert san.reports() == []
+
+
+def test_collector_nesting_shadows_outer_sink():
+    with collect_races() as outer:
+        with collect_races() as inner:
+            publish_races(["inner-report"])
+        publish_races(["outer-report"])
+    assert inner == ["inner-report"]
+    assert outer == ["outer-report"]
+
+
+def test_report_cap_truncates_deterministically():
+    san = RaceSanitizer()
+    san.max_reports = 3
+    san.on_thread_begin("w1")
+    for i in range(10):
+        san.on_access("field", i, "write")
+    san.on_thread_begin("w2")
+    for i in range(10):
+        san.on_access("field", i, "write")
+    reports = san.finish()
+    assert len(reports) == 3
+    assert san.truncated == 7
