@@ -1,0 +1,62 @@
+"""Backend overhead: wall-clock of real processes vs the thread simulator.
+
+Runs the same restartable slice multiplication fault-free on both
+execution backends and emits the pair into the ``proc_backend`` suite.
+The deterministic F/BW/L cells must be *identical* across backends (the
+conformance gate's cost-model face; the benchmark asserts it), so the
+only thing this suite trends is the host cost of process spawn, socket
+relay and teardown.  Advisory by design — wall time is noisy — which is
+why the suite is not pinned under ``benchmarks/baselines/``.
+"""
+
+# Wall-clock and environment toggling live here, outside the linted
+# simulator tree: benchmarks are host measurements.
+import time
+
+from _common import emit, once, operands, table_cells
+
+from repro.analysis.report import render_table
+from repro.machine.backends.demo import restartable_slice_multiply
+from repro.machine.engine import Machine
+
+BITS = 2000
+RANKS = 5
+
+
+def _timed_run(backend: str) -> dict:
+    x, y = operands(BITS)
+    machine = Machine(RANKS, timeout=60.0, backend=backend)
+    start = time.perf_counter()
+    res = machine.run(restartable_slice_multiply, args=(x, y))
+    wall = time.perf_counter() - start
+    assert res.results[0] == x * y
+    c = res.critical_path
+    return {"F": c.f, "BW": c.bw, "L": c.l, "wall": wall}
+
+
+def test_backend_overhead(benchmark):
+    def run():
+        return {"sim": _timed_run("sim"), "proc": _timed_run("proc")}
+
+    modes = once(benchmark, run)
+    sim, proc = modes["sim"], modes["proc"]
+    # Conformance, cost-model face: both backends execute the identical
+    # virtual-time schedule, so the modeled counts must not differ.
+    for cell in ("F", "BW", "L"):
+        assert proc[cell] == sim[cell], cell
+
+    headers = ["backend", "F", "BW", "L"]
+    rows = [
+        [mode, m["F"], m["BW"], m["L"]]
+        for mode, m in (("sim", sim), ("proc", proc))
+    ]
+    emit(
+        "proc_backend_overhead",
+        render_table(
+            headers,
+            rows,
+            title=f"backend overhead ({BITS}-bit multiply, {RANKS} ranks)",
+        ),
+        cells=table_cells(headers, rows),
+        wall=proc["wall"],
+    )

@@ -48,6 +48,13 @@ class LimbVector:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("LimbVector is immutable")
 
+    def __reduce__(self) -> tuple:
+        # The immutability guard defeats pickle's default slot
+        # restoration (it re-enters __setattr__); rebuild through
+        # __init__ instead — the process backend ships limb vectors in
+        # rank-program arguments and messages.
+        return (LimbVector, (self.limbs, self.base_bits))
+
     # -- constructors ------------------------------------------------------
     @classmethod
     def from_int(cls, value: int, base_bits: int, count: int | None = None) -> "LimbVector":

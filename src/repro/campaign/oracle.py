@@ -24,12 +24,13 @@ result.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.machine.errors import DeadlockError, MachineError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.campaign.registry import Execution
+    from repro.machine.fault import FaultEvent
 
 __all__ = [
     "VERDICT_EXACT",
@@ -41,7 +42,22 @@ __all__ = [
     "VERDICT_CRASH",
     "DEFECT_VERDICTS",
     "classify",
+    "delay_only",
 ]
+
+
+def delay_only(events: Sequence["FaultEvent"]) -> bool:
+    """True for a non-empty schedule made of nothing but delay events.
+
+    Delay faults (the paper's third category — a processor's average time
+    per operation increases) stretch *virtual time* only; no data is lost
+    and no protocol branch is taken, so no tolerance contract can be
+    exceeded.  :meth:`~repro.campaign.registry.VariantSpec.budget` uses
+    this as a universal rule: every delay-only schedule (e.g. the
+    ``straggler`` shape) is ``"must"`` — the result has to be exact — for
+    every variant, including those with custom budget rules.
+    """
+    return bool(events) and all(ev.kind == "delay" for ev in events)
 
 #: Exact result on a fault-free-equivalent ("must") schedule.
 VERDICT_EXACT = "exact"

@@ -94,6 +94,14 @@ class VariantSpec:
         must produce the exact result.  ``"may"``: the schedule exceeds
         the contract, so a loud, typed failure is also acceptable.
         """
+        from repro.campaign.oracle import delay_only
+
+        if delay_only(events):
+            # Universal rule, applied ahead of any custom budget_rule:
+            # slowdowns never lose data or take a protocol branch, so a
+            # delay-only schedule (the straggler shape) demands exactness
+            # from every variant.
+            return "must"
         if self.budget_rule is not None:
             return self.budget_rule(events, cfg)
         counts: dict[str, int] = {}
@@ -353,6 +361,78 @@ _FT_LINEAR_STATE_WORDS = 8
 _FT_LINEAR_WORK_OPS = 6
 
 
+class _FtLinearProgram:
+    """The ft_linear rank program (encode -> work -> boundary -> recover).
+
+    A module-level class (not a closure) so the process backend can
+    pickle it into rank processes; instances carry only plain data."""
+
+    def __init__(self, code: Any, word_bits: int, size: int) -> None:
+        self.code = code
+        self.word_bits = word_bits
+        self.size = size
+
+    def __call__(
+        self, comm: Any, limbs: tuple[int, ...] | None
+    ) -> tuple[int, ...] | None:
+        from repro.bigint.limbs import LimbVector
+        from repro.machine.errors import HardFault, MachineError
+
+        code = self.code
+        all_ranks = list(range(self.size))
+        state = (
+            LimbVector(list(limbs), self.word_bits) if limbs is not None else None
+        )
+        word = None
+        lost = False
+        try:
+            with comm.phase(PHASE_CODE):
+                if comm.rank < _FT_LINEAR_COLUMN:
+                    code.encode(comm, state, epoch=0)
+                else:
+                    word = code.encode(comm, None, epoch=0)
+            # A member that died mid-encode never casts this vote, so
+            # the poll below detects a half-built code deterministically
+            # (votes land before the gate; later deaths already voted).
+            comm.vote(("encode-ok", 0), True)
+            with comm.phase("work"):
+                for _ in range(_FT_LINEAR_WORK_OPS):
+                    comm.charge_flops(4)
+        except HardFault:
+            state = None
+            word = None
+            lost = True
+        comm.gate(("boundary", 0), all_ranks)
+        votes = comm.poll_votes(("encode-ok", 0))
+        if len(votes) < self.size:
+            # The code epoch is invalid — there is no earlier epoch to
+            # fall back to, so recovery is impossible: fail loudly
+            # rather than decode garbage from a partial reduce.
+            raise MachineError(
+                "fault during code creation: epoch 0 is incomplete"
+            )
+        dead = comm.agree_dead(("dead", 0), all_ranks)
+        if lost:
+            comm.begin_replacement(purge=False)
+        dead_standard = sorted(r for r in dead if r < _FT_LINEAR_COLUMN)
+        stale_codes = sorted(r for r in dead if r >= _FT_LINEAR_COLUMN)
+        if dead_standard:
+            with comm.phase(PHASE_RECOV):
+                recovered = code.recover(
+                    comm,
+                    dead=dead_standard,
+                    my_state=state,
+                    my_code_word=word,
+                    epoch=1,
+                    excluded=stale_codes,
+                )
+            if comm.rank in dead_standard:
+                state = recovered
+        if comm.rank >= _FT_LINEAR_COLUMN or state is None:
+            return None
+        return tuple(state.limbs)
+
+
 def _ft_linear_spec() -> VariantSpec:
     """The Section 4.1 column code exercised as a standalone protocol.
 
@@ -377,10 +457,8 @@ def _ft_linear_spec() -> VariantSpec:
         trace: Any = None,
         recorder: Any = None,
     ) -> Execution:
-        from repro.bigint.limbs import LimbVector
         from repro.core.ft_linear import ColumnCode
         from repro.machine.engine import Machine
-        from repro.machine.errors import HardFault, MachineError
 
         f = cfg.f
         size = _FT_LINEAR_COLUMN + f
@@ -388,60 +466,7 @@ def _ft_linear_spec() -> VariantSpec:
             column=list(range(_FT_LINEAR_COLUMN)),
             code_ranks=list(range(_FT_LINEAR_COLUMN, size)),
         )
-        all_ranks = list(range(size))
-
-        def program(comm: Any, limbs: tuple[int, ...] | None) -> tuple[int, ...] | None:
-            state = (
-                LimbVector(list(limbs), cfg.word_bits) if limbs is not None else None
-            )
-            word = None
-            lost = False
-            try:
-                with comm.phase(PHASE_CODE):
-                    if comm.rank < _FT_LINEAR_COLUMN:
-                        code.encode(comm, state, epoch=0)
-                    else:
-                        word = code.encode(comm, None, epoch=0)
-                # A member that died mid-encode never casts this vote, so
-                # the poll below detects a half-built code deterministically
-                # (votes land before the gate; later deaths already voted).
-                comm.vote(("encode-ok", 0), True)
-                with comm.phase("work"):
-                    for _ in range(_FT_LINEAR_WORK_OPS):
-                        comm.charge_flops(4)
-            except HardFault:
-                state = None
-                word = None
-                lost = True
-            comm.gate(("boundary", 0), all_ranks)
-            votes = comm.poll_votes(("encode-ok", 0))
-            if len(votes) < size:
-                # The code epoch is invalid — there is no earlier epoch to
-                # fall back to, so recovery is impossible: fail loudly
-                # rather than decode garbage from a partial reduce.
-                raise MachineError(
-                    "fault during code creation: epoch 0 is incomplete"
-                )
-            dead = comm.agree_dead(("dead", 0), all_ranks)
-            if lost:
-                comm.begin_replacement(purge=False)
-            dead_standard = sorted(r for r in dead if r < _FT_LINEAR_COLUMN)
-            stale_codes = sorted(r for r in dead if r >= _FT_LINEAR_COLUMN)
-            if dead_standard:
-                with comm.phase(PHASE_RECOV):
-                    recovered = code.recover(
-                        comm,
-                        dead=dead_standard,
-                        my_state=state,
-                        my_code_word=word,
-                        epoch=1,
-                        excluded=stale_codes,
-                    )
-                if comm.rank in dead_standard:
-                    state = recovered
-            if comm.rank >= _FT_LINEAR_COLUMN or state is None:
-                return None
-            return tuple(state.limbs)
+        program = _FtLinearProgram(code, cfg.word_bits, size)
 
         machine = Machine(
             size,

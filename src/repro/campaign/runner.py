@@ -40,6 +40,7 @@ from repro.machine.fault import FaultEvent, FaultSchedule
 from repro.obs.forensics import fault_timeline
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import RecordingTracer
+from repro.util.env import backend_scope
 from repro.util.rng import DeterministicRNG
 
 __all__ = [
@@ -240,7 +241,11 @@ def _minimize_failure(
         "campaign_minimized_events", len(minimized), variant=spec.name
     )
     tracer = RecordingTracer()
-    spec.execute(workload, FaultSchedule(list(minimized)), cfg, tracer)
+    # Forensic replays always run on the simulator: tracing is sim-only
+    # (the proc backend refuses a tracer), and the minimized schedule is
+    # backend-independent, so the traced timeline is valid either way.
+    with backend_scope("sim"):
+        spec.execute(workload, FaultSchedule(list(minimized)), cfg, tracer)
     return FailureReport(
         variant=spec.name,
         trial_index=trial_index,

@@ -37,7 +37,17 @@ SHAPES: tuple[tuple[str, int], ...] = (
     ("beyond-budget-burst", 2),  # budget+1 tolerated faults
     ("replacement-kill", 2),  # kill the replacement too (incarnation 1)
     ("soft-pair", 2),  # hard + soft mix (soft variants)
+    ("straggler", 2),  # heavy-tailed slowdown on a sampled rank subset
 )
+
+#: Straggler-shape tail parameters: slowdowns are Pareto-distributed
+#: (``factor = scale * (1-u)**(-1/tail)``) so most stragglers are mildly
+#: slow and a few are extreme — the empirical shape of real straggler
+#: populations.  The cap keeps the virtual-time stretch finite.
+_STRAGGLER_SCALE = 2.0
+_STRAGGLER_TAIL = 1.5
+_STRAGGLER_CAP = 256.0
+_STRAGGLER_MAX_VICTIMS = 3
 
 
 class ScheduleSampler:
@@ -96,7 +106,13 @@ class ScheduleSampler:
 
     # -- event construction -------------------------------------------------
 
-    def _event(self, cell: "Cell", kind: str, incarnation: int = 0) -> FaultEvent:
+    def _event(
+        self,
+        cell: "Cell",
+        kind: str,
+        incarnation: int = 0,
+        factor: float = 8.0,
+    ) -> FaultEvent:
         op = self._rng.choice(list(cell.ops))
         return FaultEvent(
             rank=cell.rank,
@@ -104,6 +120,7 @@ class ScheduleSampler:
             op_index=op,
             incarnation=incarnation,
             kind=kind,
+            factor=factor,
         )
 
     def _pick(self, cells: list["Cell"]) -> "Cell":
@@ -164,6 +181,31 @@ class ScheduleSampler:
                 self._event(cell, "hard"),
                 self._event(cell, "hard", incarnation=1),
             ]
+        if shape == "straggler":
+            # The paper's third fault category (a processor's average time
+            # per operation increases), as a population: 1..3 distinct
+            # ranks slowed by heavy-tailed factors.  Delay events never
+            # affect correctness, so the oracle demands the exact result
+            # regardless of which ranks are hit.
+            distinct = len({c.rank for c in self._machine_cells})
+            count = min(
+                distinct, 1 + rng.integer_range(0, _STRAGGLER_MAX_VICTIMS - 1)
+            )
+            events: list[FaultEvent] = []
+            ranks_used: set[int] = set()
+            for _ in range(count):
+                pool = [
+                    c for c in self._machine_cells if c.rank not in ranks_used
+                ]
+                cell = self._pick(pool)
+                ranks_used.add(cell.rank)
+                u = min(rng.uniform(0.0, 1.0), 0.999)
+                factor = min(
+                    _STRAGGLER_SCALE * (1.0 - u) ** (-1.0 / _STRAGGLER_TAIL),
+                    _STRAGGLER_CAP,
+                )
+                events.append(self._event(cell, "delay", factor=factor))
+            return events
         if shape == "soft-pair":
             if rng.uniform(0.0, 1.0) < 0.5:
                 return [

@@ -105,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mul.add_argument("--json", action="store_true", help="machine-readable output")
     mul.add_argument(
+        "--backend", choices=("sim", "proc"), default=None,
+        help="machine backend: sim (threads) or proc (one OS process per "
+        "rank); default: the REPRO_BACKEND environment variable",
+    )
+    mul.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="record a virtual-time trace and write it to PATH "
         "(.jsonl for JSON-lines, anything else for Chrome/Perfetto JSON); "
@@ -223,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out", metavar="PATH", default=None,
         help="also write the JSON report to PATH",
     )
+    camp.add_argument(
+        "--backend", choices=("sim", "proc"), default=None,
+        help="machine backend for trial runs: sim (threads) or proc (one "
+        "OS process per rank); default: the REPRO_BACKEND environment "
+        "variable",
+    )
 
     cc = sub.add_parser(
         "commcheck",
@@ -271,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
     cc.add_argument(
         "--json-out", metavar="PATH", default=None,
         help="write the JSON report (with comm graphs) to PATH",
+    )
+    cc.add_argument(
+        "--backend", choices=("sim", "proc"), default=None,
+        help="machine backend for extraction runs: sim (threads) or proc "
+        "(one OS process per rank; the conformance gate byte-compares the "
+        "two); default: the REPRO_BACKEND environment variable",
     )
 
     rc = sub.add_parser(
@@ -709,7 +726,17 @@ def main(argv: list[str] | None = None) -> int:
         "racecheck": _cmd_racecheck,
         "perf": _cmd_perf,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        # Scoping the environment variable (rather than threading a
+        # parameter through every handler) also reaches machines built
+        # inside worker processes, which inherit the environment.
+        from repro.util.env import backend_scope
+
+        with backend_scope(backend):
+            return handler(args)
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

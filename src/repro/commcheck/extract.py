@@ -17,6 +17,7 @@ property the test suite pins.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import Any
 
@@ -26,6 +27,7 @@ from repro.commcheck.graph import CommGraph
 from repro.core.plan import make_plan
 from repro.machine.fault import FaultSchedule
 from repro.machine.record import ScheduleRecorder
+from repro.util.env import backend_scope
 
 __all__ = [
     "COMMCHECK_VARIANTS",
@@ -128,13 +130,22 @@ def _geometry(name: str, cfg: CampaignConfig) -> dict[str, Any]:
     return geo
 
 
-def extract_variant(name: str, cfg: CampaignConfig | None = None) -> CommGraph:
+def extract_variant(
+    name: str,
+    cfg: CampaignConfig | None = None,
+    backend: str | None = None,
+) -> CommGraph:
     """Run variant ``name`` fault-free under a recorder; return its graph.
 
     The run must succeed *and* produce the correct result — a wrong or
     failed extraction run means the recorded schedule is not the
     fault-free schedule, so it raises :class:`ExtractionError` instead of
     returning a misleading graph.
+
+    ``backend`` scopes ``REPRO_BACKEND`` around the extraction run
+    (``None`` = whatever the environment says).  The backend-conformance
+    gate extracts the same variant on ``sim`` and ``proc`` and
+    byte-compares the canonical JSON.
     """
     cfg = cfg or make_config()
     if name not in COMMCHECK_VARIANTS:
@@ -142,9 +153,11 @@ def extract_variant(name: str, cfg: CampaignConfig | None = None) -> CommGraph:
     spec = get_variant(name)
     workload = spec.make_workload(_workload_rng(cfg.seed, name), cfg)
     recorder = ScheduleRecorder()
-    execution = spec.execute(
-        workload, FaultSchedule(), replace(cfg), recorder=recorder
-    )
+    scope = backend_scope(backend) if backend is not None else nullcontext()
+    with scope:
+        execution = spec.execute(
+            workload, FaultSchedule(), replace(cfg), recorder=recorder
+        )
     if execution.error is not None:
         raise ExtractionError(
             f"fault-free extraction run of {name!r} failed: "

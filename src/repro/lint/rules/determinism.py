@@ -69,6 +69,19 @@ class WallClockRule(Rule):
     )
     scopes = _DETERMINISTIC_SCOPES
 
+    def applies_to(self, sf: SourceFile) -> bool:
+        rel = sf.relpath
+        # ``machine/backends/`` is the host-transport layer (sockets,
+        # heartbeats, process reaping): wall-clock *is* its subject
+        # matter, exactly like ``parallel/``.  Its determinism is
+        # enforced dynamically instead, by the backend-conformance gate
+        # (bit-identical products and commcheck graphs vs the simulator).
+        # Entropy (DET002) and unordered iteration (DET003/4) stay banned
+        # there.
+        if rel is not None and rel.startswith("machine/backends/"):
+            return False
+        return super().applies_to(sf)
+
     def check(self, sf: SourceFile) -> Iterator[Violation]:
         for node in ast.walk(sf.tree):
             if not isinstance(node, ast.Call):

@@ -18,8 +18,9 @@ expressions are matched structurally:
   aliases, collected flow-insensitively per function,
 
 so aliasing through ``self.state.lock`` and per-rank condition arrays
-both count as holding the declared lock.  ``__init__`` bodies are exempt
-(the object is not shared before construction completes), as are nested
+both count as holding the declared lock.  ``__init__`` and
+``__setstate__`` bodies are exempt (the object is not shared before
+construction — unpickling included — completes), as are nested
 ``def``/``lambda`` scopes, which are checked as functions in their own
 right.
 """
@@ -86,7 +87,7 @@ class LockDisciplineRule(Rule):
             return []
         out: list[Violation] = []
         for func in iter_functions(sf.tree):
-            if func.name == "__init__":
+            if func.name in ("__init__", "__setstate__"):
                 continue
             aliases = self._collect_aliases(func)
             for stmt in func.body:

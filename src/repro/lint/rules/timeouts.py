@@ -1,0 +1,77 @@
+"""Timeout-discipline rule (TIME001).
+
+Every host-level deadline in the project must stretch coherently with
+``REPRO_TIMEOUT_SCALE`` (a loaded CI box runs the same virtual-time
+schedule slower in wall-clock terms), which only works if every deadline
+passes through the :mod:`repro.util.env` helpers — ``scaled_timeout``,
+``join_grace``, ``poll_interval``.  A bare numeric literal handed to a
+``timeout=`` keyword silently opts that one deadline out of the scale
+and resurfaces as a flaky hang on slow machines, so it is banned
+outside ``util/env.py`` (where the helpers themselves live).
+
+Zero is exempt: ``timeout=0.0`` means "non-blocking poll", a semantic
+choice rather than a deadline, and scaling it would be meaningless.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Rule, SourceFile, Violation
+
+__all__ = ["TimeoutLiteralRule"]
+
+
+def _literal_value(node: ast.expr) -> float | None:
+    """The numeric value of a literal expression, or None.
+
+    Unwraps unary ``+``/``-`` so ``timeout=-1`` is caught too.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        inner = _literal_value(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+class TimeoutLiteralRule(Rule):
+    id = "TIME001"
+    name = "timeout-literal"
+    description = (
+        "a nonzero numeric literal passed as timeout= bypasses "
+        "REPRO_TIMEOUT_SCALE; route deadlines through "
+        "repro.util.env.scaled_timeout/join_grace/poll_interval"
+    )
+
+    def applies_to(self, sf: SourceFile) -> bool:
+        rel = sf.relpath
+        if rel is None:
+            return False
+        # env.py defines the funnel; its own constants are the one
+        # permitted source of timing literals.
+        return rel != "util/env.py"
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "timeout":
+                    continue
+                value = _literal_value(kw.value)
+                if value is not None and value != 0.0:
+                    yield self.violation(
+                        sf,
+                        kw.value,
+                        f"timeout={value:g} bypasses REPRO_TIMEOUT_SCALE; "
+                        "wrap it in repro.util.env.scaled_timeout (or use "
+                        "poll_interval/join_grace)",
+                    )

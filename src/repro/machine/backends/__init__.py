@@ -1,0 +1,36 @@
+"""Execution backends for :class:`~repro.machine.engine.Machine`.
+
+The machine's programming model (``Communicator``, collectives, fault
+semantics) is backend-neutral.  Two backends realize it:
+
+``sim``
+    The default thread-per-rank simulator living in
+    :mod:`repro.machine.engine` — virtual-time deterministic, traceable,
+    race-checkable.
+
+``proc``
+    One real OS process per rank (:mod:`repro.machine.backends.proc`),
+    exchanging messages over localhost sockets, with live fault
+    injection (``SIGKILL`` at scheduled fault points).  Conformance is
+    gated dynamically: both backends must produce bit-identical products
+    and byte-identical communication graphs.
+
+Select with ``REPRO_BACKEND`` / :func:`repro.util.env.backend_scope`, or
+per-machine with ``Machine(backend=...)``.  See docs/MACHINE.md
+("Backends") for the wire protocol and the watchdog state machine.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ProcBackend", "live_children"]
+
+
+def __getattr__(name: str):
+    # Lazy: importing the package must not pull in socket/process
+    # machinery for sim-only runs (engine.py imports the backend inside
+    # Machine.run for the same reason).
+    if name in __all__:
+        from repro.machine.backends import proc
+
+        return getattr(proc, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

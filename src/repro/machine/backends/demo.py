@@ -1,0 +1,110 @@
+"""A restartable multiplication demo for live-kill testing.
+
+The paper's fault-tolerant variants recover through in-protocol
+replacement: the *same* execution context catches the
+:class:`~repro.machine.errors.HardFault` and re-enters as the
+replacement processor.  A real ``SIGKILL`` destroys that context, so the
+process backend's ``respawn`` fault mode instead restarts the rank
+program from the top in a fresh process.  This module provides the
+program that makes the headline demonstration honest — *kill -9 a worker
+mid-multiplication and still get the exact product* — by being correct
+under **both** recovery styles:
+
+- on the simulator (or ``REPRO_PROC_FAULTS=sim``) the worker catches the
+  fault in-thread, calls ``begin_replacement`` and re-runs its slice;
+- under ``REPRO_PROC_FAULTS=respawn`` the respawned process simply runs
+  the same code from the top.
+
+Every worker is stateless by construction (its partial product is a pure
+function of the inputs and its rank), which is exactly the property that
+makes restart-from-scratch a valid replacement protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.machine.errors import HardFault, PeerDead
+from repro.machine.tags import TAG_BACKEND_DEMO
+from repro.util.env import poll_interval
+
+__all__ = ["restartable_slice_multiply"]
+
+_WORK_PHASE = "multiplication"
+_COLLECT_PHASE = "collect"
+
+
+def _chunks(y: int, width: int) -> list[int]:
+    """``y`` split into ``width``-bit words, least significant first."""
+    mask = (1 << width) - 1
+    out: list[int] = []
+    while y:
+        out.append(y & mask)
+        y >>= width
+    return out or [0]
+
+
+def restartable_slice_multiply(comm: Any, x: int, y: int) -> int | None:
+    """SPMD product ``x * y``: workers multiply word slices, rank 0 sums.
+
+    Worker ``w`` (ranks 1..P-1) computes ``sum_j (x * y_j) << j*width``
+    over its strided share of the word chunks of ``y`` and sends the
+    partial to rank 0; the partials partition the chunks, so their sum is
+    exactly ``x * y``.  Rank 0 returns the product; workers return None.
+
+    Any rank hit by a scheduled hard fault recovers by replacement and
+    recomputes from the inputs (see the module docstring for why restart
+    is sufficient here).
+    """
+    while True:
+        try:
+            return _attempt(comm, x, y)
+        except HardFault:
+            comm.begin_replacement()
+
+
+def _attempt(comm: Any, x: int, y: int) -> int | None:
+    if comm.size < 2:
+        raise ValueError("restartable_slice_multiply needs at least 2 ranks")
+    if comm.rank == 0:
+        return _collect(comm)
+    width = comm.word_bits
+    chunks = _chunks(y, width)
+    with comm.phase(_WORK_PHASE):
+        partial = 0
+        for j in range(comm.rank - 1, len(chunks), comm.size - 1):
+            # One charged op per chunk multiply: gives the phase a real
+            # op-index space for fault schedules to land in.
+            comm.charge_flops(1)
+            partial += (x * chunks[j]) << (j * width)
+        comm.send(0, partial, tag=TAG_BACKEND_DEMO + comm.rank)
+    return None
+
+
+def _collect(comm: Any) -> int:
+    total = 0
+    with comm.phase(_COLLECT_PHASE):
+        for w in range(1, comm.size):
+            total += _collect_partial(comm, w)
+    return total
+
+
+def _collect_partial(comm: Any, worker: int) -> int:
+    """Receive ``worker``'s partial, waiting out a death-and-replacement.
+
+    ``PeerDead`` here means the worker died *before* its send landed (a
+    post-send death still delivers — the fail-over path drains the
+    mailbox first).  Its replacement recomputes and re-sends, so keep
+    retrying until the machine's own receive deadline has elapsed; a
+    worker that is never replaced (fault mode ``kill``) surfaces as the
+    final PeerDead.
+    """
+    deadline = time.monotonic() + comm._state.timeout
+    while True:
+        try:
+            return comm.recv(worker, tag=TAG_BACKEND_DEMO + worker)
+        except PeerDead:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(poll_interval())

@@ -1,0 +1,482 @@
+"""Rank-process side of the process backend.
+
+Each rank runs :func:`rank_main` in its own OS process: it connects back
+to the coordinator, rebuilds the simulator's per-rank machinery — a
+local :class:`~repro.machine.network.Router` mailbox, a
+:class:`~repro.machine.comm._SharedState` whose liveness lists are
+*mirrors* maintained from coordinator broadcasts, and a
+:class:`ProcCommunicator` — and then runs the **unmodified** rank
+program against the ordinary :class:`~repro.machine.comm.Communicator`
+API.
+
+Three threads per rank process:
+
+- the *program* thread (the process main thread) runs the rank program;
+- the *receiver* thread drains the socket — message deliveries into the
+  local router, liveness events into the mirrors, control replies to the
+  program thread;
+- the *heartbeat* thread pings the coordinator every
+  ``REPRO_HEARTBEAT`` seconds so a wedged process is distinguishable
+  from a slow one.
+
+Only the handful of primitives that need machine-global consistency
+(``vote`` / ``poll_votes`` / ``gate`` / ``agree_dead`` /
+``begin_replacement`` / death and abort announcements) round-trip to
+the coordinator; everything else — cost clocks, ledgers, phases, fault
+points, memory, the schedule recorder — is rank-local, exactly as in
+the simulator, which is what makes fault-free runs bit-identical across
+backends.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.machine.backends import wire
+from repro.machine.comm import Communicator, _SharedState
+from repro.machine.errors import (
+    CommError,
+    DeadlockError,
+    HardFault,
+    MachineError,
+)
+from repro.machine.fault import FaultLog, FaultSchedule
+from repro.machine.memory import LocalMemory
+from repro.machine.network import Message, Router
+from repro.machine.record import ScheduleRecorder
+from repro.util.env import heartbeat_interval, join_grace, poll_interval
+
+__all__ = ["RankConfig", "ProcRouter", "ProcCommunicator", "rank_main"]
+
+
+@dataclass
+class RankConfig:
+    """Everything a rank process needs, shipped via the spawn pickle.
+
+    ``timeout`` is the machine's *already scaled* per-receive deadline —
+    the child must not apply ``REPRO_TIMEOUT_SCALE`` a second time.
+    ``incarnation`` is nonzero only for a respawned replacement process
+    (live fault mode).
+    """
+
+    rank: int
+    size: int
+    host: str
+    port: int
+    word_bits: int
+    memory_words: float
+    timeout: float
+    topology: Any
+    fault_schedule: FaultSchedule
+    fault_mode: str
+    record: bool
+    program: Any
+    prog_args: tuple
+    incarnation: int = 0
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round-trip, else a stand-in
+    :class:`MachineError` carrying its repr (rank programs may raise
+    exceptions holding sockets, locks, ...)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return MachineError(f"unpicklable rank error: {exc!r}")
+
+
+class HubClient:
+    """The rank process's connection to the coordinator.
+
+    Owns the socket, serializes concurrent writers (program, heartbeat),
+    and matches ``CONTROL`` round-trips.  Only the program thread issues
+    controls, so a single reply slot suffices.
+    """
+
+    def __init__(self, sock: socket.socket, config: RankConfig):
+        self.sock = sock
+        self.config = config
+        self.fault_mode = config.fault_mode
+        self.state: _SharedState | None = None
+        self.router: "ProcRouter | None" = None
+        self.sent_result = False
+        self._wlock = threading.Lock()
+        self._seq = 0
+        self._reply_ready = threading.Event()
+        self._reply: tuple[int, Any] | None = None
+        self._last_purge = 0
+        self._stop_heartbeat = threading.Event()
+
+    # -- frame output (any thread) ------------------------------------------
+    def send(self, kind: str, payload: Any = None) -> None:
+        with self._wlock:
+            wire.send_frame(self.sock, kind, payload)
+
+    def post_message(self, msg: Message) -> None:
+        self.send(wire.DATA, msg)
+
+    # -- handshake (program thread, before the receiver starts) ------------
+    def handshake(self) -> dict[str, Any]:
+        """HELLO then block for GO; returns the mirror snapshot."""
+        self.send(wire.HELLO, (self.config.rank, self.config.incarnation))
+        kind, payload = wire.recv_frame(self.sock)
+        if kind != wire.GO:
+            raise MachineError(f"expected GO from coordinator, got {kind!r}")
+        return payload
+
+    # -- control round-trips (program thread only) --------------------------
+    def control(self, op: str, *args: Any) -> Any:
+        self._seq += 1
+        seq = self._seq
+        self._reply_ready.clear()
+        self.send(wire.CONTROL, (seq, op, args))
+        if not self._reply_ready.wait(join_grace(self.config.timeout)):
+            raise DeadlockError(
+                f"rank {self.config.rank}: coordinator never answered "
+                f"control {op!r}"
+            )
+        assert self._reply is not None
+        got_seq, value = self._reply
+        if got_seq != seq:
+            raise MachineError(
+                f"control reply out of sequence ({got_seq} != {seq})"
+            )
+        return value
+
+    # -- receiver thread -----------------------------------------------------
+    def start_receiver(self) -> None:
+        threading.Thread(
+            target=self._receive_loop,
+            name=f"rank-{self.config.rank}-recv",
+            daemon=True,
+        ).start()
+
+    def _receive_loop(self) -> None:
+        state = self.state
+        router = self.router
+        assert state is not None and router is not None
+        try:
+            while True:
+                kind, payload = wire.recv_frame(self.sock)
+                if kind == wire.DELIVER:
+                    router.post_local(payload)
+                elif kind == wire.EVENT:
+                    self._apply_event(state, payload)
+                elif kind == wire.PURGE_DONE:
+                    self._last_purge = router.purge_local(self.config.rank)
+                elif kind == wire.CONTROL_REPLY:
+                    self._reply = payload
+                    self._reply_ready.set()
+                elif kind == wire.SHUTDOWN:
+                    # Coordinator teardown: nothing we produce can be
+                    # consumed any more.  Exit hard — the program thread
+                    # may be blocked in a receive.
+                    os._exit(0 if self.sent_result else 3)
+        except (EOFError, OSError):
+            # Coordinator gone.  A finished rank exits normally with the
+            # program thread; an unfinished one must not linger as an
+            # orphan working for nobody.
+            if not self.sent_result:
+                os._exit(1)
+
+    @staticmethod
+    def _apply_event(state: _SharedState, payload: tuple) -> None:
+        """Fold a liveness broadcast into the mirrors.
+
+        Events carry absolute values (not deltas) so re-applying one a
+        rank already knows — e.g. its own death, applied locally before
+        the coordinator echoed it — is harmless.
+        """
+        op, rank, value = payload
+        with state.lock:
+            if op == "dead":
+                state.alive[rank] = False
+            elif op == "replacement":
+                state.incarnations[rank] = value
+                state.alive[rank] = True
+            elif op == "finished":
+                state.finished[rank] = True
+            elif op == "abort":
+                state.aborted_task[rank] = value
+
+    # -- heartbeat thread ----------------------------------------------------
+    def start_heartbeat(self) -> None:
+        threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"rank-{self.config.rank}-heartbeat",
+            daemon=True,
+        ).start()
+
+    def _heartbeat_loop(self) -> None:
+        interval = heartbeat_interval()
+        while not self._stop_heartbeat.wait(interval):
+            try:
+                self.send(wire.HEARTBEAT, self.config.rank)
+            except OSError:
+                return
+
+    def stop(self) -> None:
+        self._stop_heartbeat.set()
+
+
+class ProcRouter(Router):
+    """The rank-local mailbox, with remote posting through the coordinator.
+
+    Only this rank's own mailbox is live here: ``post`` to any other
+    rank becomes a ``DATA`` frame, and the receiver thread feeds
+    forwarded deliveries back in via :meth:`post_local`.  ``collect``
+    (and with it the entire matched-receive/fail-over machinery of
+    :class:`~repro.machine.comm.Communicator`) is inherited unchanged.
+    """
+
+    def __init__(self, size: int, default_timeout: float, client: HubClient):
+        super().__init__(size, default_timeout=default_timeout)
+        self._client = client
+        self._own_rank = client.config.rank
+
+    def post(self, msg: Message) -> None:
+        self._check_rank(msg.dest)
+        self._check_rank(msg.source)
+        if msg.dest == self._own_rank:
+            super().post(msg)
+        else:
+            self._client.post_message(msg)
+
+    def post_local(self, msg: Message) -> None:
+        """Deliver a coordinator-forwarded message (receiver thread)."""
+        super().post(msg)
+
+    def purge_local(self, rank: int) -> int:
+        return super().purge(rank)
+
+    def purge(self, rank: int) -> int:
+        """Purge this rank's mailbox with a well-defined FIFO cut.
+
+        The coordinator writes a ``PURGE_DONE`` marker down this rank's
+        own socket (under the destination write lock) before answering
+        the control, so every message it forwarded before the purge is
+        in the socket ahead of the marker: the receiver thread delivers
+        them, then purges, then unblocks the control reply.  Exactly the
+        messages "already in the network" at the purge are dropped.
+        """
+        if rank != self._own_rank:
+            raise CommError(
+                f"rank {self._own_rank} cannot purge rank {rank}'s mailbox"
+            )
+        self._client.control("purge", rank)
+        return self._client._last_purge
+
+
+class ProcCommunicator(Communicator):
+    """The standard communicator with consistency primitives rerouted.
+
+    Everything rank-local is inherited; the overrides below are exactly
+    the operations whose simulator implementation reads or writes
+    *machine-global* shared state, which on this backend lives in the
+    coordinator.
+    """
+
+    def __init__(self, state: _SharedState, rank: int, client: HubClient):
+        super().__init__(state, rank)
+        self._client = client
+
+    # -- agreement / votes / gates ------------------------------------------
+    def agree_dead(self, key: Any, candidates: Any) -> frozenset:
+        dead = self._client.control("agree_dead", key, tuple(candidates))
+        recorder = self._state.recorder
+        if recorder is not None:
+            recorder.on_agree_dead(
+                self.rank, self.current_phase, key, candidates, dead,
+                self.incarnation,
+            )
+        return dead
+
+    def vote(self, key: Any, value: bool) -> None:
+        self._client.control("vote", key, self.rank, value)
+        recorder = self._state.recorder
+        if recorder is not None:
+            recorder.on_vote(
+                self.rank, self.current_phase, key, value, self.incarnation
+            )
+
+    def poll_votes(self, key: Any) -> dict[int, bool]:
+        return dict(self._client.control("poll_votes", key))
+
+    def gate(
+        self, key: Any, participants: Any, timeout: float | None = None
+    ) -> None:
+        state = self._state
+        self._client.control("gate_arrive", key, self.rank)
+        recorder = state.recorder
+        if recorder is not None:
+            recorder.on_gate(
+                self.rank, self.current_phase, key, participants,
+                self.incarnation,
+            )
+        limit = state.timeout if timeout is None else timeout
+        deadline = time.monotonic() + limit
+        interval = poll_interval()
+        while True:
+            if self._client.control("gate_poll", key, tuple(participants)):
+                return
+            if time.monotonic() > deadline:
+                raise DeadlockError(
+                    f"rank {self.rank}: gate {key!r} never completed"
+                )
+            time.sleep(interval)
+
+    # -- withdrawal ----------------------------------------------------------
+    def mark_aborted(self, task: int) -> None:
+        state = self._state
+        with state.lock:
+            state.aborted_task[self.rank] = task
+        self._client.control("abort", self.rank, task)
+        recorder = state.recorder
+        if recorder is not None:
+            recorder.on_abort(
+                self.rank, self.current_phase, task, self.incarnation
+            )
+
+    # -- fault path ----------------------------------------------------------
+    def _die(self, op_index: int) -> None:
+        state = self._state
+        phase = self.current_phase
+        incarnation = self.incarnation
+        with state.lock:
+            state.alive[self.rank] = False
+        state.fault_log.record(
+            self.rank, phase, op_index, incarnation, kind="hard"
+        )
+        if self._client.fault_mode in ("kill", "respawn"):
+            # Live injection: ship the census (clock, ledger, recorder
+            # ops, fault log — everything a SIGKILL would destroy), then
+            # hold still at the scheduled fault point and wait for the
+            # coordinator's kill.  This process never executes another
+            # instruction of the rank program.
+            census = build_census(self, phase=phase, op_index=op_index)
+            self._client.send(wire.FAULT_REQ, census)
+            while True:
+                time.sleep(poll_interval())
+        self._client.control("die", self.rank)
+        self.memory.wipe()
+        state.heaps[self.rank].clear()
+        raise HardFault(self.rank, phase, op_index)
+
+    def begin_replacement(self, purge: bool = True) -> int:
+        state = self._state
+        if purge:
+            state.router.purge(self.rank)
+        with state.lock:
+            if state.alive[self.rank]:
+                raise CommError(
+                    f"rank {self.rank} called begin_replacement while alive"
+                )
+        new_inc = self._client.control("replacement", self.rank)
+        with state.lock:
+            state.incarnations[self.rank] = new_inc
+            state.alive[self.rank] = True
+        self._phase_ops = 0
+        recorder = state.recorder
+        if recorder is not None:
+            recorder.on_replacement(
+                self.rank, self.current_phase, purge, new_inc
+            )
+        return new_inc
+
+
+def build_census(
+    comm: Communicator,
+    phase: str | None = None,
+    op_index: int | None = None,
+    result: Any = None,
+    error: BaseException | None = None,
+) -> dict[str, Any]:
+    """The rank's complete accounting state, ready to ship.
+
+    Sent with ``RESULT`` at normal completion and with ``FAULT_REQ``
+    just before a live kill — either way the coordinator can assemble
+    its share of the :class:`~repro.machine.engine.RunResult` without
+    this process surviving.
+    """
+    state = comm._state
+    ledger = comm.ledger
+    recorder = state.recorder
+    return {
+        "rank": comm.rank,
+        "inc": comm.incarnation,
+        "clock": comm.clock.snapshot(),
+        "ledger": [(name, ledger.get(name)) for name in ledger.phases()],
+        "peak": comm.memory.peak,
+        "fault_entries": state.fault_log.entries,
+        "fired": state.fault_schedule.fired,
+        "recorder_ops": recorder.ops() if recorder is not None else None,
+        "phase": phase,
+        "op_index": op_index,
+        "result": result,
+        "error": None if error is None else _picklable_error(error),
+    }
+
+
+def rank_main(config: RankConfig) -> None:
+    """Entry point of a rank process (the spawn target)."""
+    sock = socket.create_connection((config.host, config.port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    client = HubClient(sock, config)
+    snapshot = client.handshake()
+    router = ProcRouter(config.size, config.timeout, client)
+    memories = [
+        LocalMemory(config.memory_words, rank=r) for r in range(config.size)
+    ]
+    state = _SharedState(
+        size=config.size,
+        router=router,
+        word_bits=config.word_bits,
+        memories=memories,
+        fault_schedule=config.fault_schedule,
+        fault_log=FaultLog(),
+        timeout=config.timeout,
+        topology=config.topology,
+        tracer=None,
+        recorder=ScheduleRecorder() if config.record else None,
+    )
+    with state.lock:
+        state.alive[:] = snapshot["alive"]
+        state.finished[:] = snapshot["finished"]
+        state.aborted_task[:] = snapshot["aborted"]
+        state.incarnations[:] = snapshot["incarnations"]
+    client.state = state
+    client.router = router
+    client.start_receiver()
+    client.start_heartbeat()
+    comm = ProcCommunicator(state, config.rank, client)
+    result: Any = None
+    error: BaseException | None = None
+    try:
+        result = config.program(comm, *config.prog_args)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the coordinator
+        error = exc
+        # Dead-for-everyone semantics, as in the simulator's runner: a
+        # rank failing outside the fault protocol flips its liveness so
+        # peers unblock fast.
+        with state.lock:
+            state.alive[config.rank] = False
+        try:
+            client.control("die", config.rank)
+        except (MachineError, OSError):
+            pass
+    client.stop()
+    try:
+        census = build_census(comm, result=result, error=error)
+        client.send(wire.RESULT, census)
+        client.sent_result = True
+        client.send(wire.FIN, config.rank)
+    except OSError:
+        os._exit(1)
+    sock.close()

@@ -1,0 +1,125 @@
+"""Socket wire protocol for the process backend.
+
+Every frame on a backend socket is a 4-byte big-endian length prefix
+followed by a pickled ``(kind, payload)`` pair.  Per-socket FIFO is the
+protocol's only ordering primitive — the coordinator forwards frames
+under a per-destination write lock, so a frame is either fully written
+before the next or fully after it, and the correctness arguments in
+docs/MACHINE.md ("Backends") all reduce to this FIFO property.
+
+Frame kinds
+-----------
+Child -> coordinator: ``HELLO`` (rank announces itself), ``DATA`` (a
+pickled :class:`~repro.machine.network.Message` for another rank),
+``CONTROL`` (a sequenced request — vote/gate/agreement/liveness),
+``HEARTBEAT``, ``FAULT_REQ`` (live fault mode: "kill me here", carrying
+the rank's census so nothing is lost), ``RESULT`` (final census with the
+program's return value or error), ``FIN`` (no further frames follow).
+
+Coordinator -> child: ``GO`` (all ranks connected; carries the mirror
+snapshot), ``DELIVER`` (a forwarded message), ``CONTROL_REPLY``,
+``EVENT`` (a liveness broadcast: dead / replacement / finished / abort),
+``PURGE_DONE`` (the mailbox-purge FIFO cut marker), ``SHUTDOWN``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.util.env import port_range
+
+__all__ = [
+    "HELLO",
+    "GO",
+    "DATA",
+    "DELIVER",
+    "CONTROL",
+    "CONTROL_REPLY",
+    "EVENT",
+    "HEARTBEAT",
+    "FAULT_REQ",
+    "RESULT",
+    "FIN",
+    "PURGE_DONE",
+    "SHUTDOWN",
+    "send_frame",
+    "recv_frame",
+    "bind_listener",
+]
+
+HELLO = "hello"
+GO = "go"
+DATA = "data"
+DELIVER = "deliver"
+CONTROL = "control"
+CONTROL_REPLY = "control-reply"
+EVENT = "event"
+HEARTBEAT = "heartbeat"
+FAULT_REQ = "fault-req"
+RESULT = "result"
+FIN = "fin"
+PURGE_DONE = "purge-done"
+SHUTDOWN = "shutdown"
+
+_HEADER = struct.Struct(">I")
+
+#: Loopback only: the backend is a local execution engine, not a network
+#: service, and must never accept a connection from another host.
+_HOST = "127.0.0.1"
+
+
+def send_frame(sock: socket.socket, kind: str, payload: Any = None) -> None:
+    """Write one frame.  The caller serializes concurrent writers."""
+    body = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            raise EOFError("peer closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[str, Any]:
+    """Read one frame; raises :class:`EOFError` on a closed peer."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    kind, payload = pickle.loads(_recv_exact(sock, length))
+    return kind, payload
+
+
+def bind_listener(backlog: int) -> socket.socket:
+    """A listening loopback socket on the configured port range.
+
+    ``REPRO_PORT_RANGE`` (``LO-HI``) is scanned for the first free port;
+    unset means a kernel-assigned ephemeral port.  Raises
+    :class:`OSError` when every port in the range is taken.
+    """
+    window = port_range()
+    if window is None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind((_HOST, 0))
+        listener.listen(backlog)
+        return listener
+    lo, hi = window
+    last_error: OSError | None = None
+    for port in range(lo, hi + 1):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind((_HOST, port))
+        except OSError as exc:
+            listener.close()
+            last_error = exc
+            continue
+        listener.listen(backlog)
+        return listener
+    raise OSError(
+        f"no free port in REPRO_PORT_RANGE {lo}-{hi}"
+    ) from last_error

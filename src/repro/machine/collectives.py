@@ -315,15 +315,18 @@ def _uncharged_recv(comm: Any, source: int, tag: int) -> Any:
     while hasattr(base, "parent"):
         gsource = base.ranks[gsource]
         base = base.parent
+    from repro.util.env import poll_interval
+
     base.fault_point()
     state = base._state
     waited = 0.0
+    interval = poll_interval()
     while True:
         try:
-            msg = state.router.collect(base.rank, gsource, tag, timeout=0.02)
+            msg = state.router.collect(base.rank, gsource, tag, timeout=interval)
             break
         except DeadlockError:
-            waited += 0.02
+            waited += interval
             with state.lock:
                 source_dead = not state.alive[gsource]
             if source_dead:

@@ -31,10 +31,11 @@ from repro.machine.network import Message, Router
 from repro.machine.record import ScheduleRecorder
 from repro.machine.sizes import payload_words
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.util.env import poll_interval
 
 __all__ = ["Communicator", "SubCommunicator"]
 
-_POLL_INTERVAL = 0.02
+_POLL_INTERVAL = poll_interval()
 
 
 class _SharedState:

@@ -26,9 +26,42 @@ from repro.machine.fault import FaultLog, FaultSchedule
 from repro.machine.memory import LocalMemory
 from repro.machine.network import Router
 from repro.obs.tracer import Tracer, make_tracer
-from repro.util.env import racecheck_enabled, scaled_timeout
+from repro.util.env import backend as backend_choice
+from repro.util.env import join_grace, racecheck_enabled, scaled_timeout
 
-__all__ = ["Machine", "RunResult"]
+__all__ = ["Machine", "RunResult", "merge_phase_costs", "raise_run_errors"]
+
+
+def merge_phase_costs(ledgers: Sequence[PhaseLedger]) -> dict[str, Counts]:
+    """Per-phase cost maxima over all ranks, in first-seen ledger order.
+
+    Shared by the simulator and the process backend so both assemble
+    ``RunResult.phase_costs`` with identical keys *and* key order.
+    """
+    phase_names: list[str] = []
+    for ledger in ledgers:
+        for name in ledger.phases():
+            if name not in phase_names:
+                phase_names.append(name)
+    return {
+        name: PhaseLedger.max_over(list(ledgers), name) for name in phase_names
+    }
+
+
+def raise_run_errors(errors: dict[int, BaseException]) -> None:
+    """Raise the canonical run failure for collected per-rank errors.
+
+    A single uncaught :class:`HardFault` is re-raised raw (callers pattern
+    match on it); anything else folds into one :class:`MachineError`
+    enumerating every failed rank.  Shared by both backends so error
+    surfaces are bit-compatible.
+    """
+    failed = sorted(errors.items())
+    _, exc = failed[0]
+    if isinstance(exc, HardFault) and len(errors) == 1:
+        raise exc
+    detail = "; ".join(f"rank {r}: {e!r}" for r, e in failed)
+    raise MachineError(f"{len(errors)} rank(s) failed: {detail}") from exc
 
 
 @dataclass
@@ -112,6 +145,13 @@ class Machine:
         in ``RunResult.races``.  With the detector off nothing is
         instrumented and the run is byte-identical to one on a build
         without the sanitizer.
+    backend:
+        Execution backend: ``"sim"`` (thread-per-rank simulator),
+        ``"proc"`` (one OS process per rank over localhost sockets — see
+        docs/MACHINE.md "Backends"), or ``None`` (default) to defer to
+        ``REPRO_BACKEND`` at each :meth:`run`.  Both backends are
+        conformance-gated to produce identical results and communication
+        schedules.
     """
 
     def __init__(
@@ -125,6 +165,7 @@ class Machine:
         trace: Any = None,
         recorder: Any = None,
         sanitize: Any = None,
+        backend: str | None = None,
     ):
         if size <= 0:
             raise ValueError("size must be positive")
@@ -134,6 +175,8 @@ class Machine:
             raise ValueError(
                 f"topology covers {topology.size} nodes, machine has {size}"
             )
+        if backend not in (None, "sim", "proc"):
+            raise ValueError(f"backend must be sim or proc, got {backend!r}")
         self.size = size
         self.memory_words = memory_words
         self.word_bits = word_bits
@@ -145,6 +188,10 @@ class Machine:
         self.tracer = make_tracer(trace)
         self.recorder = recorder
         self.sanitize = sanitize
+        #: Explicit backend override; None defers to ``REPRO_BACKEND`` at
+        #: each :meth:`run` (so scoping the variable around code that
+        #: builds machines internally selects the backend for all of them).
+        self.backend = backend
 
     def run(
         self,
@@ -164,6 +211,13 @@ class Machine:
         """
         if rank_args is not None and len(rank_args) != self.size:
             raise ValueError("rank_args must have one tuple per rank")
+        choice = self.backend if self.backend is not None else backend_choice()
+        if choice == "proc":
+            from repro.machine.backends.proc import ProcBackend
+
+            return ProcBackend(self).run(
+                program, args, rank_args, raise_on_error
+            )
         router = Router(self.size, default_timeout=self.timeout)
         memories = [
             LocalMemory(self.memory_words, rank=r) for r in range(self.size)
@@ -224,7 +278,7 @@ class Machine:
                 sanitizer.on_thread_create(t.name)
             t.start()
         for t in threads:
-            t.join(timeout=self.timeout * 4)
+            t.join(timeout=join_grace(self.timeout))
             if t.is_alive():
                 raise MachineError(f"{t.name} failed to terminate (deadlock?)")
             if sanitizer is not None:
@@ -241,14 +295,7 @@ class Machine:
         critical = Counts()
         for c in per_rank:
             critical = critical.merge(c)
-        phase_names: list[str] = []
-        for ledger in state.ledgers:
-            for name in ledger.phases():
-                if name not in phase_names:
-                    phase_names.append(name)
-        phase_costs = {
-            name: PhaseLedger.max_over(state.ledgers, name) for name in phase_names
-        }
+        phase_costs = merge_phase_costs(state.ledgers)
         result = RunResult(
             results=results,
             critical_path=critical,
@@ -268,12 +315,7 @@ class Machine:
             # their machines internally) drain reports via the collector.
             publish_races(result.races)
         if errors and raise_on_error:
-            failed = sorted(errors.items())
-            rank, exc = failed[0]
-            if isinstance(exc, HardFault) and len(errors) == 1:
-                raise exc
-            detail = "; ".join(f"rank {r}: {e!r}" for r, e in failed)
-            raise MachineError(f"{len(errors)} rank(s) failed: {detail}") from exc
+            raise_run_errors(errors)
         return result
 
     def _resolve_sanitizer(self) -> Any:

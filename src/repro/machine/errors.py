@@ -30,6 +30,11 @@ class HardFault(MachineError):
         self.phase = phase
         self.op_index = op_index
 
+    def __reduce__(self) -> tuple:
+        # The custom __init__ signature defeats Exception's default pickle
+        # protocol; the process backend ships these across rank sockets.
+        return (HardFault, (self.rank, self.phase, self.op_index))
+
 
 class PeerDead(MachineError):
     """Raised when communicating with a rank known to be dead."""
@@ -37,6 +42,9 @@ class PeerDead(MachineError):
     def __init__(self, peer: int):
         super().__init__(f"peer rank {peer} is dead")
         self.peer = peer
+
+    def __reduce__(self) -> tuple:
+        return (PeerDead, (self.peer,))
 
 
 class DeadlockError(MachineError):
@@ -55,6 +63,12 @@ class MemoryExceeded(MachineError):
         self.requested = requested
         self.in_use = in_use
         self.capacity = capacity
+
+    def __reduce__(self) -> tuple:
+        return (
+            MemoryExceeded,
+            (self.rank, self.requested, self.in_use, self.capacity),
+        )
 
 
 class CommError(MachineError):

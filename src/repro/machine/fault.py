@@ -130,6 +130,31 @@ class FaultSchedule:
                     return ev
         return None
 
+    def absorb_fired(self, fired: Sequence[FaultEvent]) -> None:
+        """Reconcile fires observed in another process into this schedule.
+
+        The process backend consumes events from per-rank *copies* of the
+        schedule; the coordinator replays each copy's fired list here so
+        the parent-side schedule's ``events``/``fired`` views match what a
+        simulator run would show.  Events already fired (or absent) are
+        skipped, making the replay idempotent.
+        """
+        with self._lock:
+            for ev in fired:
+                if ev in self._events:
+                    self._events.remove(ev)
+                    self._fired.append(ev)
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Locks do not pickle; rank processes rebuild their own.
+        with self._lock:
+            return {"events": list(self._events), "fired": list(self._fired)}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._lock = threading.Lock()
+        self._events = list(state["events"])  # guarded-by: _lock
+        self._fired = list(state["fired"])  # guarded-by: _lock
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._events)
@@ -183,6 +208,18 @@ class ProbingFaultSchedule(FaultSchedule):
                 key: tuple(sorted(ops))
                 for key, ops in sorted(self._observed.items())
             }
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = super().__getstate__()
+        with self._lock:
+            state["observed"] = {k: set(v) for k, v in self._observed.items()}
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        super().__setstate__(state)
+        self._observed = {  # guarded-by: _lock
+            k: set(v) for k, v in state["observed"].items()
+        }
 
 
 class RandomFaultModel:
@@ -324,6 +361,28 @@ class FaultLog:
     def by_kind(self, kind: str) -> list["FaultLog.Entry"]:
         with self._lock:
             return [e for e in self._entries if e.kind == kind]
+
+    def absorb(self, entries: Sequence["FaultLog.Entry"]) -> None:
+        """Append entries recorded in another process (coordinator merge).
+
+        Observers are *not* re-fired: a remote rank already traced the
+        fault locally, and the parent-side tracer (if any) never saw the
+        rank's thread, so replaying through ``on_record`` would fabricate
+        events.
+        """
+        with self._lock:
+            self._entries.extend(entries)
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Locks and the tracer observer do not cross process boundaries;
+        # rank-side logs record locally and the coordinator absorbs them.
+        with self._lock:
+            return {"entries": list(self._entries)}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._lock = threading.Lock()
+        self._entries = list(state["entries"])  # guarded-by: _lock
+        self.on_record = None
 
     def __len__(self) -> int:
         with self._lock:

@@ -223,3 +223,24 @@ class ScheduleRecorder:
         """Snapshot of all recorded operations, rank -> program order."""
         with self._lock:
             return {rank: [dict(op) for op in ops] for rank, ops in self._ops.items()}
+
+    # -- process-backend transport ------------------------------------------
+    def absorb(self, rank_ops: dict[int, list[dict[str, Any]]]) -> None:
+        """Merge per-rank op lists recorded in another process.
+
+        Each rank executes in exactly one process, so the merge is an
+        append per rank: remote program order is preserved and never
+        interleaves with ops this recorder saw for other ranks.
+        """
+        with self._lock:
+            for rank, ops in rank_ops.items():
+                self._ops.setdefault(rank, []).extend(dict(op) for op in ops)
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {"ops": self.ops()}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._lock = threading.Lock()
+        self._ops = {  # guarded-by: _lock
+            rank: [dict(op) for op in ops] for rank, ops in state["ops"].items()
+        }

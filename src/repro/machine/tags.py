@@ -49,6 +49,7 @@ __all__ = [
     "TAG_RESEND",
     "TAG_CKPT",
     "TAG_CKPT_RESTORE",
+    "TAG_BACKEND_DEMO",
     "TAG_FAMILIES",
     "tag_family",
 ]
@@ -83,6 +84,9 @@ TAG_RESEND = 300_000  # + step + 64 * task_scope
 TAG_CKPT = 400_000
 TAG_CKPT_RESTORE = 410_000  # + restart attempt
 
+# -- process-backend demo program (machine/backends/demo.py) ----------------
+TAG_BACKEND_DEMO = 420_000  # + worker rank
+
 
 #: Family name -> half-open band ``[lo, hi)`` of the wire-tag space.  Used
 #: by :func:`tag_family` and by the ``commcheck`` reports to label edges.
@@ -104,7 +108,8 @@ TAG_FAMILIES: dict[str, tuple[int, int]] = {
     "bfs_up": (TAG_BFS_UP, TAG_RESEND),
     "resend": (TAG_RESEND, TAG_CKPT),
     "ckpt": (TAG_CKPT, TAG_CKPT_RESTORE),
-    "ckpt_restore": (TAG_CKPT_RESTORE, 420_000),
+    "ckpt_restore": (TAG_CKPT_RESTORE, TAG_BACKEND_DEMO),
+    "backend_demo": (TAG_BACKEND_DEMO, 421_000),
 }
 
 

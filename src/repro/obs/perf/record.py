@@ -17,6 +17,7 @@ import sys
 from typing import Any, Mapping
 
 from repro.obs.perf.store import SCHEMA_VERSION, validate_record
+from repro.util.env import scaled_timeout
 
 __all__ = ["git_sha", "run_manifest", "new_record", "add_cells", "add_wall"]
 
@@ -32,7 +33,7 @@ def git_sha(cwd: str | None = None) -> str:
             cwd=cwd,
             capture_output=True,
             text=True,
-            timeout=10,
+            timeout=scaled_timeout(10.0),
         )
     except (OSError, subprocess.TimeoutExpired):
         return "unknown"

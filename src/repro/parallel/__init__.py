@@ -15,6 +15,7 @@ from repro.parallel.pool import (
     WorkerPoolError,
     parallel_map,
 )
+from repro.parallel.spawn import spawn_process
 
 __all__ = [
     "Task",
@@ -22,4 +23,5 @@ __all__ = [
     "WorkerPool",
     "WorkerPoolError",
     "parallel_map",
+    "spawn_process",
 ]

@@ -45,7 +45,12 @@ from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.obs.metrics import MetricsRegistry
-from repro.util.env import default_jobs, start_method, timeout_scale
+from repro.util.env import (
+    default_jobs,
+    scaled_timeout,
+    start_method,
+    timeout_scale,
+)
 
 __all__ = [
     "Task",
@@ -288,7 +293,7 @@ class _PoolRun:
             worker.conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
-        worker.process.join(timeout=5)
+        worker.process.join(timeout=scaled_timeout(5.0))
 
     def _dispatch(self, worker: _WorkerHandle, index: int) -> None:
         task = self.tasks[index]
@@ -448,7 +453,7 @@ class _PoolRun:
             except (OSError, ValueError, BrokenPipeError):
                 pass
         for worker in list(self.workers):
-            worker.process.join(timeout=1)
+            worker.process.join(timeout=scaled_timeout(1.0))
             self._retire(worker, kill=True)
 
 

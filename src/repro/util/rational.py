@@ -223,6 +223,13 @@ class FractionMatrix:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("FractionMatrix is immutable")
 
+    def __reduce__(self) -> tuple:
+        # The immutability guard defeats pickle's default slot
+        # restoration (it re-enters __setattr__); rebuild through
+        # __init__ instead — the process backend ships Toom-Cook plans
+        # into rank processes.
+        return (FractionMatrix, (self.rows,))
+
     # -- shape -----------------------------------------------------------
     @property
     def shape(self) -> tuple[int, int]:

@@ -1,0 +1,82 @@
+"""TIME001: nonzero timeout literals must route through the env funnel."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+def test_nonzero_timeout_literal_flagged(lint):
+    result = lint(
+        {
+            "machine/waiter.py": """\
+    def wait(event):
+        return event.wait(timeout=5)
+    """
+        }
+    )
+    assert rule_ids(result) == ["TIME001"]
+    assert "REPRO_TIMEOUT_SCALE" in result.violations[0].message
+
+
+def test_negative_literal_flagged(lint):
+    result = lint(
+        {
+            "machine/waiter.py": """\
+    def wait(sock):
+        return sock.recv(timeout=-1)
+    """
+        }
+    )
+    assert rule_ids(result) == ["TIME001"]
+
+
+def test_zero_is_a_nonblocking_poll_not_a_deadline(lint):
+    result = lint(
+        {
+            "machine/poller.py": """\
+    def poll(router, rank):
+        return router.collect(rank, 0, 0, timeout=0.0)
+    """
+        }
+    )
+    assert rule_ids(result) == []
+
+
+def test_env_helpers_allowed(lint):
+    result = lint(
+        {
+            "machine/waiter.py": """\
+    from repro.util.env import join_grace, poll_interval, scaled_timeout
+
+    def wait(event, sock, base):
+        event.wait(timeout=scaled_timeout(base))
+        sock.recv(timeout=poll_interval())
+        return join_grace(base)
+    """
+        }
+    )
+    assert rule_ids(result) == []
+
+
+def test_env_module_itself_exempt(lint):
+    result = lint(
+        {
+            "util/env.py": """\
+    def default_grace(event):
+        return event.wait(timeout=2.0)
+    """
+        }
+    )
+    assert rule_ids(result) == []
+
+
+def test_variable_timeouts_allowed(lint):
+    result = lint(
+        {
+            "machine/waiter.py": """\
+    def wait(event, deadline, now):
+        return event.wait(timeout=max(0.0, deadline - now))
+    """
+        }
+    )
+    assert rule_ids(result) == []

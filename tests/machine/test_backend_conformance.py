@@ -1,0 +1,156 @@
+"""The backend-conformance gate: sim and proc must agree bit for bit.
+
+Three layers, in increasing cost:
+
+- **Products** — every algorithm variant run fault-free must return the
+  same (exact) product on the thread simulator and on the real
+  multi-process socket backend.  The fast tier runs two variants; the
+  ``slow``-marked test sweeps all eight.
+- **Communication graphs** — commcheck extraction on the proc backend
+  must produce *byte-identical* canonical JSON to the simulator's: same
+  ops, same order, same sizes.  This is the strongest statement that the
+  socket relay preserves the per-channel ordering the simulator
+  guarantees.
+- **Live kills** — the headline demonstration: ``SIGKILL`` a worker rank
+  mid-multiplication and still obtain the exact product through a
+  respawned replacement (``REPRO_PROC_FAULTS=respawn``), and fail
+  *loudly* (never hang, never corrupt) when the rank is killed and no
+  replacement comes (``kill``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.campaign.registry import get_variant
+from repro.campaign.runner import CampaignConfig, _workload_rng
+from repro.commcheck.extract import COMMCHECK_VARIANTS, extract_variant, make_config
+from repro.machine.backends import live_children
+from repro.machine.backends.demo import restartable_slice_multiply
+from repro.machine.engine import Machine
+from repro.machine.errors import HardFault, PeerDead
+from repro.machine.fault import FaultEvent, FaultSchedule
+from repro.util.env import backend_scope
+
+#: Small operands keep the fast tier fast; the slow sweep reuses them.
+_CFG = CampaignConfig(seed=3, trials=1, bits=240, timeout=20.0, minimize=False)
+
+#: The fast tier's representatives: the plain parallel algorithm (pure
+#: send/recv traffic, 9 ranks) and the linear-code variant (votes, gates,
+#: agreement and replacement — the full control-plane surface).
+_FAST_VARIANTS = ("parallel", "ft_linear")
+
+_X = 0xDEADBEEF_CAFEF00D_0123456789ABCDEF
+_Y = 0xFEEDFACE_8BADF00D_FEDCBA9876543210
+
+
+@pytest.fixture(autouse=True)
+def no_orphans():
+    yield
+    deadline = time.monotonic() + 5.0
+    while live_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert live_children() == []
+
+
+def _run_fault_free(name: str, backend: str):
+    spec = get_variant(name)
+    workload = spec.make_workload(_workload_rng(_CFG.seed, name), _CFG)
+    with backend_scope(backend):
+        return spec.execute(workload, FaultSchedule(), _CFG)
+
+
+def _assert_product_identical(name: str) -> None:
+    sim = _run_fault_free(name, "sim")
+    proc = _run_fault_free(name, "proc")
+    assert sim.error is None, f"{name} failed on sim: {sim.error!r}"
+    assert proc.error is None, f"{name} failed on proc: {proc.error!r}"
+    assert sim.actual == sim.expected
+    assert proc.actual == sim.actual, f"{name}: backends disagree"
+
+
+def _assert_graph_identical(name: str) -> None:
+    cfg = make_config(bits=240, timeout=20.0)
+    sim = extract_variant(name, cfg, backend="sim").canonical_json()
+    proc = extract_variant(name, cfg, backend="proc").canonical_json()
+    assert proc == sim, f"{name}: comm graphs differ across backends"
+
+
+class TestProductConformance:
+    @pytest.mark.parametrize("name", _FAST_VARIANTS)
+    def test_fast_variants_bit_identical(self, name):
+        _assert_product_identical(name)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", COMMCHECK_VARIANTS)
+    def test_all_variants_bit_identical(self, name):
+        _assert_product_identical(name)
+
+
+class TestGraphConformance:
+    def test_ft_linear_graph_byte_identical(self):
+        _assert_graph_identical("ft_linear")
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", COMMCHECK_VARIANTS)
+    def test_all_graphs_byte_identical(self, name):
+        _assert_graph_identical(name)
+
+
+class TestLiveKills:
+    def test_sigkill_respawn_recovers_exact_product(self, monkeypatch):
+        """The acceptance headline: kill -9 a worker mid-multiplication,
+        a replacement process respawns at the next incarnation, and the
+        run still returns the exact product."""
+        monkeypatch.setenv("REPRO_PROC_FAULTS", "respawn")
+        sched = FaultSchedule(
+            [FaultEvent(rank=1, phase="multiplication", op_index=1)]
+        )
+        machine = Machine(
+            3, timeout=20.0, fault_schedule=sched, backend="proc"
+        )
+        res = machine.run(restartable_slice_multiply, args=(_X, _Y))
+        assert res.results[0] == _X * _Y
+        assert sched.fired, "the scheduled kill never fired"
+        assert res.fault_log.entries
+
+    def test_kill_without_replacement_fails_loud(self, monkeypatch):
+        """``kill`` mode: the victim stays dead.  The collector must see
+        PeerDead (never a hang, never a silent wrong product) and the
+        victim's error must be the HardFault rebuilt from its census."""
+        monkeypatch.setenv("REPRO_PROC_FAULTS", "kill")
+        sched = FaultSchedule(
+            [FaultEvent(rank=1, phase="multiplication", op_index=0)]
+        )
+        machine = Machine(
+            3, timeout=2.0, fault_schedule=sched, backend="proc"
+        )
+        res = machine.run(
+            restartable_slice_multiply, args=(_X, _Y), raise_on_error=False
+        )
+        assert isinstance(res.errors.get(1), HardFault)
+        assert isinstance(res.errors.get(0), PeerDead)
+        assert res.results[0] is None
+
+    def test_sim_fault_mode_matches_simulator(self):
+        """Default ``sim`` fault mode: the same in-process HardFault and
+        replacement protocol as the simulator, so the fault log and the
+        product agree across backends even under injection."""
+        def run(backend):
+            sched = FaultSchedule(
+                [FaultEvent(rank=2, phase="multiplication", op_index=0)]
+            )
+            machine = Machine(
+                3, timeout=20.0, fault_schedule=sched, backend=backend
+            )
+            res = machine.run(restartable_slice_multiply, args=(_X, _Y))
+            return res.results[0], sched.fired, res.fault_log.entries
+
+        sim_product, sim_fired, sim_log = run("sim")
+        proc_product, proc_fired, proc_log = run("proc")
+        assert sim_product == _X * _Y
+        assert proc_product == sim_product
+        assert proc_fired == sim_fired
+        assert proc_log == sim_log

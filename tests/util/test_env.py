@@ -12,9 +12,16 @@ import pytest
 
 from repro.machine.engine import Machine
 from repro.util.env import (
+    backend,
+    backend_scope,
     default_jobs,
+    heartbeat_interval,
+    join_grace,
     perf_baseline,
     perf_dir,
+    poll_interval,
+    port_range,
+    proc_fault_mode,
     scaled_timeout,
     start_method,
     timeout_scale,
@@ -116,3 +123,104 @@ class TestPerfKnobs:
         monkeypatch.setenv("REPRO_PERF_BASELINE", "benchmarks/baselines")
         assert perf_dir() == "/tmp/perf"
         assert perf_baseline() == "benchmarks/baselines"
+
+
+class TestBackendKnob:
+    def test_default_sim(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert backend() == "sim"
+
+    def test_proc_allowed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "proc")
+        assert backend() == "proc"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "mpi")
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            backend()
+
+    def test_scope_sets_and_restores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        with backend_scope("proc"):
+            assert backend() == "proc"
+            with backend_scope("sim"):
+                assert backend() == "sim"
+            assert backend() == "proc"
+        assert backend() == "sim"
+
+    def test_scope_restores_on_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "sim")
+        with pytest.raises(RuntimeError):
+            with backend_scope("proc"):
+                raise RuntimeError("boom")
+        assert backend() == "sim"
+
+    def test_scope_rejects_unknown(self):
+        with pytest.raises(ValueError, match="backend"):
+            with backend_scope("mpi"):
+                pass
+
+
+class TestProcFaultModeKnob:
+    def test_default_sim(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROC_FAULTS", raising=False)
+        assert proc_fault_mode() == "sim"
+
+    @pytest.mark.parametrize("mode", ["sim", "kill", "respawn"])
+    def test_modes_allowed(self, monkeypatch, mode):
+        monkeypatch.setenv("REPRO_PROC_FAULTS", mode)
+        assert proc_fault_mode() == mode
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROC_FAULTS", "maim")
+        with pytest.raises(ValueError, match="REPRO_PROC_FAULTS"):
+            proc_fault_mode()
+
+
+class TestHeartbeatKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HEARTBEAT", raising=False)
+        assert heartbeat_interval() == 0.5
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT", "0.05")
+        assert heartbeat_interval() == 0.05
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "inf", "nan", "soon"])
+    def test_invalid_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_HEARTBEAT", bad)
+        with pytest.raises(ValueError, match="REPRO_HEARTBEAT"):
+            heartbeat_interval()
+
+
+class TestPortRangeKnob:
+    def test_unset_means_ephemeral(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PORT_RANGE", raising=False)
+        assert port_range() is None
+
+    def test_window_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PORT_RANGE", "49152-49200")
+        assert port_range() == (49152, 49200)
+
+    def test_single_port_window(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PORT_RANGE", "50000-50000")
+        assert port_range() == (50000, 50000)
+
+    @pytest.mark.parametrize(
+        "bad", ["49200-49152", "0-100", "1-70000", "49152", "lo-hi"]
+    )
+    def test_invalid_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_PORT_RANGE", bad)
+        with pytest.raises(ValueError, match="REPRO_PORT_RANGE"):
+            port_range()
+
+
+class TestTimingHelpers:
+    def test_poll_interval_fixed_and_unscaled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMEOUT_SCALE", "10")
+        assert poll_interval() == 0.02
+
+    def test_join_grace_multiplies_the_scaled_timeout(self):
+        # join_grace takes the *already scaled* machine timeout; it must
+        # not re-read the scale itself.
+        assert join_grace(5.0) == 20.0
