@@ -27,7 +27,9 @@ class MinimizationResult:
     """Outcome of one minimization: the smallest failing event list found
     and how many re-executions it took."""
 
-    def __init__(self, events: list[FaultEvent], probes: int, exhausted: bool):
+    def __init__(
+        self, events: list[FaultEvent], probes: int, exhausted: bool
+    ) -> None:
         self.events = events
         self.probes = probes
         #: True when the probe budget ran out before the search finished.
@@ -50,7 +52,7 @@ class _CachedPredicate:
         self,
         is_failing: Callable[[list[FaultEvent]], bool],
         max_probes: int,
-    ):
+    ) -> None:
         self._fn = is_failing
         self._cache: dict[tuple, bool] = {}
         self._max = max_probes

@@ -45,7 +45,9 @@ class Cell:
 class OpSpace:
     """Deterministic view over the op indices measured by a probe run."""
 
-    def __init__(self, observed: dict[tuple[int, str, str], tuple[int, ...]]):
+    def __init__(
+        self, observed: dict[tuple[int, str, str], tuple[int, ...]]
+    ) -> None:
         self._cells = [
             Cell(rank=rank, phase=phase, domain=domain, ops=ops)
             for (rank, phase, domain), ops in sorted(observed.items())

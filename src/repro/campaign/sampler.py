@@ -61,7 +61,7 @@ class ScheduleSampler:
         spec: "VariantSpec",
         opspace: "OpSpace",
         cfg: object,
-    ):
+    ) -> None:
         self._rng = rng
         self._spec = spec
         self._cfg = cfg

@@ -20,6 +20,11 @@
     python -m repro racecheck
     python -m repro racecheck --variants ft_toomcook,replication --no-smoke
     python -m repro racecheck --json-out /tmp/races.json
+    python -m repro faultcheck --all-variants --jobs 4
+    python -m repro faultcheck --variants ft_linear --json
+    python -m repro faultcheck --all-variants --cert-out /tmp/faultcert.json
+    python -m repro check --jobs 4
+    python -m repro check --only lint,faultcheck --faultcheck-cert /tmp/cert.json
     python -m repro perf list
     python -m repro perf compare --advisory-wall
     python -m repro perf report --last 8
@@ -329,6 +334,77 @@ def build_parser() -> argparse.ArgumentParser:
     rc.add_argument(
         "--json-out", metavar="PATH", default=None,
         help="also write the JSON report to PATH",
+    )
+
+    fc = sub.add_parser(
+        "faultcheck",
+        help="exhaustive static fault-space certifier (see docs/STATIC_ANALYSIS.md)",
+    )
+    fc.add_argument(
+        "--all-variants", action="store_true",
+        help="certify every registered variant (the CI gate)",
+    )
+    fc.add_argument(
+        "--variants", default=None, metavar="NAMES",
+        help="comma-separated variant names (default: all)",
+    )
+    fc.add_argument(
+        "--list-variants", action="store_true",
+        help="print the certifiable variants and exit",
+    )
+    fc.add_argument("--p", type=int, default=9, help="processor count (default 9)")
+    fc.add_argument("--k", type=int, default=2, help="Toom-Cook split factor")
+    fc.add_argument("--f", type=int, default=1, help="fault budget (default 1)")
+    fc.add_argument("--bits", type=int, default=600, help="operand bits (default 600)")
+    fc.add_argument(
+        "--word-bits", type=int, default=16, help="machine word width (default 16)"
+    )
+    fc.add_argument(
+        "--timeout", type=float, default=15.0,
+        help="per-receive deadlock timeout in seconds (default 15)",
+    )
+    fc.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    fc.add_argument(
+        "--coverage-trials", type=int, default=200, metavar="N",
+        help="campaign draws to re-derive for the coverage cross-check "
+        "(default 200; pure RNG, no machine runs)",
+    )
+    fc.add_argument(
+        "--tolerance-scale", type=float, default=1.0,
+        help="multiply the fault-mode cost envelopes by this factor",
+    )
+    fc.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="certify variants in N worker processes (default 1 = serial; "
+        "the certificate is byte-identical either way)",
+    )
+    fc.add_argument(
+        "--json", action="store_true",
+        help="print the JSON certificate instead of text",
+    )
+    fc.add_argument(
+        "--cert-out", metavar="PATH", default=None,
+        help="write the canonical byte-deterministic certificate to PATH "
+        "(the CI artifact)",
+    )
+
+    chk = sub.add_parser(
+        "check",
+        help="run all four static analyzers (lint, commcheck, racecheck, "
+        "faultcheck) with a timing summary — the one-stop CI gate",
+    )
+    chk.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="comma-separated analyzer subset (lint,commcheck,racecheck,"
+        "faultcheck); default: all",
+    )
+    chk.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the replay-heavy analyzers (default 1)",
+    )
+    chk.add_argument(
+        "--faultcheck-cert", metavar="PATH", default=None,
+        help="write the faultcheck certificate artifact to PATH",
     )
 
     perf = sub.add_parser(
@@ -700,6 +776,64 @@ def _cmd_racecheck(args) -> int:
     return result.exit_code
 
 
+def _cmd_faultcheck(args) -> int:
+    from repro.commcheck.extract import make_config
+    from repro.faultcheck import (
+        FAULTCHECK_VARIANTS,
+        certificate_json,
+        render_text,
+        run_faultcheck,
+        to_json,
+    )
+
+    if args.list_variants:
+        for name in FAULTCHECK_VARIANTS:
+            print(name)
+        return 0
+    variants = (
+        [name for name in args.variants.split(",") if name]
+        if args.variants and not args.all_variants
+        else None
+    )
+    cfg = make_config(
+        p=args.p,
+        k=args.k,
+        f=args.f,
+        bits=args.bits,
+        word_bits=args.word_bits,
+        timeout=args.timeout,
+        seed=args.seed,
+    )
+    result = run_faultcheck(
+        variants,
+        cfg,
+        coverage_trials=args.coverage_trials,
+        tolerance_scale=args.tolerance_scale,
+        jobs=args.jobs,
+    )
+    if args.cert_out:
+        with open(args.cert_out, "w") as fh:
+            fh.write(certificate_json(result))
+    if args.json:
+        print(json.dumps(to_json(result)))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+def _cmd_check(args) -> int:
+    from repro.check import render_summary, run_check
+
+    only = (
+        [name for name in args.only.split(",") if name] if args.only else None
+    )
+    result = run_check(
+        jobs=args.jobs, only=only, faultcheck_cert=args.faultcheck_cert
+    )
+    print(render_summary(result))
+    return result.exit_code
+
+
 def _cmd_perf(args) -> int:
     from repro.obs.perf.cli import cmd_bless, cmd_compare, cmd_list, cmd_report
 
@@ -724,6 +858,8 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "commcheck": _cmd_commcheck,
         "racecheck": _cmd_racecheck,
+        "faultcheck": _cmd_faultcheck,
+        "check": _cmd_check,
         "perf": _cmd_perf,
     }
     handler = handlers[args.command]

@@ -31,6 +31,23 @@ Checks (finding ``check`` ids):
     Members of one collective group disagree on how many times the
     group's collective ran — a rank would block in a collective its
     peers never entered.
+
+Fault-annotated graphs (the faultcheck recovery-schedule replay) pass
+``dead_ranks``; the checker then computes the *fault-affected* rank set —
+dead ranks plus every rank carrying an ``abort`` / ``replacement``
+marker or a non-zero incarnation — and reclassifies the two finding
+shapes a correct recovery legitimately produces:
+
+* an ``orphan-send`` whose endpoint is fault-affected becomes the info
+  finding ``orphan-send-faulted`` (a purged inbox or dead consumer
+  leaves in-flight messages unconsumed by design), and
+* a ``phase-crossing`` on a ``resend``-family tag becomes the info
+  finding ``phase-crossing-resend`` (the replacement protocol replays
+  persistent state recorded in earlier phases).
+
+Everything else — unmatched receives, wait cycles, unreachable gates,
+collective mismatches — stays an error: those are exactly the hangs and
+deadlocks a recovery schedule must not contain.
 """
 
 from __future__ import annotations
@@ -88,10 +105,27 @@ def _benign_orphan(graph: CommGraph, op: dict, src: int) -> bool:
     return src in code_ranks and tag_family(op["tag"]) == "bfs_up"
 
 
-def _check_matching(graph: CommGraph, channels: dict) -> tuple[list[Finding], dict[Node, Node]]:
+def _fault_affected(graph: CommGraph, dead_ranks: set[int]) -> set[int]:
+    """Dead ranks plus every rank that took a recovery action: recorded
+    an ``abort`` / ``replacement`` marker or ran as a replacement
+    incarnation.  Messages to or from these ranks may legitimately go
+    unconsumed (the machine purges a recovering rank's inbox)."""
+    affected = set(dead_ranks)
+    for rank, _index, op in graph.all_ops():
+        if op.get("op") in ("abort", "replacement") or op.get("inc", 0) != 0:
+            affected.add(rank)
+    return affected
+
+
+def _check_matching(
+    graph: CommGraph,
+    channels: dict,
+    affected: set[int] | None = None,
+) -> tuple[list[Finding], dict[Node, Node]]:
     """FIFO-pair sends with recvs per channel; report orphans, unmatched
     receives and collisions.  Returns the recv-node -> send-node map used
-    by the wait-for cycle detector."""
+    by the wait-for cycle detector.  ``affected`` (fault replays only)
+    downgrades orphans with a fault-affected endpoint to info."""
     findings: list[Finding] = []
     matched: dict[Node, Node] = {}
     for (src, dst, tag), side in sorted(channels.items()):
@@ -114,7 +148,23 @@ def _check_matching(graph: CommGraph, channels: dict) -> tuple[list[Finding], di
                     )
                 )
         for s_rank, _s_idx, s_op in sends[len(recvs):]:
-            if _benign_orphan(graph, s_op, s_rank):
+            if affected is not None and (src in affected or dst in affected):
+                findings.append(
+                    Finding(
+                        check="orphan-send-faulted",
+                        severity="info",
+                        message=(
+                            f"send {src}->{dst} tag {tag} "
+                            f"({tag_family(tag)}) unconsumed: endpoint is "
+                            "dead, condemned with its erasure unit, or "
+                            "purged its inbox during recovery (expected "
+                            "under the injected fault)"
+                        ),
+                        rank=src,
+                        phase=s_op.get("phase"),
+                    )
+                )
+            elif _benign_orphan(graph, s_op, s_rank):
                 findings.append(
                     Finding(
                         check="orphan-send-redundant",
@@ -174,7 +224,7 @@ def _check_matching(graph: CommGraph, channels: dict) -> tuple[list[Finding], di
 
 
 def _check_phase_discipline(
-    graph: CommGraph, channels: dict
+    graph: CommGraph, channels: dict, affected: set[int] | None = None
 ) -> list[Finding]:
     findings: list[Finding] = []
     for (src, dst, tag), side in sorted(channels.items()):
@@ -182,6 +232,23 @@ def _check_phase_discipline(
             side["sends"], side["recvs"]
         ):
             if s_op.get("phase") != r_op.get("phase"):
+                if affected is not None and tag_family(tag) == "resend":
+                    findings.append(
+                        Finding(
+                            check="phase-crossing-resend",
+                            severity="info",
+                            message=(
+                                f"recovery resend {src}->{dst} tag {tag} "
+                                f"crosses from phase {s_op.get('phase')!r} "
+                                f"into {r_op.get('phase')!r}: the "
+                                "replacement protocol replays persistent "
+                                "state recorded earlier (expected)"
+                            ),
+                            rank=dst,
+                            phase=r_op.get("phase"),
+                        )
+                    )
+                    continue
                 findings.append(
                     Finding(
                         check="phase-crossing",
@@ -360,12 +427,27 @@ def _check_cycles(
     return findings
 
 
-def check_graph(graph: CommGraph, phase: str | None = None) -> list[Finding]:
+def check_graph(
+    graph: CommGraph,
+    phase: str | None = None,
+    dead_ranks: set[int] | None = None,
+) -> list[Finding]:
     """Run every structural check; optionally filter findings to one
-    phase (``commcheck --phase`` triage)."""
+    phase (``commcheck --phase`` triage).
+
+    ``dead_ranks`` switches the checker into fault-replay mode (see
+    module docstring): pass the set of ranks the injected schedule
+    killed — possibly empty for soft/delay faults — and recovery-shaped
+    orphans and resend phase-crossings are reported as info instead of
+    error.  Fault-free extraction passes ``None`` and keeps the strict
+    contract.
+    """
     channels = _channels(graph)
-    findings, matched = _check_matching(graph, channels)
-    findings.extend(_check_phase_discipline(graph, channels))
+    affected = (
+        _fault_affected(graph, dead_ranks) if dead_ranks is not None else None
+    )
+    findings, matched = _check_matching(graph, channels, affected)
+    findings.extend(_check_phase_discipline(graph, channels, affected))
     findings.extend(_check_gates(graph))
     findings.extend(_check_collectives(graph))
     findings.extend(_check_cycles(graph, matched))

@@ -26,7 +26,9 @@ class CommGraph:
     operation schema).
     """
 
-    def __init__(self, meta: dict[str, Any], ranks: dict[int, list[dict[str, Any]]]):
+    def __init__(
+        self, meta: dict[str, Any], ranks: dict[int, list[dict[str, Any]]]
+    ) -> None:
         self.meta = meta
         self.ranks = {int(r): ops for r, ops in ranks.items()}
 

@@ -1,0 +1,588 @@
+"""Static decodability proofs over the coding-layer primitives.
+
+For every variant the fault-recovery mechanism reduces to one or two
+*unit families*: sets of symmetric erasure units (coded columns, linear
+codeword coordinates, replica groups, checkpointed ranks) such that any
+fault maps to the erasure of one unit.  This module proves, without
+executing a multiplication, that
+
+* every within-budget erasure pattern — every subset of units up to the
+  family's budget — is decodable: the surviving evaluation points /
+  generator-matrix rows satisfy the exact MDS or general-position
+  condition the decoder relies on (Theorem 2.1, Definition 2.7,
+  Claim 6.1), checked by constructing and inverting the same matrices
+  the implementation inverts (:mod:`repro.coding`,
+  :mod:`repro.bigint.matrices`); and
+* every budget-exceeding pattern of ``budget + 1`` erasures is
+  *detected*: the survivor count drops below the decoder's requirement,
+  so the implementation raises (``FaultToleranceExceeded`` /
+  ``ValueError``) instead of interpolating garbage — the static half of
+  the budget-exhaustion certificate (:mod:`repro.faultcheck.exhaust`).
+
+The class-to-unit ``coverage`` map ties the enumerated fault space
+(:mod:`repro.faultcheck.space`) to these families: every *tolerated*
+hard/soft class must be covered by at least one family, and every
+uncovered class carries the structural reason its faults are loud by
+design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any, Callable, Sequence
+
+from repro.bigint.evalpoints import extended_toom_points, points_pairwise_distinct
+from repro.bigint.matrices import interpolation_matrix_for_points
+from repro.bigint.multivariate import evaluation_matrix_multivariate
+from repro.campaign.runner import CampaignConfig
+from repro.coding.erasure import recovery_coefficients
+from repro.coding.general_position import is_general_position
+from repro.coding.linear import SystematicCode
+from repro.coding.point_search import multistep_evaluation_points
+from repro.core.plan import make_plan
+from repro.faultcheck.space import (
+    ROLE_LINEAR,
+    ROLE_POLY,
+    ROLE_REPLICA,
+    ROLE_STANDARD,
+    EquivClass,
+    FaultSpace,
+)
+from repro.util.rational import mat_det
+
+__all__ = [
+    "SubsetCheck",
+    "FamilyReport",
+    "ClassCoverage",
+    "DecodeReport",
+    "prove_decodability",
+]
+
+# Mirror of the registry's ft_linear protocol geometry.
+_FT_LINEAR_COLUMN = 3
+
+#: Phases in which the combined algorithm's *linear* column code is the
+#: recovery mechanism for standard ranks (task-boundary encode/recover).
+_TRAVERSAL_PHASES = ("evaluation", "multiplication", "interpolation")
+
+
+@dataclass(frozen=True)
+class SubsetCheck:
+    """One erasure pattern and its proof (or detection argument)."""
+
+    units: tuple[str, ...]
+    ok: bool
+    proof: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"units": list(self.units), "ok": self.ok, "proof": self.proof}
+
+
+@dataclass
+class FamilyReport:
+    """All erasure patterns of one unit family, proven."""
+
+    name: str
+    units: tuple[str, ...]
+    needed: int
+    budget: int
+    precondition: str
+    within: list[SubsetCheck] = field(default_factory=list)
+    beyond: list[SubsetCheck] = field(default_factory=list)
+    #: Documented limits of the mechanism (e.g. the MDS detection
+    #: frontier) — informational, not gating.
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.within) and all(c.ok for c in self.beyond)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "units": list(self.units),
+            "needed": self.needed,
+            "budget": self.budget,
+            "precondition": self.precondition,
+            "within": [c.as_dict() for c in self.within],
+            "beyond": [c.as_dict() for c in self.beyond],
+            "notes": list(self.notes),
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class ClassCoverage:
+    """Which families cover one equivalence class (empty = uncovered)."""
+
+    class_id: str
+    families: tuple[str, ...]
+    reason: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "class": self.class_id,
+            "families": list(self.families),
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class DecodeReport:
+    variant: str
+    families: list[FamilyReport]
+    coverage: list[ClassCoverage]
+    problems: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and all(f.ok for f in self.families)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "variant": self.variant,
+            "families": [f.as_dict() for f in self.families],
+            "coverage": [c.as_dict() for c in self.coverage],
+            "problems": list(self.problems),
+            "ok": self.ok,
+        }
+
+
+# -- family builders ---------------------------------------------------------
+
+
+def _sweep(
+    units: Sequence[str],
+    needed: int,
+    budget: int,
+    decodable: Callable[[tuple[int, ...]], tuple[bool, str]],
+    detected: Callable[[tuple[int, ...]], tuple[bool, str]],
+) -> tuple[list[SubsetCheck], list[SubsetCheck]]:
+    """Exhaustively check every erasure subset up to ``budget`` (must be
+    decodable) and every ``budget + 1`` subset (must be detected)."""
+    within: list[SubsetCheck] = []
+    for size in range(budget + 1):
+        for subset in combinations(range(len(units)), size):
+            ok, proof = decodable(subset)
+            within.append(
+                SubsetCheck(
+                    units=tuple(units[i] for i in subset), ok=ok, proof=proof
+                )
+            )
+    beyond: list[SubsetCheck] = []
+    if budget + 1 <= len(units):
+        for subset in combinations(range(len(units)), budget + 1):
+            ok, proof = detected(subset)
+            beyond.append(
+                SubsetCheck(
+                    units=tuple(units[i] for i in subset), ok=ok, proof=proof
+                )
+            )
+    return within, beyond
+
+
+def _poly_column_family(
+    name: str, points: list, needed: int, budget: int
+) -> FamilyReport:
+    """Coded-column family: any ``needed`` surviving columns interpolate
+    via the in-order choice ``sorted(survivors)[:needed]`` (the exact
+    subset :meth:`PolynomialCodedToomCook._coded_interpolation` inverts)."""
+    n = len(points)
+    units = tuple(f"col-{j}" for j in range(n))
+    distinct = points_pairwise_distinct(points)
+    precondition = (
+        f"{n} evaluation points pairwise distinct (Theorem 2.1: any "
+        f"{needed} of them give an invertible evaluation matrix)"
+        if distinct
+        else f"evaluation points NOT pairwise distinct: {points}"
+    )
+
+    def decodable(subset: tuple[int, ...]) -> tuple[bool, str]:
+        live = [j for j in range(n) if j not in subset]
+        chosen = sorted(live)[:needed]
+        try:
+            interpolation_matrix_for_points([points[j] for j in chosen], needed)
+        except (ValueError, ZeroDivisionError) as exc:
+            return False, f"interpolation matrix of columns {chosen} singular: {exc}"
+        return True, (
+            f"survivors {len(live)} >= {needed}; in-order columns {chosen} "
+            "have an invertible evaluation matrix"
+        )
+
+    def detected(subset: tuple[int, ...]) -> tuple[bool, str]:
+        live = n - len(subset)
+        if live < needed:
+            return True, (
+                f"only {live} columns survive < {needed} needed: decoder "
+                "raises FaultToleranceExceeded (loud)"
+            )
+        return decodable(subset)
+
+    within, beyond = _sweep(units, needed, budget, decodable, detected)
+    report = FamilyReport(
+        name=name,
+        units=units,
+        needed=needed,
+        budget=budget,
+        precondition=precondition,
+        within=within,
+        beyond=beyond,
+    )
+    if not distinct:
+        report.within.append(
+            SubsetCheck(units=(), ok=False, proof=precondition)
+        )
+    return report
+
+
+def _linear_code_family(name: str, k: int, f: int) -> FamilyReport:
+    """Systematic ``(k+f, k, f+1)`` column-code family: any ``f`` erased
+    codeword coordinates are recoverable from the survivor generator rows
+    (Definition 2.7 / Section 4.1), which is exactly what
+    :func:`repro.coding.erasure.recovery_coefficients` solves."""
+    code = SystematicCode(k, f)
+    units = tuple(
+        [f"data-{i}" for i in range(k)] + [f"code-{i}" for i in range(f)]
+    )
+    mds = code.is_mds()
+    precondition = (
+        f"SystematicCode(k={k}, f={f}) is MDS (every Vandermonde minor "
+        "invertible)"
+        if mds
+        else f"SystematicCode(k={k}, f={f}) is NOT MDS"
+    )
+
+    def decodable(subset: tuple[int, ...]) -> tuple[bool, str]:
+        survivors = sorted(set(range(code.n)) - set(subset))[:k]
+        lost = [i for i in subset if i < k]
+        try:
+            recovery_coefficients(code, survivors, lost)
+        except (ValueError, ZeroDivisionError) as exc:
+            return False, (
+                f"survivor generator rows {survivors} not invertible: {exc}"
+            )
+        return True, (
+            f"generator rows of survivors {survivors} invertible; lost data "
+            f"coordinates {lost} solvable"
+        )
+
+    def detected(subset: tuple[int, ...]) -> tuple[bool, str]:
+        live = code.n - len(subset)
+        if live < k:
+            return True, (
+                f"only {live} coordinates survive < k={k}: "
+                "reconstruct_erasures raises ValueError (loud)"
+            )
+        return decodable(subset)
+
+    within, beyond = _sweep(units, k, f, decodable, detected)
+    report = FamilyReport(
+        name=name,
+        units=units,
+        needed=k,
+        budget=f,
+        precondition=precondition,
+        within=within,
+        beyond=beyond,
+    )
+    if not mds:
+        report.within.append(SubsetCheck(units=(), ok=False, proof=precondition))
+    return report
+
+
+def _multivariate_family(
+    name: str, points: list, k: int, l: int, f: int
+) -> FamilyReport:
+    """Multi-step coded columns: any ``(2k-1)**l`` surviving columns must
+    give an invertible multivariate evaluation matrix (Claim 6.1) — the
+    matrix :meth:`MultiStepToomCook._coded_interpolation` inverts."""
+    r = 2 * k - 1
+    needed = r**l
+    n = len(points)
+    units = tuple(f"col-{j}" for j in range(n))
+    gp = is_general_position(points, r, l)
+    precondition = (
+        f"{n} multivariate points in ({r},{l})-general position "
+        "(every full-size evaluation submatrix invertible, Claim 6.1)"
+        if gp
+        else f"points NOT in ({r},{l})-general position"
+    )
+
+    def decodable(subset: tuple[int, ...]) -> tuple[bool, str]:
+        live = [j for j in range(n) if j not in subset]
+        chosen = sorted(live)[:needed]
+        matrix = evaluation_matrix_multivariate(
+            [points[j] for j in chosen], r, l
+        )
+        if mat_det(matrix.rows) == 0:
+            return False, f"evaluation matrix of columns {chosen} singular"
+        return True, (
+            f"survivors {len(live)} >= {needed}; evaluation matrix of "
+            f"in-order columns {chosen} invertible"
+        )
+
+    def detected(subset: tuple[int, ...]) -> tuple[bool, str]:
+        live = n - len(subset)
+        if live < needed:
+            return True, (
+                f"only {live} columns survive < {needed} needed: decoder "
+                "raises FaultToleranceExceeded (loud)"
+            )
+        return decodable(subset)
+
+    within, beyond = _sweep(units, needed, f, decodable, detected)
+    report = FamilyReport(
+        name=name,
+        units=units,
+        needed=needed,
+        budget=f,
+        precondition=precondition,
+        within=within,
+        beyond=beyond,
+    )
+    if not gp:
+        report.within.append(SubsetCheck(units=(), ok=False, proof=precondition))
+    return report
+
+
+def _soft_error_analysis(
+    f_eff: int,
+) -> tuple[list[SubsetCheck], list[SubsetCheck], list[str]]:
+    """The soft variant's MDS error/erasure trade-off (Section 7).
+
+    With distance ``f_eff + 1``, ``s`` erasures plus ``e`` silent errors
+    are *correctable* iff ``s + 2e <= f_eff`` and *detectable* iff
+    ``s + e <= f_eff`` (after ``s`` erasures the residual distance is
+    ``f_eff + 1 - s``).  Patterns past the detection radius are
+    information-theoretically invisible to any MDS code — verified
+    empirically (``s=2, e=1`` at the defaults yields a silent wrong
+    product) — so they are documented as the contract's frontier rather
+    than claimed loud.  The class-wise budget-exhaustion schedules all
+    stay inside the detection radius.
+    """
+    within: list[SubsetCheck] = []
+    beyond: list[SubsetCheck] = []
+    frontier: list[str] = []
+    for s in range(f_eff + 2):
+        for e in range(f_eff + 2 - s):
+            if s + 2 * e <= f_eff:
+                within.append(
+                    SubsetCheck(
+                        units=(f"s={s}", f"e={e}"),
+                        ok=True,
+                        proof=(
+                            f"s + 2e = {s + 2 * e} <= {f_eff}: unique "
+                            "decoding within the MDS correction radius"
+                        ),
+                    )
+                )
+            elif s + e <= f_eff:
+                beyond.append(
+                    SubsetCheck(
+                        units=(f"s={s}", f"e={e}"),
+                        ok=True,
+                        proof=(
+                            f"s + 2e = {s + 2 * e} > {f_eff} exceeds "
+                            f"correction, but weight {s + e} <= distance-1 "
+                            f"= {f_eff}: no other codeword within reach, "
+                            "SoftFaultDetected raised (loud)"
+                        ),
+                    )
+                )
+            elif s <= f_eff and e > 0:
+                frontier.append(
+                    f"s={s}, e={e}: weight {s + e} > detection radius "
+                    f"{f_eff} — invisible to any MDS code; outside the "
+                    "loudness contract and never drawn by the campaign "
+                    "sampler"
+                )
+    return within, beyond, frontier
+
+
+def _trivial_family(
+    name: str, units: tuple[str, ...], budget: int, mechanism: str
+) -> FamilyReport:
+    """A family whose recovery is structural (no coding matrix): replica
+    groups and checkpoint rollback.  Decodability is a counting argument;
+    beyond-budget detection is delegated to the replay prover."""
+
+    def decodable(subset: tuple[int, ...]) -> tuple[bool, str]:
+        live = len(units) - len(subset)
+        if live >= 1:
+            return True, f"{live} intact {mechanism} unit(s) remain"
+        return False, f"no intact {mechanism} unit remains"
+
+    def detected(subset: tuple[int, ...]) -> tuple[bool, str]:
+        return True, (
+            f"{len(subset)} erasures exceed budget {budget}: loud failure "
+            "verified by the budget-exhaustion replay"
+        )
+
+    within, beyond = _sweep(units, 1, budget, decodable, detected)
+    return FamilyReport(
+        name=name,
+        units=units,
+        needed=1,
+        budget=budget,
+        precondition=f"{len(units)} independent {mechanism} units",
+        within=within,
+        beyond=beyond,
+    )
+
+
+# -- per-variant models ------------------------------------------------------
+
+
+def _cover(
+    cls: EquivClass, families: tuple[str, ...], reason: str
+) -> ClassCoverage:
+    return ClassCoverage(class_id=cls.id, families=families, reason=reason)
+
+
+def _coverage_for(
+    variant: str, cls: EquivClass, family_names: list[str]
+) -> ClassCoverage:
+    """Which families recover a fault of class ``cls``.
+
+    Delay faults stretch virtual time only — no data is lost, so no
+    family is needed; untolerated hard/soft classes are loud by contract;
+    tolerated classes map to the family whose units their role erases.
+    """
+    if cls.kind == "delay":
+        return _cover(
+            cls, (), "delay: virtual-time stretch only, no data erased"
+        )
+    if not cls.tolerated:
+        return _cover(
+            cls,
+            (),
+            "outside the tolerance contract: fault must surface loudly "
+            "(certified by the exhaustion prover)",
+        )
+    if variant == "ft_linear":
+        return _cover(cls, ("column-code",), "erases one codeword coordinate")
+    if variant in ("ft_polynomial", "soft_faults"):
+        return _cover(cls, ("poly-columns",), "kills the rank's coded column")
+    if variant == "multistep":
+        return _cover(
+            cls, ("multivariate-columns",), "kills the rank's coded column"
+        )
+    if variant == "checkpoint":
+        return _cover(cls, ("rollback",), "restored from the last checkpoint")
+    if variant == "replication":
+        return _cover(cls, ("replica-groups",), "taints the rank's copy group")
+    if variant == "ft_toomcook":
+        if cls.role == ROLE_LINEAR:
+            return _cover(
+                cls,
+                ("linear-column",),
+                "re-encoded at the next task boundary (code row loss)",
+            )
+        if cls.phase == "multiplication" or cls.role == ROLE_POLY:
+            return _cover(
+                cls,
+                ("poly-columns", "linear-column"),
+                "multiplication window: poly code covers the column, "
+                "linear code rebuilds persistent state at the boundary",
+            )
+        return _cover(
+            cls,
+            ("linear-column",),
+            "traversal fault: state rebuilt from the column code at the "
+            "task boundary (Section 4.1)",
+        )
+    return _cover(cls, (), "no recovery mechanism")
+
+
+def _families_for(variant: str, cfg: CampaignConfig) -> list[FamilyReport]:
+    p, k, f = cfg.p, cfg.k, cfg.f
+    q = 2 * k - 1
+    if variant == "parallel":
+        return []
+    if variant == "ft_linear":
+        return [_linear_code_family("column-code", _FT_LINEAR_COLUMN, f)]
+    if variant == "ft_polynomial":
+        points = extended_toom_points(k, f)
+        return [_poly_column_family("poly-columns", points, q, f)]
+    if variant == "ft_toomcook":
+        points = extended_toom_points(k, f)
+        g2 = p // q
+        return [
+            _poly_column_family("poly-columns", points, q, f),
+            _linear_code_family("linear-column", g2, f),
+        ]
+    if variant == "soft_faults":
+        f_eff = 2 * f
+        points = extended_toom_points(k, f_eff)
+        fam = _poly_column_family("poly-columns", points, q, f_eff)
+        soft_within, soft_beyond, frontier = _soft_error_analysis(f_eff)
+        fam.within.extend(soft_within)
+        fam.beyond.extend(soft_beyond)
+        fam.notes.extend(frontier)
+        return [fam]
+    if variant == "checkpoint":
+        return [
+            _trivial_family(
+                "rollback",
+                tuple(f"rank-{r}" for r in range(p)),
+                f,
+                "checkpointed-rank",
+            )
+        ]
+    if variant == "replication":
+        return [
+            _trivial_family(
+                "replica-groups",
+                tuple(f"group-{g}" for g in range(f + 1)),
+                f,
+                "replica",
+            )
+        ]
+    if variant == "multistep":
+        plan = make_plan(cfg.bits, p=p, k=k, word_bits=cfg.word_bits)
+        l = min(2, plan.l_bfs)
+        points = multistep_evaluation_points(k, l, f)
+        return [_multivariate_family("multivariate-columns", points, k, l, f)]
+    raise ValueError(f"no decodability model for variant {variant!r}")
+
+
+def prove_decodability(space: FaultSpace) -> DecodeReport:
+    """Prove every within-budget erasure pattern decodable and map every
+    equivalence class to the family that recovers it."""
+    variant = space.variant
+    families = _families_for(variant, space.cfg)
+    by_name = {f.name: f for f in families}
+    coverage: list[ClassCoverage] = []
+    problems: list[str] = []
+    for cls in space.classes:
+        cov = _coverage_for(variant, cls, list(by_name))
+        coverage.append(cov)
+        if cls.tolerated and cls.kind in ("hard", "soft") and not cov.families:
+            problems.append(
+                f"tolerated class {cls.id} maps to no recovery family"
+            )
+        for fam in cov.families:
+            if fam not in by_name:
+                problems.append(
+                    f"class {cls.id} claims unknown family {fam!r}"
+                )
+    for fam in families:
+        for check in fam.within:
+            if not check.ok:
+                problems.append(
+                    f"family {fam.name}: within-budget pattern "
+                    f"{list(check.units)} NOT decodable: {check.proof}"
+                )
+        for check in fam.beyond:
+            if not check.ok:
+                problems.append(
+                    f"family {fam.name}: beyond-budget pattern "
+                    f"{list(check.units)} not provably detected: {check.proof}"
+                )
+    return DecodeReport(
+        variant=variant,
+        families=families,
+        coverage=coverage,
+        problems=problems,
+    )

@@ -1,0 +1,311 @@
+"""Exhaustive fault-space enumeration and symmetry reduction.
+
+A variant's *fault space* is every injectable ``(rank, phase, op_index)``
+point for every fault kind the campaign can schedule — exactly the space
+the dry probe run (:mod:`repro.campaign.probe`) measures.  Sampling draws
+from this space at random; faultcheck instead enumerates it completely
+and collapses it into *equivalence classes* so the downstream provers
+sweep a tractable set.
+
+The symmetry argument: every tolerance contract in the registry decides
+``tolerates(event)`` from ``(kind, phase, rank-role)`` alone, and the
+algorithms' recovery geometry is symmetric under relabeling ranks within
+one role (standard ranks of one coded column are exchangeable, code rows
+are exchangeable, replica groups are exchangeable).  Two fault points
+with the same ``(kind, phase, role)`` therefore exercise the same
+protocol branch and the same decoding condition, differing only in
+*which* symmetric unit they erase — which the decodability prover covers
+exhaustively at the unit level (:mod:`repro.faultcheck.decode`).  The
+enumerator *verifies* rather than assumes the contract half of this: it
+evaluates ``spec.tolerates`` on every concrete point and fails loudly if
+a class mixes tolerated and untolerated points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.campaign.probe import DOMAIN_OF_KIND, OpSpace, probe_variant
+from repro.campaign.registry import VariantSpec, get_variant
+from repro.campaign.runner import CampaignConfig, _workload_rng
+from repro.machine.fault import FaultEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.campaign.probe import Cell
+
+__all__ = [
+    "FAULTCHECK_VARIANTS",
+    "FaultPoint",
+    "EquivClass",
+    "FaultSpace",
+    "SpaceError",
+    "rank_role",
+    "unit_members",
+    "enumerate_space",
+]
+
+#: Same registry order as commcheck's variant tuple.
+FAULTCHECK_VARIANTS = (
+    "parallel",
+    "ft_linear",
+    "ft_polynomial",
+    "ft_toomcook",
+    "soft_faults",
+    "checkpoint",
+    "replication",
+    "multistep",
+)
+
+# Mirror of the registry's ft_linear protocol geometry.
+_FT_LINEAR_COLUMN = 3
+
+ROLE_STANDARD = "standard"
+ROLE_LINEAR = "linear-code"
+ROLE_POLY = "poly-code"
+ROLE_REPLICA = "replica"
+
+
+class SpaceError(RuntimeError):
+    """The enumerated space is internally inconsistent (a symmetry class
+    mixed tolerated and untolerated points) — the classes cannot stand in
+    for their points."""
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One concrete injectable fault point."""
+
+    rank: int
+    phase: str
+    op_index: int
+    kind: str
+
+    def event(self, incarnation: int = 0) -> FaultEvent:
+        return FaultEvent(
+            rank=self.rank,
+            phase=self.phase,
+            op_index=self.op_index,
+            incarnation=incarnation,
+            kind=self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class EquivClass:
+    """A symmetry-reduced set of fault points.
+
+    ``representatives`` holds up to two concrete points — the first op on
+    the lowest rank and the last op on the highest rank — which the
+    replay-based provers inject on behalf of the whole class.
+    """
+
+    id: str
+    kind: str
+    phase: str
+    role: str
+    tolerated: bool
+    n_points: int
+    ranks: tuple[int, ...]
+    representatives: tuple[FaultPoint, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "phase": self.phase,
+            "role": self.role,
+            "tolerated": self.tolerated,
+            "points": self.n_points,
+            "ranks": list(self.ranks),
+            "representatives": [
+                {"rank": r.rank, "phase": r.phase, "op": r.op_index}
+                for r in self.representatives
+            ],
+        }
+
+
+def rank_role(variant: str, rank: int, cfg: CampaignConfig) -> str:
+    """The symmetry role of ``rank`` in ``variant``'s machine geometry
+    (mirrors the registry factories and :func:`repro.commcheck.extract._geometry`)."""
+    p, q, f = cfg.p, 2 * cfg.k - 1, cfg.f
+    if variant == "ft_linear":
+        return ROLE_STANDARD if rank < _FT_LINEAR_COLUMN else ROLE_LINEAR
+    if variant in ("parallel", "checkpoint"):
+        return ROLE_STANDARD
+    if variant == "replication":
+        return ROLE_REPLICA
+    if variant == "ft_toomcook":
+        if rank < p:
+            return ROLE_STANDARD
+        if rank < p + f * q:
+            return ROLE_LINEAR
+        return ROLE_POLY
+    # ft_polynomial / soft_faults / multistep: [P standard | code columns].
+    return ROLE_STANDARD if rank < p else ROLE_POLY
+
+
+def unit_members(variant: str, rank: int, cfg: CampaignConfig) -> tuple[int, ...]:
+    """Ranks sharing ``rank``'s erasure unit — the granularity at which a
+    fault condemns work.
+
+    A fault erases its whole unit, not just its rank: killing one member
+    of a coded column drops the column from the in-order interpolation
+    (the survivors' ascent messages are discarded, Section 4.2), and
+    killing one replica taints its whole copy group.  The decodability
+    families (:mod:`repro.faultcheck.decode`) count erasures in exactly
+    these units; the recovery-schedule prover uses the same map to tell
+    fault-condemned orphans from genuine schedule bugs.
+    """
+    p, q, f = cfg.p, 2 * cfg.k - 1, cfg.f
+    g2 = p // q
+    if variant == "replication":
+        group = rank // p
+        return tuple(range(group * p, (group + 1) * p))
+    if variant in ("ft_polynomial", "soft_faults"):
+        if rank < p:
+            j = rank // g2
+            return tuple(range(j * g2, (j + 1) * g2))
+        j2 = (rank - p) // g2
+        return tuple(range(p + j2 * g2, p + (j2 + 1) * g2))
+    if variant == "ft_toomcook":
+        if rank < p:
+            j = rank // g2
+            return tuple(range(j * g2, (j + 1) * g2))
+        base = p + f * q
+        if rank < base:
+            # Linear code rows are individual codeword coordinates.
+            return (rank,)
+        j2 = (rank - base) // g2
+        return tuple(range(base + j2 * g2, base + (j2 + 1) * g2))
+    # ft_linear coordinates, multistep's singleton columns (g2 = p//q**l),
+    # checkpoint's per-rank rollback, parallel, replicas of nothing: the
+    # rank is its own unit.
+    return (rank,)
+
+
+def _class_id(kind: str, phase: str, role: str, tolerated: bool) -> str:
+    suffix = "tol" if tolerated else "untol"
+    return f"{kind}.{phase}.{role}.{suffix}"
+
+
+class FaultSpace:
+    """The complete enumerated fault space of one variant."""
+
+    def __init__(
+        self,
+        variant: str,
+        cfg: CampaignConfig,
+        opspace: OpSpace,
+        classes: list[EquivClass],
+        total_points: int,
+    ) -> None:
+        self.variant = variant
+        self.cfg = cfg
+        self.opspace = opspace
+        self.classes = classes
+        self.total_points = total_points
+        self._by_id = {c.id: c for c in classes}
+
+    def class_by_id(self, class_id: str) -> EquivClass:
+        return self._by_id[class_id]
+
+    def classify_event(self, ev: FaultEvent) -> str | None:
+        """Map a concrete (sampled) event back into the enumerated space.
+
+        Returns the class id, or ``None`` when the event does not land on
+        any enumerated point — a coverage violation.  ``incarnation`` is
+        ignored: a replacement-kill re-injects the same fault point into
+        the replacement's program.
+        """
+        domain = DOMAIN_OF_KIND.get(ev.kind)
+        if domain is None:
+            return None
+        if ev.op_index not in self.opspace.ops(ev.rank, ev.phase, domain):
+            return None
+        role = rank_role(self.variant, ev.rank, self.cfg)
+        for tolerated in (True, False):
+            cid = _class_id(ev.kind, ev.phase, role, tolerated)
+            if cid in self._by_id:
+                return cid
+        return None
+
+    def summary(self) -> dict:
+        return {
+            "cells": len(self.opspace),
+            "phases": self.opspace.phases(),
+            "points": self.total_points,
+            "classes": len(self.classes),
+        }
+
+
+def enumerate_space(
+    name: str, cfg: CampaignConfig, spec: VariantSpec | None = None
+) -> FaultSpace:
+    """Probe ``name`` fault-free and enumerate its complete fault space.
+
+    Every op index the probe observed, crossed with every fault kind the
+    variant's campaign contract injects, is one point; points collapse
+    into :class:`EquivClass`es keyed ``(kind, phase, role, tolerated)``.
+    """
+    spec = spec or get_variant(name)
+    workload = spec.make_workload(_workload_rng(cfg.seed, name), cfg)
+    opspace, _ = probe_variant(spec, workload, cfg)
+
+    buckets: dict[tuple[str, str, str, bool], list[FaultPoint]] = {}
+    total = 0
+    for kind in sorted(spec.kinds):
+        domain = DOMAIN_OF_KIND[kind]
+        for cell in opspace.cells(domain):
+            role = rank_role(name, cell.rank, cfg)
+            tol = _cell_tolerated(spec, cell, kind, cfg)
+            key = (kind, cell.phase, role, tol)
+            points = buckets.setdefault(key, [])
+            for op in cell.ops:
+                points.append(
+                    FaultPoint(
+                        rank=cell.rank, phase=cell.phase, op_index=op, kind=kind
+                    )
+                )
+                total += 1
+    classes: list[EquivClass] = []
+    for (kind, phase, role, tol) in sorted(buckets, key=lambda k: (k[0], k[1], k[2], k[3])):
+        points = buckets[(kind, phase, role, tol)]
+        # The class key assumes the contract is constant across the
+        # class; verify against every concrete point.
+        for pt in points:
+            if spec.tolerates(pt.event(), cfg) != tol:
+                raise SpaceError(
+                    f"{name}: class {_class_id(kind, phase, role, tol)} "
+                    f"mixes tolerated and untolerated points (rank "
+                    f"{pt.rank} op {pt.op_index} disagrees) — the role "
+                    "map no longer matches the tolerance contract"
+                )
+        first = min(points, key=lambda p: (p.rank, p.op_index))
+        last = max(points, key=lambda p: (p.rank, p.op_index))
+        reps = (first,) if last == first else (first, last)
+        ranks = tuple(sorted({p.rank for p in points}))
+        classes.append(
+            EquivClass(
+                id=_class_id(kind, phase, role, tol),
+                kind=kind,
+                phase=phase,
+                role=role,
+                tolerated=tol,
+                n_points=len(points),
+                ranks=ranks,
+                representatives=reps,
+            )
+        )
+    return FaultSpace(
+        variant=name, cfg=cfg, opspace=opspace, classes=classes, total_points=total
+    )
+
+
+def _cell_tolerated(
+    spec: VariantSpec, cell: "Cell", kind: str, cfg: CampaignConfig
+) -> bool:
+    probe = FaultEvent(
+        rank=cell.rank, phase=cell.phase, op_index=cell.ops[0], kind=kind
+    )
+    return spec.tolerates(probe, cfg)

@@ -15,6 +15,7 @@ from repro.lint.rules.determinism import (
     WallClockRule,
 )
 from repro.lint.rules.exactness import FloatLiteralRule, MathFloatRule, TrueDivisionRule
+from repro.lint.rules.exceptions import SilentExceptionRule
 from repro.lint.rules.locks import LockDisciplineRule
 from repro.lint.rules.lockverify import (
     GuardedScopeRule,
@@ -36,6 +37,7 @@ def default_rules() -> list[Rule]:
         RandomnessRule(),
         SetIterationRule(),
         DictViewIterationRule(),
+        SilentExceptionRule(),
         LockDisciplineRule(),
         FloatLiteralRule(),
         TrueDivisionRule(),

@@ -1,0 +1,89 @@
+"""Exception-handling rule (EXC001).
+
+The machine layer is the component where a swallowed exception becomes a
+*silent wrong answer*: a rank that eats an error keeps participating in
+the collective schedule with corrupt state, and the failure surfaces (if
+at all) as a mismatched product far from the cause.  The project's
+loudness contract — every fault is either tolerated exactly or raised
+loudly — therefore bans, inside ``machine/`` (which includes
+``machine/backends/``):
+
+* bare ``except:`` — catches ``SystemExit``/``KeyboardInterrupt`` and
+  hides the exception type from the reader;
+* handlers whose whole body is ``pass``/``...`` — the exception is
+  discarded with no recovery action, no re-raise, and no record;
+* ``contextlib.suppress(...)`` — the same silent swallow wearing a
+  context-manager coat, which would otherwise be an engine-invisible
+  way around the first two checks.
+
+Genuinely-benign swallows (best-effort socket teardown, kill of an
+already-dead process) stay allowed through the standard audited
+suppression comment: ``# repro-lint: disable=EXC001 -- <rationale>``.
+The rationale requirement is the point — each silent handler must say
+*why* silence is correct at that site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Rule, SourceFile, Violation, dotted_name
+
+__all__ = ["SilentExceptionRule"]
+
+
+def _is_silent_body(body: list[ast.stmt]) -> bool:
+    """True when every statement discards the exception without acting."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+class SilentExceptionRule(Rule):
+    id = "EXC001"
+    name = "silent-exception"
+    description = (
+        "bare except:, pass-only exception handlers, and "
+        "contextlib.suppress are banned in machine/; swallow an "
+        "exception only behind an audited suppression with a rationale"
+    )
+    scopes = ("machine/",)
+
+    def check(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.violation(
+                        sf,
+                        node,
+                        "bare except: catches SystemExit/KeyboardInterrupt "
+                        "and hides the expected failure mode; name the "
+                        "exception types",
+                    )
+                elif _is_silent_body(node.body):
+                    yield self.violation(
+                        sf,
+                        node,
+                        "exception silently swallowed (handler body is only "
+                        "pass/...); recover, re-raise, or add an audited "
+                        "'# repro-lint: disable=EXC001 -- <rationale>'",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func, sf.imports)
+                if name == "contextlib.suppress":
+                    yield self.violation(
+                        sf,
+                        node,
+                        "contextlib.suppress() swallows exceptions invisibly; "
+                        "use an explicit handler (audited with a rationale if "
+                        "silence is correct)",
+                    )

@@ -76,6 +76,32 @@ def live_children() -> list[Any]:
         return [p for p in _CHILDREN if p.is_alive()]
 
 
+def _close_quietly(sock: Any) -> None:
+    """Best-effort close of a socket whose peer may already be gone.
+
+    The only audited swallow for close paths: by the time teardown or the
+    EOF pipeline runs, the interesting failure (the disconnect itself) has
+    already been observed and accounted elsewhere.
+    """
+    try:
+        sock.close()
+    except OSError:  # repro-lint: disable=EXC001 -- audited: peer already gone, nothing left to report
+        pass
+
+
+def _kill_quietly(pid: int) -> None:
+    """SIGKILL a rank process that may have already exited.
+
+    Losing the race to a natural death is the desired outcome, not an
+    error: either way the EOF pipeline converts the exit into a normal
+    death event.
+    """
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except (OSError, ProcessLookupError):  # repro-lint: disable=EXC001 -- audited: process already dead, which is the goal
+        pass
+
+
 class _RankSlot:
     """Coordinator-side bookkeeping for one rank (all incarnations)."""
 
@@ -278,16 +304,30 @@ class ProcBackend:
                     self._handle_result(slot, payload)
                 elif kind == wire.FIN:
                     self._handle_fin(slot)
-        except (EOFError, OSError):
+        except (EOFError, OSError):  # repro-lint: disable=EXC001 -- audited: disconnect; the finally block routes it to _on_disconnect
             pass
+        except wire.WireError as exc:
+            # A malformed frame is a protocol violation, not a clean
+            # death — surface it on the slot so the run fails loudly.
+            # Exception: a rank we just SIGKILLed (live fault injection)
+            # legitimately dies mid-frame; that stays an expected
+            # disconnect and keeps its HardFault accounting.
+            if slot is not None:
+                with self.lock:
+                    if (
+                        not slot.kill_requested
+                        and not self._closing
+                        and slot.error is None
+                    ):
+                        slot.error = MachineError(
+                            f"wire protocol violation on rank "
+                            f"{slot.rank}'s connection: {exc}"
+                        )
         finally:
             if slot is not None:
                 self._on_disconnect(slot)
             else:
-                try:
-                    conn.close()
-                except OSError:
-                    pass
+                _close_quietly(conn)
 
     # -------------------------------------------------------------- relaying
     def _send_to(self, slot: _RankSlot, kind: str, payload: Any) -> None:
@@ -302,7 +342,7 @@ class ProcBackend:
                 return
             try:
                 wire.send_frame(conn, kind, payload)
-            except OSError:
+            except OSError:  # repro-lint: disable=EXC001 -- audited: send-to-dead-rank succeeds silently by contract (see docstring)
                 pass
 
     def _forward(self, msg: Any) -> None:
@@ -405,10 +445,7 @@ class ProcBackend:
             proc = slot.proc
         self._broadcast("dead", slot.rank, slot.incarnation)
         if proc is not None and proc.pid is not None:
-            try:
-                os.kill(proc.pid, signal.SIGKILL)
-            except (OSError, ProcessLookupError):
-                pass
+            _kill_quietly(proc.pid)
 
     def _handle_result(self, slot: _RankSlot, census: dict) -> None:
         with self.lock:
@@ -431,10 +468,7 @@ class ProcBackend:
             conn, slot.conn = slot.conn, None
             closing = self._closing
         if conn is not None:
-            try:
-                conn.close()
-            except OSError:
-                pass
+            _close_quietly(conn)
         if slot.got_result or closing:
             slot.done.set()
             return
@@ -498,10 +532,7 @@ class ProcBackend:
                     # Wedged: no frames and no heartbeats.  Kill it so
                     # the EOF pipeline converts it into a normal death.
                     if proc is not None and proc.pid is not None:
-                        try:
-                            os.kill(proc.pid, signal.SIGKILL)
-                        except (OSError, ProcessLookupError):
-                            pass
+                        _kill_quietly(proc.pid)
                 elif conn is None and proc is not None and not proc.is_alive():
                     # Died before ever connecting (e.g. crash in spawn):
                     # no EOF will arrive, account for it here.
@@ -520,10 +551,7 @@ class ProcBackend:
         with self.lock:
             self._closing = True
         if self.listener is not None:
-            try:
-                self.listener.close()
-            except OSError:
-                pass
+            _close_quietly(self.listener)
         for slot in self.slots:
             self._send_to(slot, wire.SHUTDOWN, None)
         deadline = time.monotonic() + join_grace(self.machine.timeout)
@@ -538,10 +566,7 @@ class ProcBackend:
             with slot.wlock:
                 conn, slot.conn = slot.conn, None
             if conn is not None:
-                try:
-                    conn.close()
-                except OSError:
-                    pass
+                _close_quietly(conn)
         with _CHILDREN_LOCK:
             for proc in children:
                 if not proc.is_alive():

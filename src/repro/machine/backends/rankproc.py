@@ -185,6 +185,13 @@ class HubClient:
             # orphan working for nobody.
             if not self.sent_result:
                 os._exit(1)
+        except wire.WireError:
+            # Corrupt coordinator frame: the stream can never be
+            # resynchronized and no recovery protocol exists above it.
+            # Exit hard with a distinct code; the coordinator accounts
+            # the EOF as an unexpected death.
+            if not self.sent_result:
+                os._exit(4)
 
     @staticmethod
     def _apply_event(state: _SharedState, payload: tuple) -> None:
@@ -469,7 +476,7 @@ def rank_main(config: RankConfig) -> None:
             state.alive[config.rank] = False
         try:
             client.control("die", config.rank)
-        except (MachineError, OSError):
+        except (MachineError, OSError):  # repro-lint: disable=EXC001 -- audited: best-effort death notice; the error itself still ships in the census
             pass
     client.stop()
     try:

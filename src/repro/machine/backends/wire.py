@@ -20,6 +20,17 @@ Coordinator -> child: ``GO`` (all ranks connected; carries the mirror
 snapshot), ``DELIVER`` (a forwarded message), ``CONTROL_REPLY``,
 ``EVENT`` (a liveness broadcast: dead / replacement / finished / abort),
 ``PURGE_DONE`` (the mailbox-purge FIFO cut marker), ``SHUTDOWN``.
+
+Failure modes
+-------------
+A peer closing its socket *between* frames is the one quiet event —
+:func:`recv_frame` raises :class:`EOFError` and the backends treat it as
+a (possibly expected) disconnect.  Everything else is loud: a socket cut
+mid-frame, a length prefix beyond :data:`MAX_FRAME_BYTES`, or a body
+that does not decode to a ``(kind, payload)`` pair raises
+:class:`WireError`, because a half-frame accepted quietly would be the
+machine layer's one chance to turn corruption into a silent wrong
+answer.
 """
 
 from __future__ import annotations
@@ -45,6 +56,8 @@ __all__ = [
     "FIN",
     "PURGE_DONE",
     "SHUTDOWN",
+    "MAX_FRAME_BYTES",
+    "WireError",
     "send_frame",
     "recv_frame",
     "bind_listener",
@@ -66,32 +79,89 @@ SHUTDOWN = "shutdown"
 
 _HEADER = struct.Struct(">I")
 
+#: Largest frame the protocol accepts.  The biggest legitimate frames
+#: (the GO snapshot, a RESULT census with recorder ops, a DATA message
+#: carrying operand words) are megabytes at most; a 4-byte length prefix
+#: read from a desynchronized or corrupt stream averages ~2 GiB, so the
+#: cap turns garbage headers into an immediate :class:`WireError`
+#: instead of a giant allocation followed by a hang waiting for bytes
+#: that will never come.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
 #: Loopback only: the backend is a local execution engine, not a network
 #: service, and must never accept a connection from another host.
 _HOST = "127.0.0.1"
 
 
+class WireError(RuntimeError):
+    """A malformed frame: truncated, oversized, or undecodable.
+
+    Distinct from :class:`EOFError` (peer closed cleanly *between*
+    frames) so the backends can keep treating clean closes as ordinary
+    disconnects while anything that smells of corruption stays loud.
+    """
+
+
 def send_frame(sock: socket.socket, kind: str, payload: Any = None) -> None:
     """Write one frame.  The caller serializes concurrent writers."""
     body = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"refusing to send {len(body)}-byte frame "
+            f"(kind {kind!r}, cap {MAX_FRAME_BYTES})"
+        )
     sock.sendall(_HEADER.pack(len(body)) + body)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
+def _recv_exact(sock: socket.socket, n: int, what: str) -> bytes:
+    """Read exactly ``n`` bytes.
+
+    Zero bytes before the first byte of a *header* is the clean-close
+    signal (:class:`EOFError`); running dry anywhere else means the peer
+    died mid-frame and the stream can never be resynchronized
+    (:class:`WireError`).
+    """
     chunks: list[bytes] = []
-    while n:
-        chunk = sock.recv(n)
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
         if not chunk:
-            raise EOFError("peer closed the connection")
+            if got == 0 and what == "header":
+                raise EOFError("peer closed the connection")
+            raise WireError(
+                f"connection closed mid-{what}: got {got} of {n} bytes"
+            )
         chunks.append(chunk)
-        n -= len(chunk)
+        got += len(chunk)
     return b"".join(chunks)
 
 
 def recv_frame(sock: socket.socket) -> tuple[str, Any]:
-    """Read one frame; raises :class:`EOFError` on a closed peer."""
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    kind, payload = pickle.loads(_recv_exact(sock, length))
+    """Read one frame.
+
+    Raises :class:`EOFError` on a peer that closed between frames and
+    :class:`WireError` on anything malformed — truncated mid-frame,
+    length prefix over :data:`MAX_FRAME_BYTES`, or a body that does not
+    unpickle to a ``(kind, payload)`` pair with a string kind.
+    """
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size, "header"))
+    if length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame length {length} exceeds cap {MAX_FRAME_BYTES}; "
+            "corrupt or desynchronized stream"
+        )
+    body = _recv_exact(sock, length, "body")
+    try:
+        kind, payload = pickle.loads(body)
+    except Exception as exc:
+        raise WireError(
+            f"undecodable {length}-byte frame body "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    if not isinstance(kind, str):
+        raise WireError(
+            f"frame kind must be str, got {type(kind).__name__}"
+        )
     return kind, payload
 
 

@@ -1,0 +1,140 @@
+"""Edge cases for erasure decoding and (r,l)-general position.
+
+The faultcheck decodability prover (:mod:`repro.faultcheck.decode`)
+leans on exactly these boundaries: recovery at *exactly* ``f`` erasures
+(the budget frontier), refusal one past it, and general-position
+verdicts on degenerate point sets.  This file pins them down at the
+coding layer so a regression fails here, close to the cause, before it
+fails in a certificate.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.bigint.limbs import LimbVector
+from repro.coding.erasure import reconstruct_erasures, recovery_coefficients
+from repro.coding.general_position import (
+    all_square_submatrices_invertible,
+    is_general_position,
+)
+from repro.coding.linear import SystematicCode
+from repro.util.rational import FractionMatrix
+
+
+class TestExactlyFErasures:
+    """The budget frontier: f erasures leave exactly k survivors."""
+
+    @pytest.mark.parametrize("k,f", [(1, 1), (1, 2), (2, 2), (3, 2), (4, 3)])
+    def test_every_exactly_f_pattern_recovers(self, k, f):
+        code = SystematicCode(k=k, f=f)
+        data = [3 * i - 7 for i in range(k)]
+        cw = code.codeword(data)
+        for lost in combinations(range(code.n), f):
+            known = {i: cw[i] for i in range(code.n) if i not in lost}
+            assert len(known) == k  # exactly at the distance bound
+            rec = reconstruct_erasures(code, known, list(lost))
+            for idx in lost:
+                if idx < k:
+                    assert rec[idx] == data[idx]
+
+    def test_all_data_lost_all_redundancy_survives(self):
+        # k = f: the survivors are pure redundancy, no data coordinate
+        # helps — the solve runs on Vandermonde rows only.
+        code = SystematicCode(k=2, f=2)
+        cw = code.codeword([5, 6])
+        known = {2: cw[2], 3: cw[3]}
+        assert reconstruct_erasures(code, known, [0, 1]) == {0: 5, 1: 6}
+
+    def test_one_past_f_is_rejected_not_wrong(self):
+        # f+1 erasures: the decoder must refuse, never fabricate — the
+        # coding-layer half of faultcheck's budget-exhaustion proof.
+        code = SystematicCode(k=3, f=2)
+        cw = code.codeword([1, 2, 3])
+        for lost in combinations(range(code.n), code.f + 1):
+            known = {i: cw[i] for i in range(code.n) if i not in lost}
+            with pytest.raises(ValueError, match="more than f"):
+                reconstruct_erasures(code, known, list(lost))
+
+    def test_exactly_f_limb_blocks_with_denominators(self):
+        # k=3,f=2 recovery coefficients are non-integral; block data must
+        # still reconstruct exactly through the cleared-denominator path.
+        code = SystematicCode(k=3, f=2)
+        data = [LimbVector([i + 1, -i, 2 * i], 8) for i in range(3)]
+        cw = code.codeword(data)
+        known = {i: cw[i] for i in (2, 3, 4)}  # lose data words 0 and 1
+        rec = reconstruct_erasures(code, known, [0, 1])
+        assert rec[0] == data[0] and rec[1] == data[1]
+
+    def test_single_data_word_code(self):
+        # k=1 is pure replication through the code's lens: any single
+        # survivor (even a redundancy coordinate) restores the word.
+        code = SystematicCode(k=1, f=2)
+        cw = code.codeword([42])
+        for survivor in range(code.n):
+            rec = reconstruct_erasures(
+                code,
+                {survivor: cw[survivor]},
+                [i for i in range(code.k) if i != survivor],
+            )
+            if survivor != 0:
+                assert rec == {0: 42}
+
+    def test_empty_lost_list_is_noop(self):
+        code = SystematicCode(k=2, f=1)
+        cw = code.codeword([9, 8])
+        assert reconstruct_erasures(code, {0: cw[0], 1: cw[1]}, []) == {}
+
+    def test_coefficients_at_exactly_k_survivors_sum_exactly(self):
+        from fractions import Fraction
+
+        code = SystematicCode(k=4, f=3)
+        data = [2, -3, 5, -7]
+        cw = code.codeword(data)
+        survivors = [1, 3, 5, 6]  # mixed data + redundancy, exactly k
+        coeffs = recovery_coefficients(code, survivors, [0, 2])
+        for lost, combo in coeffs.items():
+            got = sum(Fraction(c) * cw[s] for s, c in combo.items())
+            assert got == data[lost]
+
+
+class TestDegeneratePointSets:
+    def test_empty_set_is_vacuously_general_position(self):
+        # No r**l-subset exists and the 0-row matrix has full row rank.
+        assert is_general_position([], 3, 2)
+
+    def test_projectively_scaled_duplicate_breaks(self):
+        # (2,2) is the same projective point as (1,1): the evaluation
+        # rows coincide even though the tuples differ.
+        pts = [((1, 1),), ((2, 2),), ((0, 1),)]
+        assert not is_general_position(pts, 3, 1)
+
+    def test_exactly_square_set(self):
+        # len(points) == r**l: general position degenerates to "the one
+        # evaluation matrix is invertible".
+        square = [((0, 1),), ((1, 1),), ((-1, 1),)]
+        assert is_general_position(square, 3, 1)
+        repeated = [((0, 1),), ((1, 1),), ((1, 1),)]
+        assert not is_general_position(repeated, 3, 1)
+
+    def test_axis_aligned_line_in_two_vars(self):
+        # All points sharing one coordinate are killed by a degree-1
+        # polynomial in the other variable — never (r,2)-general.
+        pts = [((0, 1), (j, 1)) for j in range(-4, 5)]
+        assert not is_general_position(pts, 3, 2)
+
+    def test_diagonal_line_in_two_vars(self):
+        # x = y is just as degenerate as an axis line.
+        pts = [((j, 1), (j, 1)) for j in range(-4, 5)]
+        assert not is_general_position(pts, 3, 2)
+
+    def test_single_row_square_submatrix(self):
+        # size == nrows: exactly one subset (the whole matrix).
+        assert all_square_submatrices_invertible(FractionMatrix([[2]]), 1)
+        assert not all_square_submatrices_invertible(FractionMatrix([[0]]), 1)
+
+    def test_zero_row_poisons_every_subset(self):
+        m = FractionMatrix([[1, 0], [0, 0], [0, 1]])
+        assert not all_square_submatrices_invertible(m, 2)

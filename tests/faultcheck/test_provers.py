@@ -1,0 +1,113 @@
+"""The four provers on the cheapest variant, plus certificate hygiene."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.commcheck.extract import make_config
+from repro.faultcheck import (
+    certificate_json,
+    check_coverage,
+    enumerate_space,
+    prove_decodability,
+    prove_exhaustion,
+    prove_schedules,
+    run_faultcheck,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return make_config()
+
+
+@pytest.fixture(scope="module")
+def linear_space(cfg):
+    return enumerate_space("ft_linear", cfg)
+
+
+class TestDecodability:
+    def test_ft_linear_all_families_proved(self, linear_space):
+        report = prove_decodability(linear_space)
+        assert report.ok
+        assert report.families, "decode proof must cover at least one family"
+        for fam in report.families:
+            # Every within-budget subset decodable, budget+1 detected.
+            assert all(chk.ok for chk in fam.within)
+            assert all(chk.ok for chk in fam.beyond)
+
+    def test_every_class_maps_to_a_family(self, linear_space):
+        report = prove_decodability(linear_space)
+        covered = {cc.class_id for cc in report.coverage}
+        assert covered == {c.id for c in linear_space.classes}
+
+
+class TestSchedules:
+    def test_ft_linear_every_tolerated_class_replays_clean(self, linear_space):
+        report = prove_schedules(linear_space)
+        assert report.ok
+        replayed = {r.class_id for r in report.replays}
+        skipped = {entry["class"] for entry in report.skipped}
+        assert replayed | skipped == {c.id for c in linear_space.classes}
+        for replay in report.replays:
+            assert replay.verdict == "exact"
+            assert not replay.findings
+            assert not replay.problems
+
+
+class TestExhaustion:
+    def test_budget_plus_one_is_never_silent(self, linear_space):
+        report = prove_exhaustion(linear_space)
+        assert report.ok
+        for chk in report.checks:
+            # The contract: loud failure or exact survival — a wrong
+            # product past the budget would fail the prover.
+            assert chk.verdict in ("loud-beyond-budget", "exact-beyond-budget")
+
+    def test_untolerated_classes_are_exercised(self, linear_space):
+        report = prove_exhaustion(linear_space)
+        modes = {chk.mode for chk in report.checks}
+        assert "untolerated" in modes or "beyond-budget" in modes
+
+
+class TestCoverage:
+    def test_sampler_draws_are_strict_subset(self, linear_space):
+        report = check_coverage(linear_space, trials=50)
+        assert report.ok
+        assert report.aliens == []
+        assert report.events > 0
+
+    def test_never_sampled_flagging_mechanism(self, linear_space):
+        # With almost no draws, some classes must go unsampled — the
+        # flag (a warning, not a failure) is the point of the gate.
+        report = check_coverage(linear_space, trials=1)
+        assert report.ok  # never-sampled is a warning, not an alien
+        assert report.never_sampled
+
+
+class TestCertificate:
+    def test_single_variant_end_to_end(self):
+        result = run_faultcheck(variants=["ft_linear"], coverage_trials=50)
+        assert result.ok
+        assert result.exit_code == 0
+        (cert,) = result.certificates
+        assert cert.variant == "ft_linear"
+        assert cert.ok and cert.error is None
+
+    def test_certificate_bytes_deterministic(self):
+        first = run_faultcheck(variants=["ft_linear"], coverage_trials=50)
+        second = run_faultcheck(variants=["ft_linear"], coverage_trials=50)
+        assert certificate_json(first) == certificate_json(second)
+
+    def test_certificate_is_canonical_json(self):
+        result = run_faultcheck(variants=["ft_linear"], coverage_trials=50)
+        text = certificate_json(result)
+        payload = json.loads(text)
+        assert payload["ok"] is True
+        assert [v["variant"] for v in payload["variants"]] == ["ft_linear"]
+        # Canonical form: sorted keys, no whitespace.
+        assert text == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )

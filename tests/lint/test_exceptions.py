@@ -1,0 +1,120 @@
+"""EXC001: silent exception handling in ``machine/``."""
+
+from __future__ import annotations
+
+from repro.lint.rules.exceptions import SilentExceptionRule
+
+from .conftest import rule_ids
+
+
+class TestSilentException:
+    def test_bare_except_flagged(self, lint):
+        result = lint(
+            {
+                "machine/backends/relay.py": """\
+    def forward(conn):
+        try:
+            conn.send(b"x")
+        except:
+            raise RuntimeError("resend")
+    """
+            },
+            rules=[SilentExceptionRule()],
+        )
+        assert rule_ids(result) == ["EXC001"]
+        assert "bare except" in result.violations[0].message
+
+    def test_pass_only_handler_flagged(self, lint):
+        result = lint(
+            {
+                "machine/comm2.py": """\
+    def close(conn):
+        try:
+            conn.close()
+        except OSError:
+            pass
+    """
+            },
+            rules=[SilentExceptionRule()],
+        )
+        assert rule_ids(result) == ["EXC001"]
+        assert "silently swallowed" in result.violations[0].message
+
+    def test_ellipsis_only_handler_flagged(self, lint):
+        result = lint(
+            {
+                "machine/backends/drop.py": """\
+    def drop(conn):
+        try:
+            conn.close()
+        except OSError:
+            ...
+    """
+            },
+            rules=[SilentExceptionRule()],
+        )
+        assert rule_ids(result) == ["EXC001"]
+
+    def test_contextlib_suppress_flagged(self, lint):
+        result = lint(
+            {
+                "machine/backends/quiet.py": """\
+    import contextlib
+
+
+    def close(conn):
+        with contextlib.suppress(OSError):
+            conn.close()
+    """
+            },
+            rules=[SilentExceptionRule()],
+        )
+        assert rule_ids(result) == ["EXC001"]
+        assert "contextlib.suppress" in result.violations[0].message
+
+    def test_handler_with_real_body_allowed(self, lint):
+        result = lint(
+            {
+                "machine/errors2.py": """\
+    def convert(fn):
+        try:
+            return fn()
+        except OSError as exc:
+            raise RuntimeError(str(exc)) from exc
+    """
+            },
+            rules=[SilentExceptionRule()],
+        )
+        assert rule_ids(result) == []
+
+    def test_outside_machine_exempt(self, lint):
+        # The loudness contract is a machine-layer obligation; analysis
+        # and campaign code may still use quiet cleanup.
+        result = lint(
+            {
+                "campaign/cleanup.py": """\
+    def close(fh):
+        try:
+            fh.close()
+        except OSError:
+            pass
+    """
+            },
+            rules=[SilentExceptionRule()],
+        )
+        assert rule_ids(result) == []
+
+    def test_audited_suppression_honoured(self, lint):
+        result = lint(
+            {
+                "machine/backends/teardown.py": """\
+    def close(conn):
+        try:
+            conn.close()
+        except OSError:  # repro-lint: disable=EXC001 -- audited: peer gone
+            pass
+    """
+            },
+            rules=[SilentExceptionRule()],
+        )
+        assert rule_ids(result) == []

@@ -126,12 +126,14 @@ class TestWire:
         finally:
             b.close()
 
-    def test_partial_header_is_eof(self):
+    def test_partial_header_is_loud(self):
+        # Truncation mid-frame is a WireError, not a clean close —
+        # tests/machine/test_wire.py covers the full fuzz matrix.
         a, b = socket.socketpair()
         try:
             a.sendall(b"\x00\x00")  # half a length prefix, then EOF
             a.close()
-            with pytest.raises(EOFError):
+            with pytest.raises(wire.WireError):
                 wire.recv_frame(b)
         finally:
             b.close()

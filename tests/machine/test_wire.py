@@ -1,0 +1,163 @@
+"""Frame-level fuzz and edge tests for the process-backend wire protocol.
+
+The contract under test (docstring of :mod:`repro.machine.backends.wire`):
+a peer closing *between* frames is the one quiet event (``EOFError``);
+every malformed byte sequence — truncation mid-frame, an oversized
+length prefix, a body that does not decode — must raise a loud
+:class:`~repro.machine.backends.wire.WireError`, never return garbage,
+and never hang.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import socket
+import struct
+
+import pytest
+
+from repro.machine.backends import wire
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def _feed(sock: socket.socket, data: bytes, close: bool = True) -> None:
+    sock.sendall(data)
+    if close:
+        sock.close()
+
+
+class TestRoundTrip:
+    def test_kind_and_payload_survive(self, pair):
+        a, b = pair
+        wire.send_frame(a, wire.DATA, {"words": [1, 2, 3]})
+        kind, payload = wire.recv_frame(b)
+        assert kind == wire.DATA
+        assert payload == {"words": [1, 2, 3]}
+
+    def test_none_payload(self, pair):
+        a, b = pair
+        wire.send_frame(a, wire.SHUTDOWN)
+        assert wire.recv_frame(b) == (wire.SHUTDOWN, None)
+
+    def test_empty_body_frame_is_loud(self, pair):
+        # A zero-length body is syntactically framed but cannot decode.
+        a, b = pair
+        _feed(a, struct.pack(">I", 0))
+        with pytest.raises(wire.WireError, match="undecodable"):
+            wire.recv_frame(b)
+
+
+class TestCleanClose:
+    def test_close_between_frames_is_eof(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(EOFError):
+            wire.recv_frame(b)
+
+    def test_close_after_full_frame_is_eof_on_next(self, pair):
+        a, b = pair
+        wire.send_frame(a, wire.FIN, 3)
+        a.close()
+        assert wire.recv_frame(b) == (wire.FIN, 3)
+        with pytest.raises(EOFError):
+            wire.recv_frame(b)
+
+
+class TestTruncation:
+    def test_partial_header_is_wire_error(self, pair):
+        a, b = pair
+        _feed(a, b"\x00\x00")
+        with pytest.raises(wire.WireError, match="mid-header"):
+            wire.recv_frame(b)
+
+    def test_partial_body_is_wire_error(self, pair):
+        a, b = pair
+        body = pickle.dumps((wire.DATA, list(range(100))))
+        _feed(a, struct.pack(">I", len(body)) + body[: len(body) // 2])
+        with pytest.raises(wire.WireError, match="mid-body"):
+            wire.recv_frame(b)
+
+    def test_header_only_is_wire_error(self, pair):
+        a, b = pair
+        _feed(a, struct.pack(">I", 64))
+        with pytest.raises(wire.WireError, match="got 0 of 64"):
+            wire.recv_frame(b)
+
+
+class TestOversized:
+    def test_giant_length_prefix_rejected_before_allocation(self, pair):
+        a, b = pair
+        _feed(a, struct.pack(">I", 0xFFFFFFFF), close=False)
+        with pytest.raises(wire.WireError, match="exceeds cap"):
+            wire.recv_frame(b)
+
+    def test_length_just_over_cap_rejected(self, pair):
+        a, b = pair
+        _feed(a, struct.pack(">I", wire.MAX_FRAME_BYTES + 1), close=False)
+        with pytest.raises(wire.WireError, match="exceeds cap"):
+            wire.recv_frame(b)
+
+    def test_send_side_refuses_oversized_frame(self, pair, monkeypatch):
+        a, _b = pair
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 16)
+        with pytest.raises(wire.WireError, match="refusing to send"):
+            wire.send_frame(a, wire.DATA, list(range(1000)))
+
+
+class TestGarbage:
+    def test_unpicklable_body_is_wire_error(self, pair):
+        a, b = pair
+        _feed(a, struct.pack(">I", 8) + b"\x93NUMPY\x01\x00")
+        with pytest.raises(wire.WireError, match="undecodable"):
+            wire.recv_frame(b)
+
+    def test_valid_pickle_wrong_shape_is_wire_error(self, pair):
+        a, b = pair
+        body = pickle.dumps(12345)  # not a (kind, payload) pair
+        _feed(a, struct.pack(">I", len(body)) + body)
+        with pytest.raises(wire.WireError, match="undecodable"):
+            wire.recv_frame(b)
+
+    def test_non_string_kind_is_wire_error(self, pair):
+        a, b = pair
+        body = pickle.dumps((99, "payload"))
+        _feed(a, struct.pack(">I", len(body)) + body)
+        with pytest.raises(wire.WireError, match="kind must be str"):
+            wire.recv_frame(b)
+
+    def test_random_streams_never_return_quietly(self):
+        # Seeded fuzz: a reader pointed at arbitrary bytes must end in
+        # EOFError or WireError — silent garbage acceptance or a hang
+        # would defeat the loudness contract.
+        rng = random.Random(0xFA11)
+        for trial in range(200):
+            a, b = socket.socketpair()
+            blob = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(0, 64))
+            )
+            try:
+                _feed(a, blob)
+                with pytest.raises((EOFError, wire.WireError)):
+                    while True:  # drain until the stream errors
+                        wire.recv_frame(b)
+            finally:
+                b.close()
+
+    def test_desynchronized_stream_after_valid_frame(self, pair):
+        # One good frame followed by mid-stream junk: the good frame is
+        # delivered, the junk is loud.
+        a, b = pair
+        wire.send_frame(a, wire.HELLO, (0, 0))
+        _feed(a, b"\xde\xad\xbe\xef" * 7)
+        assert wire.recv_frame(b)[0] == wire.HELLO
+        with pytest.raises((EOFError, wire.WireError)):
+            while True:
+                wire.recv_frame(b)

@@ -184,3 +184,44 @@ class TestDemo:
         rc = main(["demo"])
         assert rc == 0
         assert "product exact: True" in capsys.readouterr().out
+
+
+class TestFaultcheckCommand:
+    def test_list_variants(self, capsys):
+        rc = main(["faultcheck", "--list-variants"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("parallel", "ft_linear", "multistep"):
+            assert name in out
+
+    def test_single_variant_with_certificate(self, capsys, tmp_path):
+        cert = tmp_path / "cert.json"
+        rc = main(
+            ["faultcheck", "--variants", "ft_linear",
+             "--coverage-trials", "50", "--cert-out", str(cert)]
+        )
+        assert rc == 0
+        assert "faultcheck PASS" in capsys.readouterr().out
+        payload = json.loads(cert.read_text())
+        assert payload["ok"] is True
+
+    def test_json_output(self, capsys):
+        rc = main(
+            ["faultcheck", "--variants", "ft_linear",
+             "--coverage-trials", "50", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [v["variant"] for v in payload["variants"]] == ["ft_linear"]
+
+
+class TestCheckCommand:
+    def test_only_lint(self, capsys):
+        rc = main(["check", "--only", "lint"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "check PASS: 1/1 analyzers clean" in out
+
+    def test_unknown_analyzer_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--only", "nonsense"])
