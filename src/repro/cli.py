@@ -37,6 +37,7 @@ shorthand ``0x1pN`` for ``2**N``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import math
 import sys
@@ -111,8 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
     mul.add_argument("--json", action="store_true", help="machine-readable output")
     mul.add_argument(
         "--backend", choices=("sim", "proc"), default=None,
-        help="machine backend: sim (threads) or proc (one OS process per "
+        help="machine backend: sim (in-process) or proc (one OS process per "
         "rank); default: the REPRO_BACKEND environment variable",
+    )
+    mul.add_argument(
+        "--engine", choices=("event", "thread"), default=None,
+        help="sim-backend scheduling engine: event (deterministic "
+        "cooperative scheduler) or thread (legacy free-running threads); "
+        "default: the REPRO_ENGINE environment variable",
     )
     mul.add_argument(
         "--trace-out", metavar="PATH", default=None,
@@ -235,9 +242,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument(
         "--backend", choices=("sim", "proc"), default=None,
-        help="machine backend for trial runs: sim (threads) or proc (one "
+        help="machine backend for trial runs: sim (in-process) or proc (one "
         "OS process per rank); default: the REPRO_BACKEND environment "
         "variable",
+    )
+    camp.add_argument(
+        "--engine", choices=("event", "thread"), default=None,
+        help="sim-backend scheduling engine for trial runs (the report is "
+        "byte-identical across engines); default: the REPRO_ENGINE "
+        "environment variable",
     )
 
     cc = sub.add_parser(
@@ -290,9 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cc.add_argument(
         "--backend", choices=("sim", "proc"), default=None,
-        help="machine backend for extraction runs: sim (threads) or proc "
+        help="machine backend for extraction runs: sim (in-process) or proc "
         "(one OS process per rank; the conformance gate byte-compares the "
         "two); default: the REPRO_BACKEND environment variable",
+    )
+    cc.add_argument(
+        "--engine", choices=("event", "thread"), default=None,
+        help="sim-backend scheduling engine for extraction runs (the "
+        "conformance gate byte-compares the graphs across engines); "
+        "default: the REPRO_ENGINE environment variable",
     )
 
     rc = sub.add_parser(
@@ -386,6 +405,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cert-out", metavar="PATH", default=None,
         help="write the canonical byte-deterministic certificate to PATH "
         "(the CI artifact)",
+    )
+    fc.add_argument(
+        "--engine", choices=("event", "thread"), default=None,
+        help="sim-backend scheduling engine for the probe runs (the "
+        "certificate is byte-identical across engines); default: the "
+        "REPRO_ENGINE environment variable",
     )
 
     chk = sub.add_parser(
@@ -864,15 +889,20 @@ def main(argv: list[str] | None = None) -> int:
     }
     handler = handlers[args.command]
     backend = getattr(args, "backend", None)
-    if backend is not None:
-        # Scoping the environment variable (rather than threading a
-        # parameter through every handler) also reaches machines built
-        # inside worker processes, which inherit the environment.
-        from repro.util.env import backend_scope
+    engine = getattr(args, "engine", None)
+    # Scoping the environment variables (rather than threading parameters
+    # through every handler) also reaches machines built inside worker
+    # processes, which inherit the environment.
+    with contextlib.ExitStack() as scopes:
+        if backend is not None:
+            from repro.util.env import backend_scope
 
-        with backend_scope(backend):
-            return handler(args)
-    return handler(args)
+            scopes.enter_context(backend_scope(backend))
+        if engine is not None:
+            from repro.util.env import engine_scope
+
+            scopes.enter_context(engine_scope(engine))
+        return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,7 +3,7 @@
 The communication structure of every algorithm here is *data-oblivious*
 given the plan parameters ``(P, k, f)``: which rank talks to which, with
 which tag, in which phase, is fixed by the traversal geometry, not by
-the operand values.  Extraction therefore runs the real threaded machine
+the operand values.  Extraction therefore runs the real machine
 once, fault-free, with a :class:`~repro.machine.record.ScheduleRecorder`
 installed, and the recorded per-rank program order *is* the schedule.
 (Message *sizes* do scale with the operand length, which is why the
@@ -27,7 +27,7 @@ from repro.commcheck.graph import CommGraph
 from repro.core.plan import make_plan
 from repro.machine.fault import FaultSchedule
 from repro.machine.record import ScheduleRecorder
-from repro.util.env import backend_scope
+from repro.util.env import backend_scope, engine_scope
 
 __all__ = [
     "COMMCHECK_VARIANTS",
@@ -134,6 +134,7 @@ def extract_variant(
     name: str,
     cfg: CampaignConfig | None = None,
     backend: str | None = None,
+    engine: str | None = None,
 ) -> CommGraph:
     """Run variant ``name`` fault-free under a recorder; return its graph.
 
@@ -142,10 +143,11 @@ def extract_variant(
     fault-free schedule, so it raises :class:`ExtractionError` instead of
     returning a misleading graph.
 
-    ``backend`` scopes ``REPRO_BACKEND`` around the extraction run
-    (``None`` = whatever the environment says).  The backend-conformance
-    gate extracts the same variant on ``sim`` and ``proc`` and
-    byte-compares the canonical JSON.
+    ``backend`` scopes ``REPRO_BACKEND`` and ``engine`` scopes
+    ``REPRO_ENGINE`` around the extraction run (``None`` = whatever the
+    environment says).  The backend-conformance gate extracts the same
+    variant on ``sim`` and ``proc``, the engine-conformance gate on
+    ``thread`` and ``event``, and both byte-compare the canonical JSON.
     """
     cfg = cfg or make_config()
     if name not in COMMCHECK_VARIANTS:
@@ -154,7 +156,8 @@ def extract_variant(
     workload = spec.make_workload(_workload_rng(cfg.seed, name), cfg)
     recorder = ScheduleRecorder()
     scope = backend_scope(backend) if backend is not None else nullcontext()
-    with scope:
+    escope = engine_scope(engine) if engine is not None else nullcontext()
+    with scope, escope:
         execution = spec.execute(
             workload, FaultSchedule(), replace(cfg), recorder=recorder
         )

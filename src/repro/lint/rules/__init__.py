@@ -25,6 +25,7 @@ from repro.lint.rules.lockverify import (
 from repro.lint.rules.obs import PerfFunnelRule
 from repro.lint.rules.parallel import RawParallelismRule
 from repro.lint.rules.phases import PhaseAccountingRule
+from repro.lint.rules.threads import ThreadCreationRule
 from repro.lint.rules.timeouts import TimeoutLiteralRule
 
 __all__ = ["default_rules", "rule_catalog", "ENGINE_DIAGNOSTICS"]
@@ -47,6 +48,7 @@ def default_rules() -> list[Rule]:
         RawTagRule(),
         UnboundedRecoveryRecvRule(),
         RawParallelismRule(),
+        ThreadCreationRule(),
         PerfFunnelRule(),
         GuardedScopeRule(),
         MissingGuardRule(),

@@ -295,17 +295,19 @@ def _uncharged_send(comm: Any, dest: int, payload: Any, tag: int) -> None:
             base.rank, base.current_phase, gdest, tag, 0, 0,
             base.incarnation, modeled=True,
         )
-    base._state.router.post(
-        Message(
-            source=base.rank,
-            dest=gdest,
-            tag=tag,
-            payload=payload,
-            words=0,
-            clock=base.clock.snapshot(),
-            incarnation=base.incarnation,
-        )
+    msg = Message(
+        source=base.rank,
+        dest=gdest,
+        tag=tag,
+        payload=payload,
+        words=0,
+        clock=base.clock.snapshot(),
+        incarnation=base.incarnation,
     )
+    base._state.router.post(msg)
+    scheduler = base._state.scheduler
+    if scheduler is not None:
+        scheduler.on_post(msg)
 
 
 def _uncharged_recv(comm: Any, source: int, tag: int) -> Any:
@@ -319,20 +321,39 @@ def _uncharged_recv(comm: Any, source: int, tag: int) -> Any:
 
     base.fault_point()
     state = base._state
-    waited = 0.0
-    interval = poll_interval()
-    while True:
-        try:
-            msg = state.router.collect(base.rank, gsource, tag, timeout=interval)
-            break
-        except DeadlockError:
-            waited += interval
-            with state.lock:
-                source_dead = not state.alive[gsource]
-            if source_dead:
-                raise PeerDead(gsource) from None
-            if waited >= state.timeout:
-                raise
+    scheduler = state.scheduler
+    if scheduler is not None:
+        # Event engine: park instead of polling; the dead-source check
+        # deliberately mirrors the thread path below (liveness only — a
+        # finished-but-alive source is a deadlock, not a fail-over).
+        while True:
+            try:
+                msg = state.router.collect(base.rank, gsource, tag, timeout=0.0)
+                break
+            except DeadlockError:
+                with state.lock:
+                    source_dead = not state.alive[gsource]
+                if source_dead:
+                    raise PeerDead(gsource) from None
+                if not scheduler.block_recv(
+                    base.rank, gsource, tag, state.timeout
+                ):
+                    raise
+    else:
+        waited = 0.0
+        interval = poll_interval()
+        while True:
+            try:
+                msg = state.router.collect(base.rank, gsource, tag, timeout=interval)
+                break
+            except DeadlockError:
+                waited += interval
+                with state.lock:
+                    source_dead = not state.alive[gsource]
+                if source_dead:
+                    raise PeerDead(gsource) from None
+                if waited >= state.timeout:
+                    raise
     recorder = state.recorder
     if recorder is not None:
         recorder.on_recv(

@@ -69,6 +69,13 @@ class _SharedState:
         #: below is guarded by a None-check, so an unsanitized run pays
         #: one attribute load per synchronization point and nothing else.
         self.sanitizer: Any = None
+        #: Cooperative scheduler
+        #: (:class:`~repro.machine.engines.event.EventEngine`); installed
+        #: by the event engine for the duration of its run, None under
+        #: the thread engine.  When set, blocking calls park on the
+        #: scheduler instead of polling the wall clock, and posts/deaths
+        #: issue deterministic wakes (docs/MACHINE.md "Engines").
+        self.scheduler: Any = None
         self.topology = topology or FullyConnected(size)
         self.router = router
         self.word_bits = word_bits
@@ -147,14 +154,30 @@ class Communicator:
             return self._state.incarnations[self.rank]
 
     def is_alive(self, rank: int) -> bool:
+        self._detector_yield()
         with self._state.lock:
             return self._state.alive[rank]
 
     def incarnation_of(self, rank: int) -> int:
         """Current incarnation number of ``rank`` (0 = original processor).
         Protocols use this to wait for a replacement to come up."""
+        self._detector_yield()
         with self._state.lock:
             return self._state.incarnations[rank]
+
+    def _detector_yield(self) -> None:
+        """Cooperative yield at failure-detector reads (event engine only).
+
+        Programs may legitimately busy-poll the detector ("spin until the
+        replacement comes up"); under the one-runnable-rank scheduler such
+        a loop would otherwise never let the observed rank run.  Yielding
+        here keeps those loops live without charging any cost or touching
+        a fault point — detector reads are free in the model under both
+        engines.
+        """
+        scheduler = self._state.scheduler
+        if scheduler is not None:
+            scheduler.yield_turn(self.rank)
 
     def agree_dead(self, key: Any, candidates: Sequence[int]) -> frozenset:
         """Consistent failure snapshot (ULFM-style agreement).
@@ -205,6 +228,7 @@ class Communicator:
 
         Named ``poll_votes`` (not ``votes``) so the accessor is not
         mistaken for the guarded ``_SharedState.votes`` field itself."""
+        self._detector_yield()
         state = self._state
         sanitizer = state.sanitizer
         if sanitizer is not None:
@@ -230,6 +254,10 @@ class Communicator:
         sanitizer = state.sanitizer
         if sanitizer is not None:
             sanitizer.on_gate_arrive(key)
+        scheduler = state.scheduler
+        if scheduler is not None:
+            # Our arrival may complete a gate a parked peer is waiting on.
+            scheduler.on_gate_arrival(key, self.rank)
         recorder = state.recorder
         if recorder is not None:
             recorder.on_gate(
@@ -237,6 +265,27 @@ class Communicator:
                 self.incarnation,
             )
         limit = state.timeout if timeout is None else timeout
+        if scheduler is not None:
+            # Event engine: park on the scheduler with the set of
+            # participants still missing; arrivals strike ranks off that
+            # set and wake us when it empties (deaths wake everyone).
+            # ``limit`` survives only as the quiescence priority.
+            while True:
+                with state.lock:
+                    arrived = state.gates[key]
+                    pending = {
+                        p
+                        for p in participants
+                        if p not in arrived and state.alive[p]
+                    }
+                if not pending:
+                    if sanitizer is not None:
+                        sanitizer.on_gate_pass(key)
+                    return
+                if not scheduler.block_gate(self.rank, key, pending, limit):
+                    raise DeadlockError(
+                        f"rank {self.rank}: gate {key!r} never completed"
+                    )
         # The gate's timeout is a *hang detector* for the real threads
         # backing the simulation, not part of the simulated machine: a
         # stuck peer thread is invisible in virtual time (its clock simply
@@ -262,6 +311,7 @@ class Communicator:
 
     def dead_ranks(self, ranks: Sequence[int] | None = None) -> set[int]:
         """The perfect failure detector: dead ranks among ``ranks``."""
+        self._detector_yield()
         pool = range(self.size) if ranks is None else ranks
         with self._state.lock:
             return {r for r in pool if not self._state.alive[r]}
@@ -273,6 +323,11 @@ class Communicator:
         that task."""
         with self._state.lock:
             self._state.aborted_task[self.rank] = task
+        scheduler = self._state.scheduler
+        if scheduler is not None:
+            # Receivers using abort_check fail over on withdrawal exactly
+            # like on death: wake them to re-check.
+            scheduler.on_liveness_change()
         recorder = self._state.recorder
         if recorder is not None:
             recorder.on_abort(
@@ -382,6 +437,10 @@ class Communicator:
         state = self._state
         with state.lock:
             state.alive[self.rank] = False
+        scheduler = state.scheduler
+        if scheduler is not None:
+            # Receivers parked on this rank must re-check and fail over.
+            scheduler.on_liveness_change()
         phase = self.current_phase
         state.fault_log.record(
             self.rank, phase, op_index, self.incarnation, kind="hard"
@@ -481,6 +540,9 @@ class Communicator:
             # router the receiver may match it at any moment.
             sanitizer.on_send(msg)
         self._state.router.post(msg)
+        scheduler = self._state.scheduler
+        if scheduler is not None:
+            scheduler.on_post(msg)
 
     def recv(
         self,
@@ -539,8 +601,35 @@ class Communicator:
             raise CommError(f"rank {self.rank} attempted a self-receive")
         state = self._state
         limit = state.timeout if timeout is None else timeout
-        waited = 0.0
+        scheduler = state.scheduler
         msg: Message | None = None
+        if scheduler is not None:
+            # Event engine: non-blocking poll, then park on the scheduler.
+            # Nothing can change between a failed poll and the park (only
+            # this rank is running), so the check-then-park is atomic; a
+            # wake means "re-check", a False verdict means the machine
+            # quiesced with this rank the most impatient waiter.
+            while msg is None:
+                try:
+                    msg = state.router.collect(self.rank, source, tag, timeout=0.0)
+                except DeadlockError:
+                    with state.lock:
+                        source_gone = (
+                            not state.alive[source]
+                            or state.finished[source]
+                            or (
+                                abort_check is not None
+                                and state.aborted_task[source] == abort_check
+                            )
+                        )
+                    if source_gone:
+                        raise PeerDead(source) from None
+                    if not scheduler.block_recv(self.rank, source, tag, limit):
+                        raise DeadlockError(
+                            f"rank {self.rank}: no message from {source} tag {tag} "
+                            f"after {limit:.1f}s"
+                        ) from None
+        waited = 0.0
         while msg is None:
             try:
                 msg = state.router.collect(

@@ -2,9 +2,14 @@
 
 :class:`Machine` owns the shared state (router, memories, clocks, fault
 schedule) and runs a rank program — an ordinary Python function
-``program(comm, *args) -> result`` — on one thread per rank.  Threads are
-real but the GIL is irrelevant: we measure operation *counts*, not wall
-time.
+``program(comm, *args) -> result`` — one logical processor per rank.  How
+ranks are scheduled is the *engine*'s business (docs/MACHINE.md
+"Engines"): the default ``event`` engine is a deterministic cooperative
+scheduler (one runnable rank at a time, virtual-time quiescence for hang
+detection) that scales to thousands of ranks; the legacy ``thread``
+engine runs free OS threads and remains the differential-testing
+reference.  Either way the GIL is irrelevant to the model: we measure
+operation *counts*, not wall time.
 
 :class:`RunResult` carries per-rank return values, the critical-path cost
 triple (element-wise max of the per-rank vector clocks — see
@@ -21,13 +26,14 @@ from typing import Any, Callable, Sequence
 
 from repro.machine.comm import Communicator, _SharedState
 from repro.machine.costs import Counts, CostModel, PhaseLedger
+from repro.machine.engines import resolve_engine
 from repro.machine.errors import HardFault, MachineError
 from repro.machine.fault import FaultLog, FaultSchedule
 from repro.machine.memory import LocalMemory
 from repro.machine.network import Router
 from repro.obs.tracer import Tracer, make_tracer
 from repro.util.env import backend as backend_choice
-from repro.util.env import join_grace, racecheck_enabled, scaled_timeout
+from repro.util.env import racecheck_enabled, scaled_timeout
 
 __all__ = ["Machine", "RunResult", "merge_phase_costs", "raise_run_errors"]
 
@@ -146,12 +152,21 @@ class Machine:
         instrumented and the run is byte-identical to one on a build
         without the sanitizer.
     backend:
-        Execution backend: ``"sim"`` (thread-per-rank simulator),
+        Execution backend: ``"sim"`` (in-process simulator),
         ``"proc"`` (one OS process per rank over localhost sockets — see
         docs/MACHINE.md "Backends"), or ``None`` (default) to defer to
         ``REPRO_BACKEND`` at each :meth:`run`.  Both backends are
         conformance-gated to produce identical results and communication
         schedules.
+    engine:
+        Scheduling engine for the ``sim`` backend (docs/MACHINE.md
+        "Engines"): ``"event"`` (deterministic cooperative scheduler,
+        the default), ``"thread"`` (legacy free-running threads), or
+        ``None`` (default) to defer to ``REPRO_ENGINE`` at each
+        :meth:`run`.  Sanitized runs always use the thread engine —
+        race detection targets the concurrent implementation.  Both
+        engines are conformance-gated byte-identical
+        (tests/machine/test_engine_conformance.py).
     """
 
     def __init__(
@@ -166,6 +181,7 @@ class Machine:
         recorder: Any = None,
         sanitize: Any = None,
         backend: str | None = None,
+        engine: str | None = None,
     ):
         if size <= 0:
             raise ValueError("size must be positive")
@@ -177,6 +193,8 @@ class Machine:
             )
         if backend not in (None, "sim", "proc"):
             raise ValueError(f"backend must be sim or proc, got {backend!r}")
+        if engine not in (None, "event", "thread"):
+            raise ValueError(f"engine must be event or thread, got {engine!r}")
         self.size = size
         self.memory_words = memory_words
         self.word_bits = word_bits
@@ -192,6 +210,9 @@ class Machine:
         #: each :meth:`run` (so scoping the variable around code that
         #: builds machines internally selects the backend for all of them).
         self.backend = backend
+        #: Explicit engine override; None defers to ``REPRO_ENGINE`` at
+        #: each :meth:`run`, mirroring the backend resolution.
+        self.engine = engine
 
     def run(
         self,
@@ -268,24 +289,16 @@ class Machine:
                 with state.lock:
                     state.finished[rank] = True
 
-        threads = [
-            threading.Thread(target=runner, args=(r,), name=f"rank-{r}", daemon=True)
-            for r in range(self.size)
-        ]
-        for t in threads:
-            if sanitizer is not None:
-                # Spawn edge: the child inherits the parent's clock.
-                sanitizer.on_thread_create(t.name)
-            t.start()
-        for t in threads:
-            t.join(timeout=join_grace(self.timeout))
-            if t.is_alive():
-                raise MachineError(f"{t.name} failed to terminate (deadlock?)")
-            if sanitizer is not None:
-                # Join edge: the parent folds the child's final clock back.
-                sanitizer.on_thread_join(t.name)
+        if resolve_engine(self.engine, sanitizer) == "event":
+            from repro.machine.engines.event import EventEngine
 
-        # Joining every runner is a happens-before edge, but take the same
+            EventEngine(state).execute(runner)
+        else:
+            from repro.machine.engines.thread import ThreadEngine
+
+            ThreadEngine(state, sanitizer).execute(runner)
+
+        # Engine completion is a happens-before edge, but take the same
         # lock the runners write under anyway: the snapshot must be safe
         # even if a deadlocked straggler thread is still limping along.
         with lock:

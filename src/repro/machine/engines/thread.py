@@ -1,0 +1,53 @@
+"""The legacy free-running thread-per-rank engine.
+
+One daemon OS thread per rank, all runnable at once; blocking Communicator
+calls poll the router/gates on the wall clock and a ``join_grace`` watchdog
+catches wedged ranks.  Retained for one release as the differential-testing
+reference for the event engine (tests/machine/test_engine_conformance.py)
+and as the execution vehicle for the race sanitizer, which needs real
+concurrency to have anything to detect.
+
+This module is the only place outside the backends glue allowed to create
+``threading.Thread`` rank carriers directly (lint rule THREAD001); the
+event engine's suspended-stack carriers go through its own scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.machine.comm import _SharedState
+from repro.machine.errors import MachineError
+from repro.util.env import join_grace
+
+__all__ = ["ThreadEngine"]
+
+
+class ThreadEngine:
+    """Free-running dispatch: start every rank, join with a grace bound."""
+
+    name = "thread"
+
+    def __init__(self, state: _SharedState, sanitizer: Any = None):
+        self._state = state
+        self._sanitizer = sanitizer
+
+    def execute(self, runner: Callable[[int], None]) -> None:
+        sanitizer = self._sanitizer
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"rank-{r}", daemon=True)
+            for r in range(self._state.size)
+        ]
+        for t in threads:
+            if sanitizer is not None:
+                # Spawn edge: the child inherits the parent's clock.
+                sanitizer.on_thread_create(t.name)
+            t.start()
+        for t in threads:
+            t.join(timeout=join_grace(self._state.timeout))
+            if t.is_alive():
+                raise MachineError(f"{t.name} failed to terminate (deadlock?)")
+            if sanitizer is not None:
+                # Join edge: the parent folds the child's final clock back.
+                sanitizer.on_thread_join(t.name)

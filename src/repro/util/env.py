@@ -46,10 +46,21 @@ clock or entropy.
 
 ``REPRO_BACKEND``
     Execution backend for :class:`~repro.machine.engine.Machine` runs:
-    ``sim`` (default, thread-per-rank simulator) or ``proc`` (one real OS
+    ``sim`` (default, in-process simulator) or ``proc`` (one real OS
     process per rank exchanging messages over localhost sockets — see
     docs/MACHINE.md "Backends").  Conformance-gated: both backends
     produce bit-identical products and communication graphs.
+
+``REPRO_ENGINE``
+    Scheduling engine for the ``sim`` backend: ``event`` (default — the
+    deterministic cooperative scheduler, one runnable rank at a time
+    under virtual-time quiescence detection) or ``thread`` (the legacy
+    free-running thread-per-rank engine, retained for one release as the
+    differential-testing reference — see docs/MACHINE.md "Engines").
+    Conformance-gated: both engines produce byte-identical products,
+    costs, commcheck graphs and campaign reports.  Sanitized runs
+    (``REPRO_RACECHECK``/``sanitize=``) always use the thread engine,
+    the concurrent implementation race detection is aimed at.
 
 ``REPRO_HEARTBEAT``
     Rank heartbeat interval in seconds for the process backend (default
@@ -92,6 +103,8 @@ __all__ = [
     "racecheck_enabled",
     "backend",
     "backend_scope",
+    "engine",
+    "engine_scope",
     "heartbeat_interval",
     "port_range",
     "proc_fault_mode",
@@ -104,6 +117,7 @@ _START_VAR = "REPRO_MP_START_METHOD"
 _PERF_DIR_VAR = "REPRO_PERF_DIR"
 _PERF_BASELINE_VAR = "REPRO_PERF_BASELINE"
 _BACKEND_VAR = "REPRO_BACKEND"
+_ENGINE_VAR = "REPRO_ENGINE"
 _HEARTBEAT_VAR = "REPRO_HEARTBEAT"
 _PORT_RANGE_VAR = "REPRO_PORT_RANGE"
 _PROC_FAULTS_VAR = "REPRO_PROC_FAULTS"
@@ -258,6 +272,40 @@ def backend_scope(name: str) -> Iterator[None]:
             os.environ.pop(_BACKEND_VAR, None)
         else:
             os.environ[_BACKEND_VAR] = previous
+
+
+def engine() -> str:
+    """Sim-backend scheduling engine (``REPRO_ENGINE``: ``event``/``thread``)."""
+    raw = os.environ.get(_ENGINE_VAR, "").strip()
+    if not raw:
+        return "event"
+    if raw not in ("event", "thread"):
+        raise ValueError(f"{_ENGINE_VAR} must be event or thread, got {raw!r}")
+    return raw
+
+
+@contextmanager
+def engine_scope(name: str) -> Iterator[None]:
+    """Scope ``REPRO_ENGINE`` to ``name`` for the duration of the block.
+
+    Mirrors :func:`backend_scope`: the engine is resolved per
+    :meth:`~repro.machine.engine.Machine.run`, so scoping the variable
+    around a call that builds machines internally (campaign trials,
+    commcheck extraction) selects the engine for every machine in that
+    call — including ones constructed in worker processes, which inherit
+    the environment.
+    """
+    if name not in ("event", "thread"):
+        raise ValueError(f"engine must be event or thread, got {name!r}")
+    previous = os.environ.get(_ENGINE_VAR)
+    os.environ[_ENGINE_VAR] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(_ENGINE_VAR, None)
+        else:
+            os.environ[_ENGINE_VAR] = previous
 
 
 def proc_fault_mode() -> str:

@@ -1,0 +1,75 @@
+"""Differential property: thread and event engines are observably equal.
+
+The golden conformance suite (tests/machine/test_engine_conformance.py)
+pins a handful of hand-picked scenarios byte-for-byte; this property
+sweeps the space around them.  Hypothesis draws an operand size, a fault
+budget, and a within-geometry fault schedule, replays the identical
+trial under both engines, and demands the same verdict, the same
+product, the same error class, and the same fired-event snapshot.
+
+The trial parameters stay small on purpose (each example runs two full
+machine executions); the ``ci`` profile is derandomized so a CI failure
+replays locally with ``HYPOTHESIS_PROFILE=ci``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.runner import run_trial
+from repro.machine.fault import FaultEvent
+from repro.util.env import engine_scope
+
+#: Hard faults exercise replacement, delays only stretch virtual time —
+#: both must be scheduler-invariant.
+_KINDS = ("hard", "delay")
+
+fault_events = st.lists(
+    st.builds(
+        FaultEvent,
+        rank=st.integers(min_value=0, max_value=3),
+        phase=st.sampled_from(("work", "*")),
+        op_index=st.integers(min_value=0, max_value=4),
+        incarnation=st.just(0),
+        kind=st.sampled_from(_KINDS),
+    ),
+    max_size=2,
+    unique_by=lambda e: e.rank,
+)
+
+
+def _observe(variant, seed, events, bits, engine):
+    with engine_scope(engine):
+        out = run_trial(
+            variant, seed=seed, events=events, bits=bits, timeout=20.0
+        )
+    err = out.execution.error
+    return {
+        "verdict": out.verdict,
+        "actual": out.execution.actual,
+        "error_class": None if err is None else type(err).__name__,
+        "fired": out.execution.fired,
+    }
+
+
+class TestEngineEquivalence:
+    @given(
+        variant=st.sampled_from(("parallel", "ft_linear")),
+        seed=st.integers(min_value=0, max_value=2**16),
+        events=fault_events,
+        bits=st.sampled_from((120, 240, 600)),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_trial_observables_match(self, variant, seed, events, bits):
+        thread = _observe(variant, seed, events, bits, "thread")
+        event = _observe(variant, seed, events, bits, "event")
+        assert event == thread
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_fault_free_products_match(self, seed):
+        thread = _observe("ft_linear", seed, (), 240, "thread")
+        event = _observe("ft_linear", seed, (), 240, "event")
+        assert thread["verdict"] == "exact"
+        assert event == thread
